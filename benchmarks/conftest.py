@@ -1,0 +1,35 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's evaluation artifacts
+(tables, figures, or prose claims) and asserts its *shape* — who wins,
+by roughly what factor — rather than absolute numbers, since the
+substrate is a simulator rather than the authors' Java testbed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.workloads  # noqa: F401 - registers every workload variant
+from repro.simulation.backend import SimulationBackend, use_backend
+from repro.simulation.scheduler import RoundRobinPolicy, SerializedPolicy
+
+
+@pytest.fixture
+def round_robin_backend():
+    backend = SimulationBackend(policy=RoundRobinPolicy())
+    with use_backend(backend):
+        yield backend
+
+
+@pytest.fixture
+def serialized_backend():
+    backend = SimulationBackend(policy=SerializedPolicy())
+    with use_backend(backend):
+        yield backend
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled reproduction artifact into the benchmark log."""
+    bar = "=" * 70
+    print(f"\n{bar}\n{title}\n{bar}\n{body}")

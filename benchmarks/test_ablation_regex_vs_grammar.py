@@ -1,0 +1,89 @@
+"""Ablation 1 — regex syntax checking vs naive string splitting.
+
+§3(a) of the paper argues traces "can be processed by regular
+expressions rather than grammars" because each print is a typed logical
+variable.  This ablation compares the infrastructure's anchored
+per-property regexes with the obvious cheaper alternative — splitting on
+``->`` and ``:`` — on two axes:
+
+* **correctness**: the naive splitter accepts malformed lines (wrong
+  value type, trailing junk, forged prefixes) that the regexes reject;
+* **cost**: the regex check's runtime is the price of that correctness,
+  measured on a realistic trace volume.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from benchmarks.conftest import emit
+from repro.core.properties import BOOLEAN, NUMBER, PropertySpec
+
+SPECS = [
+    PropertySpec("Index", NUMBER),
+    PropertySpec("Number", NUMBER),
+    PropertySpec("Is Prime", BOOLEAN),
+]
+
+#: (line, is_well_formed) — the malformed ones are realistic student
+#: output accidents.
+CASES: List[Tuple[str, bool]] = [
+    ("Thread 24->Index:0", True),
+    ("Thread 24->Number:509", True),
+    ("Thread 24->Is Prime:true", True),
+    ("Thread 24->Is Prime:kinda", False),       # ill-typed value
+    ("Thread 24->Index:0 done", False),          # trailing junk
+    ("DEBUG Thread 24->Index:0", False),          # forged prefix
+    ("Thread 24->Index:", False),                 # empty value
+    ("Thread x->Index:0", False),                 # non-numeric thread id
+]
+
+
+def regex_accepts(line: str) -> bool:
+    return any(spec.matches_line(line) for spec in SPECS)
+
+
+def naive_accepts(line: str) -> bool:
+    """The splitter a test writer would bang out without the paper's
+    infrastructure: find '->' and ':', compare the name."""
+    if "->" not in line or ":" not in line:
+        return False
+    _thread, _, rest = line.partition("->")
+    name, _, _value = rest.partition(":")
+    return any(spec.name == name for spec in SPECS)
+
+
+def test_ablation_regex_rejects_malformed_lines(benchmark):
+    lines = [line for line, _ok in CASES] * 500  # realistic trace volume
+
+    def check_all():
+        return sum(1 for line in lines if regex_accepts(line))
+
+    accepted = benchmark(check_all)
+    assert accepted == 3 * 500  # exactly the well-formed lines
+
+    rows = []
+    for line, well_formed in CASES:
+        r, n = regex_accepts(line), naive_accepts(line)
+        rows.append(f"  {line!r:<35} well-formed={well_formed!s:<5} regex={r!s:<5} naive={n}")
+    emit("Ablation 1 — regex vs naive splitting on malformed lines", "\n".join(rows))
+
+    # Every verdict of the regex checker is correct...
+    for line, well_formed in CASES:
+        assert regex_accepts(line) == well_formed, line
+    # ...while the naive splitter wrongly accepts at least three
+    # malformed shapes (ill-typed value, trailing junk, empty value).
+    false_accepts = [
+        line for line, ok in CASES if not ok and naive_accepts(line)
+    ]
+    assert len(false_accepts) >= 3
+
+
+def test_ablation_naive_split_cost_baseline(benchmark):
+    """The naive splitter's cost, for the cost-of-correctness ratio."""
+    lines = [line for line, _ok in CASES] * 500
+
+    def check_all():
+        return sum(1 for line in lines if naive_accepts(line))
+
+    benchmark(check_all)

@@ -1,0 +1,74 @@
+"""F10 — Fig. 10: semantic problems pinpointed, 80 % awarded.
+
+Fig. 10's trace has two semantic problems: the threads' execution is
+serialized in thread order (dodging the synchronization the assignment
+requires), and the load is imbalanced — every thread but one performs a
+single iteration while one performs the rest.  The test run points out
+both mistakes *and* all the aspects the submission got right, assigning
+80 %.  We regenerate the run against the serialized submission.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.outcome import Aspect
+from repro.graders import PrimesFunctionality
+from repro.testfw.result import AspectStatus
+
+
+def check_serialized(serialized_backend):
+    checker = PrimesFunctionality("primes.serialized")
+    return checker.check()
+
+
+def test_fig10_serialized_and_imbalanced(benchmark, serialized_backend):
+    report = benchmark(check_serialized, serialized_backend)
+    emit("Fig. 10 — serialized + imbalanced submission", report.result.render())
+
+    result = report.result
+    assert result.score == 32.0
+    assert result.percent == pytest.approx(80.0)
+
+    failed = {o.aspect: o for o in result.failed_aspects()}
+    assert set(failed) == {Aspect.INTERLEAVING, Aspect.LOAD_BALANCE}
+
+    # Mistake 1: serialization, in thread order, with the paper's
+    # explanation of why it matters.
+    serial_message = failed[Aspect.INTERLEAVING].message
+    assert "serialized in the order" in serial_message
+    assert "synchronization" in serial_message
+
+    # Mistake 2: imbalance — one thread does 4 iterations, others 1.
+    balance_message = failed[Aspect.LOAD_BALANCE].message
+    assert "imbalanced" in balance_message
+    assert "performed 4" in balance_message
+
+    # The run also indicates all aspects that are correct (Fig. 10's
+    # lines 30-35): syntax, thread count, and all semantics passed.
+    passed = {o.aspect for o in result.passed_aspects()}
+    for aspect in (
+        Aspect.PRE_FORK_SYNTAX,
+        Aspect.FORK_SYNTAX,
+        Aspect.POST_JOIN_SYNTAX,
+        Aspect.THREAD_COUNT,
+        Aspect.ITERATION_SEMANTICS,
+        Aspect.POST_ITERATION_SEMANTICS,
+        Aspect.POST_JOIN_SEMANTICS,
+    ):
+        assert aspect in passed
+    # Nothing was skipped: syntax was clean so everything was checked.
+    assert not [o for o in result.outcomes if o.status is AspectStatus.SKIPPED]
+
+
+def test_fig10_trace_shape(benchmark, serialized_backend):
+    report = benchmark(check_serialized, serialized_backend)
+    trace = report.trace
+    counts = sorted(w.iteration_count for w in trace.workers)
+    emit(
+        "Fig. 10 — per-thread iteration counts",
+        f"iterations per thread: {counts} (fair would be [1, 2, 2, 2])",
+    )
+    # Each thread except one performs one iteration; one performs four.
+    assert counts == [1, 1, 1, 4]

@@ -1,0 +1,74 @@
+"""F11 — Fig. 11: syntax errors suppress semantics, 10 % awarded.
+
+Fig. 11's trace has two syntax errors: the pre-fork property is named
+"Randoms" rather than "Random Numbers", and a loop error makes the fork
+output fall short of the expected regular expressions (the paper counts
+25 expected for 7 randoms: 3 iteration outputs x 7 plus 1 post-iteration
+x 4 threads).  Because of these syntax errors **no semantic checks are
+run** and the program earns 10 %.  We regenerate the run against the
+syntax-broken submission.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.outcome import Aspect
+from repro.graders import PrimesFunctionality
+from repro.testfw.result import AspectStatus
+
+
+def check_syntax_broken(round_robin_backend):
+    checker = PrimesFunctionality("primes.syntax_error")
+    return checker.check()
+
+
+def test_fig11_syntax_errors_gate_semantics(benchmark, round_robin_backend):
+    report = benchmark(check_syntax_broken, round_robin_backend)
+    emit("Fig. 11 — submission with syntax errors", report.result.render())
+
+    result = report.result
+    assert result.score == 4.0
+    assert result.percent == pytest.approx(10.0)  # the paper's 10 %
+
+    statuses = {o.aspect: o for o in result.outcomes}
+
+    # Error 1: the misnamed pre-fork property, in the paper's wording.
+    pre_fork = statuses[Aspect.PRE_FORK_SYNTAX]
+    assert pre_fork.status is AspectStatus.FAILED
+    assert "named 'Randoms' rather than 'Random Numbers'" in pre_fork.message
+
+    # Error 2: the fork output regex-count shortfall, stated against the
+    # full expected count for 7 randoms and 4 threads.
+    fork = statuses[Aspect.FORK_SYNTAX]
+    assert fork.status is AspectStatus.FAILED
+    assert "25 regular expressions" in fork.message
+
+    # Post-join syntax is still correct — the only credit that survives.
+    assert statuses[Aspect.POST_JOIN_SYNTAX].status is AspectStatus.PASSED
+
+    # "Because of these syntax errors, no semantic checks are run":
+    for aspect in (
+        Aspect.THREAD_COUNT,
+        Aspect.INTERLEAVING,
+        Aspect.LOAD_BALANCE,
+        Aspect.PRE_FORK_SEMANTICS,
+        Aspect.ITERATION_SEMANTICS,
+        Aspect.POST_ITERATION_SEMANTICS,
+        Aspect.POST_JOIN_SEMANTICS,
+    ):
+        assert statuses[aspect].status is AspectStatus.SKIPPED, aspect
+
+
+def test_fig11_fork_output_shortfall_counted(benchmark, round_robin_backend):
+    report = benchmark(check_syntax_broken, round_robin_backend)
+    matching = len(report.trace.worker_events)
+    emit(
+        "Fig. 11 — fork output shortfall",
+        f"expected 25 property outputs (7x3 iteration + 4x1 "
+        f"post-iteration); trace has {matching}",
+    )
+    # The off-by-one loop drops one iteration (3 lines) per 2-item slice:
+    # 3 slices of 2 -> one iteration each; 1 slice of 1 -> zero.
+    assert matching < 25

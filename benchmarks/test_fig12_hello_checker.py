@@ -1,0 +1,80 @@
+"""F12 — Fig. 12: the Hello World concurrency-only checker.
+
+Fig. 12(a) is a complete functionality test written with just three
+parameter methods (program name, arguments, expected forked threads)
+plus an overridden ``threadCountCredit`` allocating 80 % for the right
+number of threads and 20 % for creating one or more.  Fig. 12(b) shows
+the result on a submission whose root prints the greeting directly
+without forking: the exact problem is identified in an error message.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.graders import HelloFunctionality
+
+
+def test_fig12a_correct_hello_full_credit(benchmark):
+    def check():
+        return HelloFunctionality("hello.correct", num_threads=1).run()
+
+    result = benchmark(check)
+    emit("Fig. 12 — correct fork-join hello", result.render())
+    assert result.score == result.max_score
+
+
+def test_fig12b_no_fork_flagged_with_exact_problem(benchmark):
+    def check():
+        return HelloFunctionality("hello.no_fork", num_threads=1).run()
+
+    result = benchmark(check)
+    emit("Fig. 12(b) — root prints the greeting without forking", result.render())
+    assert result.score == 0.0
+    [outcome] = result.outcomes
+    # "The exact problem is identified in an error message (line 3)."
+    assert "no forked thread produced output" in outcome.message
+    assert "must fork" in outcome.message
+
+
+def test_fig12_thread_count_credit_split(benchmark):
+    """80 % for the right count, 20 % for creating one or more threads."""
+
+    def check():
+        return HelloFunctionality("hello.wrong_count", num_threads=4).run()
+
+    result = benchmark(check)
+    emit(
+        "Fig. 12 — wrong thread count earns the 20 % consolation credit",
+        result.render(),
+    )
+    assert result.percent == pytest.approx(20.0)
+    [outcome] = result.outcomes
+    assert "4 forked threads were expected but 1" in outcome.message
+
+
+def test_fig12_identical_output_different_verdicts(benchmark):
+    """The forked and non-forked hellos print byte-identical output; only
+    trace-based testing can tell them apart — the paper's founding
+    observation (Fig. 1)."""
+
+    def check_both():
+        from repro.execution.runner import ProgramRunner
+
+        runner = ProgramRunner()
+        forked = runner.run("hello.correct", ["1"])
+        direct = runner.run("hello.no_fork", ["1"])
+        return forked, direct
+
+    forked, direct = benchmark(check_both)
+    emit(
+        "Fig. 1 — concurrency-unaware output",
+        f"forked output  : {forked.output!r}\n"
+        f"direct output  : {direct.output!r}\n"
+        f"forked workers : {len(forked.worker_threads)}\n"
+        f"direct workers : {len(direct.worker_threads)}",
+    )
+    assert forked.output == direct.output
+    assert len(forked.worker_threads) == 1
+    assert len(direct.worker_threads) == 0

@@ -1,0 +1,71 @@
+"""F2 — Fig. 2: concurrency-aware output and thread counting.
+
+The paper's Fig. 2 shows the OMP hello-world whose output lines carry
+thread numbers, making the output *concurrency-aware*: "the test code
+can parse the output to determine the number of different threads
+created."  We run the OMP-style workload and count distinct threads two
+ways — from the printed text (what a naive output-parsing test would do)
+and from the trace's true thread objects (what the infrastructure does)
+— and show they agree for an honest program, while a forged-id program
+fools only the former.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from benchmarks.conftest import emit
+from repro.eventdb.queries import distinct_threads
+from repro.execution.registry import register_main, unregister_main
+from repro.execution.runner import ProgramRunner
+
+NUM_THREADS = 6
+
+
+def run_omp_hello():
+    return ProgramRunner().run("hello.omp_style", [str(NUM_THREADS)])
+
+
+def test_fig2_thread_counting(benchmark):
+    result = benchmark(run_omp_hello)
+    emit("Fig. 2 — concurrency-aware OMP-style hello output", result.output.rstrip())
+
+    printed_ids = set(re.findall(r"from thread = (\d+)", result.output))
+    trace_threads = distinct_threads(result.events)
+    assert len(printed_ids) == NUM_THREADS
+    assert len(trace_threads) == NUM_THREADS
+    assert len(result.worker_threads) == NUM_THREADS
+
+
+def test_fig2_forged_ids_cannot_fool_the_trace(benchmark):
+    """§4.2: "a test program that tries to print the wrong thread id
+    cannot fool the infrastructure as it internally keeps the object
+    associated with the printing thread"."""
+
+    @register_main("bench.hello.forged")
+    def forged(args: List[str]) -> None:
+        # One thread pretends to be four by printing four fake ids.
+        import threading
+
+        def worker() -> None:
+            for fake in range(4):
+                print(f"Hello World.. from thread = {fake}")
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+
+    try:
+        result = benchmark(lambda: ProgramRunner().run("bench.hello.forged"))
+    finally:
+        unregister_main("bench.hello.forged")
+
+    printed_ids = set(re.findall(r"from thread = (\d+)", result.output))
+    emit(
+        "Fig. 2 corollary — forged thread ids",
+        f"text claims {len(printed_ids)} threads; "
+        f"trace proves {len(result.worker_threads)}",
+    )
+    assert len(printed_ids) == 4  # the text lies...
+    assert len(result.worker_threads) == 1  # ...the trace does not

@@ -1,0 +1,61 @@
+"""F3/F4 — Figs. 3 & 4: root and worker trace shapes for primes.
+
+Fig. 3 shows the root thread printing its input (the random numbers) and
+final output (the total prime count); Fig. 4 shows a worker's
+per-iteration trace of ``Index``/``Number``/``Is Prime``.  We run the
+reference solution and assert the trace reproduces both shapes — same
+property names, same line format, root/worker thread split as shown.
+"""
+
+from __future__ import annotations
+
+import re
+
+from benchmarks.conftest import emit
+from repro.execution.runner import ProgramRunner
+
+ROOT_LINE = re.compile(r"^Thread (\d+)->(Random Numbers|Total Num Primes):")
+ITERATION_LINE = re.compile(r"^Thread (\d+)->(Index|Number|Is Prime):")
+POST_ITERATION_LINE = re.compile(r"^Thread (\d+)->Num Primes:\d+$")
+
+
+def run_primes(round_robin_backend):
+    return ProgramRunner().run("primes.correct", ["7", "4"])
+
+
+def test_fig3_root_trace(benchmark, round_robin_backend):
+    result = benchmark(run_primes, round_robin_backend)
+    lines = result.output.splitlines()
+    emit(
+        "Fig. 3 — root thread's input and final output",
+        "\n".join([lines[0], lines[-1]]),
+    )
+    root_id = result.root_thread_id
+    first, last = lines[0], lines[-1]
+    assert first.startswith(f"Thread {root_id}->Random Numbers:[")
+    assert re.match(rf"^Thread {root_id}->Total Num Primes:\d+$", last)
+    # Both produced by the same (root) thread, as in the figure.
+    assert ROOT_LINE.match(first).group(1) == ROOT_LINE.match(last).group(1)
+
+
+def test_fig4_worker_iteration_trace(benchmark, round_robin_backend):
+    result = benchmark(run_primes, round_robin_backend)
+    worker_events = result.worker_events()
+    # Pick the first worker's first iteration: three consecutive prints.
+    first_worker = worker_events[0].thread
+    stream = [e for e in worker_events if e.thread is first_worker][:3]
+    emit("Fig. 4 — one worker iteration", "\n".join(e.raw_line for e in stream))
+
+    assert [e.name for e in stream] == ["Index", "Number", "Is Prime"]
+    worker_id = stream[0].thread_id
+    assert worker_id != result.root_thread_id  # worker id differs from root
+    for event in stream:
+        assert event.raw_line.startswith(f"Thread {worker_id}->")
+        assert ITERATION_LINE.match(event.raw_line)
+
+    # Every worker line in the whole fork phase is one of the declared
+    # iteration or post-iteration property prints.
+    for event in worker_events:
+        assert ITERATION_LINE.match(event.raw_line) or POST_ITERATION_LINE.match(
+            event.raw_line
+        ), event.raw_line

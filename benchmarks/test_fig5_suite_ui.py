@@ -1,0 +1,65 @@
+"""F5 — Fig. 5: the plugin-independent interactive testing UI.
+
+Fig. 5 shows the UI created by running the primes suite — two tests
+(functionality + performance) — after double-clicking the functionality
+test against an imperfect submission: it displays a score of **32 out of
+40** with a message indicating which requirements were met and not met.
+We regenerate that exact interaction against the serialized submission.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.graders import build_primes_suite
+from repro.testfw.ui import SuiteUI
+
+
+def open_suite_and_run_functionality(serialized_backend):
+    suite = build_primes_suite("primes.serialized", perf_runs=2)
+    ui = SuiteUI(suite)
+    result = ui.run_test_at(1)  # the "double-click" on the first test
+    return ui, result
+
+
+def test_fig5_interactive_suite_ui(benchmark, serialized_backend):
+    ui, result = benchmark(open_suite_and_run_functionality, serialized_backend)
+
+    emit(
+        "Fig. 5 — suite UI after running the functionality test",
+        ui.render_listing() + "\n\n" + ui.render_result(result),
+    )
+
+    # The figure's headline: 32 / 40 for this submission.
+    assert result.score == 32.0
+    assert result.max_score == 40.0
+
+    listing = ui.render_listing()
+    # Suite lists both a functionality and a performance test.
+    assert "[1]" in listing and "[2]" in listing
+    assert "PrimesFunctionality" in listing
+    assert "Performance" in listing
+    # The run test now shows its score in the listing; the other none.
+    assert "32 / 40" in listing
+    assert "-- / 20" in listing
+
+    # The report names requirements met and not met.
+    rendered = ui.render_result(result)
+    assert "+ fork syntax" in rendered
+    assert "- thread interleaving" in rendered
+    assert "- load balance" in rendered
+
+
+def test_fig5_scripted_session(benchmark, serialized_backend):
+    """The same interaction through the interactive loop."""
+
+    def session():
+        suite = build_primes_suite("primes.serialized", perf_runs=2)
+        ui = SuiteUI(suite)
+        script = iter(["1", "q"])
+        transcript = []
+        ui.loop(input_fn=lambda _p: next(script), output_fn=transcript.append)
+        return "\n".join(transcript)
+
+    transcript = benchmark(session)
+    assert "32 / 40" in transcript
+    assert "(80%)" in transcript

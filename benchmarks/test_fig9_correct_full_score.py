@@ -1,0 +1,61 @@
+"""F8/F9 — Figs. 8 & 9: a correct implementation earns 100 %.
+
+Fig. 8 shows the test program's iteration-phase specification; Fig. 9 a
+correct trace annotated with fork-join phase comments, every phase
+verified, full points awarded (100 %).  We run the appendix's checker
+against the reference solution under a deterministically interleaved
+schedule and regenerate the annotated trace and the perfect score.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.graders import PrimesFunctionality
+from repro.testfw.result import AspectStatus
+
+
+def check_correct(round_robin_backend):
+    checker = PrimesFunctionality("primes.correct")
+    return checker.check()
+
+
+def test_fig9_correct_trace_full_score(benchmark, round_robin_backend):
+    report = benchmark(check_correct, round_robin_backend)
+    emit("Fig. 9 — annotated trace of a correct implementation", report.render())
+
+    result = report.result
+    assert result.score == 40.0
+    assert result.percent == pytest.approx(100.0)  # "100 %" (Fig. 9 line 41)
+    assert result.fatal == ""
+    # Every aspect passed; none skipped.
+    assert all(o.status is AspectStatus.PASSED for o in result.outcomes)
+    assert len(result.outcomes) == 10
+
+    # The trace demonstrates each phase (Fig. 9's embellishing comments).
+    annotated = report.annotated_trace()
+    assert "// pre-fork phase (root thread)" in annotated
+    assert "// fork phase (iteration + post-iteration, interleaved)" in annotated
+    assert "// post-join phase (root thread)" in annotated
+
+    # Fig. 9's structural facts: 7 numbers processed, 4 worker threads,
+    # loads as balanced as they can be (three threads do 2, one does 1).
+    trace = report.trace
+    assert trace.total_iterations == 7
+    assert trace.worker_count == 4
+    assert sorted(w.iteration_count for w in trace.workers) == [1, 2, 2, 2]
+
+
+def test_fig9_interleaving_visible_in_output(benchmark, round_robin_backend):
+    """Because of interleaving, "the iteration and post-iteration phases
+    of the threads are mixed in the output"."""
+    report = benchmark(check_correct, round_robin_backend)
+    worker_ids = [e.thread_id for e in report.execution.worker_events()]
+    switches = sum(1 for a, b in zip(worker_ids, worker_ids[1:]) if a != b)
+    emit(
+        "Fig. 9 — thread interleaving in the fork phase",
+        f"worker output switches threads {switches} times across "
+        f"{len(worker_ids)} lines",
+    )
+    assert switches >= 4

@@ -1,0 +1,70 @@
+"""P1 — §4.3 prose: the speedup computation behind the verdict.
+
+The paper's performance checker runs low- and high-thread configurations
+a default number of times and computes the speedup from total times.
+This bench regenerates the underlying *series*: speedup as a function of
+thread count, for the virtual-clock regime (deterministic) and the
+sleep-latency regime (wall clock).  The shape that must hold: speedup
+increases monotonically with threads and approaches the thread count
+for balanced unit-cost work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.execution.timing import speedup, time_program
+from repro.simulation.backend import last_makespan
+
+THREAD_COUNTS = [1, 2, 4, 8]
+NUM_ITEMS = "64"
+
+
+def sweep(identifier: str, duration_of=None):
+    baseline = time_program(
+        identifier, [NUM_ITEMS, "1"], runs=2, duration_of=duration_of, warmup_runs=1
+    )
+    series = {}
+    for threads in THREAD_COUNTS:
+        timing = time_program(
+            identifier,
+            [NUM_ITEMS, str(threads)],
+            runs=2,
+            duration_of=duration_of,
+            warmup_runs=0,
+        )
+        series[threads] = speedup(baseline, timing)
+    return series
+
+
+def render(series) -> str:
+    return "\n".join(
+        f"  {threads:>2} threads: speedup {value:5.2f}"
+        for threads, value in series.items()
+    )
+
+
+def test_p1_virtual_clock_speedup_series(benchmark):
+    series = benchmark.pedantic(
+        lambda: sweep("primes.perf.sim", duration_of=lambda _e: last_makespan()),
+        rounds=1,
+        iterations=1,
+    )
+    emit("P1 — virtual-clock speedup vs thread count (64 items)", render(series))
+    values = list(series.values())
+    assert values == sorted(values)  # monotone non-decreasing
+    assert series[1] == pytest.approx(1.0, rel=0.05)
+    assert series[4] == pytest.approx(4.0, rel=0.15)
+    assert series[8] > series[4]
+
+
+def test_p1_wall_clock_speedup_series(benchmark):
+    series = benchmark.pedantic(
+        lambda: sweep("primes.perf.latency"), rounds=1, iterations=1
+    )
+    emit("P1 — wall-clock (sleep kernel) speedup vs thread count", render(series))
+    # Wall-clock numbers are noisy; the shape claims only.
+    assert series[1] == pytest.approx(1.0, rel=0.35)
+    assert series[4] > 1.5
+    assert series[4] > series[1]

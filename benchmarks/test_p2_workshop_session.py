@@ -1,0 +1,125 @@
+"""P2 — §5: the workshop session, three problems, fourteen participants.
+
+The paper used the infrastructure to test code from fourteen workshop
+participants across three problems — primes (variable randoms, fixed
+threads), PI Monte-Carlo, and the odd-numbers worked example — keeping
+total iterations small (27) so tests finish quickly.  We regenerate the
+session: grade a synthetic cohort of fourteen submissions spanning the
+observed bug classes on all three problems, fill a gradebook, and build
+the instructor-awareness report over the cohort's progress logs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.grading import ProgressLog, analyze_progress, grade_submissions
+from repro.graders import OddsFunctionality, PiFunctionality, PrimesFunctionality
+from repro.testfw.suite import TestSuite
+
+#: Fourteen participants, distributed over the bug classes the figures
+#: document (most get it right by workshop's end; a tail struggles).
+COHORT = {
+    "p01": "primes.correct",
+    "p02": "primes.correct",
+    "p03": "primes.serialized",
+    "p04": "primes.imbalanced",
+    "p05": "primes.syntax_error",
+    "p06": "pi.correct",
+    "p07": "pi.correct",
+    "p08": "pi.wrong_semantics",
+    "p09": "pi.wrong_final",
+    "p10": "pi.no_fork",
+    "p11": "odds.correct",
+    "p12": "odds.correct",
+    "p13": "odds.wrong_total",
+    "p14": "odds.no_fork",
+}
+
+CHECKERS = {
+    "primes": PrimesFunctionality,
+    "pi": PiFunctionality,
+    "odds": OddsFunctionality,
+}
+
+
+def suite_for(identifier: str) -> TestSuite:
+    problem = identifier.split(".")[0]
+    return TestSuite(problem, [CHECKERS[problem](identifier)])
+
+
+def grade_cohort():
+    books = {}
+    for problem in CHECKERS:
+        submissions = {
+            student: ident
+            for student, ident in COHORT.items()
+            if ident.startswith(problem + ".")
+        }
+        books[problem], _live = grade_submissions(suite_for, submissions)
+    return books
+
+
+def test_p2_workshop_grading_session(benchmark, round_robin_backend):
+    books = benchmark.pedantic(grade_cohort, rounds=1, iterations=1)
+    rendered = "\n\n".join(book.render() for book in books.values())
+    emit("P2 — workshop cohort gradebooks (3 problems, 14 participants)", rendered)
+
+    for problem, book in books.items():
+        percentages = book.class_percentages()
+        correct = [s for s, i in COHORT.items() if i == f"{problem}.correct"]
+        buggy = [
+            s
+            for s, i in COHORT.items()
+            if i.startswith(problem + ".") and not i.endswith(".correct")
+        ]
+        for student in correct:
+            assert percentages[student] == pytest.approx(100.0), student
+        for student in buggy:
+            assert percentages[student] < 100.0, student
+
+    # 14 participants graded in total.
+    assert sum(len(b.students()) for b in books.values()) == 14
+
+
+def test_p2_quick_feedback_claim(benchmark, round_robin_backend):
+    """§5: small iteration totals (27) let tests finish quickly — the
+    whole odd-numbers functionality check must run in well under a
+    second, suitable for interactive instructor-agent use."""
+
+    def check():
+        return OddsFunctionality("odds.correct").run()
+
+    result = benchmark(check)
+    assert result.percent == pytest.approx(100.0)
+    stats = benchmark.stats.stats
+    assert stats.mean < 1.0  # seconds
+
+
+def test_p2_awareness_over_cohort_progress(benchmark, round_robin_backend):
+    """Instructor awareness: logged in-progress runs expose who is stuck
+    and which requirement the class finds hardest."""
+
+    def build_report():
+        log = ProgressLog()
+        # p03 is stuck on serialization across four runs; p01 improves.
+        for t in range(4):
+            log.log_run(
+                "p03",
+                suite_for("primes.serialized").run(),
+                timestamp=float(t),
+            )
+        log.log_run("p01", suite_for("primes.no_fork").run(), timestamp=0.0)
+        log.log_run("p01", suite_for("primes.correct").run(), timestamp=1.0)
+        return analyze_progress(log, suite="primes")
+
+    report = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    emit("P2 — instructor awareness report", report.render())
+
+    stuck = [s.student for s in report.stuck_students()]
+    assert stuck == ["p03"]
+    by_name = {s.student: s for s in report.students}
+    assert by_name["p01"].improving
+    hardest = report.hardest_aspects()
+    assert "thread interleaving" in hardest or "load balance" in hardest

@@ -1,0 +1,77 @@
+"""Scale benches: grading throughput and trace-volume scaling.
+
+Not a paper artifact, but the operational questions an adopting course
+staff asks first: how fast does one functionality check run (can it sit
+behind an interactive UI / a submission hook?), how does checking cost
+grow with trace volume, and how long does sweeping a whole class take.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.execution.runner import ProgramRunner
+from repro.grading import grade_batch
+from repro.graders import PrimesFunctionality
+from repro.testfw.suite import TestSuite
+from repro.workloads.primes import VARIANTS
+
+
+def test_scale_single_check_latency(benchmark, round_robin_backend):
+    """One full functionality check: run + structure + checks + score."""
+
+    def check():
+        return PrimesFunctionality("primes.correct").run()
+
+    result = benchmark(check)
+    assert result.percent == pytest.approx(100.0)
+    mean = benchmark.stats.stats.mean
+    emit(
+        "Scale — single functionality check",
+        f"mean {mean * 1000:.1f} ms per check (interactive-grade)",
+    )
+    assert mean < 1.0
+
+
+@pytest.mark.parametrize("num_randoms", [7, 70, 350])
+def test_scale_trace_volume(benchmark, num_randoms, round_robin_backend):
+    """Checking cost vs trace size: 3 prints per iteration dominate."""
+
+    def check():
+        checker = PrimesFunctionality(
+            "primes.correct", num_randoms=num_randoms, num_threads=4
+        )
+        return checker.run()
+
+    result = benchmark(check)
+    assert result.percent == pytest.approx(100.0)
+
+
+def test_scale_class_sweep(benchmark, round_robin_backend):
+    """A whole submission sweep (8 variants, one suite each)."""
+
+    def sweep():
+        gradebook, _live = grade_batch(
+            lambda ident: TestSuite("primes", [PrimesFunctionality(ident)]),
+            [v for v in VARIANTS],
+        )
+        return gradebook
+
+    gradebook = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "Scale — class sweep",
+        gradebook.render(),
+    )
+    assert len(gradebook.students()) == len(VARIANTS)
+
+
+def test_scale_raw_run_baseline(benchmark, round_robin_backend):
+    """The tested program's own runtime, to separate run cost from
+    checking cost in the rows above."""
+
+    def run():
+        return ProgramRunner().run("primes.correct", ["7", "4"])
+
+    result = benchmark(run)
+    assert result.ok

@@ -1,0 +1,104 @@
+"""X1 — §6 future work: influencing thread scheduling to catch races.
+
+The paper's conclusions call for "techniques for influencing thread
+scheduling to catch synchronization bugs".  This bench exercises our
+implementation of that item: the schedule fuzzer reruns a functionality
+checker under seeded random interleavings.  Claims asserted:
+
+* a racy submission that passes under a benign (serialized) schedule is
+  caught by the fuzzer with a high failing-schedule rate;
+* the correct submission survives every fuzzed schedule;
+* findings carry the seed, so a failing schedule is replayable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.graders import OddsFunctionality, PiFunctionality, PrimesFunctionality
+from repro.simulation import ScheduleFuzzer
+
+SCHEDULES = 12
+
+
+def fuzz(factory):
+    return ScheduleFuzzer(factory, schedules=SCHEDULES).run()
+
+
+def test_x1_racy_primes_caught(benchmark):
+    report = benchmark.pedantic(
+        lambda: fuzz(lambda: PrimesFunctionality("primes.racy")),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "X1 — fuzzing the racy primes submission",
+        f"{len(report.findings)}/{report.schedules_tried} schedules failed\n"
+        + report.summary(),
+    )
+    assert report.bug_found
+    assert report.failure_rate >= 0.5
+    assert all(f.seed >= 0 for f in report.findings)
+    assert any(
+        "sum of primes found by each thread" in m
+        for f in report.findings
+        for m in f.messages
+    )
+
+
+def test_x1_racy_finding_replays_deterministically(benchmark):
+    """A finding's seed reproduces the same failing verdict."""
+    from repro.simulation.backend import SimulationBackend, use_backend
+    from repro.simulation.scheduler import RandomPolicy
+
+    report = fuzz(lambda: PrimesFunctionality("primes.racy"))
+    seed = report.findings[0].seed
+
+    def replay():
+        with use_backend(SimulationBackend(policy=RandomPolicy(seed))):
+            return PrimesFunctionality("primes.racy").run()
+
+    first = benchmark.pedantic(replay, rounds=1, iterations=1)
+    second_score = replay().score
+    emit(
+        "X1 — deterministic replay of failing seed",
+        f"seed {seed}: score {first.score:g} twice in a row",
+    )
+    assert first.score == second_score
+    assert first.score < first.max_score
+
+
+def test_x1_correct_submissions_survive(benchmark):
+    def fuzz_all_correct():
+        return {
+            "primes": fuzz(lambda: PrimesFunctionality("primes.correct")),
+            "pi": fuzz(lambda: PiFunctionality("pi.correct")),
+            "odds": fuzz(lambda: OddsFunctionality("odds.correct")),
+        }
+
+    reports = benchmark.pedantic(fuzz_all_correct, rounds=1, iterations=1)
+    body = "\n".join(
+        f"  {name}: {len(r.findings)}/{r.schedules_tried} schedules failed"
+        for name, r in reports.items()
+    )
+    emit("X1 — correct submissions under fuzzing", body)
+    for name, report in reports.items():
+        assert not report.bug_found, name
+
+
+def test_x1_racy_pi_and_odds_also_caught(benchmark):
+    def fuzz_both():
+        return (
+            fuzz(lambda: PiFunctionality("pi.racy")),
+            fuzz(lambda: OddsFunctionality("odds.racy")),
+        )
+
+    pi_report, odds_report = benchmark.pedantic(fuzz_both, rounds=1, iterations=1)
+    emit(
+        "X1 — fuzzing racy PI and odds submissions",
+        f"pi: {pi_report.failure_rate:.0%} failing, "
+        f"odds: {odds_report.failure_rate:.0%} failing",
+    )
+    assert pi_report.bug_found
+    assert odds_report.bug_found

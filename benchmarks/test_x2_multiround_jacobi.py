@@ -1,0 +1,81 @@
+"""X2 — §6 future work: tracing an additional class of concurrent programs.
+
+The paper's conclusions name "tracing additional classes of concurrent
+programs" as future work.  This bench exercises our extension to
+*iterative* (multi-round / barrier-style) fork-join — the Jacobi heat
+relaxation workload — and shows the same pinpointing properties carry
+over: correct solution at 100 %, each classic stencil mistake flagged by
+the aspect that owns it, syntax-level structure errors gating semantics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.outcome import Aspect
+from repro.graders import JacobiFunctionality
+from repro.testfw.result import AspectStatus
+
+CASES = [
+    ("jacobi.correct", 100.0, set()),
+    ("jacobi.wrong_global_delta", None, {Aspect.POST_JOIN_SEMANTICS}),
+    ("jacobi.in_place", None, {Aspect.ITERATION_SEMANTICS}),
+]
+
+
+def grade_all(round_robin_backend):
+    return {
+        identifier: JacobiFunctionality(identifier).run()
+        for identifier, _p, _f in CASES
+    }
+
+
+def test_x2_multiround_scores_and_diagnoses(benchmark, round_robin_backend):
+    results = benchmark.pedantic(
+        grade_all, args=(round_robin_backend,), rounds=1, iterations=1
+    )
+    body = "\n".join(
+        f"  {identifier:<28} {result.score:g}/{result.max_score:g}  "
+        f"failed: {sorted(o.aspect for o in result.failed_aspects()) or '-'}"
+        for identifier, result in results.items()
+    )
+    emit("X2 — multi-round fork-join (Jacobi) grading", body)
+
+    for identifier, expected_percent, expected_failed in CASES:
+        result = results[identifier]
+        if expected_percent is not None:
+            assert result.percent == pytest.approx(expected_percent), identifier
+        failed = {o.aspect for o in result.failed_aspects()}
+        assert expected_failed <= failed, identifier
+
+
+def test_x2_structure_errors_gate_semantics(benchmark, round_robin_backend):
+    def check():
+        return JacobiFunctionality("jacobi.missing_round").run()
+
+    result = benchmark.pedantic(check, rounds=1, iterations=1)
+    emit("X2 — round-structure error (one round too few)", result.render())
+    statuses = {o.aspect: o.status for o in result.outcomes}
+    assert statuses[Aspect.FORK_SYNTAX] is AspectStatus.FAILED
+    assert statuses[Aspect.ITERATION_SEMANTICS] is AspectStatus.SKIPPED
+    assert result.score < result.max_score
+
+
+def test_x2_round_count_scales(benchmark, round_robin_backend):
+    """The checker handles any round count the problem asks for."""
+
+    def sweep():
+        return {
+            rounds: JacobiFunctionality(
+                "jacobi.correct", num_rounds=rounds
+            ).run().percent
+            for rounds in (1, 2, 5)
+        }
+
+    percents = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "X2 — correct solution across round counts",
+        "\n".join(f"  {r} rounds: {p:.0f}%" for r, p in percents.items()),
+    )
+    assert all(p == pytest.approx(100.0) for p in percents.values())

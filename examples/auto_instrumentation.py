@@ -1,0 +1,112 @@
+"""Automatic trace generation: grading code with zero tracing calls (§6).
+
+The paper's future work proposes "automatically generat[ing] these
+traces by instrumenting compiled code, thereby reducing testing
+requirements students must follow while writing their code."  This
+example demonstrates the implemented feature:
+
+1. a prime-counting solution written with NO ``print_property`` anywhere;
+2. the instructor-declared variable map that drives the instrumentation;
+3. the unchanged primes grader awarding it full marks;
+4. a *buggy* uninstrumented solution, pinpointed the same way.
+
+Run it::
+
+    python examples/auto_instrumentation.py
+"""
+
+from __future__ import annotations
+
+import inspect
+import threading
+from typing import List
+
+from repro.execution.registry import register_main
+from repro.graders import PrimesFunctionality
+from repro.instrument import instrument
+from repro.simulation.backend import SimulationBackend, use_backend
+from repro.simulation.scheduler import RoundRobinPolicy
+from repro.workloads.common import generate_randoms, is_prime, partition
+from repro.workloads.primes import uninstrumented
+
+RULE = "=" * 70
+
+
+def show_the_student_code() -> None:
+    print(RULE)
+    print("1. The student's code (no tracing calls at all)")
+    print(RULE)
+    print(inspect.getsource(uninstrumented._uninstrumented_main))
+    print(RULE)
+    print("2. The instructor's variable maps")
+    print(RULE)
+    print(f"worker: {uninstrumented.WORKER_INSTRUMENTATION}")
+    print(f"root  : {uninstrumented.ROOT_INSTRUMENTATION}")
+
+
+def grade_the_auto_traced_solution() -> None:
+    print()
+    print(RULE)
+    print("3. The unchanged grader, full marks")
+    print(RULE)
+    with use_backend(SimulationBackend(policy=RoundRobinPolicy())):
+        report = PrimesFunctionality("primes.auto").check()
+    print(report.result.render())
+
+
+def grade_a_buggy_uninstrumented_solution() -> None:
+    print()
+    print(RULE)
+    print("4. A buggy uninstrumented solution, pinpointed the same way")
+    print(RULE)
+
+    def buggy_main(args: List[str]) -> None:
+        num_randoms = int(args[0])
+        num_threads = int(args[1])
+        randoms = generate_randoms(num_randoms)
+
+        lock = threading.Lock()
+        results: List[int] = []
+
+        def make_worker(lo: int, hi: int):
+            @instrument(**uninstrumented.WORKER_INSTRUMENTATION)
+            def worker() -> None:
+                count = 0
+                for index in range(lo, hi):
+                    number = randoms[index]
+                    prime = not is_prime(number)  # inverted predicate!
+                    if prime:
+                        count += 1
+                with lock:
+                    results.append(count)
+
+            return worker
+
+        threads = [
+            threading.Thread(target=make_worker(lo, hi))
+            for lo, hi in partition(num_randoms, num_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total_primes = sum(results)
+        assert total_primes >= 0
+
+    register_main("example.primes.buggy_auto")(
+        instrument(**uninstrumented.ROOT_INSTRUMENTATION)(buggy_main)
+    )
+
+    with use_backend(SimulationBackend(policy=RoundRobinPolicy())):
+        result = PrimesFunctionality("example.primes.buggy_auto").run()
+    print(result.render())
+
+
+def main() -> None:
+    show_the_student_code()
+    grade_the_auto_traced_solution()
+    grade_a_buggy_uninstrumented_solution()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,142 @@
+"""Grading real student .py files in isolated subprocesses.
+
+The production grading path: each submission is a source file that runs
+in its own interpreter (so infinite loops, crashes, or monkey-patching
+cannot take the harness down), the trace is reconstructed from its
+output, and the results land in a gradebook plus a Gradescope
+``results.json`` per student.
+
+Run it::
+
+    python examples/grade_student_files.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import textwrap
+from pathlib import Path
+
+from repro.execution.subprocess_runner import SubprocessRunner
+from repro.grading import Gradebook, SubmissionRecord, write_gradescope_results
+from repro.graders import PrimesFunctionality
+from repro.testfw.suite import TestSuite
+
+RULE = "=" * 70
+
+#: Three synthetic student files spanning the usual spectrum.
+SUBMISSIONS = {
+    "ada": textwrap.dedent(
+        '''
+        """Ada's solution: correct, her own style throughout."""
+        import threading, time
+        from repro.tracing import print_property
+
+        def is_prime(n):
+            if n < 2: return False
+            return all(n % d for d in range(2, int(n ** 0.5) + 1))
+
+        def main(args):
+            n, t = int(args[0]), int(args[1])
+            nums = [509, 578, 796, 129, 272, 594, 714][:n]
+            print_property("Random Numbers", nums)
+            found = []
+            gate = threading.Barrier(t)
+            lock = threading.Lock()
+
+            def work(lo, hi):
+                gate.wait()
+                mine = 0
+                for i in range(lo, hi):
+                    print_property("Index", i)
+                    print_property("Number", nums[i])
+                    p = is_prime(nums[i])
+                    print_property("Is Prime", p)
+                    mine += p
+                    time.sleep(0.002)
+                print_property("Num Primes", mine)
+                with lock:
+                    found.append(mine)
+
+            size, extra = divmod(n, t)
+            spans, at = [], 0
+            for k in range(t):
+                step = size + (1 if k < extra else 0)
+                spans.append((at, at + step)); at += step
+            ts = [threading.Thread(target=work, args=s) for s in spans]
+            [x.start() for x in ts]; [x.join() for x in ts]
+            print_property("Total Num Primes", sum(found))
+        '''
+    ),
+    "bob": textwrap.dedent(
+        '''
+        """Bob forgot to fork: the root does everything."""
+        from repro.tracing import print_property
+
+        def is_prime(n):
+            if n < 2: return False
+            return all(n % d for d in range(2, int(n ** 0.5) + 1))
+
+        def main(args):
+            n = int(args[0])
+            nums = [509, 578, 796, 129, 272, 594, 714][:n]
+            print_property("Random Numbers", nums)
+            total = 0
+            for i, v in enumerate(nums):
+                print_property("Index", i)
+                print_property("Number", v)
+                p = is_prime(v)
+                print_property("Is Prime", p)
+                total += p
+            print_property("Num Primes", total)
+            print_property("Total Num Primes", total)
+        '''
+    ),
+    "eve": textwrap.dedent(
+        '''
+        """Eve's program crashes on an index error."""
+        from repro.tracing import print_property
+
+        def main(args):
+            nums = [509, 578]
+            print_property("Random Numbers", nums)
+            print_property("Number", nums[10])
+        '''
+    ),
+}
+
+
+def main() -> None:
+    workspace = Path(tempfile.mkdtemp(prefix="forkjoin-submissions-"))
+    gradebook = Gradebook("primes")
+
+    print(RULE)
+    print(f"Grading {len(SUBMISSIONS)} student files in {workspace}")
+    print(RULE)
+
+    class SubprocessPrimes(PrimesFunctionality):
+        def make_runner(self):
+            return SubprocessRunner(timeout=60.0)
+
+    for student, source in SUBMISSIONS.items():
+        path = workspace / f"{student}_primes.py"
+        path.write_text(source)
+
+        suite = TestSuite("primes", [SubprocessPrimes(str(path))])
+        result = suite.run()
+        gradebook.record(SubmissionRecord.from_suite_result(student, result))
+
+        results_json = workspace / f"{student}_results.json"
+        write_gradescope_results(result, results_json)
+
+        print(f"\n--- {student} " + "-" * (58 - len(student)))
+        print(result.results[0].render())
+        print(f"(Gradescope document: {results_json})")
+
+    print()
+    print(RULE)
+    print(gradebook.render())
+
+
+if __name__ == "__main__":
+    main()

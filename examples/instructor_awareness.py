@@ -1,0 +1,99 @@
+"""Instructor awareness from logged in-progress test runs (§1).
+
+The paper motivates logging the results of tests run on *in-progress*
+work: instructors gain awareness of unseen partial work, can infer
+whether the assignment is too easy or too hard (or hard only for some
+students), and can offer unsolicited help to students in apparent
+difficulty.  This example simulates a lab session — a cohort of students
+iterating on the primes assignment at different speeds — and produces
+the class awareness report an instructor would act on.
+
+Run it::
+
+    python examples/instructor_awareness.py
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.grading import ProgressLog, analyze_progress
+from repro.graders import PrimesFunctionality
+from repro.simulation.backend import SimulationBackend, use_backend
+from repro.simulation.scheduler import RoundRobinPolicy, SerializedPolicy
+from repro.testfw.suite import TestSuite
+
+RULE = "=" * 70
+
+#: Each student's sequence of in-progress states through the session.
+#: (variant identifier, which simulated schedule their machine produced)
+SESSIONS: Dict[str, List[str]] = {
+    # quick study: no-fork skeleton, then straight to correct
+    "ada": ["primes.no_fork", "primes.correct"],
+    # typical path: misread the spec, fixed it, balanced the load, done
+    "grace": [
+        "primes.syntax_error",
+        "primes.imbalanced",
+        "primes.correct",
+    ],
+    # stuck on serialization: keeps re-running without real change
+    "edsger": [
+        "primes.serialized",
+        "primes.serialized",
+        "primes.serialized",
+        "primes.serialized",
+    ],
+    # has a race; it bites on some runs and not others
+    "barbara": ["primes.racy", "primes.racy", "primes.racy"],
+    # has not gotten past the skeleton
+    "alan": ["primes.no_fork", "primes.no_fork", "primes.no_fork", "primes.no_fork"],
+}
+
+
+def run_session() -> ProgressLog:
+    log = ProgressLog()
+    clock = 0.0
+    for student, states in SESSIONS.items():
+        for identifier in states:
+            policy = (
+                SerializedPolicy()
+                if identifier == "primes.serialized"
+                else RoundRobinPolicy()
+            )
+            with use_backend(SimulationBackend(policy=policy)):
+                suite = TestSuite("primes", [PrimesFunctionality(identifier)])
+                log.log_run(student, suite.run(), timestamp=clock)
+            clock += 1.0
+    return log
+
+
+def main() -> None:
+    print(RULE)
+    print("Simulated lab session: students running tests on partial work")
+    print(RULE)
+    log = run_session()
+    print(f"logged {len(log)} in-progress test runs "
+          f"from {len(log.students())} students\n")
+
+    report = analyze_progress(log, suite="primes")
+    print(report.render())
+
+    print()
+    print(RULE)
+    print("What the instructor does with this")
+    print(RULE)
+    stuck = report.stuck_students()
+    for progress in stuck:
+        failures = ", ".join(progress.recurring_failures) or "no recurring aspect"
+        print(
+            f"- visit {progress.student}: {progress.runs} runs stuck at "
+            f"{progress.latest_percent:.0f}% (recurring: {failures})"
+        )
+    hardest = report.hardest_aspects()
+    if hardest:
+        print(f"- re-explain to the class: {', '.join(hardest)}")
+    print(f"- assignment difficulty looks: {report.difficulty}")
+
+
+if __name__ == "__main__":
+    main()

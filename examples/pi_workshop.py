@@ -1,0 +1,81 @@
+"""The PI Monte-Carlo workshop exercise (§5's second problem).
+
+Shows the second workshop assignment end to end: the reference solution's
+trace and score, what the checker tells students who made each observed
+mistake, and the performance test in both wall-clock and virtual-clock
+regimes.
+
+Run it::
+
+    python examples/pi_workshop.py
+"""
+
+from __future__ import annotations
+
+from repro.graders import (
+    PiFunctionality,
+    PiPerformance,
+    SimulatedPiPerformance,
+)
+from repro.simulation.backend import SimulationBackend, use_backend
+from repro.simulation.scheduler import RoundRobinPolicy
+
+RULE = "=" * 70
+
+
+def functionality_walkthrough() -> None:
+    print(RULE)
+    print("PI Monte-Carlo: functionality feedback per submission")
+    print(RULE)
+    submissions = [
+        "pi.correct",
+        "pi.wrong_semantics",  # taxicab-norm in-circle test
+        "pi.wrong_final",      # forgot the factor 4
+        "pi.no_fork",          # root throws every dart itself
+    ]
+    for identifier in submissions:
+        with use_backend(SimulationBackend(policy=RoundRobinPolicy())):
+            result = PiFunctionality(identifier).run()
+        print(f"\n--- {identifier} " + "-" * (52 - len(identifier)))
+        print(result.render())
+
+
+def show_correct_trace() -> None:
+    print()
+    print(RULE)
+    print("The reference solution's annotated trace (first 14 lines)")
+    print(RULE)
+    with use_backend(SimulationBackend(policy=RoundRobinPolicy())):
+        report = PiFunctionality("pi.correct", num_points=8, num_threads=2).check()
+    lines = report.annotated_trace().splitlines()
+    print("\n".join(lines[:14]))
+    print(f"... ({len(lines) - 14} more lines)")
+
+
+def performance_both_clocks() -> None:
+    print()
+    print(RULE)
+    print("Performance test: wall clock (sleep kernel) vs virtual clock")
+    print(RULE)
+    wall = PiPerformance(runs=3)
+    wall_result = wall.run()
+    print(
+        f"wall clock   : {wall_result.score:g}/{wall_result.max_score:g} "
+        f"(speedup {wall.last_speedup:.2f})"
+    )
+    virtual = SimulatedPiPerformance(runs=3)
+    virtual_result = virtual.run()
+    print(
+        f"virtual clock: {virtual_result.score:g}/{virtual_result.max_score:g} "
+        f"(speedup {virtual.last_speedup:.2f})"
+    )
+
+
+def main() -> None:
+    functionality_walkthrough()
+    show_correct_trace()
+    performance_both_clocks()
+
+
+if __name__ == "__main__":
+    main()

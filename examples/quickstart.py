@@ -1,0 +1,157 @@
+"""Quickstart: write a fork-join program and a test for it, end to end.
+
+This is the five-minute tour of the infrastructure:
+
+1. a *tested program* — fork-join word counting — that traces its
+   logical variables with ``print_property``;
+2. a *testing program* that declares the trace's syntax and semantics by
+   overriding parameter and callback methods;
+3. running the test and reading the scored, fine-grained report.
+
+Run it::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List
+
+from repro import (
+    ARRAY,
+    BOOLEAN,
+    NUMBER,
+    AbstractForkJoinChecker,
+    max_value,
+    print_property,
+    register_main,
+)
+
+# ----------------------------------------------------------------------
+# 1. The tested program (what a student writes)
+# ----------------------------------------------------------------------
+
+WORDS = ["fork", "join", "thread", "trace", "test", "prime", "race", "lock"]
+
+
+@register_main("quickstart.LongWords")
+def long_words_main(args: List[str]) -> None:
+    """Count words longer than 4 characters, with 2 worker threads."""
+    num_threads = int(args[0]) if args else 2
+
+    print_property("Words", WORDS)  # pre-fork: the input
+
+    counts: List[int] = []
+    barrier = threading.Barrier(num_threads)
+
+    def worker(lo: int, hi: int) -> None:
+        barrier.wait()  # start together so traces interleave
+        count = 0
+        for index in range(lo, hi):
+            word = WORDS[index]
+            print_property("Index", index)  # iteration phase
+            is_long = len(word) > 4
+            print_property("Is Long", is_long)
+            if is_long:
+                count += 1
+            time.sleep(0.001)  # yield so short loops overlap their output
+        print_property("Long Words", count)  # post-iteration phase
+        counts.append(count)
+
+    share = len(WORDS) // num_threads
+    threads = [
+        threading.Thread(target=worker, args=(i * share, (i + 1) * share))
+        for i in range(num_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    print_property("Total Long Words", sum(counts))  # post-join phase
+
+
+# ----------------------------------------------------------------------
+# 2. The testing program (what an instructor writes)
+# ----------------------------------------------------------------------
+
+
+@max_value(40)
+class LongWordsTest(AbstractForkJoinChecker):
+    """Declares the 'what' of testing; the infrastructure owns the 'how'."""
+
+    def main_class_identifier(self) -> str:
+        return "quickstart.LongWords"
+
+    def args(self) -> List[str]:
+        return ["2"]
+
+    def num_expected_forked_threads(self) -> int:
+        return 2
+
+    def total_iterations(self) -> int:
+        return len(WORDS)
+
+    def pre_fork_property_names_and_types(self):
+        return (("Words", ARRAY),)
+
+    def iteration_property_names_and_types(self):
+        return (("Index", NUMBER), ("Is Long", BOOLEAN))
+
+    def post_iteration_property_names_and_types(self):
+        return (("Long Words", NUMBER),)
+
+    def post_join_property_names_and_types(self):
+        return (("Total Long Words", NUMBER),)
+
+    # Semantic callbacks: live values, no parsing.
+    def reset_state(self) -> None:
+        self._words: List[str] = []
+        self._current = 0
+        self._sum = 0
+
+    def pre_fork_events_message(self, thread, values):
+        self._words = list(values["Words"])
+        return None
+
+    def iteration_events_message(self, thread, values):
+        actually_long = len(self._words[values["Index"]]) > 4
+        if values["Is Long"] != actually_long:
+            return f"Is Long wrong for word #{values['Index']}"
+        self._current += actually_long
+        return None
+
+    def post_iteration_events_message(self, thread, values):
+        if values["Long Words"] != self._current:
+            return "per-thread count inconsistent with its iterations"
+        self._sum += values["Long Words"]
+        self._current = 0
+        return None
+
+    def post_join_events_message(self, thread, values):
+        if values["Total Long Words"] != self._sum:
+            return "total is not the sum of the thread counts"
+        return None
+
+
+# ----------------------------------------------------------------------
+# 3. Run the test and read the report
+# ----------------------------------------------------------------------
+
+def main() -> None:
+    checker = LongWordsTest()
+    report = checker.check()
+
+    print("--- annotated trace " + "-" * 40)
+    print(report.annotated_trace())
+    print()
+    print("--- scored report " + "-" * 42)
+    print(report.result.render())
+
+    assert report.result.passed, "the reference solution should pass!"
+
+
+if __name__ == "__main__":
+    main()

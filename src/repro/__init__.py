@@ -1,0 +1,51 @@
+"""Fork-join testing infrastructure.
+
+A Python reproduction of *Infrastructure for Writing Fork-Join Tests*
+(Prasun Dewan, SC/EduHPC 2023): trace-based functionality and performance
+testing of multi-threaded fork-join programs, with fine-grained scored
+feedback.
+
+Tested (student) programs use two calls::
+
+    from repro import print_property, set_hide_redirected_prints
+
+Testing programs subclass the two checker bases::
+
+    from repro import AbstractForkJoinChecker, AbstractConcurrencyPerformanceChecker
+
+See README.md for the quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.core.checker import AbstractForkJoinChecker
+from repro.core.performance import AbstractConcurrencyPerformanceChecker
+from repro.core.properties import ANY, ARRAY, BOOLEAN, NUMBER, STRING, PropertySpec
+from repro.execution.registry import register_main
+from repro.execution.runner import ProgramRunner
+from repro.testfw.annotations import max_value
+from repro.testfw.suite import TestSuite, get_suite, register_suite
+from repro.testfw.ui import SuiteUI
+from repro.tracing.print_property import print_property
+from repro.tracing.session import set_hide_redirected_prints
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "print_property",
+    "set_hide_redirected_prints",
+    "register_main",
+    "AbstractForkJoinChecker",
+    "AbstractConcurrencyPerformanceChecker",
+    "max_value",
+    "PropertySpec",
+    "NUMBER",
+    "BOOLEAN",
+    "ARRAY",
+    "STRING",
+    "ANY",
+    "ProgramRunner",
+    "TestSuite",
+    "register_suite",
+    "get_suite",
+    "SuiteUI",
+    "__version__",
+]

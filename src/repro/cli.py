@@ -1,0 +1,274 @@
+"""Command-line instructor agent (the paper's plugin-independent UI).
+
+The paper's interactive testing UI "is independent of the programming
+environment and can be created from the command line" (§4.1).  This CLI
+is that entry point::
+
+    forkjoin-test list
+    forkjoin-test ui primes --submission primes.serialized
+    forkjoin-test run primes --submission primes.correct --trace
+    forkjoin-test run primes --submission path/to/student.py --subprocess
+    forkjoin-test grade primes --submissions primes.correct,primes.racy \
+        --out book.json --markdown report.md
+    forkjoin-test export primes --submission primes.serialized \
+        --out results.json          # Gradescope results.json
+    forkjoin-test fuzz primes.racy --schedules 25
+    forkjoin-test awareness progress.jsonl --suite primes
+
+``ui`` opens the interactive suite runner (Fig. 5); ``run`` executes a
+suite once and prints the scored report; ``grade`` sweeps submissions
+into a gradebook; ``export`` writes a Gradescope document; ``fuzz``
+hunts schedule-dependent bugs; ``awareness`` analyses a progress log.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+SUITES = ("primes", "pi", "odds", "hello", "jacobi")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the forkjoin-test argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="forkjoin-test",
+        description=(
+            "Fork-join testing infrastructure "
+            "(Dewan, SC/EduHPC 2023 reproduction)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list the registered problem suites")
+
+    def add_submission_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--submission",
+            default=None,
+            help=(
+                "tested-program identifier: a registered name, a dotted "
+                "module path, or a .py file path"
+            ),
+        )
+        sub.add_argument(
+            "--subprocess",
+            action="store_true",
+            help="run the tested program in its own interpreter",
+        )
+
+    ui = commands.add_parser("ui", help="interactive suite UI (Fig. 5)")
+    ui.add_argument("suite", choices=SUITES)
+    add_submission_options(ui)
+
+    run = commands.add_parser("run", help="run a suite once and print the report")
+    run.add_argument("suite", choices=SUITES)
+    add_submission_options(run)
+    run.add_argument(
+        "--trace",
+        action="store_true",
+        help="also print the annotated trace of functionality tests",
+    )
+
+    grade = commands.add_parser("grade", help="batch-grade submissions")
+    grade.add_argument("suite", choices=SUITES)
+    grade.add_argument(
+        "--submissions",
+        required=True,
+        help="comma-separated tested-program identifiers",
+    )
+    grade.add_argument("--out", default=None, help="write gradebook JSON here")
+    grade.add_argument(
+        "--markdown", default=None, help="write a markdown class report here"
+    )
+
+    export = commands.add_parser(
+        "export", help="grade one submission and write Gradescope results.json"
+    )
+    export.add_argument("suite", choices=SUITES)
+    add_submission_options(export)
+    export.add_argument("--out", required=True, help="results.json path")
+
+    report = commands.add_parser(
+        "report", help="grade one submission and write a self-contained HTML report"
+    )
+    report.add_argument("suite", choices=SUITES)
+    add_submission_options(report)
+    report.add_argument("--out", required=True, help="report.html path")
+    report.add_argument(
+        "--student", default="", help="student name shown in the report title"
+    )
+
+    fuzz = commands.add_parser("fuzz", help="schedule-fuzz a submission")
+    fuzz.add_argument("submission", help="tested-program identifier")
+    fuzz.add_argument("--schedules", type=int, default=25)
+    fuzz.add_argument(
+        "--problem",
+        default="primes",
+        choices=["primes", "pi", "odds"],
+        help="which problem's functionality checker to run under fuzzing",
+    )
+
+    awareness = commands.add_parser(
+        "awareness", help="analyse a progress log (JSONL) for the instructor"
+    )
+    awareness.add_argument("log", help="progress log path (JSONL)")
+    awareness.add_argument("--suite", default="", help="restrict to one suite")
+
+    return parser
+
+
+def _apply_subprocess(suite, enabled: bool):
+    """Rebind every checker in *suite* to the subprocess runner."""
+    if not enabled:
+        return suite
+    from repro.execution.subprocess_runner import SubprocessRunner
+
+    for test in suite.tests:
+        if hasattr(test, "make_runner"):
+            test.make_runner = lambda: SubprocessRunner()  # type: ignore[method-assign]
+    return suite
+
+
+def _suite_for(name: str, submission: Optional[str], *, subprocess_mode: bool = False):
+    from repro.graders import (
+        build_hello_suite,
+        build_jacobi_suite,
+        build_odds_suite,
+        build_pi_suite,
+        build_primes_suite,
+    )
+
+    builders = {
+        "primes": lambda s: build_primes_suite(s or "primes.correct"),
+        "pi": lambda s: build_pi_suite(s or "pi.correct"),
+        "odds": lambda s: build_odds_suite(s or "odds.correct"),
+        "hello": lambda s: build_hello_suite(s or "hello.correct"),
+        "jacobi": lambda s: build_jacobi_suite(s or "jacobi.correct"),
+    }
+    try:
+        suite = builders[name](submission)
+    except KeyError:
+        raise SystemExit(
+            f"unknown suite {name!r}; known: {', '.join(sorted(builders))}"
+        ) from None
+    return _apply_subprocess(suite, subprocess_mode)
+
+
+def _checker_factory(problem: str, submission: str):
+    from repro.graders import OddsFunctionality, PiFunctionality, PrimesFunctionality
+
+    factories = {
+        "primes": lambda: PrimesFunctionality(submission),
+        "pi": lambda: PiFunctionality(submission),
+        "odds": lambda: OddsFunctionality(submission),
+    }
+    return factories[problem]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        print("available suites: " + ", ".join(SUITES))
+        return 0
+
+    if args.command == "ui":
+        from repro.testfw.ui import SuiteUI
+
+        suite = _suite_for(args.suite, args.submission, subprocess_mode=args.subprocess)
+        SuiteUI(suite).loop()
+        return 0
+
+    if args.command == "run":
+        suite = _suite_for(args.suite, args.submission, subprocess_mode=args.subprocess)
+        result = suite.run()
+        print(result.render())
+        if args.trace:
+            for test in suite.tests:
+                report = getattr(test, "last_report", None)
+                if report is not None and report.trace is not None:
+                    print()
+                    print(report.annotated_trace())
+        return 0 if result.score >= result.max_score else 1
+
+    if args.command == "grade":
+        from repro.grading import grade_batch, gradebook_markdown
+
+        identifiers = [s.strip() for s in args.submissions.split(",") if s.strip()]
+        gradebook, _live = grade_batch(
+            lambda ident: _suite_for(args.suite, ident), identifiers
+        )
+        print(gradebook.render())
+        if args.out:
+            gradebook.save(args.out)
+            print(f"gradebook written to {args.out}")
+        if args.markdown:
+            from pathlib import Path
+
+            Path(args.markdown).write_text(gradebook_markdown(gradebook))
+            print(f"markdown report written to {args.markdown}")
+        return 0
+
+    if args.command == "export":
+        import time
+
+        from repro.grading import write_gradescope_results
+
+        suite = _suite_for(args.suite, args.submission, subprocess_mode=args.subprocess)
+        started = time.perf_counter()
+        result = suite.run()
+        elapsed = time.perf_counter() - started
+        path = write_gradescope_results(result, args.out, execution_time=elapsed)
+        print(f"Gradescope results written to {path} "
+              f"(score {result.score:g}/{result.max_score:g})")
+        return 0
+
+    if args.command == "report":
+        from repro.grading import write_html_report
+
+        suite = _suite_for(args.suite, args.submission, subprocess_mode=args.subprocess)
+        result = suite.run()
+        reports = [
+            test.last_report
+            for test in suite.tests
+            if getattr(test, "last_report", None) is not None
+            and test.last_report.trace is not None
+        ]
+        path = write_html_report(
+            result, args.out, student=args.student, reports=reports
+        )
+        print(
+            f"HTML report written to {path} "
+            f"(score {result.score:g}/{result.max_score:g})"
+        )
+        return 0
+
+    if args.command == "fuzz":
+        from repro.simulation import ScheduleFuzzer
+
+        fuzzer = ScheduleFuzzer(
+            _checker_factory(args.problem, args.submission),
+            schedules=args.schedules,
+        )
+        report = fuzzer.run()
+        print(report.summary())
+        return 1 if report.bug_found else 0
+
+    if args.command == "awareness":
+        from repro.grading import ProgressLog, analyze_progress
+
+        log = ProgressLog(args.log)
+        report = analyze_progress(log, suite=args.suite)
+        print(report.render())
+        return 0
+
+    raise SystemExit(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

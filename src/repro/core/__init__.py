@@ -1,0 +1,68 @@
+"""Core fork-join checking infrastructure — the paper's contribution.
+
+Test writers use exactly two classes from this package:
+:class:`AbstractForkJoinChecker` for functionality testing and
+:class:`AbstractConcurrencyPerformanceChecker` for performance testing,
+overriding parameter methods for the "what" of testing while the
+infrastructure owns the "how".
+"""
+
+from repro.core.checker import AbstractForkJoinChecker
+from repro.core.credit import DEFAULT_WEIGHTS, CreditSchema
+from repro.core.loc import LocBreakdown, count_effective_lines, count_marked_regions
+from repro.core.messages import Messages
+from repro.core.outcome import Aspect, CheckOutcome
+from repro.core.performance import AbstractConcurrencyPerformanceChecker
+from repro.core.phases import Phase
+from repro.core.properties import (
+    ANY,
+    ARRAY,
+    BOOLEAN,
+    NUMBER,
+    STRING,
+    PropertySpec,
+    PropertyType,
+    normalize_specs,
+)
+from repro.core.multiround import AbstractMultiRoundForkJoinChecker
+from repro.core.report import ForkJoinCheckReport
+from repro.core.spec_lint import LintFinding, LintLevel, lint_checker
+from repro.core.trace_model import (
+    PhasedTrace,
+    PhaseSpecs,
+    PropertyTuple,
+    WorkerTrace,
+    build_phased_trace,
+)
+
+__all__ = [
+    "AbstractForkJoinChecker",
+    "AbstractConcurrencyPerformanceChecker",
+    "AbstractMultiRoundForkJoinChecker",
+    "lint_checker",
+    "LintFinding",
+    "LintLevel",
+    "Aspect",
+    "CheckOutcome",
+    "CreditSchema",
+    "DEFAULT_WEIGHTS",
+    "ForkJoinCheckReport",
+    "LocBreakdown",
+    "Messages",
+    "Phase",
+    "PhaseSpecs",
+    "PhasedTrace",
+    "PropertySpec",
+    "PropertyTuple",
+    "PropertyType",
+    "WorkerTrace",
+    "build_phased_trace",
+    "count_effective_lines",
+    "count_marked_regions",
+    "normalize_specs",
+    "NUMBER",
+    "BOOLEAN",
+    "ARRAY",
+    "STRING",
+    "ANY",
+]

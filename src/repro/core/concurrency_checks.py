@@ -1,0 +1,138 @@
+"""Concurrency-correctness checks: thread count, interleaving, balance.
+
+These are the checks the infrastructure performs with *no* test-program
+code beyond three parameter values (§5's headline result): it verifies
+that the correct number of worker threads was forked, that their prints
+were interleaved (a serialized schedule dodges the synchronization the
+assignment is meant to exercise — Fig. 10), and that their iteration
+loads were as balanced as they can be.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.core.messages import Messages
+from repro.core.outcome import Aspect, CheckOutcome
+from repro.core.trace_model import PhasedTrace
+from repro.eventdb.queries import is_interleaved, serialization_order
+
+__all__ = ["check_thread_count", "check_interleaving", "check_load_balance", "check_concurrency"]
+
+
+def check_thread_count(
+    trace: PhasedTrace,
+    *,
+    expected_threads: int,
+    exact_fraction: float = 1.0,
+) -> CheckOutcome:
+    """Verify the number of event-producing forked threads.
+
+    ``exact_fraction`` is the paper's ``threadCountCredit``: the fraction
+    of this aspect's credit reserved for forking the *right number* of
+    threads, the remainder being consolation credit for forking one or
+    more.  The default (1.0) is all-or-nothing; the Hello World test
+    overrides it to 0.8 (Fig. 12).
+    """
+    if not 0.0 <= exact_fraction <= 1.0:
+        raise ValueError("thread-count credit fraction must be within [0, 1]")
+    actual = trace.worker_count
+    if actual == expected_threads:
+        return CheckOutcome(aspect=Aspect.THREAD_COUNT, ok=True)
+    partial = (1.0 - exact_fraction) if actual >= 1 else 0.0
+    return CheckOutcome(
+        aspect=Aspect.THREAD_COUNT,
+        ok=False,
+        errors=[Messages.wrong_thread_count(expected_threads, actual)],
+        partial_credit=partial,
+    )
+
+
+def check_interleaving(trace: PhasedTrace) -> Optional[CheckOutcome]:
+    """Verify the worker threads genuinely interleaved their output.
+
+    Not applicable (returns None) when fewer than two workers are
+    expected, since a single thread cannot interleave with itself.
+    """
+    events = trace.worker_events
+    if is_interleaved(events):
+        return CheckOutcome(aspect=Aspect.INTERLEAVING, ok=True)
+    order = serialization_order(events)
+    return CheckOutcome(
+        aspect=Aspect.INTERLEAVING,
+        ok=False,
+        errors=[Messages.serialized_threads(order)],
+    )
+
+
+def check_load_balance(
+    trace: PhasedTrace,
+    *,
+    total_iterations: int,
+    expected_threads: int,
+    tolerance: int = 0,
+) -> CheckOutcome:
+    """Verify iteration counts are as balanced as they can be.
+
+    With ``n`` iterations over ``t`` threads every thread must perform
+    ``floor(n/t)`` or ``ceil(n/t)`` iterations (± *tolerance*).  The
+    counts come from the parsed per-thread iteration tuples, so this
+    check is only meaningful after the syntax gate passed.
+    """
+    counts: Dict[int, int] = {
+        worker.thread_id: worker.iteration_count for worker in trace.workers
+    }
+    if expected_threads <= 0:
+        raise ValueError("expected_threads must be positive")
+    fair_low = math.floor(total_iterations / expected_threads)
+    fair_high = math.ceil(total_iterations / expected_threads)
+    low_ok = fair_low - tolerance
+    high_ok = fair_high + tolerance
+    balanced = counts and all(low_ok <= n <= high_ok for n in counts.values())
+    if balanced:
+        return CheckOutcome(aspect=Aspect.LOAD_BALANCE, ok=True)
+    return CheckOutcome(
+        aspect=Aspect.LOAD_BALANCE,
+        ok=False,
+        errors=[Messages.load_imbalance(counts, fair_low, fair_high)],
+    )
+
+
+def check_concurrency(
+    trace: PhasedTrace,
+    *,
+    expected_threads: int,
+    total_iterations: Optional[int],
+    thread_count_exact_fraction: float = 1.0,
+    balance_tolerance: int = 0,
+) -> List[CheckOutcome]:
+    """All applicable concurrency outcomes for *trace*."""
+    outcomes = [
+        check_thread_count(
+            trace,
+            expected_threads=expected_threads,
+            exact_fraction=thread_count_exact_fraction,
+        )
+    ]
+    # Interleaving is only assessable when workers print per-iteration
+    # traces: a worker that prints a single line (Hello World) occupies a
+    # single point in the event order and cannot interleave with anyone.
+    if expected_threads >= 2 and trace.specs.has_worker_specs:
+        interleaving = check_interleaving(trace)
+        if interleaving is not None:
+            outcomes.append(interleaving)
+    if (
+        expected_threads >= 2
+        and total_iterations is not None
+        and trace.specs.iteration
+    ):
+        outcomes.append(
+            check_load_balance(
+                trace,
+                total_iterations=total_iterations,
+                expected_threads=expected_threads,
+                tolerance=balance_tolerance,
+            )
+        )
+    return outcomes

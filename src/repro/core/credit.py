@@ -1,0 +1,121 @@
+"""Credit allocation: mapping aspect outcomes to a score.
+
+The infrastructure "allocates default credit to each independent aspect
+of the trace" (§4.3).  A :class:`CreditSchema` holds relative weights per
+aspect; only *applicable* aspects (those the test actually checked or
+gated) participate, and their weights are normalised to the test's
+annotated maximum value.  The default weights are calibrated so the
+paper's three reference submissions score as its figures report:
+
+* all aspects pass                      → 100 %   (Fig. 9)
+* interleaving + load balance fail      →  80 %   (Fig. 10, and Fig. 5's
+  32/40 for a @max_value(40) test)
+* pre-fork + fork syntax fail, so
+  concurrency and semantics are skipped →  10 %   (Fig. 11 — only the
+  post-join syntax credit survives)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.outcome import Aspect, CheckOutcome
+from repro.testfw.result import AspectOutcome, AspectStatus
+
+__all__ = ["CreditSchema", "DEFAULT_WEIGHTS", "score_outcomes"]
+
+#: Default relative weights (they read as percentages when all apply).
+DEFAULT_WEIGHTS: Dict[str, float] = {
+    Aspect.PRE_FORK_SYNTAX: 5.0,
+    Aspect.FORK_SYNTAX: 15.0,
+    Aspect.POST_JOIN_SYNTAX: 10.0,
+    Aspect.THREAD_COUNT: 10.0,
+    Aspect.INTERLEAVING: 10.0,
+    Aspect.LOAD_BALANCE: 10.0,
+    Aspect.PRE_FORK_SEMANTICS: 5.0,
+    Aspect.ITERATION_SEMANTICS: 15.0,
+    Aspect.POST_ITERATION_SEMANTICS: 10.0,
+    Aspect.POST_JOIN_SEMANTICS: 10.0,
+}
+
+
+@dataclass
+class CreditSchema:
+    """Relative aspect weights, overridable per test program."""
+
+    weights: Dict[str, float] = field(default_factory=lambda: dict(DEFAULT_WEIGHTS))
+
+    def override(self, overrides: Mapping[str, float]) -> "CreditSchema":
+        merged = dict(self.weights)
+        for aspect, weight in overrides.items():
+            if weight < 0:
+                raise ValueError(f"credit weight for {aspect!r} must be >= 0")
+            merged[aspect] = float(weight)
+        return CreditSchema(weights=merged)
+
+    def weight_of(self, aspect: str) -> float:
+        return self.weights.get(aspect, 0.0)
+
+    def normalised(
+        self, applicable: Iterable[str], max_score: float
+    ) -> Dict[str, float]:
+        """Points per applicable aspect, summing to *max_score*."""
+        aspects = list(applicable)
+        total = sum(self.weight_of(a) for a in aspects)
+        if total <= 0:
+            # Degenerate schema: spread evenly so a test always has credit
+            # to award.
+            if not aspects:
+                return {}
+            share = max_score / len(aspects)
+            return {a: share for a in aspects}
+        return {a: max_score * self.weight_of(a) / total for a in aspects}
+
+
+def score_outcomes(
+    checked: Mapping[str, CheckOutcome],
+    skipped: Iterable[str],
+    schema: CreditSchema,
+    max_score: float,
+) -> Tuple[float, List[AspectOutcome]]:
+    """Convert outcomes (+ skipped aspects) into a score and report lines.
+
+    *checked* holds the aspects whose checks ran; *skipped* lists the
+    aspects that were gated off (semantics and concurrency after syntax
+    errors).  Skipped aspects keep their weight — the points they would
+    have carried are simply not earned, which is how Fig. 11's submission
+    lands at 10 % — and render with a SKIPPED status so students see what
+    was not even checked.
+    """
+    skipped = [a for a in skipped if a not in checked]
+    applicable = list(checked.keys()) + list(skipped)
+    points = schema.normalised(applicable, max_score)
+
+    score = 0.0
+    report: List[AspectOutcome] = []
+    for aspect, outcome in checked.items():
+        possible = points.get(aspect, 0.0)
+        earned = possible * outcome.partial_credit
+        score += earned
+        report.append(
+            AspectOutcome(
+                aspect=aspect,
+                status=AspectStatus.PASSED if outcome.ok else AspectStatus.FAILED,
+                message=outcome.message,
+                points_earned=earned,
+                points_possible=possible,
+            )
+        )
+    for aspect in skipped:
+        possible = points.get(aspect, 0.0)
+        report.append(
+            AspectOutcome(
+                aspect=aspect,
+                status=AspectStatus.SKIPPED,
+                message="not checked because of syntax errors",
+                points_earned=0.0,
+                points_possible=possible,
+            )
+        )
+    return round(score, 6), report

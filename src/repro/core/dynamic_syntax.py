@@ -1,0 +1,74 @@
+"""Dynamic syntax checking: order and multiplicity of property prints.
+
+Static syntax says *what* each line looks like; dynamic syntax says *how
+many* of each kind appear and *where* (§4.3).  In the fork-join model the
+order is implicit in the phases, so this pass only has to verify:
+
+* each worker's stream parses as iteration tuples followed by exactly one
+  post-iteration tuple (structure errors were recorded while building the
+  phased trace);
+* the root thread printed nothing while the fork phase was in flight —
+  the root must be blocked in ``join`` between fork and post-join;
+* the combined iteration count over all threads equals the test-declared
+  ``total_iterations`` (when the trace structure is clean enough for the
+  count to be meaningful).
+
+All findings feed the fork-syntax aspect; together with the static pass
+they form the syntax *gate* — any failure suppresses semantic checking,
+as in Fig. 11 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.messages import Messages
+from repro.core.outcome import Aspect, CheckOutcome
+from repro.core.trace_model import PhasedTrace
+
+__all__ = ["check_dynamic_syntax"]
+
+
+def check_dynamic_syntax(
+    trace: PhasedTrace,
+    *,
+    total_iterations: Optional[int],
+) -> List[CheckOutcome]:
+    """Structure-and-count outcomes for the fork phase."""
+    if not trace.specs.has_worker_specs:
+        # Concurrency-only test: worker output is unconstrained.
+        if trace.mid_fork_root_events and trace.specs.post_join:
+            errors = [
+                Messages.root_output_during_fork(e.raw_line)
+                for e in trace.mid_fork_root_events
+            ]
+            return [
+                CheckOutcome(
+                    aspect=Aspect.POST_JOIN_SYNTAX, ok=False, errors=errors
+                )
+            ]
+        return []
+
+    errors: List[str] = []
+    for worker in trace.workers:
+        errors.extend(worker.structure_errors)
+    errors.extend(
+        Messages.root_output_during_fork(e.raw_line)
+        for e in trace.mid_fork_root_events
+    )
+
+    # The per-thread iteration count total; only meaningful when every
+    # thread's stream parsed cleanly (otherwise the static count message
+    # already covers the discrepancy and a second count would be noise).
+    structure_clean = not errors
+    if structure_clean and total_iterations is not None:
+        actual = trace.total_iterations
+        if actual != total_iterations:
+            errors.append(
+                f"the threads together performed {actual} iterations but the "
+                f"problem requires exactly {total_iterations}"
+            )
+
+    if not errors:
+        return [CheckOutcome(aspect=Aspect.FORK_SYNTAX, ok=True)]
+    return [CheckOutcome(aspect=Aspect.FORK_SYNTAX, ok=False, errors=errors)]

@@ -1,0 +1,208 @@
+"""LoC accounting for test programs — the methodology behind Table 1.
+
+The paper compares testing effort by counting the lines of test code
+"after comments and imports were removed", split into serial vs
+concurrency requirements, with the subset devoted to *intermediate*
+results in parentheses.  This module reimplements that accounting for the
+Python graders in :mod:`repro.graders`, which annotate their code with
+region markers::
+
+    # -- begin: serial --
+    ...                      # lines checking serial requirements
+    # -- begin: serial-intermediate --
+    ...                      # the subset checking intermediate results
+    # -- end: serial-intermediate --
+    # -- end: serial --
+
+Categories are ``serial``, ``serial-intermediate``, ``concurrency`` and
+``concurrency-intermediate``; the ``*-intermediate`` regions nest inside
+their parent regions and their lines count toward both.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+__all__ = ["LocBreakdown", "count_effective_lines", "count_marked_regions", "MARKER_RE"]
+
+MARKER_RE = re.compile(
+    r"^\s*#\s*--\s*(?P<kind>begin|end)\s*:\s*(?P<category>[\w-]+)\s*--\s*$"
+)
+
+CATEGORIES = (
+    "serial",
+    "serial-intermediate",
+    "concurrency",
+    "concurrency-intermediate",
+)
+
+
+@dataclass
+class LocBreakdown:
+    """Per-category effective line counts for one test program."""
+
+    counts: Dict[str, int] = field(default_factory=lambda: {c: 0 for c in CATEGORIES})
+    #: Effective lines outside any marked region (shared scaffolding).
+    unmarked: int = 0
+
+    @property
+    def serial_total(self) -> int:
+        """Serial lines, including the intermediate subset (Table 1's
+        left number)."""
+        return self.counts["serial"] + self.counts["serial-intermediate"]
+
+    @property
+    def serial_intermediate(self) -> int:
+        return self.counts["serial-intermediate"]
+
+    @property
+    def concurrency_total(self) -> int:
+        return self.counts["concurrency"] + self.counts["concurrency-intermediate"]
+
+    @property
+    def concurrency_intermediate(self) -> int:
+        return self.counts["concurrency-intermediate"]
+
+    @property
+    def total(self) -> int:
+        return self.serial_total + self.concurrency_total + self.unmarked
+
+    def table_row(self) -> Tuple[str, str]:
+        """Render the two Table 1 cells: ``"78 (14)", "25 (22)"``."""
+        return (
+            f"{self.serial_total} ({self.serial_intermediate})",
+            f"{self.concurrency_total} ({self.concurrency_intermediate})",
+        )
+
+
+def _docstring_lines(source: str) -> Set[int]:
+    """Physical line numbers occupied by docstrings."""
+    lines: Set[int] = set()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return lines
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            continue
+        body = getattr(node, "body", [])
+        if not body:
+            continue
+        first = body[0]
+        if (
+            isinstance(first, ast.Expr)
+            and isinstance(first.value, ast.Constant)
+            and isinstance(first.value.value, str)
+        ):
+            lines.update(range(first.lineno, (first.end_lineno or first.lineno) + 1))
+    return lines
+
+
+def _import_lines(source: str) -> Set[int]:
+    """Physical line numbers occupied by import statements."""
+    lines: Set[int] = set()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return lines
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            lines.update(range(node.lineno, (node.end_lineno or node.lineno) + 1))
+    return lines
+
+
+def _comment_only_lines(source: str) -> Set[int]:
+    """Physical line numbers that hold only a comment."""
+    lines: Set[int] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):
+        return lines
+    code_lines: Set[int] = set()
+    comment_lines: Set[int] = set()
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            comment_lines.add(token.start[0])
+        elif token.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+            tokenize.ENCODING,
+        ):
+            code_lines.update(range(token.start[0], token.end[0] + 1))
+    lines = comment_lines - code_lines
+    return lines
+
+
+def effective_line_numbers(source: str) -> List[int]:
+    """Line numbers counted by the Table 1 methodology.
+
+    A line counts when it is not blank, not comment-only, not part of a
+    docstring, and not part of an import statement.
+    """
+    raw_lines = source.splitlines()
+    skip = _docstring_lines(source) | _import_lines(source) | _comment_only_lines(source)
+    numbers: List[int] = []
+    for lineno, text in enumerate(raw_lines, start=1):
+        if not text.strip():
+            continue
+        if lineno in skip:
+            continue
+        numbers.append(lineno)
+    return numbers
+
+
+def count_effective_lines(source: str) -> int:
+    """Total effective lines of *source* (comments/imports removed)."""
+    return len(effective_line_numbers(source))
+
+
+def count_marked_regions(source: str) -> LocBreakdown:
+    """Count effective lines per marked category.
+
+    Markers themselves are comments, so they never count.  Intermediate
+    regions nest inside their parents; a line inside
+    ``serial-intermediate`` counts toward that category only (the
+    ``serial_total`` property folds it back into the parent's total).
+    Unbalanced markers raise ``ValueError`` — a miscounted table would be
+    a silent reproduction error.
+    """
+    breakdown = LocBreakdown()
+    effective = set(effective_line_numbers(source))
+    stack: List[str] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        marker = MARKER_RE.match(text)
+        if marker:
+            kind = marker.group("kind")
+            category = marker.group("category")
+            if category not in CATEGORIES:
+                raise ValueError(
+                    f"line {lineno}: unknown LoC category {category!r}"
+                )
+            if kind == "begin":
+                stack.append(category)
+            else:
+                if not stack or stack[-1] != category:
+                    raise ValueError(
+                        f"line {lineno}: unbalanced 'end: {category}' marker"
+                    )
+                stack.pop()
+            continue
+        if lineno not in effective:
+            continue
+        if stack:
+            breakdown.counts[stack[-1]] += 1
+        else:
+            breakdown.unmarked += 1
+    if stack:
+        raise ValueError(f"unclosed LoC region marker(s): {stack}")
+    return breakdown

@@ -1,0 +1,172 @@
+"""Error-message catalogue for the fork-join checks.
+
+All infrastructure-generated messages live here so their wording — which
+students read as instructor feedback — is consistent, testable, and close
+to the phrasing of the paper's figures (e.g. Fig. 11's "pre-fork property
+is named 'Randoms' rather than 'Random Numbers'", Fig. 10's serialized /
+imbalanced reports).  Checkers never build ad-hoc strings.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["Messages"]
+
+
+class Messages:
+    """Namespace of message-template functions, one per diagnosis."""
+
+    # ------------------------------------------------------------------
+    # Execution-level
+    # ------------------------------------------------------------------
+    @staticmethod
+    def program_crashed(identifier: str, detail: str) -> str:
+        return f"tested program {identifier!r} did not run to completion: {detail}"
+
+    @staticmethod
+    def no_output(identifier: str) -> str:
+        return (
+            f"tested program {identifier!r} produced no trace output; did it "
+            f"print its logical variables with print_property?"
+        )
+
+    # ------------------------------------------------------------------
+    # Static syntax
+    # ------------------------------------------------------------------
+    @staticmethod
+    def wrong_property_name(phase: str, actual: str, expected: str) -> str:
+        return (
+            f"the {phase} property is named {actual!r} rather than {expected!r}"
+        )
+
+    @staticmethod
+    def wrong_property_type(
+        phase: str, name: str, expected_type: str, value_text: str
+    ) -> str:
+        return (
+            f"the {phase} property {name!r} should be a {expected_type}; its "
+            f"printed value {value_text!r} is not"
+        )
+
+    @staticmethod
+    def missing_phase_property(phase: str, expected: str, got_count: int, want_count: int) -> str:
+        return (
+            f"expected {want_count} {phase} properties but found {got_count}; "
+            f"missing {expected!r}"
+        )
+
+    @staticmethod
+    def fork_output_count(
+        expected_regexes: int,
+        total_iterations: int,
+        iteration_props: int,
+        num_threads: int,
+        post_iteration_props: int,
+        actual: int,
+    ) -> str:
+        return (
+            f"the fork output does not match the {expected_regexes} regular "
+            f"expressions expected for {total_iterations} iterations "
+            f"({iteration_props} iteration outputs for each of the "
+            f"{total_iterations} iterations plus {post_iteration_props} "
+            f"post-iteration output for each of the {num_threads} threads) - "
+            f"it has only {actual} matching outputs"
+        )
+
+    @staticmethod
+    def unmatched_worker_line(line: str) -> str:
+        return (
+            f"worker output line {line!r} matches no declared iteration or "
+            f"post-iteration property"
+        )
+
+    # ------------------------------------------------------------------
+    # Dynamic syntax
+    # ------------------------------------------------------------------
+    @staticmethod
+    def torn_iteration_tuple(
+        thread_id: int, expected: str, actual: str, position: int
+    ) -> str:
+        return (
+            f"thread {thread_id} printed {actual!r} where iteration property "
+            f"{expected!r} was expected (output #{position} of the thread)"
+        )
+
+    @staticmethod
+    def missing_post_iteration(thread_id: int, expected: Sequence[str]) -> str:
+        names = ", ".join(repr(n) for n in expected)
+        return (
+            f"thread {thread_id} terminated without printing its "
+            f"post-iteration properties ({names})"
+        )
+
+    @staticmethod
+    def root_output_during_fork(line: str) -> str:
+        return (
+            f"the root thread printed {line!r} during the fork phase; root "
+            f"output belongs before the fork or after the join"
+        )
+
+    @staticmethod
+    def post_join_before_workers_done(line: str) -> str:
+        return (
+            f"post-join output {line!r} appeared before all worker threads "
+            f"finished; did the program join all its threads?"
+        )
+
+    # ------------------------------------------------------------------
+    # Concurrency semantics
+    # ------------------------------------------------------------------
+    @staticmethod
+    def wrong_thread_count(expected: int, actual: int) -> str:
+        if actual == 0:
+            return (
+                f"no forked thread produced output; the root thread must fork "
+                f"{expected} worker thread(s) rather than doing the work itself"
+            )
+        return (
+            f"{expected} forked threads were expected but {actual} produced "
+            f"output"
+        )
+
+    @staticmethod
+    def serialized_threads(order: Sequence[int]) -> str:
+        order_text = ", ".join(str(tid) for tid in order)
+        return (
+            f"the execution of the threads is serialized in the order "
+            f"{order_text}, thereby avoiding the synchronization problems "
+            f"that arise in combining their results"
+        )
+
+    @staticmethod
+    def load_imbalance(counts: dict, fair_low: int, fair_high: int) -> str:
+        detail = ", ".join(
+            f"thread {tid} performed {n}" for tid, n in sorted(counts.items())
+        )
+        return (
+            f"the load is imbalanced - each thread should perform "
+            f"{fair_low}-{fair_high} iterations but {detail}"
+        )
+
+    # ------------------------------------------------------------------
+    # Performance
+    # ------------------------------------------------------------------
+    @staticmethod
+    def insufficient_speedup(expected: float, actual: float) -> str:
+        return (
+            f"expected a speedup of at least {expected:g} from the "
+            f"high-thread configuration but measured {actual:.2f}"
+        )
+
+    @staticmethod
+    def performance_run_failed(config: str, reason: str) -> str:
+        return f"the {config} configuration did not run cleanly: {reason}"
+
+    # ------------------------------------------------------------------
+    # Composition helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def join(messages: Sequence[Optional[str]]) -> str:
+        """Merge message fragments, dropping Nones/empties."""
+        return "; ".join(m for m in messages if m)

@@ -1,0 +1,89 @@
+"""Internal result type shared by the checking passes.
+
+Each pass (syntax, dynamic syntax, concurrency, semantics) produces
+:class:`CheckOutcome` values keyed by *aspect* — the independently
+credited requirement names that the credit schema maps to points and the
+report renders line by line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["CheckOutcome", "Aspect", "merge_outcomes"]
+
+
+class Aspect:
+    """Stable aspect keys used across checking, credit, and reporting."""
+
+    PRE_FORK_SYNTAX = "pre-fork syntax"
+    FORK_SYNTAX = "fork syntax"
+    POST_JOIN_SYNTAX = "post-join syntax"
+    THREAD_COUNT = "forked thread count"
+    INTERLEAVING = "thread interleaving"
+    LOAD_BALANCE = "load balance"
+    PRE_FORK_SEMANTICS = "pre-fork semantics"
+    ITERATION_SEMANTICS = "iteration semantics"
+    POST_ITERATION_SEMANTICS = "post-iteration semantics"
+    POST_JOIN_SEMANTICS = "post-join semantics"
+    SPEEDUP = "speedup"
+
+    SYNTAX = (PRE_FORK_SYNTAX, FORK_SYNTAX, POST_JOIN_SYNTAX)
+    CONCURRENCY = (THREAD_COUNT, INTERLEAVING, LOAD_BALANCE)
+    SEMANTICS = (
+        PRE_FORK_SEMANTICS,
+        ITERATION_SEMANTICS,
+        POST_ITERATION_SEMANTICS,
+        POST_JOIN_SEMANTICS,
+    )
+
+
+@dataclass
+class CheckOutcome:
+    """Result of checking one aspect.
+
+    ``partial_credit`` expresses a fraction in [0, 1] of the aspect's
+    weight earned despite errors (used by the thread-count check's
+    "some threads were forked" consolation credit); for ordinary aspects
+    it is 1.0 when ok and 0.0 otherwise.
+    """
+
+    aspect: str
+    ok: bool
+    errors: List[str] = field(default_factory=list)
+    partial_credit: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.ok:
+            self.partial_credit = 1.0
+
+    @property
+    def message(self) -> str:
+        return "; ".join(self.errors)
+
+
+def merge_outcomes(outcomes: List[CheckOutcome]) -> Dict[str, CheckOutcome]:
+    """Index outcomes by aspect, merging duplicates conservatively.
+
+    When two passes report on the same aspect (static and dynamic syntax
+    both feed the fork-syntax aspect), the merged outcome is ok only if
+    all parts were, and errors concatenate in pass order.
+    """
+    merged: Dict[str, CheckOutcome] = {}
+    for outcome in outcomes:
+        existing = merged.get(outcome.aspect)
+        if existing is None:
+            merged[outcome.aspect] = CheckOutcome(
+                aspect=outcome.aspect,
+                ok=outcome.ok,
+                errors=list(outcome.errors),
+                partial_credit=outcome.partial_credit,
+            )
+            continue
+        existing.ok = existing.ok and outcome.ok
+        existing.errors.extend(outcome.errors)
+        existing.partial_credit = min(existing.partial_credit, outcome.partial_credit)
+        if existing.ok:
+            existing.partial_credit = 1.0
+    return merged

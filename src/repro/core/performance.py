@@ -1,0 +1,173 @@
+"""``AbstractConcurrencyPerformanceChecker``: performance-based testing.
+
+The performance tester (Fig. 7 of the paper) is the simplest checker: the
+test program supplies the tested program's name and two argument vectors
+— one forcing a low thread count, one a high thread count — plus a
+minimum required speedup.  The infrastructure runs each configuration a
+default 10 times *with all intercepted prints disabled* (so tracing does
+not perturb the timing), computes the speedup from the total times, and
+awards full points when it meets the minimum, zero otherwise — always
+reporting the difference between expected and actual.
+
+``duration_source`` lets deployments that cannot rely on wall-clock
+parallelism (pure-Python CPU-bound code under the GIL) substitute the
+virtual-time makespan measured by :mod:`repro.simulation`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.messages import Messages
+from repro.core.outcome import Aspect
+from repro.execution.registry import UnknownMainError
+from repro.execution.runner import ExecutionResult, ProgramRunner
+from repro.execution.timing import (
+    DEFAULT_TIMED_RUNS,
+    TimingResult,
+    speedup,
+    time_program,
+)
+from repro.testfw.case import ScoredTestCase
+from repro.testfw.result import AspectOutcome, AspectStatus, TestResult
+
+__all__ = ["AbstractConcurrencyPerformanceChecker"]
+
+
+class AbstractConcurrencyPerformanceChecker(ScoredTestCase):
+    """Base class of all fork-join performance test programs."""
+
+    # ------------------------------------------------------------------
+    # Parameter methods
+    # ------------------------------------------------------------------
+    def main_class_identifier(self) -> str:
+        raise NotImplementedError(
+            f"{type(self).__name__} must override main_class_identifier()"
+        )
+
+    def low_thread_args(self) -> List[str]:
+        """Arguments forcing the minimum threading level."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must override low_thread_args()"
+        )
+
+    def high_thread_args(self) -> List[str]:
+        """Arguments forcing the raised threading level."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must override high_thread_args()"
+        )
+
+    def expected_minimum_speedup(self) -> float:
+        """Required speedup of high- over low-thread configuration."""
+        return 1.5
+
+    def num_timed_runs(self) -> int:
+        """Timed repetitions per configuration (paper default: 10)."""
+        return DEFAULT_TIMED_RUNS
+
+    def partial_speedup_credit(self) -> bool:
+        """Opt-in: award proportional credit below the required speedup.
+
+        The paper's checker is all-or-nothing (full points at or above
+        the minimum, zero below).  With this returning True, a submission
+        that achieved speedup ``s < required`` earns
+        ``max(0, (s - 1) / (required - 1))`` of the points — no credit at
+        or below 1.0x (no parallelism), linear up to the bar.  Useful for
+        homework where "some speedup" deserves something.
+        """
+        return False
+
+    def warmup_runs(self) -> int:
+        """Untimed warm-up repetitions per configuration."""
+        return 1
+
+    def duration_source(self) -> Optional[Callable[[ExecutionResult], float]]:
+        """Optional substitute notion of elapsed time per run.
+
+        Return a callable mapping an :class:`ExecutionResult` to seconds
+        — e.g. the simulation backend's virtual makespan — or ``None``
+        for wall-clock timing.
+        """
+        return None
+
+    def make_runner(self) -> ProgramRunner:
+        return ProgramRunner()
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
+    #: Filled by :meth:`run` for inspection by benchmarks and examples.
+    last_low: Optional[TimingResult] = None
+    last_high: Optional[TimingResult] = None
+    last_speedup: Optional[float] = None
+
+    def run(self) -> TestResult:
+        identifier = self.main_class_identifier()
+        runner = self.make_runner()
+        duration_of = self.duration_source()
+        try:
+            low = time_program(
+                identifier,
+                self.low_thread_args(),
+                runs=self.num_timed_runs(),
+                runner=runner,
+                duration_of=duration_of,
+                warmup_runs=self.warmup_runs(),
+            )
+            high = time_program(
+                identifier,
+                self.high_thread_args(),
+                runs=self.num_timed_runs(),
+                runner=runner,
+                duration_of=duration_of,
+                warmup_runs=self.warmup_runs(),
+            )
+        except UnknownMainError as exc:
+            return TestResult(
+                test_name=self.name,
+                score=0.0,
+                max_score=self.max_score,
+                fatal=str(exc),
+            )
+        self.last_low, self.last_high = low, high
+
+        for config, timing in (("low-thread", low), ("high-thread", high)):
+            if not timing.all_ok:
+                return TestResult(
+                    test_name=self.name,
+                    score=0.0,
+                    max_score=self.max_score,
+                    fatal=Messages.performance_run_failed(
+                        config, timing.first_failure()
+                    ),
+                )
+
+        actual = speedup(low, high)
+        self.last_speedup = actual
+        expected = self.expected_minimum_speedup()
+        ok = actual >= expected
+        if ok:
+            earned = self.max_score
+        elif self.partial_speedup_credit() and expected > 1.0:
+            fraction = max(0.0, (actual - 1.0) / (expected - 1.0))
+            earned = round(self.max_score * min(1.0, fraction), 6)
+        else:
+            earned = 0.0
+        outcome = AspectOutcome(
+            aspect=Aspect.SPEEDUP,
+            status=AspectStatus.PASSED if ok else AspectStatus.FAILED,
+            message=(
+                f"speedup {actual:.2f} >= required {expected:g} "
+                f"(low total {low.total:.4f}s, high total {high.total:.4f}s)"
+                if ok
+                else Messages.insufficient_speedup(expected, actual)
+            ),
+            points_earned=earned,
+            points_possible=self.max_score,
+        )
+        return TestResult(
+            test_name=self.name,
+            score=earned,
+            max_score=self.max_score,
+            outcomes=[outcome],
+        )

@@ -1,0 +1,50 @@
+"""The fork-join phase model that gives traces their implicit order.
+
+The paper's key structural insight (§3) is that a fork-join trace needs
+no explicit ordering constructs: order is determined by the phases of the
+model itself.  The root thread's output before forking is the *pre-fork*
+phase; each worker's loop output is the *iteration* phase; each worker's
+summary output is its *post-iteration* phase; and the root's output after
+joining is the *post-join* phase.  Only the iteration phase has a dynamic
+number of prints, driven by the test-specified total iteration count.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List
+
+__all__ = ["Phase", "WORKER_PHASES", "ROOT_PHASES"]
+
+
+class Phase(enum.Enum):
+    """One of the four trace phases of the fork-join model."""
+
+    PRE_FORK = "pre-fork"
+    ITERATION = "iteration"
+    POST_ITERATION = "post-iteration"
+    POST_JOIN = "post-join"
+
+    @property
+    def by_root(self) -> bool:
+        """True for phases whose properties the root thread prints."""
+        return self in (Phase.PRE_FORK, Phase.POST_JOIN)
+
+    @property
+    def by_worker(self) -> bool:
+        """True for phases whose properties forked workers print."""
+        return not self.by_root
+
+    @property
+    def label(self) -> str:
+        return self.value
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Phases printed by forked worker threads, in per-thread order.
+WORKER_PHASES: List[Phase] = [Phase.ITERATION, Phase.POST_ITERATION]
+
+#: Phases printed by the root thread, in program order.
+ROOT_PHASES: List[Phase] = [Phase.PRE_FORK, Phase.POST_JOIN]

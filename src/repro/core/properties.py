@@ -1,0 +1,155 @@
+"""Property specifications: the static syntax of a fork-join trace.
+
+A test program declares, per phase, the *names and types* of the logical
+variables the tested program must print — e.g. the primes test declares
+iteration properties ``Index: Number``, ``Number: Number``,
+``Is Prime: Boolean``.  Because properties are typed prints rather than
+arbitrary text, each one is checkable with a regular expression (§3(a) of
+the paper); this module owns both sides of that coin: value matching for
+live objects and regex fragments for raw lines.
+
+Specs accept the paper's Java-flavoured type objects (:data:`NUMBER`,
+:data:`BOOLEAN`, :data:`ARRAY`, :data:`STRING`) or plain Python types
+(``int``, ``bool``, ``list``, ``str``), which are normalised on entry.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "PropertyType",
+    "NUMBER",
+    "BOOLEAN",
+    "ARRAY",
+    "STRING",
+    "ANY",
+    "PropertySpec",
+    "normalize_specs",
+    "coerce_type",
+]
+
+
+@dataclass(frozen=True)
+class PropertyType:
+    """A trace value type: how to match live objects and raw text."""
+
+    name: str
+    _value_regex: str
+    _python_types: Tuple[type, ...]
+
+    def matches_value(self, value: Any) -> bool:
+        """Does the live object *value* belong to this type?"""
+        if self is ANY:
+            return True
+        if self is BOOLEAN:
+            return isinstance(value, (bool, np.bool_))
+        if self is NUMBER:
+            # bool is an int subclass in Python; a Boolean is not a Number
+            # in the trace type system, exactly as in Java.
+            return isinstance(value, self._python_types) and not isinstance(
+                value, (bool, np.bool_)
+            )
+        return isinstance(value, self._python_types)
+
+    def value_regex(self) -> str:
+        """Regex fragment matching this type's standard textual form."""
+        return self._value_regex
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+NUMBER = PropertyType(
+    "Number",
+    r"-?\d+(?:\.\d+(?:[eE][+-]?\d+)?)?",
+    (int, float, np.integer, np.floating),
+)
+BOOLEAN = PropertyType("Boolean", r"(?:true|false)", (bool,))
+ARRAY = PropertyType("Array", r"\[.*\]", (list, tuple, np.ndarray))
+STRING = PropertyType("String", r".*", (str,))
+ANY = PropertyType("Any", r".*", (object,))
+
+_PYTHON_TYPE_MAP = {
+    int: NUMBER,
+    float: NUMBER,
+    bool: BOOLEAN,
+    list: ARRAY,
+    tuple: ARRAY,
+    str: STRING,
+    object: ANY,
+}
+
+
+def coerce_type(type_like: Any) -> PropertyType:
+    """Normalise a spec's type field to a :class:`PropertyType`."""
+    if isinstance(type_like, PropertyType):
+        return type_like
+    if isinstance(type_like, type) and type_like in _PYTHON_TYPE_MAP:
+        return _PYTHON_TYPE_MAP[type_like]
+    raise TypeError(
+        f"unsupported property type {type_like!r}; use NUMBER/BOOLEAN/ARRAY/"
+        f"STRING/ANY or one of int, float, bool, list, tuple, str, object"
+    )
+
+
+@dataclass(frozen=True)
+class PropertySpec:
+    """One declared logical variable: its required name and type."""
+
+    name: str
+    type: PropertyType
+
+    def line_regex(self) -> "re.Pattern[str]":
+        """Full-line regex this property's prints must match."""
+        return re.compile(
+            rf"^Thread (\d+)->{re.escape(self.name)}:{self.type.value_regex()}$"
+        )
+
+    def matches_line(self, line: str) -> bool:
+        return self.line_regex().match(line) is not None
+
+    def matches_event_name(self, name: str) -> bool:
+        return self.name == name
+
+    def describe(self) -> str:
+        return f"{self.name!r} ({self.type.name})"
+
+
+SpecLike = Union[PropertySpec, Sequence[Any]]
+
+
+def normalize_specs(specs: Iterable[SpecLike]) -> List[PropertySpec]:
+    """Normalise test-writer spec declarations.
+
+    Accepts :class:`PropertySpec` objects or 2-sequences
+    ``(name, type_like)`` — the Python rendering of the paper's
+    ``Object[][]`` parameter arrays like
+    ``{{INDEX, Number.class}, {NUMBER, Number.class}}``.
+    """
+    normalized: List[PropertySpec] = []
+    for spec in specs:
+        if isinstance(spec, PropertySpec):
+            normalized.append(spec)
+            continue
+        try:
+            name, type_like = spec  # type: ignore[misc]
+        except (TypeError, ValueError) as exc:
+            raise TypeError(
+                f"property spec must be PropertySpec or (name, type) pair, "
+                f"got {spec!r}"
+            ) from exc
+        if not isinstance(name, str):
+            raise TypeError(f"property name must be a string, got {name!r}")
+        normalized.append(PropertySpec(name, coerce_type(type_like)))
+    names = [s.name for s in normalized]
+    duplicates = {n for n in names if names.count(n) > 1}
+    if duplicates:
+        raise ValueError(
+            f"duplicate property names in one phase: {sorted(duplicates)}"
+        )
+    return normalized

@@ -1,0 +1,70 @@
+"""Full check reports: result + trace + execution, for inspection.
+
+A grading UI needs only the :class:`~repro.testfw.result.TestResult`, but
+instructors, benchmarks and the awareness layer want to look *behind* the
+score — at the annotated trace (Fig. 9's embellished listing) and the raw
+execution.  :class:`ForkJoinCheckReport` bundles all three and renders
+the paper-style annotated trace with phase comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.trace_model import PhasedTrace
+from repro.execution.runner import ExecutionResult
+from repro.testfw.result import TestResult
+
+__all__ = ["ForkJoinCheckReport"]
+
+
+@dataclass
+class ForkJoinCheckReport:
+    """Everything produced by one functionality check."""
+
+    result: TestResult
+    execution: Optional[ExecutionResult] = None
+    trace: Optional[PhasedTrace] = None
+
+    @property
+    def score(self) -> float:
+        return self.result.score
+
+    @property
+    def percent(self) -> float:
+        return self.result.percent
+
+    def annotated_trace(self) -> str:
+        """The program output embellished with fork-join phase comments,
+        in the style of the paper's Fig. 9."""
+        if self.trace is None or self.execution is None:
+            return ""
+        lines: List[str] = []
+        pre_fork_seqs = {e.seq for e in self.trace.pre_fork_events}
+        post_join_seqs = {e.seq for e in self.trace.post_join_events}
+        mid_seqs = {e.seq for e in self.trace.mid_fork_root_events}
+        current: Optional[str] = None
+        for event in self.execution.events:
+            if event.seq in pre_fork_seqs:
+                phase = "pre-fork phase (root thread)"
+            elif event.seq in post_join_seqs:
+                phase = "post-join phase (root thread)"
+            elif event.seq in mid_seqs:
+                phase = "UNEXPECTED root output during fork phase"
+            else:
+                phase = "fork phase (iteration + post-iteration, interleaved)"
+            if phase != current:
+                lines.append(f"// {phase}")
+                current = phase
+            lines.append(event.raw_line)
+        return "\n".join(lines)
+
+    def render(self) -> str:
+        """Annotated trace followed by the scored requirement report."""
+        parts = []
+        trace_text = self.annotated_trace()
+        if trace_text:
+            parts.append(trace_text)
+        parts.append(self.result.render())
+        return "\n\n".join(parts)

@@ -1,0 +1,148 @@
+"""Semantic checking: dispatch trace values to test-writer callbacks.
+
+Semantics — serial and concurrency, final and intermediate — are the only
+part of trace checking the test program writes code for.  It overrides up
+to four callback methods, one per phase; each receives the thread that
+produced the output and a mapping of the phase's property names to the
+*live values* the tested program printed, and returns an error message or
+``None`` (§4.3 and the paper's appendix).
+
+The dispatcher honours the appendix's crucial scheduling guarantee: even
+though the tested threads *interleave* their prints, the checking of
+their iterations is **not** interleaved — all iterations of one thread
+are processed, then its post-iteration, before the next thread's are
+touched.  That lets the test program keep simple per-thread running state
+(like ``num_primes_found_by_current_thread``) without bookkeeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Any, Callable, Dict, List, Mapping, Optional, Protocol
+
+from repro.core.outcome import Aspect, CheckOutcome
+from repro.core.trace_model import PhasedTrace
+
+__all__ = ["SemanticCallbacks", "run_semantic_checks"]
+
+SemanticMethod = Callable[[threading.Thread, Mapping[str, Any]], Optional[str]]
+
+
+class SemanticCallbacks(Protocol):
+    """What the dispatcher needs from a test program.
+
+    ``*_overridden`` flags say whether the test program actually supplied
+    each callback; aspects without a callback are simply not checked (and
+    carry no credit weight).
+    """
+
+    def pre_fork_events_message(
+        self, thread: threading.Thread, values: Mapping[str, Any]
+    ) -> Optional[str]: ...
+
+    def iteration_events_message(
+        self, thread: threading.Thread, values: Mapping[str, Any]
+    ) -> Optional[str]: ...
+
+    def post_iteration_events_message(
+        self, thread: threading.Thread, values: Mapping[str, Any]
+    ) -> Optional[str]: ...
+
+    def post_join_events_message(
+        self, thread: threading.Thread, values: Mapping[str, Any]
+    ) -> Optional[str]: ...
+
+
+def _invoke(
+    aspect: str,
+    method: SemanticMethod,
+    thread: threading.Thread,
+    values: Mapping[str, Any],
+    errors: Dict[str, List[str]],
+) -> None:
+    """Run one callback, folding its verdict (or crash) into *errors*."""
+    try:
+        message = method(thread, dict(values))
+    except Exception as exc:  # noqa: BLE001 - a buggy check is a finding
+        detail = "".join(traceback.format_exception_only(type(exc), exc)).strip()
+        errors.setdefault(aspect, []).append(
+            f"semantic check raised {detail} (is the test program assuming a "
+            f"property the trace did not provide?)"
+        )
+        return
+    if message:
+        errors.setdefault(aspect, []).append(message)
+
+
+def run_semantic_checks(
+    trace: PhasedTrace,
+    callbacks: Any,
+    *,
+    overridden: Dict[str, bool],
+) -> List[CheckOutcome]:
+    """Dispatch the trace through the test program's semantic callbacks.
+
+    ``overridden`` maps aspect keys to whether the test program supplied
+    the corresponding callback; unsupplied aspects are skipped entirely.
+    Invocation order follows the paper's appendix: pre-fork first, then
+    per worker thread (ordered by first output) all of its iterations
+    followed by its post-iteration, and finally post-join.
+    """
+    errors: Dict[str, List[str]] = {}
+
+    root = trace.result.root_thread
+    if overridden.get(Aspect.PRE_FORK_SEMANTICS) and trace.specs.pre_fork:
+        values = trace.pre_fork.values if trace.pre_fork is not None else {}
+        _invoke(
+            Aspect.PRE_FORK_SEMANTICS,
+            callbacks.pre_fork_events_message,
+            root,
+            values,
+            errors,
+        )
+
+    check_iterations = overridden.get(Aspect.ITERATION_SEMANTICS, False)
+    check_post_iterations = overridden.get(Aspect.POST_ITERATION_SEMANTICS, False)
+    for worker in trace.workers:
+        if check_iterations:
+            for iteration in worker.iterations:
+                _invoke(
+                    Aspect.ITERATION_SEMANTICS,
+                    callbacks.iteration_events_message,
+                    worker.thread,
+                    iteration.values,
+                    errors,
+                )
+        if check_post_iterations and worker.post_iteration is not None:
+            _invoke(
+                Aspect.POST_ITERATION_SEMANTICS,
+                callbacks.post_iteration_events_message,
+                worker.thread,
+                worker.post_iteration.values,
+                errors,
+            )
+
+    if overridden.get(Aspect.POST_JOIN_SEMANTICS) and trace.specs.post_join:
+        values = trace.post_join.values if trace.post_join is not None else {}
+        _invoke(
+            Aspect.POST_JOIN_SEMANTICS,
+            callbacks.post_join_events_message,
+            root,
+            values,
+            errors,
+        )
+
+    outcomes: List[CheckOutcome] = []
+    for aspect in Aspect.SEMANTICS:
+        if not overridden.get(aspect, False):
+            continue
+        if aspect == Aspect.PRE_FORK_SEMANTICS and not trace.specs.pre_fork:
+            continue
+        if aspect == Aspect.POST_JOIN_SEMANTICS and not trace.specs.post_join:
+            continue
+        aspect_errors = errors.get(aspect, [])
+        outcomes.append(
+            CheckOutcome(aspect=aspect, ok=not aspect_errors, errors=aspect_errors)
+        )
+    return outcomes

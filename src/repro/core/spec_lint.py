@@ -1,0 +1,186 @@
+"""Linting test-program configurations before they grade anyone.
+
+A misconfigured checker does not crash — it *misgrades*, silently.  The
+classic accidents:
+
+* the same property name declared in both the iteration and the
+  post-iteration phase (the worker-stream parser dispatches on the
+  tuple's *first* name, so the phases become indistinguishable);
+* a post-iteration tuple whose first property name equals an iteration
+  property's non-first name (tuples tear at every boundary);
+* a total iteration count that cannot be balanced over the expected
+  threads while a zero balance tolerance is in force (every correct
+  solution would lose the balance credit);
+* zero expected threads, or thread-count credit outside [0, 1];
+* credit-weight overrides that zero out every applicable aspect.
+
+``lint_checker`` runs these rules over a checker instance and returns
+findings; :class:`LintError`-level findings mean the configuration can
+assign wrong scores and should block the grading session (the CLI and
+the test harness for the shipped graders both treat them that way).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, List
+
+from repro.core.checker import AbstractForkJoinChecker
+from repro.core.credit import DEFAULT_WEIGHTS
+from repro.core.properties import PropertySpec, normalize_specs
+
+__all__ = ["LintLevel", "LintFinding", "lint_checker"]
+
+
+class LintLevel(enum.Enum):
+    ERROR = "error"      # can assign wrong scores; do not grade with this
+    WARNING = "warning"  # suspicious; grades may be stricter than intended
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    level: LintLevel
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"[{self.level.value}] {self.rule}: {self.message}"
+
+
+def _names(specs: List[PropertySpec]) -> List[str]:
+    return [spec.name for spec in specs]
+
+
+def lint_checker(checker: AbstractForkJoinChecker) -> List[LintFinding]:
+    """Validate *checker*'s declared configuration; empty list = clean."""
+    findings: List[LintFinding] = []
+
+    def report(level: LintLevel, rule: str, message: str) -> None:
+        findings.append(LintFinding(level=level, rule=rule, message=message))
+
+    # ---- property specs -------------------------------------------------
+    try:
+        iteration = normalize_specs(checker.iteration_property_names_and_types())
+        post_iteration = normalize_specs(
+            checker.post_iteration_property_names_and_types()
+        )
+        pre_fork = normalize_specs(checker.pre_fork_property_names_and_types())
+        post_join = normalize_specs(checker.post_join_property_names_and_types())
+    except (TypeError, ValueError) as exc:
+        report(LintLevel.ERROR, "invalid-specs", str(exc))
+        return findings  # nothing further is meaningful
+
+    overlap = set(_names(iteration)) & set(_names(post_iteration))
+    if overlap:
+        report(
+            LintLevel.ERROR,
+            "phase-name-collision",
+            f"properties {sorted(overlap)} are declared in both the "
+            f"iteration and post-iteration phases; the worker-stream "
+            f"parser cannot tell the phases apart",
+        )
+
+    if post_iteration and iteration:
+        first_post = post_iteration[0].name
+        non_first_iteration = _names(iteration)[1:]
+        if first_post in non_first_iteration:
+            report(
+                LintLevel.ERROR,
+                "ambiguous-tuple-boundary",
+                f"the post-iteration tuple starts with {first_post!r}, "
+                f"which also appears mid-iteration; iteration tuples "
+                f"would tear at that position",
+            )
+
+    root_worker_overlap = (
+        set(_names(pre_fork)) | set(_names(post_join))
+    ) & (set(_names(iteration)) | set(_names(post_iteration)))
+    if root_worker_overlap:
+        report(
+            LintLevel.WARNING,
+            "root-worker-name-overlap",
+            f"properties {sorted(root_worker_overlap)} are used by both "
+            f"root and worker phases; readable traces use distinct names",
+        )
+
+    # ---- counts -----------------------------------------------------------
+    threads = checker.num_expected_forked_threads()
+    if threads < 1:
+        report(
+            LintLevel.ERROR,
+            "no-threads-expected",
+            f"num_expected_forked_threads() is {threads}; a fork-join "
+            f"test must expect at least one worker",
+        )
+
+    total = checker.total_iterations()
+    if total is not None:
+        if total < 0:
+            report(
+                LintLevel.ERROR,
+                "negative-iterations",
+                f"total_iterations() is {total}",
+            )
+        elif threads >= 1 and total < threads:
+            report(
+                LintLevel.WARNING,
+                "fewer-iterations-than-threads",
+                f"{total} iterations over {threads} threads leaves some "
+                f"threads idle; load-balance checking treats 0 vs 1 as "
+                f"fair, but the assignment may not intend idle workers",
+            )
+    elif iteration:
+        report(
+            LintLevel.WARNING,
+            "unbounded-iterations",
+            "iteration properties are declared but total_iterations() is "
+            "None: fork output counts and load balance will not be "
+            "checked",
+        )
+
+    # ---- credit -------------------------------------------------------------
+    fraction = checker.thread_count_credit()
+    if not 0.0 <= fraction <= 1.0:
+        report(
+            LintLevel.ERROR,
+            "bad-thread-count-credit",
+            f"thread_count_credit() is {fraction}; must be within [0, 1]",
+        )
+
+    overrides = checker.credit_weights()
+    if overrides is not None:
+        unknown = [k for k in overrides if k not in DEFAULT_WEIGHTS]
+        if unknown:
+            report(
+                LintLevel.WARNING,
+                "unknown-credit-aspects",
+                f"credit_weights() names unknown aspects {sorted(unknown)}; "
+                f"they carry no weight",
+            )
+        negative = {k: v for k, v in overrides.items() if v < 0}
+        if negative:
+            report(
+                LintLevel.ERROR,
+                "negative-credit-weight",
+                f"credit_weights() assigns negative weights {negative}",
+            )
+        known = {k: v for k, v in overrides.items() if k in DEFAULT_WEIGHTS}
+        if known and all(v == 0 for v in known.values()) and len(known) == len(
+            DEFAULT_WEIGHTS
+        ):
+            report(
+                LintLevel.ERROR,
+                "all-credit-zeroed",
+                "credit_weights() zeroes every aspect; the test can award "
+                "no points",
+            )
+
+    if checker.load_balance_tolerance() < 0:
+        report(
+            LintLevel.ERROR,
+            "negative-balance-tolerance",
+            f"load_balance_tolerance() is {checker.load_balance_tolerance()}",
+        )
+
+    return findings

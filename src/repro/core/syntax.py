@@ -1,0 +1,157 @@
+"""Static syntax checking: do the printed lines match the declared specs?
+
+The test program declares, per phase, the names and types of the logical
+variables to print; because each property line has a fixed shape, the
+whole static syntax is checkable with regular expressions (§3(a) of the
+paper).  This pass compiles one regex per declared property and checks:
+
+* **pre-fork / post-join** — the root thread's properties, positionally:
+  a wrong name produces the Fig.-11-style message ("named 'Randoms'
+  rather than 'Random Numbers'"), a right name with an ill-typed value a
+  type message, and too few prints a missing-property message.
+* **fork** — the worker threads' combined output must contain exactly
+  ``total_iterations × |iteration specs| + expected_threads × |post-
+  iteration specs|`` property lines matching the declared regexes; a
+  shortfall yields the Fig.-11 count message, and non-matching worker
+  lines are itemised.
+
+The structural (per-thread ordering) half of the fork phase is the job of
+:mod:`repro.core.dynamic_syntax`; both feed the same fork-syntax aspect.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.messages import Messages
+from repro.core.outcome import Aspect, CheckOutcome
+from repro.core.properties import PropertySpec
+from repro.core.trace_model import PhasedTrace
+from repro.eventdb.events import PropertyEvent
+
+__all__ = ["check_static_syntax", "check_root_phase_syntax", "check_fork_syntax"]
+
+#: How many individual unmatched-line messages to include before eliding;
+#: a loop bug can produce hundreds and the count message already tells
+#: the story.
+MAX_ITEMISED_LINES = 3
+
+
+def check_root_phase_syntax(
+    phase_label: str,
+    aspect: str,
+    events: Sequence[PropertyEvent],
+    specs: Sequence[PropertySpec],
+) -> CheckOutcome:
+    """Positionally match a root phase's events against its specs."""
+    errors: List[str] = []
+    property_events = list(events)
+    for index, spec in enumerate(specs):
+        if index >= len(property_events):
+            errors.append(
+                Messages.missing_phase_property(
+                    phase_label, spec.name, len(property_events), len(specs)
+                )
+            )
+            break
+        event = property_events[index]
+        if event.name != spec.name:
+            errors.append(
+                Messages.wrong_property_name(phase_label, event.name, spec.name)
+            )
+            continue
+        if not spec.matches_line(event.raw_line):
+            errors.append(
+                Messages.wrong_property_type(
+                    phase_label, spec.name, spec.type.name, event.raw_line
+                )
+            )
+    return CheckOutcome(aspect=aspect, ok=not errors, errors=errors)
+
+
+def check_fork_syntax(
+    trace: PhasedTrace,
+    *,
+    total_iterations: Optional[int],
+    expected_threads: int,
+) -> CheckOutcome:
+    """Count worker property lines against the declared fork regexes."""
+    iteration_specs = list(trace.specs.iteration)
+    post_specs = list(trace.specs.post_iteration)
+    worker_specs = iteration_specs + post_specs
+    errors: List[str] = []
+
+    matching = 0
+    unmatched: List[str] = []
+    for event in trace.worker_events:
+        if any(spec.matches_line(event.raw_line) for spec in worker_specs):
+            matching += 1
+        else:
+            unmatched.append(event.raw_line)
+
+    if total_iterations is not None:
+        expected = (
+            total_iterations * len(iteration_specs)
+            + expected_threads * len(post_specs)
+        )
+        if matching != expected:
+            errors.append(
+                Messages.fork_output_count(
+                    expected_regexes=expected,
+                    total_iterations=total_iterations,
+                    iteration_props=len(iteration_specs),
+                    num_threads=expected_threads,
+                    post_iteration_props=len(post_specs),
+                    actual=matching,
+                )
+            )
+    for line in unmatched[:MAX_ITEMISED_LINES]:
+        errors.append(Messages.unmatched_worker_line(line))
+    if len(unmatched) > MAX_ITEMISED_LINES:
+        errors.append(
+            f"... and {len(unmatched) - MAX_ITEMISED_LINES} more unmatched "
+            f"worker lines"
+        )
+    return CheckOutcome(aspect=Aspect.FORK_SYNTAX, ok=not errors, errors=errors)
+
+
+def check_static_syntax(
+    trace: PhasedTrace,
+    *,
+    total_iterations: Optional[int],
+    expected_threads: int,
+) -> List[CheckOutcome]:
+    """All applicable static-syntax outcomes for *trace*.
+
+    Aspects whose phase declares no properties are omitted entirely — a
+    concurrency-only test (Fig. 12) carries no syntax aspects and its
+    credit flows to the concurrency checks instead.
+    """
+    outcomes: List[CheckOutcome] = []
+    if trace.specs.pre_fork:
+        outcomes.append(
+            check_root_phase_syntax(
+                "pre-fork",
+                Aspect.PRE_FORK_SYNTAX,
+                trace.pre_fork_events,
+                trace.specs.pre_fork,
+            )
+        )
+    if trace.specs.has_worker_specs:
+        outcomes.append(
+            check_fork_syntax(
+                trace,
+                total_iterations=total_iterations,
+                expected_threads=expected_threads,
+            )
+        )
+    if trace.specs.post_join:
+        outcomes.append(
+            check_root_phase_syntax(
+                "post-join",
+                Aspect.POST_JOIN_SYNTAX,
+                trace.post_join_events,
+                trace.specs.post_join,
+            )
+        )
+    return outcomes

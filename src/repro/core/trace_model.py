@@ -1,0 +1,317 @@
+"""Structured view of a raw event log: the phased fork-join trace.
+
+The checker does not hand raw prints to test programs; it first organises
+the event log into the shapes the fork-join model implies — the root's
+pre-fork and post-join property maps, and per-worker sequences of
+iteration tuples followed by one post-iteration tuple.  Structure
+violations discovered while building (torn tuples, unmatched lines,
+missing post-iterations, root output inside the fork phase) are recorded
+on the trace for the dynamic-syntax check to report.
+
+The builder is deliberately best-effort: even a badly broken trace yields
+a partial structure, which is what lets the infrastructure pinpoint
+*which* phases went wrong instead of failing wholesale.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.messages import Messages
+from repro.core.properties import STRING, PropertySpec
+from repro.core.value_parsing import ValueParseError, parse_value
+from repro.eventdb.events import PropertyEvent
+from repro.execution.runner import ExecutionResult
+
+__all__ = [
+    "PhaseSpecs",
+    "PropertyTuple",
+    "WorkerTrace",
+    "PhasedTrace",
+    "build_phased_trace",
+    "coerce_event_value",
+]
+
+
+def coerce_event_value(event: PropertyEvent, spec: PropertySpec) -> Any:
+    """The value a semantic callback should see for *event* under *spec*.
+
+    In-process events carry live objects and pass through untouched.
+    Events reconstructed from text (the subprocess path, or a program
+    that printed a pre-formatted string) carry ``str`` values; those are
+    parsed according to the declared type — the trace is text either
+    way, so a Number printed as ``"509"`` and as ``509`` are the same
+    trace, exactly as in the paper's output-processing model.  Text that
+    fails to parse is handed through raw; the static-syntax regexes are
+    responsible for reporting it.
+    """
+    value = event.value
+    if isinstance(value, str) and spec.type is not STRING:
+        try:
+            return parse_value(value, spec.type)
+        except ValueParseError:
+            return value
+    return value
+
+
+@dataclass(frozen=True)
+class PhaseSpecs:
+    """The test program's declared static syntax, one list per phase."""
+
+    pre_fork: Sequence[PropertySpec] = ()
+    iteration: Sequence[PropertySpec] = ()
+    post_iteration: Sequence[PropertySpec] = ()
+    post_join: Sequence[PropertySpec] = ()
+
+    @property
+    def has_worker_specs(self) -> bool:
+        return bool(self.iteration) or bool(self.post_iteration)
+
+
+@dataclass
+class PropertyTuple:
+    """One complete set of phase properties printed together.
+
+    For the iteration phase this is one loop iteration's prints (e.g.
+    ``Index``/``Number``/``Is Prime``); for the other phases it is the
+    phase's single tuple.  ``values`` maps property name to the live
+    value object the tested program passed to ``print_property``.
+    """
+
+    thread: threading.Thread
+    thread_id: int
+    values: Dict[str, Any]
+    events: List[PropertyEvent] = field(default_factory=list)
+
+    @property
+    def first_seq(self) -> int:
+        return self.events[0].seq if self.events else -1
+
+
+@dataclass
+class WorkerTrace:
+    """Everything one forked worker thread printed, structured."""
+
+    thread: threading.Thread
+    thread_id: int
+    events: List[PropertyEvent] = field(default_factory=list)
+    iterations: List[PropertyTuple] = field(default_factory=list)
+    post_iteration: Optional[PropertyTuple] = None
+    structure_errors: List[str] = field(default_factory=list)
+
+    @property
+    def iteration_count(self) -> int:
+        return len(self.iterations)
+
+
+@dataclass
+class PhasedTrace:
+    """The fully organised trace handed to the checking passes."""
+
+    result: ExecutionResult
+    specs: PhaseSpecs
+    pre_fork_events: List[PropertyEvent] = field(default_factory=list)
+    post_join_events: List[PropertyEvent] = field(default_factory=list)
+    #: Root-thread events sequenced *between* worker events — a structure
+    #: violation in the fork-join model (root must be blocked in join).
+    mid_fork_root_events: List[PropertyEvent] = field(default_factory=list)
+    worker_events: List[PropertyEvent] = field(default_factory=list)
+    workers: List[WorkerTrace] = field(default_factory=list)
+    pre_fork: Optional[PropertyTuple] = None
+    post_join: Optional[PropertyTuple] = None
+
+    @property
+    def worker_count(self) -> int:
+        return len(self.workers)
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(w.iteration_count for w in self.workers)
+
+    def structure_errors(self) -> List[str]:
+        errors: List[str] = []
+        for worker in self.workers:
+            errors.extend(worker.structure_errors)
+        errors.extend(
+            Messages.root_output_during_fork(e.raw_line)
+            for e in self.mid_fork_root_events
+        )
+        return errors
+
+    def worker_by_id(self, thread_id: int) -> Optional[WorkerTrace]:
+        for worker in self.workers:
+            if worker.thread_id == thread_id:
+                return worker
+        return None
+
+
+def _collect_tuple(
+    events: List[PropertyEvent],
+    start: int,
+    specs: Sequence[PropertySpec],
+    errors: List[str],
+    thread_id: int,
+) -> Optional[PropertyTuple]:
+    """Consume one tuple of *specs* from *events* beginning at *start*.
+
+    Returns the tuple (possibly partial) or None when nothing matched.
+    Mismatches are reported into *errors* with the offending position.
+    """
+    values: Dict[str, Any] = {}
+    consumed: List[PropertyEvent] = []
+    for offset, spec in enumerate(specs):
+        position = start + offset
+        if position >= len(events):
+            break
+        event = events[position]
+        if event.name != spec.name:
+            errors.append(
+                Messages.torn_iteration_tuple(
+                    thread_id, spec.name, event.name, event.thread_seq
+                )
+            )
+            break
+        values[spec.name] = coerce_event_value(event, spec)
+        consumed.append(event)
+    if not consumed:
+        return None
+    first = consumed[0]
+    return PropertyTuple(
+        thread=first.thread,
+        thread_id=first.thread_id,
+        values=values,
+        events=consumed,
+    )
+
+
+def _parse_worker(
+    thread: threading.Thread,
+    thread_id: int,
+    events: List[PropertyEvent],
+    specs: PhaseSpecs,
+) -> WorkerTrace:
+    worker = WorkerTrace(thread=thread, thread_id=thread_id, events=events)
+    iteration_specs = list(specs.iteration)
+    post_specs = list(specs.post_iteration)
+    if not iteration_specs and not post_specs:
+        # Concurrency-only checking (e.g. the Hello World test): the
+        # worker's prints are unconstrained.
+        return worker
+
+    pos = 0
+    while pos < len(events):
+        event = events[pos]
+        if iteration_specs and event.name == iteration_specs[0].name:
+            tup = _collect_tuple(
+                events, pos, iteration_specs, worker.structure_errors, thread_id
+            )
+            assert tup is not None
+            if len(tup.events) == len(iteration_specs):
+                worker.iterations.append(tup)
+            pos += max(1, len(tup.events))
+            continue
+        if post_specs and event.name == post_specs[0].name:
+            tup = _collect_tuple(
+                events, pos, post_specs, worker.structure_errors, thread_id
+            )
+            assert tup is not None
+            if len(tup.events) == len(post_specs):
+                if worker.post_iteration is None:
+                    worker.post_iteration = tup
+                else:
+                    worker.structure_errors.append(
+                        f"thread {thread_id} printed its post-iteration "
+                        f"properties more than once"
+                    )
+            pos += max(1, len(tup.events))
+            continue
+        worker.structure_errors.append(
+            Messages.unmatched_worker_line(event.raw_line)
+        )
+        pos += 1
+
+    if post_specs and worker.post_iteration is None:
+        worker.structure_errors.append(
+            Messages.missing_post_iteration(
+                thread_id, [s.name for s in post_specs]
+            )
+        )
+    return worker
+
+
+def _root_tuple(
+    events: List[PropertyEvent], specs: Sequence[PropertySpec]
+) -> Optional[PropertyTuple]:
+    """Best-effort property map for a root phase (pre-fork / post-join)."""
+    if not events:
+        return None
+    values: Dict[str, Any] = {}
+    matched: List[PropertyEvent] = []
+    for spec in specs:
+        for event in events:
+            if event.name == spec.name:
+                values[spec.name] = coerce_event_value(event, spec)
+                matched.append(event)
+                break
+    first = events[0]
+    return PropertyTuple(
+        thread=first.thread,
+        thread_id=first.thread_id,
+        values=values,
+        events=matched if matched else list(events),
+    )
+
+
+def parse_worker_stream(
+    thread: threading.Thread,
+    thread_id: int,
+    events: List[PropertyEvent],
+    specs: PhaseSpecs,
+) -> WorkerTrace:
+    """Public entry to the per-worker structure parser.
+
+    Used by extension checkers (e.g. the multi-round model) that carve a
+    worker's events into episodes themselves and need each episode parsed
+    with the standard iteration/post-iteration rules.
+    """
+    return _parse_worker(thread, thread_id, events, specs)
+
+
+def build_phased_trace(result: ExecutionResult, specs: PhaseSpecs) -> PhasedTrace:
+    """Organise *result*'s event log into the fork-join phase structure."""
+    trace = PhasedTrace(result=result, specs=specs)
+    root = result.root_thread
+    events = result.events
+
+    worker_seqs = [e.seq for e in events if e.thread is not root]
+    first_worker = min(worker_seqs) if worker_seqs else None
+    last_worker = max(worker_seqs) if worker_seqs else None
+
+    for event in events:
+        if event.thread is root:
+            if first_worker is None or event.seq < first_worker:
+                trace.pre_fork_events.append(event)
+            elif last_worker is not None and event.seq > last_worker:
+                trace.post_join_events.append(event)
+            else:
+                trace.mid_fork_root_events.append(event)
+        else:
+            trace.worker_events.append(event)
+
+    # Per-worker structure, in first-output order.
+    order: List[threading.Thread] = []
+    per_thread: Dict[int, List[PropertyEvent]] = {}
+    for event in trace.worker_events:
+        if event.thread not in order:
+            order.append(event.thread)
+        per_thread.setdefault(event.thread_id, []).append(event)
+    for thread in order:
+        stream = [e for e in trace.worker_events if e.thread is thread]
+        thread_id = stream[0].thread_id
+        trace.workers.append(_parse_worker(thread, thread_id, stream, specs))
+
+    trace.pre_fork = _root_tuple(trace.pre_fork_events, specs.pre_fork)
+    trace.post_join = _root_tuple(trace.post_join_events, specs.post_join)
+    return trace

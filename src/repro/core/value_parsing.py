@@ -1,0 +1,130 @@
+"""Parsing printed property values back into Python objects.
+
+The in-process tracing path never parses: events carry the live objects
+the tested program passed to ``print_property``.  The *subprocess* path
+(:mod:`repro.execution.subprocess_runner`) only sees text, so semantic
+callbacks need the standard textual forms inverted.  Inversion is typed:
+the test program's property specs say what each value should be, and the
+parser is the inverse of :func:`repro.tracing.formatting.format_value`
+for exactly the forms that function emits.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.core.properties import (
+    ANY,
+    ARRAY,
+    BOOLEAN,
+    NUMBER,
+    STRING,
+    PropertyType,
+)
+
+__all__ = ["parse_value", "parse_scalar", "ValueParseError"]
+
+
+class ValueParseError(ValueError):
+    """A printed value does not parse as its declared type."""
+
+    def __init__(self, text: str, type_name: str) -> None:
+        super().__init__(f"value {text!r} does not parse as {type_name}")
+        self.text = text
+        self.type_name = type_name
+
+
+def parse_scalar(text: str) -> Any:
+    """Best-effort inversion of one scalar's standard form.
+
+    Order matters: ``true``/``false``/``null`` first (they are also valid
+    strings), then int, then float, falling back to the raw text.
+    """
+    stripped = text.strip()
+    if stripped == "true":
+        return True
+    if stripped == "false":
+        return False
+    if stripped == "null":
+        return None
+    try:
+        return int(stripped)
+    except ValueError:
+        pass
+    try:
+        return float(stripped)
+    except ValueError:
+        pass
+    return stripped
+
+
+def _split_array_items(body: str) -> List[str]:
+    """Split a bracketed body on top-level commas (nesting respected)."""
+    items: List[str] = []
+    depth = 0
+    current = ""
+    for char in body:
+        if char == "[":
+            depth += 1
+            current += char
+        elif char == "]":
+            depth -= 1
+            current += char
+        elif char == "," and depth == 0:
+            items.append(current)
+            current = ""
+        else:
+            current += char
+    if current.strip() or items:
+        items.append(current)
+    return items
+
+
+def _parse_array(text: str) -> List[Any]:
+    stripped = text.strip()
+    if not (stripped.startswith("[") and stripped.endswith("]")):
+        raise ValueParseError(text, "Array")
+    body = stripped[1:-1].strip()
+    if not body:
+        return []
+    values: List[Any] = []
+    for item in _split_array_items(body):
+        item = item.strip()
+        if item.startswith("["):
+            values.append(_parse_array(item))
+        else:
+            values.append(parse_scalar(item))
+    return values
+
+
+def parse_value(text: str, prop_type: PropertyType) -> Any:
+    """Parse *text* as a value of *prop_type*.
+
+    Raises :class:`ValueParseError` when the text is not in the type's
+    standard form — which the static-syntax regexes should have caught
+    first, so a parse error here indicates a checker-configuration bug.
+    """
+    if prop_type is STRING:
+        return text
+    if prop_type is BOOLEAN:
+        stripped = text.strip()
+        if stripped == "true":
+            return True
+        if stripped == "false":
+            return False
+        raise ValueParseError(text, "Boolean")
+    if prop_type is NUMBER:
+        stripped = text.strip()
+        try:
+            return int(stripped)
+        except ValueError:
+            pass
+        try:
+            return float(stripped)
+        except ValueError:
+            raise ValueParseError(text, "Number") from None
+    if prop_type is ARRAY:
+        return _parse_array(text)
+    if prop_type is ANY:
+        return parse_scalar(text)
+    raise ValueParseError(text, prop_type.name)  # pragma: no cover

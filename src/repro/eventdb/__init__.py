@@ -1,0 +1,38 @@
+"""Event-database layer: observable print events with thread identity.
+
+This package reproduces the layer the paper inherited from its earlier
+work on testing observable concurrent animations: every print of the
+tested program becomes an event stored with the announcing thread object,
+and the query module answers the concurrency questions (distinct threads,
+interleaving, load balance) the fork-join checker asks.
+"""
+
+from repro.eventdb.database import EventDatabase
+from repro.eventdb.events import PropertyEvent
+from repro.eventdb.queries import (
+    distinct_thread_ids,
+    distinct_threads,
+    events_by_thread,
+    interleaved_thread_pairs,
+    is_interleaved,
+    is_load_balanced,
+    load_counts,
+    max_load_imbalance,
+    serialization_order,
+    thread_spans,
+)
+
+__all__ = [
+    "EventDatabase",
+    "PropertyEvent",
+    "distinct_thread_ids",
+    "distinct_threads",
+    "events_by_thread",
+    "interleaved_thread_pairs",
+    "is_interleaved",
+    "is_load_balanced",
+    "load_counts",
+    "max_load_imbalance",
+    "serialization_order",
+    "thread_spans",
+]

@@ -1,0 +1,140 @@
+"""Append-only, thread-safe store of trace events.
+
+This is the "event database" layer the paper describes: it (a) observes
+all events announced by the tested program's prints, (b) stores each event
+with the thread object that announced it, and (c) answers the queries the
+fork-join checker needs — how many threads produced events in a range, and
+whether those threads' events were interleaved (see
+:mod:`repro.eventdb.queries`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.eventdb.events import PropertyEvent, make_event
+from repro.util.thread_registry import ThreadRegistry
+
+__all__ = ["EventDatabase"]
+
+
+class EventDatabase:
+    """Totally ordered event log with per-thread sub-streams.
+
+    Events are appended under a lock, which both assigns the global
+    sequence number and guarantees observers of the log see a consistent
+    order.  The database is an observer of the print interceptor in the
+    sense of :class:`repro.tracing.observable.PrintObserver`, but it also
+    exposes :meth:`record` directly so it can be used standalone (e.g. in
+    unit tests of the query layer).
+    """
+
+    def __init__(self, registry: Optional[ThreadRegistry] = None) -> None:
+        self._lock = threading.Lock()
+        self._events: List[PropertyEvent] = []
+        self._per_thread_counts: Dict[int, int] = {}
+        self.registry = registry if registry is not None else ThreadRegistry()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        name: str,
+        value: Any,
+        raw_line: str,
+        *,
+        thread: Optional[threading.Thread] = None,
+        explicit: bool = True,
+    ) -> PropertyEvent:
+        """Append one event and return it.
+
+        The announcing thread defaults to the calling thread; this is the
+        normal path, since observers are notified synchronously on the
+        printing thread.
+        """
+        if thread is None:
+            thread = threading.current_thread()
+        thread_id = self.registry.id_for(thread)
+        now = time.monotonic()
+        with self._lock:
+            seq = len(self._events)
+            thread_seq = self._per_thread_counts.get(thread_id, 0)
+            self._per_thread_counts[thread_id] = thread_seq + 1
+            event = make_event(
+                seq=seq,
+                thread=thread,
+                thread_id=thread_id,
+                name=name,
+                value=value,
+                raw_line=raw_line,
+                explicit=explicit,
+                timestamp=now,
+                thread_seq=thread_seq,
+            )
+            self._events.append(event)
+        return event
+
+    def notify(self, event: PropertyEvent) -> None:
+        """Observer-protocol entry point: re-record an announced event.
+
+        Used when the database is chained behind another announcing
+        component; the event's payload is preserved but it is re-sequenced
+        into this database's total order.
+        """
+        self.record(
+            event.name,
+            event.value,
+            event.raw_line,
+            thread=event.thread,
+            explicit=event.explicit,
+        )
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def snapshot(self) -> List[PropertyEvent]:
+        """A point-in-time copy of the full event log, in global order."""
+        with self._lock:
+            return list(self._events)
+
+    def events_between(self, first_seq: int, last_seq: int) -> List[PropertyEvent]:
+        """Events with ``first_seq <= seq <= last_seq`` (a *selected event
+        range* in the paper's phrasing)."""
+        with self._lock:
+            return [e for e in self._events if first_seq <= e.seq <= last_seq]
+
+    def events_of(self, thread: threading.Thread) -> List[PropertyEvent]:
+        """All events produced by *thread*, in order."""
+        with self._lock:
+            return [e for e in self._events if e.thread is thread]
+
+    def events_named(self, name: str) -> List[PropertyEvent]:
+        """All events tracing the logical variable *name*, in order."""
+        with self._lock:
+            return [e for e in self._events if e.name == name]
+
+    def thread_ids(self) -> List[int]:
+        """Ids of every thread that has produced at least one event, in
+        first-output order."""
+        seen: List[int] = []
+        with self._lock:
+            for event in self._events:
+                if event.thread_id not in seen:
+                    seen.append(event.thread_id)
+        return seen
+
+    def clear(self) -> None:
+        """Drop all events (the registry keeps its id assignments)."""
+        with self._lock:
+            self._events.clear()
+            self._per_thread_counts.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __iter__(self) -> Iterator[PropertyEvent]:
+        return iter(self.snapshot())

@@ -1,0 +1,97 @@
+"""Event types stored in the trace event database.
+
+Every intercepted print becomes a :class:`PropertyEvent`: the setting of a
+*logical variable* (a JavaBean-style "property" in the paper's vocabulary)
+to a value, by a particular thread.  Two kinds of prints produce events:
+
+* ``print_property(name, value)`` — an explicit structured trace.  The
+  event keeps the property *name*, the live Python *value* object, and the
+  exact line of text that was printed.
+
+* a plain ``print(obj)`` — intercepted transparently.  The output text is
+  unchanged, but internally the print is stored as the setting of a
+  logical variable named after ``type(obj)`` (``"str"``, ``"int"``, ...),
+  mirroring the paper's treatment of ``System.out.println(T)`` as a trace
+  of a logical variable named ``T``.
+
+In both cases the *actual thread object* that performed the print is kept
+with the event, so a tested program that prints a forged thread id cannot
+fool the infrastructure.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["PropertyEvent"]
+
+
+@dataclass(frozen=True)
+class PropertyEvent:
+    """One logical-variable setting observed in a trace.
+
+    Attributes:
+        seq: Global 0-based sequence number; total order of all events in
+            the run, assigned under the database lock at insertion time.
+        thread: The live thread object that produced the print.
+        thread_id: The registry id assigned to that thread (small, stable,
+            the id shown in trace output).
+        name: Property (logical variable) name — explicit for
+            ``print_property``, the value's type name for plain prints.
+        value: The live value object passed by the tested program.  For
+            plain prints this is the original object when interception
+            could capture it, else the printed text.
+        raw_line: The exact line of output text, without the trailing
+            newline.  Static-syntax checking runs regular expressions over
+            this, exactly as the paper describes.
+        explicit: True for ``print_property`` calls, False for intercepted
+            plain prints.
+        timestamp: Wall-clock seconds at announcement (``time.monotonic``
+            domain); used only for diagnostics, never for checking.
+    """
+
+    seq: int
+    thread: threading.Thread
+    thread_id: int
+    name: str
+    value: Any
+    raw_line: str
+    explicit: bool = True
+    timestamp: float = 0.0
+    #: Index of the event within its own thread's event stream.
+    thread_seq: int = field(default=0)
+
+    def is_from(self, thread: threading.Thread) -> bool:
+        """True when this event was produced by *thread* (identity test)."""
+        return self.thread is thread
+
+    def describe(self) -> str:
+        """Human-readable one-line description used in error messages."""
+        return f"[#{self.seq} thread {self.thread_id}] {self.name} = {self.value!r}"
+
+
+def make_event(
+    seq: int,
+    thread: threading.Thread,
+    thread_id: int,
+    name: str,
+    value: Any,
+    raw_line: str,
+    explicit: bool,
+    timestamp: float,
+    thread_seq: int,
+) -> PropertyEvent:
+    """Internal constructor used by the database; keeps call sites tidy."""
+    return PropertyEvent(
+        seq=seq,
+        thread=thread,
+        thread_id=thread_id,
+        name=name,
+        value=value,
+        raw_line=raw_line,
+        explicit=explicit,
+        timestamp=timestamp,
+        thread_seq=thread_seq,
+    )

@@ -1,0 +1,162 @@
+"""Queries over event logs used by the fork-join concurrency checks.
+
+These are the questions the paper's event-database layer answers for the
+testing program: how many distinct threads announced events (within a
+selected range), whether the announcements of those threads were
+*interleaved* or serialized, and how evenly work was spread over threads.
+They are pure functions over event sequences so they can be unit- and
+property-tested in isolation from the interception machinery.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Sequence, Tuple
+
+from repro.eventdb.events import PropertyEvent
+
+__all__ = [
+    "distinct_threads",
+    "distinct_thread_ids",
+    "events_by_thread",
+    "thread_spans",
+    "interleaved_thread_pairs",
+    "is_interleaved",
+    "serialization_order",
+    "load_counts",
+    "is_load_balanced",
+    "max_load_imbalance",
+]
+
+
+def distinct_threads(events: Sequence[PropertyEvent]) -> List[threading.Thread]:
+    """Threads that produced at least one event, in first-output order."""
+    seen: "OrderedDict[int, threading.Thread]" = OrderedDict()
+    for event in events:
+        seen.setdefault(id(event.thread), event.thread)
+    return list(seen.values())
+
+
+def distinct_thread_ids(events: Sequence[PropertyEvent]) -> List[int]:
+    """Registry ids of event-producing threads, in first-output order."""
+    seen: List[int] = []
+    for event in events:
+        if event.thread_id not in seen:
+            seen.append(event.thread_id)
+    return seen
+
+
+def events_by_thread(
+    events: Sequence[PropertyEvent],
+) -> "OrderedDict[int, List[PropertyEvent]]":
+    """Partition *events* into per-thread sub-streams.
+
+    Keys are thread ids in first-output order; each value preserves the
+    global ordering of that thread's events.
+    """
+    grouped: "OrderedDict[int, List[PropertyEvent]]" = OrderedDict()
+    for event in events:
+        grouped.setdefault(event.thread_id, []).append(event)
+    return grouped
+
+
+def thread_spans(events: Sequence[PropertyEvent]) -> Dict[int, Tuple[int, int]]:
+    """Map thread id -> (first seq, last seq) over its events."""
+    spans: Dict[int, Tuple[int, int]] = {}
+    for event in events:
+        first, last = spans.get(event.thread_id, (event.seq, event.seq))
+        spans[event.thread_id] = (min(first, event.seq), max(last, event.seq))
+    return spans
+
+
+def interleaved_thread_pairs(
+    events: Sequence[PropertyEvent],
+) -> List[Tuple[int, int]]:
+    """Pairs of thread ids whose event spans overlap.
+
+    Two threads are *interleaved* when at least one event of one falls
+    strictly inside the (first, last) span of the other.  For threads with
+    overlapping spans that is equivalent to span intersection.
+    """
+    spans = thread_spans(events)
+    ids = sorted(spans)
+    pairs: List[Tuple[int, int]] = []
+    for i, a in enumerate(ids):
+        for b in ids[i + 1 :]:
+            a_first, a_last = spans[a]
+            b_first, b_last = spans[b]
+            if a_first <= b_last and b_first <= a_last:
+                pairs.append((a, b))
+    return pairs
+
+
+def is_interleaved(events: Sequence[PropertyEvent]) -> bool:
+    """True when the event-producing threads genuinely interleaved.
+
+    A single-threaded (or empty) event stream is trivially *not*
+    interleaved.  With two or more threads, we require at least one pair
+    of threads with overlapping spans; a fully serialized schedule — each
+    thread's entire output block preceding the next thread's — has no
+    overlapping pair, which is exactly the mistake Fig. 10 of the paper
+    flags.
+    """
+    if len(distinct_thread_ids(events)) < 2:
+        return False
+    return bool(interleaved_thread_pairs(events))
+
+
+def serialization_order(events: Sequence[PropertyEvent]) -> List[int]:
+    """If the threads were fully serialized, their execution order.
+
+    Returns the thread ids in span order when no spans overlap; returns an
+    empty list when any pair interleaves (no total serialization order
+    exists).  Used to phrase the Fig. 10 error message "execution of the
+    threads is serialized in the order ...".
+    """
+    spans = thread_spans(events)
+    if not spans:
+        return []
+    if interleaved_thread_pairs(events):
+        return []
+    return sorted(spans, key=lambda tid: spans[tid][0])
+
+
+def load_counts(
+    events: Sequence[PropertyEvent],
+    *,
+    per_iteration_events: int = 1,
+) -> Dict[int, int]:
+    """Iterations performed per thread, from its event count.
+
+    Each iteration of the fork phase prints a fixed-size tuple of
+    properties (``per_iteration_events`` of them), so dividing a thread's
+    iteration-phase event count by the tuple size yields its iteration
+    count.  Remainders indicate a torn tuple and are counted as a partial
+    iteration (rounded up) so imbalance is never hidden by truncation.
+    """
+    if per_iteration_events < 1:
+        raise ValueError("per_iteration_events must be >= 1")
+    counts: Dict[int, int] = {}
+    for tid, stream in events_by_thread(events).items():
+        n = len(stream)
+        counts[tid] = -(-n // per_iteration_events)  # ceil division
+    return counts
+
+
+def max_load_imbalance(counts: Dict[int, int]) -> int:
+    """Difference between the most- and least-loaded thread."""
+    if not counts:
+        return 0
+    values = list(counts.values())
+    return max(values) - min(values)
+
+
+def is_load_balanced(counts: Dict[int, int], *, tolerance: int = 1) -> bool:
+    """True when loads are "as balanced as they can be".
+
+    With ``n`` iterations over ``t`` threads the best achievable spread is
+    ``ceil(n/t)`` vs ``floor(n/t)``, i.e. a max-min difference of at most
+    1; *tolerance* generalizes this for checkers that allow slack.
+    """
+    return max_load_imbalance(counts) <= tolerance

@@ -1,0 +1,35 @@
+"""Program-execution layer: invoke tested programs, collect output/trace."""
+
+from repro.execution.registry import (
+    MainFunction,
+    UnknownMainError,
+    register_main,
+    registered_mains,
+    resolve_main,
+    unregister_main,
+)
+from repro.execution.runner import DEFAULT_TIMEOUT, ExecutionResult, ProgramRunner
+from repro.execution.timing import (
+    DEFAULT_TIMED_RUNS,
+    TimingResult,
+    TimingSample,
+    speedup,
+    time_program,
+)
+
+__all__ = [
+    "MainFunction",
+    "UnknownMainError",
+    "register_main",
+    "registered_mains",
+    "resolve_main",
+    "unregister_main",
+    "ProgramRunner",
+    "ExecutionResult",
+    "DEFAULT_TIMEOUT",
+    "DEFAULT_TIMED_RUNS",
+    "TimingResult",
+    "TimingSample",
+    "speedup",
+    "time_program",
+]

@@ -1,0 +1,138 @@
+"""Child-process entry point for subprocess execution of tested programs.
+
+Run as ``python -m repro.execution.child <identifier> [args...]``.  The
+child resolves the tested program exactly like the in-process runner
+(registration via ``repro.workloads`` import, a ``.py`` file path, or a
+dotted module path), emits one infrastructure marker line identifying
+the root thread's trace id, and runs ``main(args)`` to completion.
+
+Protocol details the parent's :class:`~repro.execution.subprocess_runner.
+SubprocessRunner` relies on:
+
+* the first line is ``Thread <id>->__root__:<pid>`` — printed *by the
+  infrastructure from the root thread* before the program runs, so the
+  parent can identify the root even for programs whose root never
+  prints (e.g. the Hello World variants);
+* when the environment variable ``REPRO_HIDE_PRINTS`` is ``1``, all
+  ``print_property`` output is disabled (the standalone analogue of
+  ``set_hide_redirected_prints``) and nothing at all is written;
+* program exceptions exit with status 70 after writing the exception to
+  stderr, so the parent reports them the way the in-process runner
+  reports a captured exception.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import traceback
+from typing import List, Optional
+
+#: Property name of the root-identification marker line.
+ROOT_MARKER = "__root__"
+
+
+#: stderr side-channel record: ``@repro-line <stdout line index> <tid>``.
+#: Emitted for every stdout line so the parent can attribute plain
+#: (non-property) lines to the thread that actually printed them.
+LINE_ANNOTATION_PREFIX = "@repro-line "
+
+
+class _LineAtomicStdout:
+    """Per-thread line buffering over the real stdout, with attribution.
+
+    Plain ``print`` issues separate writes for the text and the newline;
+    with multiple threads those interleave and tear lines apart, which
+    would corrupt the trace the parent parses.  This wrapper buffers each
+    thread's partial output and emits whole lines with a single locked
+    write — the standalone analogue of the in-process interceptor's
+    buffering.  For each emitted line it also writes an attribution
+    record to stderr carrying the printing thread's standalone trace id,
+    so the parent can keep thread identity even for lines whose text
+    does not mention a thread (the Hello World case).
+    """
+
+    def __init__(self, real, err) -> None:
+        import threading
+
+        self._real = real
+        self._err = err
+        self._buffers = threading.local()
+        self._lock = threading.Lock()
+        self._line_index = 0
+
+    def write(self, text: str) -> int:
+        from repro.tracing.print_property import standalone_thread_id
+
+        buffer = getattr(self._buffers, "value", "") + text
+        while True:
+            newline = buffer.find("\n")
+            if newline < 0:
+                break
+            line, buffer = buffer[: newline + 1], buffer[newline + 1 :]
+            tid = standalone_thread_id()
+            with self._lock:
+                index = self._line_index
+                self._line_index += 1
+                self._real.write(line)
+                self._err.write(f"{LINE_ANNOTATION_PREFIX}{index} {tid}\n")
+        self._buffers.value = buffer
+        return len(text)
+
+    def flush(self) -> None:
+        with self._lock:
+            self._real.flush()
+            self._err.flush()
+
+    def close_buffers(self) -> None:
+        buffer = getattr(self._buffers, "value", "")
+        if buffer:
+            self._buffers.value = ""
+            self.write(buffer + "\n")
+
+#: Exit status for an exception escaping the tested program's main.
+PROGRAM_ERROR_EXIT = 70
+#: Exit status when the identifier cannot be resolved.
+UNKNOWN_MAIN_EXIT = 71
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print("usage: python -m repro.execution.child <identifier> [args...]", file=sys.stderr)
+        return 2
+    identifier, args = argv[0], argv[1:]
+
+    import repro.workloads  # noqa: F401 - register the built-in programs
+    from repro.execution.registry import UnknownMainError, resolve_main
+    from repro.tracing.print_property import print_property, set_standalone_hidden
+
+    hidden = os.environ.get("REPRO_HIDE_PRINTS") == "1"
+    set_standalone_hidden(hidden)
+    wrapper = _LineAtomicStdout(sys.stdout, sys.stderr)
+    sys.stdout = wrapper  # type: ignore[assignment]
+
+    try:
+        program = resolve_main(identifier)
+    except UnknownMainError as exc:
+        print(str(exc), file=sys.stderr)
+        return UNKNOWN_MAIN_EXIT
+
+    # Register the root thread as the first trace id and tell the parent
+    # which id that is (suppressed entirely when hidden).
+    print_property(ROOT_MARKER, os.getpid())
+
+    try:
+        program(args)
+    except BaseException:  # noqa: BLE001 - serialized to the parent
+        wrapper.close_buffers()
+        wrapper.flush()
+        traceback.print_exc()
+        return PROGRAM_ERROR_EXIT
+    wrapper.close_buffers()
+    wrapper.flush()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,180 @@
+"""Program-execution layer: run a tested program and collect its trace.
+
+This is the common layer both the functionality and performance checkers
+use (§4.4): it invokes the tested program's ``main`` with specified
+arguments, lets it run to full completion, and collects its output plus
+the event trace.  The program runs on a dedicated *root thread* so that
+
+* the root thread of the fork-join model is a first-class, identifiable
+  thread object distinct from the harness's own thread;
+* a runaway program can be timed out (reported, not killed — CPython has
+  no safe thread kill, and fork-join course workloads are small);
+* exceptions escaping ``main`` are captured and reported rather than
+  crashing the harness — as in the paper, intermediate errors are
+  expected to manifest as incorrect traced output.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.eventdb.database import EventDatabase
+from repro.eventdb.events import PropertyEvent
+from repro.execution.registry import MainFunction, resolve_main
+from repro.tracing.session import TraceSession
+
+__all__ = ["ExecutionResult", "ProgramRunner", "DEFAULT_TIMEOUT"]
+
+#: Course fork-join workloads complete in milliseconds; a generous default
+#: catches deadlocked joins without stalling a grading session.
+DEFAULT_TIMEOUT = 30.0
+
+
+@dataclass
+class ExecutionResult:
+    """Everything observed from one complete run of a tested program."""
+
+    identifier: str
+    args: List[str]
+    output: str
+    events: List[PropertyEvent]
+    database: EventDatabase
+    root_thread: threading.Thread
+    root_thread_id: int
+    duration: float
+    exception: Optional[BaseException] = None
+    timed_out: bool = False
+    hidden: bool = False
+    #: Threads other than the root that produced at least one event, in
+    #: first-output order — the *forked worker threads* of the model.
+    worker_threads: List[threading.Thread] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the program ran to completion without an exception."""
+        return self.exception is None and not self.timed_out
+
+    def failure_reason(self) -> str:
+        if self.timed_out:
+            return (
+                f"program {self.identifier!r} did not terminate within the "
+                f"time limit (deadlocked join?)"
+            )
+        if self.exception is not None:
+            return (
+                f"program {self.identifier!r} raised "
+                f"{type(self.exception).__name__}: {self.exception}"
+            )
+        return ""
+
+    def worker_events(self) -> List[PropertyEvent]:
+        root = self.root_thread
+        return [e for e in self.events if e.thread is not root]
+
+    def root_events(self) -> List[PropertyEvent]:
+        root = self.root_thread
+        return [e for e in self.events if e.thread is root]
+
+
+class ProgramRunner:
+    """Run registered tested programs under trace sessions."""
+
+    def __init__(self, *, timeout: float = DEFAULT_TIMEOUT, echo: bool = False) -> None:
+        self.timeout = timeout
+        self.echo = echo
+
+    def run(
+        self,
+        identifier: str,
+        args: Optional[List[str]] = None,
+        *,
+        hide_prints: bool = False,
+        timeout: Optional[float] = None,
+        stdin_lines: Optional[List[str]] = None,
+    ) -> ExecutionResult:
+        """Execute ``main(args)`` of *identifier* under a fresh session.
+
+        With ``hide_prints=True`` (performance testing) every intercepted
+        print is disabled for the entire run: no output, no trace events,
+        no tracing overhead on the timed path.  ``stdin_lines`` scripts
+        the program's standard input (§4.4: programs run "with specified
+        input and arguments"); a program that reads more than provided
+        fails with an EOF, as it would on a closed pipe.
+        """
+        from repro.execution.stdin_feed import StdinFeed
+
+        main = resolve_main(identifier)
+        args = list(args) if args is not None else []
+        limit = self.timeout if timeout is None else timeout
+
+        session = TraceSession(hidden=hide_prints, echo=self.echo)
+        feed = StdinFeed(stdin_lines) if stdin_lines is not None else None
+        holder: dict = {"exception": None}
+
+        def root_body() -> None:
+            try:
+                main(args)
+            except BaseException as exc:  # noqa: BLE001 - reported, not raised
+                holder["exception"] = exc
+
+        root = threading.Thread(target=root_body, name=f"root:{identifier}")
+        started = time.perf_counter()
+        if feed is not None:
+            feed.install()
+        try:
+            with session.activate():
+                # Register the root thread first so it receives the lowest
+                # id, as in the paper's traces where the root prints first.
+                root_id = session.registry.id_for(root)
+                root.start()
+                root.join(limit)
+                timed_out = root.is_alive()
+        finally:
+            if feed is not None:
+                feed.uninstall()
+        duration = time.perf_counter() - started
+
+        events = session.database.snapshot()
+        workers: List[threading.Thread] = []
+        for event in events:
+            if event.thread is not root and event.thread not in workers:
+                workers.append(event.thread)
+
+        return ExecutionResult(
+            identifier=identifier,
+            args=args,
+            output=session.output(),
+            events=events,
+            database=session.database,
+            root_thread=root,
+            root_thread_id=root_id,
+            duration=duration,
+            exception=holder["exception"],
+            timed_out=timed_out,
+            hidden=hide_prints,
+            worker_threads=workers,
+        )
+
+    def run_callable(
+        self,
+        main: MainFunction,
+        args: Optional[List[str]] = None,
+        *,
+        identifier: str = "<anonymous>",
+        hide_prints: bool = False,
+        timeout: Optional[float] = None,
+    ) -> ExecutionResult:
+        """Like :meth:`run` but for an unregistered callable."""
+        from repro.execution.registry import register_main, unregister_main
+
+        token = f"__runner_tmp__:{identifier}:{id(main)}"
+        register_main(token)(main)
+        try:
+            result = self.run(token, args, hide_prints=hide_prints, timeout=timeout)
+        finally:
+            unregister_main(token)
+        result.identifier = identifier
+        return result

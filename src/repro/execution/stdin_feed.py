@@ -1,0 +1,132 @@
+"""Scripted standard input for tested programs.
+
+The paper's program-execution layer runs a program "with specified input
+and arguments" (§4.4).  Arguments are the primary parameterisation; this
+module supplies the input half for programs that read from the console:
+while a trace session is active, ``builtins.input`` and ``sys.stdin``
+serve lines from the test-provided script instead of the real terminal,
+and every consumed line is recorded so the report can show what the
+program was fed.
+
+Exhausting the script raises :class:`ScriptedInputExhausted` (an
+``EOFError``) inside the tested program — exactly what a real program
+sees when its input pipe closes early — which the runner then reports as
+the program's failure.
+"""
+
+from __future__ import annotations
+
+import builtins
+import io
+import sys
+import threading
+from typing import Any, Callable, List, Optional, Sequence
+
+__all__ = ["ScriptedInputExhausted", "StdinFeed"]
+
+
+class ScriptedInputExhausted(EOFError):
+    """The tested program asked for more input than the test provided."""
+
+    def __init__(self, consumed: int) -> None:
+        super().__init__(
+            f"the tested program asked for more input than the test "
+            f"provided ({consumed} line(s) were available)"
+        )
+        self.consumed = consumed
+
+
+class StdinFeed:
+    """Installable scripted stdin.
+
+    ``lines`` are served in order, newline-terminated, to both
+    ``input()`` calls and direct ``sys.stdin`` reads.  Thread-safe:
+    workers may read input too (unusual but legal in the model).
+    """
+
+    def __init__(self, lines: Optional[Sequence[str]] = None) -> None:
+        self._lines: List[str] = [str(line) for line in (lines or [])]
+        self._position = 0
+        self._lock = threading.Lock()
+        self._consumed: List[str] = []
+        self._saved_input: Optional[Callable[..., str]] = None
+        self._saved_stdin: Optional[Any] = None
+
+    # -- the feed ---------------------------------------------------------
+    def next_line(self) -> str:
+        with self._lock:
+            if self._position >= len(self._lines):
+                raise ScriptedInputExhausted(len(self._lines))
+            line = self._lines[self._position]
+            self._position += 1
+            self._consumed.append(line)
+            return line
+
+    def consumed_lines(self) -> List[str]:
+        with self._lock:
+            return list(self._consumed)
+
+    @property
+    def remaining(self) -> int:
+        with self._lock:
+            return len(self._lines) - self._position
+
+    # -- installation ------------------------------------------------------
+    def install(self) -> None:
+        if self._saved_input is not None:
+            raise RuntimeError("stdin feed already installed")
+        self._saved_input = builtins.input
+        self._saved_stdin = sys.stdin
+        feed = self
+
+        def scripted_input(prompt: object = "") -> str:
+            # A prompt is display output like any other print; route it
+            # through the (possibly intercepted) stdout.
+            if prompt:
+                sys.stdout.write(str(prompt))
+            return feed.next_line()
+
+        builtins.input = scripted_input
+        sys.stdin = _FeedReader(self)
+
+    def uninstall(self) -> None:
+        if self._saved_input is None:
+            return
+        builtins.input = self._saved_input
+        self._saved_input = None
+        if self._saved_stdin is not None:
+            sys.stdin = self._saved_stdin
+            self._saved_stdin = None
+
+
+class _FeedReader(io.TextIOBase):
+    """``sys.stdin`` replacement backed by the feed."""
+
+    def __init__(self, feed: StdinFeed) -> None:
+        super().__init__()
+        self._feed = feed
+
+    def readable(self) -> bool:  # pragma: no cover - io protocol
+        return True
+
+    def readline(self, size: int = -1) -> str:  # noqa: ARG002 - io signature
+        try:
+            return self._feed.next_line() + "\n"
+        except ScriptedInputExhausted:
+            return ""  # EOF semantics for direct stream reads
+
+    def read(self, size: int = -1) -> str:  # noqa: ARG002 - io signature
+        chunks: List[str] = []
+        while True:
+            line = self.readline()
+            if not line:
+                break
+            chunks.append(line)
+        return "".join(chunks)
+
+    def __iter__(self):
+        while True:
+            line = self.readline()
+            if not line:
+                return
+            yield line

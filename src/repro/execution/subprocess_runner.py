@@ -1,0 +1,241 @@
+"""Subprocess execution: run tested programs in their own interpreter.
+
+The in-process runner (:mod:`repro.execution.runner`) is the paper's
+primary regime — prints carry live values and tamper-proof thread
+identity.  This runner is the complement for grading *real student
+files*: the tested program runs under ``python -m repro.execution.child``
+in a fresh interpreter, and the trace is reconstructed from its output
+text using the standard property-line format.
+
+Differences from the in-process regime, by construction:
+
+* values arrive as text and are parsed against the declared property
+  types when the phased trace is built
+  (:func:`repro.core.trace_model.coerce_event_value`);
+* thread identity is reconstructed from the *printed* ids, so — unlike
+  in-process tracing — a malicious program could forge them.  Use the
+  in-process runner when tamper-resistance matters; use this one when
+  isolation from student code matters (infinite loops, interpreter
+  crashes, monkey-patching);
+* the infrastructure's ``__root__`` marker line (emitted by the child
+  before the program starts) identifies the root thread even when the
+  program's root never prints.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.eventdb.database import EventDatabase
+from repro.eventdb.events import PropertyEvent
+from repro.execution.child import (
+    LINE_ANNOTATION_PREFIX,
+    PROGRAM_ERROR_EXIT,
+    ROOT_MARKER,
+    UNKNOWN_MAIN_EXIT,
+)
+from repro.execution.registry import UnknownMainError
+from repro.execution.runner import DEFAULT_TIMEOUT, ExecutionResult
+from repro.tracing.formatting import parse_property_line
+from repro.util.thread_registry import ThreadRegistry
+
+__all__ = ["SubprocessRunner"]
+
+
+class SubprocessRunner:
+    """Drop-in alternative to :class:`~repro.execution.runner.ProgramRunner`.
+
+    Duck-types the runner interface the checkers use:
+    ``run(identifier, args, *, hide_prints=False, timeout=None)``.
+    """
+
+    def __init__(
+        self,
+        *,
+        timeout: float = DEFAULT_TIMEOUT,
+        python: Optional[str] = None,
+    ) -> None:
+        self.timeout = timeout
+        self.python = python or sys.executable
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        identifier: str,
+        args: Optional[List[str]] = None,
+        *,
+        hide_prints: bool = False,
+        timeout: Optional[float] = None,
+    ) -> ExecutionResult:
+        args = list(args) if args is not None else []
+        limit = self.timeout if timeout is None else timeout
+        command = [
+            self.python,
+            "-m",
+            "repro.execution.child",
+            identifier,
+            *args,
+        ]
+        import os
+
+        env = dict(os.environ)
+        env["REPRO_HIDE_PRINTS"] = "1" if hide_prints else "0"
+
+        started = time.perf_counter()
+        timed_out = False
+        try:
+            completed = subprocess.run(
+                command,
+                capture_output=True,
+                text=True,
+                timeout=limit,
+                env=env,
+            )
+            stdout, stderr, returncode = (
+                completed.stdout,
+                completed.stderr,
+                completed.returncode,
+            )
+        except subprocess.TimeoutExpired as exc:
+            timed_out = True
+            stdout = exc.stdout or ""
+            stderr = exc.stderr or ""
+            if isinstance(stdout, bytes):  # pragma: no cover - platform quirk
+                stdout = stdout.decode(errors="replace")
+            if isinstance(stderr, bytes):  # pragma: no cover
+                stderr = stderr.decode(errors="replace")
+            returncode = -1
+        duration = time.perf_counter() - started
+
+        if returncode == UNKNOWN_MAIN_EXIT:
+            raise UnknownMainError(identifier, stderr.strip().splitlines()[-1] if stderr else "")
+
+        exception: Optional[BaseException] = None
+        if returncode == PROGRAM_ERROR_EXIT:
+            tail = stderr.strip().splitlines()
+            exception = RuntimeError(tail[-1] if tail else "program raised")
+        elif returncode not in (0, -1):
+            exception = RuntimeError(
+                f"child exited with status {returncode}: {stderr.strip()[:200]}"
+            )
+
+        return self._reconstruct(
+            identifier=identifier,
+            args=args,
+            stdout=stdout,
+            stderr=stderr,
+            duration=duration,
+            exception=exception,
+            timed_out=timed_out,
+            hidden=hide_prints,
+        )
+
+    @staticmethod
+    def _line_attributions(stderr: str) -> Dict[int, int]:
+        """Parse the child's ``@repro-line <index> <tid>`` records."""
+        attributions: Dict[int, int] = {}
+        for line in stderr.splitlines():
+            if not line.startswith(LINE_ANNOTATION_PREFIX):
+                continue
+            parts = line[len(LINE_ANNOTATION_PREFIX) :].split()
+            if len(parts) == 2:
+                try:
+                    attributions[int(parts[0])] = int(parts[1])
+                except ValueError:
+                    continue
+        return attributions
+
+    # ------------------------------------------------------------------
+    def _reconstruct(
+        self,
+        *,
+        identifier: str,
+        args: List[str],
+        stdout: str,
+        stderr: str = "",
+        duration: float,
+        exception: Optional[BaseException],
+        timed_out: bool,
+        hidden: bool,
+    ) -> ExecutionResult:
+        """Rebuild an ExecutionResult from the child's output text."""
+        attributions = self._line_attributions(stderr)
+        registry = ThreadRegistry()
+        database = EventDatabase(registry)
+        threads: Dict[int, threading.Thread] = {}
+
+        def thread_for(printed_id: int) -> threading.Thread:
+            thread = threads.get(printed_id)
+            if thread is None:
+                thread = threading.Thread(name=f"child-thread-{printed_id}")
+                threads[printed_id] = thread
+            return thread
+
+        root_printed_id: Optional[int] = None
+        events: List[PropertyEvent] = []
+        kept_lines: List[str] = []
+        seq = 0
+        per_thread_seq: Dict[int, int] = {}
+
+        for stdout_index, line in enumerate(stdout.splitlines()):
+            parsed = parse_property_line(line)
+            if parsed is not None and parsed[1] == ROOT_MARKER:
+                root_printed_id = parsed[0]
+                continue  # infrastructure marker, not program output
+            kept_lines.append(line)
+            if parsed is None:
+                # Plain text: use the child's stderr attribution record
+                # when present, else fall back to the root.
+                printed_id = attributions.get(
+                    stdout_index,
+                    root_printed_id if root_printed_id is not None else 0,
+                )
+                name, value = "str", line
+            else:
+                printed_id, name, value_text = parsed
+                value = value_text
+            thread = thread_for(printed_id)
+            thread_seq = per_thread_seq.get(printed_id, 0)
+            per_thread_seq[printed_id] = thread_seq + 1
+            events.append(
+                PropertyEvent(
+                    seq=seq,
+                    thread=thread,
+                    thread_id=printed_id,
+                    name=name,
+                    value=value,
+                    raw_line=line,
+                    explicit=parsed is not None,
+                    timestamp=0.0,
+                    thread_seq=thread_seq,
+                )
+            )
+            seq += 1
+
+        if root_printed_id is None:
+            # Hidden runs (or an empty trace): synthesize a root.
+            root_printed_id = -1
+        root_thread = thread_for(root_printed_id)
+        workers: List[threading.Thread] = []
+        for event in events:
+            if event.thread is not root_thread and event.thread not in workers:
+                workers.append(event.thread)
+
+        return ExecutionResult(
+            identifier=identifier,
+            args=args,
+            output="\n".join(kept_lines) + ("\n" if kept_lines else ""),
+            events=events,
+            database=database,
+            root_thread=root_thread,
+            root_thread_id=root_printed_id,
+            duration=duration,
+            exception=exception,
+            timed_out=timed_out,
+            hidden=hidden,
+            worker_threads=workers,
+        )

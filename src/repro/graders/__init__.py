@@ -1,0 +1,55 @@
+"""Test programs (graders) written with the fork-join infrastructure.
+
+Each module here plays the role of the paper's testing programs: the
+appendix's ``PrimesFunctionality``, the Fig. 7 ``PrimePerformanceTester``,
+the Fig. 12 Hello World checker, and the PI / odd-numbers graders used in
+the workshop.  Their sources carry the Table 1 LoC region markers.
+"""
+
+import repro.workloads  # noqa: F401 - graders test the registered workloads
+
+from repro.graders.hello import HelloFunctionality
+from repro.graders.jacobi import JacobiFunctionality
+from repro.graders.odds import (
+    OddsFunctionality,
+    OddsPerformance,
+    SimulatedOddsPerformance,
+)
+from repro.graders.pi_montecarlo import (
+    PiFunctionality,
+    PiPerformance,
+    SimulatedPiPerformance,
+)
+from repro.graders.primes import (
+    PrimesFunctionality,
+    PrimesPerformance,
+    SimulatedPrimesPerformance,
+)
+from repro.graders.suites import (
+    build_hello_suite,
+    build_jacobi_suite,
+    build_odds_suite,
+    build_pi_suite,
+    build_primes_suite,
+    register_all_suites,
+)
+
+__all__ = [
+    "HelloFunctionality",
+    "JacobiFunctionality",
+    "PrimesFunctionality",
+    "PrimesPerformance",
+    "SimulatedPrimesPerformance",
+    "PiFunctionality",
+    "PiPerformance",
+    "SimulatedPiPerformance",
+    "OddsFunctionality",
+    "OddsPerformance",
+    "SimulatedOddsPerformance",
+    "build_primes_suite",
+    "build_pi_suite",
+    "build_odds_suite",
+    "build_hello_suite",
+    "build_jacobi_suite",
+    "register_all_suites",
+]

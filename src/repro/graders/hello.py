@@ -1,0 +1,48 @@
+"""Test program for the fork-join Hello World (Fig. 12 of the paper).
+
+The concurrency-only shape: exactly three parameter methods name the
+tested program, its arguments, and the expected forked-thread count —
+there are no property specifications and no semantic callbacks, so the
+thread-count check carries all the credit.  Because defaults "do not
+work" when one aspect is everything, the test overrides
+``thread_count_credit``: 80 % of the credit requires the *right number*
+of threads, the remaining 20 % rewards creating one or more.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.checker import AbstractForkJoinChecker
+from repro.testfw.annotations import max_value
+from repro.workloads.hello.spec import DEFAULT_NUM_THREADS
+
+__all__ = ["HelloFunctionality"]
+
+
+@max_value(10)
+class HelloFunctionality(AbstractForkJoinChecker):
+    """Checks only that the greeting came from forked threads."""
+
+    def __init__(
+        self,
+        identifier: str = "hello.correct",
+        *,
+        num_threads: int = DEFAULT_NUM_THREADS,
+    ) -> None:
+        self._identifier = identifier
+        self._num_threads = num_threads
+
+    def main_class_identifier(self) -> str:
+        return self._identifier
+
+    def args(self) -> List[str]:
+        return [str(self._num_threads)]
+
+    # -- begin: concurrency --
+    def num_expected_forked_threads(self) -> int:
+        return self._num_threads
+
+    def thread_count_credit(self) -> float:
+        return 0.8  # 80% for the right count, 20% for forking at all
+    # -- end: concurrency --

@@ -1,0 +1,178 @@
+"""Test program for the Jacobi problem (multi-round fork-join extension).
+
+Exercises every per-round capability of
+:class:`repro.core.multiround.AbstractMultiRoundForkJoinChecker`: the
+round-index sequence, the per-cell stencil values against a tracked
+reference grid (serial intermediate), per-chunk delta consistency
+(concurrency intermediate), the global-delta combination (concurrency
+final), and the final heat vector (serial final).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, List, Mapping, Optional
+
+from repro.core.multiround import AbstractMultiRoundForkJoinChecker
+from repro.core.properties import ARRAY, NUMBER
+from repro.testfw.annotations import max_value
+from repro.workloads.jacobi.spec import (
+    CELL,
+    CHUNK_MAX_DELTA,
+    DEFAULT_NUM_CELLS,
+    DEFAULT_NUM_ROUNDS,
+    DEFAULT_NUM_THREADS,
+    FINAL_HEAT,
+    GLOBAL_MAX_DELTA,
+    NEW_HEAT,
+    ROUND,
+    initial_grid,
+    stencil,
+)
+
+__all__ = ["JacobiFunctionality"]
+
+#: Float comparisons: live objects travel unchanged, so only genuine
+#: arithmetic differences exceed this.
+_TOLERANCE = 1e-9
+
+
+@max_value(40)
+class JacobiFunctionality(AbstractMultiRoundForkJoinChecker):
+    """Functionality test of the iterative heat-diffusion solver."""
+
+    def __init__(
+        self,
+        identifier: str = "jacobi.correct",
+        *,
+        num_cells: int = DEFAULT_NUM_CELLS,
+        num_threads: int = DEFAULT_NUM_THREADS,
+        num_rounds: int = DEFAULT_NUM_ROUNDS,
+    ) -> None:
+        self._identifier = identifier
+        self._num_cells = num_cells
+        self._num_threads = num_threads
+        self._num_rounds = num_rounds
+        self.reset_state()
+
+    # -- invocation parameters -----------------------------------------
+    def main_class_identifier(self) -> str:
+        return self._identifier
+
+    def args(self) -> List[str]:
+        return [str(self._num_cells), str(self._num_threads), str(self._num_rounds)]
+
+    def num_expected_forked_threads(self) -> int:
+        return self._num_threads
+
+    def num_rounds(self) -> int:
+        return self._num_rounds
+
+    def iterations_per_round(self) -> int:
+        return self._num_cells  # one iteration per cell per round
+
+    # -- static syntax ----------------------------------------------------
+    def round_pre_fork_property_names_and_types(self):
+        return ((ROUND, NUMBER),)
+
+    def iteration_property_names_and_types(self):
+        return ((CELL, NUMBER), (NEW_HEAT, NUMBER))
+
+    def post_iteration_property_names_and_types(self):
+        return ((CHUNK_MAX_DELTA, NUMBER),)
+
+    def round_post_join_property_names_and_types(self):
+        return ((GLOBAL_MAX_DELTA, NUMBER),)
+
+    def final_post_join_property_names_and_types(self):
+        return ((FINAL_HEAT, ARRAY),)
+
+    # -- semantic state -----------------------------------------------------
+    def reset_state(self) -> None:
+        self._grid = initial_grid(self._num_cells)
+        self._next_grid = list(self._grid)
+        self._expected_round = 0
+        self._chunk_delta = 0.0
+        self._round_max_delta = 0.0
+
+    def begin_round(self, round_index: int) -> None:
+        if round_index > 0:
+            # Commit the previous round's grid before checking this one.
+            self._grid = list(self._next_grid)
+        self._round_max_delta = 0.0
+        self._chunk_delta = 0.0
+
+    # -- semantic checks -------------------------------------------------
+    def round_pre_fork_events_message(
+        self, round_index: int, thread: threading.Thread, values: Mapping[str, Any]
+    ) -> Optional[str]:
+        announced = int(values[ROUND])
+        if announced != self._expected_round:
+            return (
+                f"Round announced as {announced} but rounds must proceed "
+                f"0, 1, ... (expected {self._expected_round})"
+            )
+        self._expected_round += 1
+        return None
+
+    def iteration_events_message(
+        self, thread: threading.Thread, values: Mapping[str, Any]
+    ) -> Optional[str]:
+        cell = int(values[CELL])
+        if not 0 <= cell < self._num_cells:
+            return f"Cell {cell} is outside the rod (0..{self._num_cells - 1})"
+        printed = float(values[NEW_HEAT])
+        expected = stencil(self._grid, cell)
+        if abs(printed - expected) > _TOLERANCE:
+            return (
+                f"New Heat for cell {cell} output as {printed} but the "
+                f"previous round's grid gives {expected} - is the update "
+                f"reading already-updated neighbours (missing double "
+                f"buffer)?"
+            )
+        self._next_grid[cell] = printed
+        self._chunk_delta = max(self._chunk_delta, abs(printed - self._grid[cell]))
+        return None
+
+    def post_iteration_events_message(
+        self, thread: threading.Thread, values: Mapping[str, Any]
+    ) -> Optional[str]:
+        reported = float(values[CHUNK_MAX_DELTA])
+        if abs(reported - self._chunk_delta) > _TOLERANCE:
+            return (
+                f"Chunk Max Delta output as {reported} but this thread's "
+                f"cells changed by at most {self._chunk_delta}"
+            )
+        self._round_max_delta = max(self._round_max_delta, reported)
+        self._chunk_delta = 0.0
+        return None
+
+    def round_post_join_events_message(
+        self, round_index: int, thread: threading.Thread, values: Mapping[str, Any]
+    ) -> Optional[str]:
+        reported = float(values[GLOBAL_MAX_DELTA])
+        if abs(reported - self._round_max_delta) > _TOLERANCE:
+            return (
+                f"Global Max Delta output as {reported} but the maximum of "
+                f"the chunk deltas is {self._round_max_delta} - are the "
+                f"chunk results combined with max()?"
+            )
+        return None
+
+    def final_post_join_events_message(
+        self, thread: threading.Thread, values: Mapping[str, Any]
+    ) -> Optional[str]:
+        printed = [float(v) for v in values[FINAL_HEAT]]
+        expected = self._next_grid
+        if len(printed) != len(expected):
+            return (
+                f"Final Heat has {len(printed)} cells but the rod has "
+                f"{len(expected)}"
+            )
+        for cell, (got, want) in enumerate(zip(printed, expected)):
+            if abs(got - want) > _TOLERANCE:
+                return (
+                    f"Final Heat at cell {cell} is {got} but the reference "
+                    f"computation gives {want}"
+                )
+        return None

@@ -1,0 +1,116 @@
+"""Problem suites: one functionality + one performance test per problem.
+
+As in the paper (§4.1), running a problem's suite is how a student brings
+up the interactive testing UI: the primes suite, for instance, pairs
+``PrimesFunctionality`` with ``PrimesPerformance``.  Suites are built
+against chosen submission identifiers so the same definitions drive
+student self-testing (against their own code), grading sweeps (against
+each submission in turn), and the benchmarks (against the reference
+variants).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graders.hello import HelloFunctionality
+from repro.graders.jacobi import JacobiFunctionality
+from repro.graders.odds import OddsFunctionality, SimulatedOddsPerformance
+from repro.graders.pi_montecarlo import PiFunctionality, SimulatedPiPerformance
+from repro.graders.primes import (
+    PrimesFunctionality,
+    PrimesPerformance,
+    SimulatedPrimesPerformance,
+)
+from repro.testfw.suite import TestSuite, register_suite
+
+__all__ = [
+    "build_primes_suite",
+    "build_pi_suite",
+    "build_odds_suite",
+    "build_hello_suite",
+    "build_jacobi_suite",
+    "register_all_suites",
+]
+
+
+def build_primes_suite(
+    functionality_identifier: str = "primes.correct",
+    performance_identifier: Optional[str] = None,
+    *,
+    perf_runs: int = 10,
+    simulated_performance: bool = True,
+) -> TestSuite:
+    """The paper's primes suite: functionality + performance.
+
+    ``simulated_performance`` selects the virtual-clock performance test
+    (deterministic, GIL-independent); pass False for the wall-clock
+    sleep-kernel test, the closer analogue of the paper's Java setup.
+    """
+    if simulated_performance:
+        perf = SimulatedPrimesPerformance(performance_identifier, runs=perf_runs)
+    else:
+        perf = PrimesPerformance(
+            performance_identifier or "primes.perf.latency", runs=perf_runs
+        )
+    return TestSuite(
+        "primes",
+        [PrimesFunctionality(functionality_identifier), perf],
+    )
+
+
+def build_pi_suite(
+    functionality_identifier: str = "pi.correct",
+    performance_identifier: Optional[str] = None,
+    *,
+    perf_runs: int = 10,
+) -> TestSuite:
+    """The PI Monte-Carlo suite: functionality + simulated performance."""
+    return TestSuite(
+        "pi",
+        [
+            PiFunctionality(functionality_identifier),
+            SimulatedPiPerformance(performance_identifier, runs=perf_runs),
+        ],
+    )
+
+
+def build_odds_suite(
+    functionality_identifier: str = "odds.correct",
+    performance_identifier: Optional[str] = None,
+    *,
+    perf_runs: int = 10,
+) -> TestSuite:
+    """The odd-numbers suite: functionality + simulated performance."""
+    return TestSuite(
+        "odds",
+        [
+            OddsFunctionality(functionality_identifier),
+            SimulatedOddsPerformance(performance_identifier, runs=perf_runs),
+        ],
+    )
+
+
+def build_hello_suite(
+    identifier: str = "hello.correct", *, num_threads: int = 1
+) -> TestSuite:
+    """The Hello World suite: the concurrency-only Fig. 12 checker."""
+    return TestSuite(
+        "hello", [HelloFunctionality(identifier, num_threads=num_threads)]
+    )
+
+
+def build_jacobi_suite(
+    functionality_identifier: str = "jacobi.correct",
+) -> TestSuite:
+    """The multi-round extension problem (functionality only)."""
+    return TestSuite("jacobi", [JacobiFunctionality(functionality_identifier)])
+
+
+def register_all_suites() -> None:
+    """Publish the default suites in the global catalogue for the CLI."""
+    register_suite(build_primes_suite())
+    register_suite(build_pi_suite())
+    register_suite(build_odds_suite())
+    register_suite(build_hello_suite())
+    register_suite(build_jacobi_suite())

@@ -1,0 +1,37 @@
+"""Grading and awareness layer: gradebooks, progress logs, inferences."""
+
+from repro.grading.awareness import (
+    AwarenessReport,
+    StudentProgress,
+    analyze_progress,
+)
+from repro.grading.batch import grade_batch, grade_submissions
+from repro.grading.export import (
+    gradebook_markdown,
+    gradescope_document,
+    suite_result_markdown,
+    write_gradescope_results,
+)
+from repro.grading.gradebook import Gradebook
+from repro.grading.html_report import suite_result_html, write_html_report
+from repro.grading.logs import ProgressLog
+from repro.grading.records import AspectRecord, SubmissionRecord, TestRecord
+
+__all__ = [
+    "Gradebook",
+    "ProgressLog",
+    "SubmissionRecord",
+    "TestRecord",
+    "AspectRecord",
+    "AwarenessReport",
+    "StudentProgress",
+    "analyze_progress",
+    "grade_batch",
+    "grade_submissions",
+    "gradescope_document",
+    "write_gradescope_results",
+    "suite_result_markdown",
+    "gradebook_markdown",
+    "suite_result_html",
+    "write_html_report",
+]

@@ -1,0 +1,170 @@
+"""Instructor awareness: inferences over logged in-progress runs.
+
+The paper (§1) motivates logged test results as a way for instructors to
+"manually or automatically infer if the assignment is too easy or
+difficult, or difficult only for a subset of identified students", and to
+spot students "in apparent difficulty or [who] have taken the wrong
+path".  This module makes those inferences concrete:
+
+* per-aspect failure rates across the class — which *requirement* is the
+  sticking point (syntax? interleaving? the race in result combination?);
+* per-student trajectories — latest score, trend, and stuck-ness (many
+  runs without improvement);
+* an overall difficulty classification from the class's latest scores.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.grading.logs import ProgressLog
+from repro.grading.records import SubmissionRecord
+
+__all__ = ["StudentProgress", "AwarenessReport", "analyze_progress"]
+
+#: Runs without improvement after which a student counts as stuck.
+STUCK_RUN_THRESHOLD = 3
+#: Mean latest-percent boundaries for the difficulty classification.
+TOO_EASY_MEAN = 90.0
+TOO_HARD_MEAN = 50.0
+
+
+@dataclass
+class StudentProgress:
+    """One student's trajectory through their logged runs."""
+
+    student: str
+    runs: int
+    first_percent: float
+    latest_percent: float
+    best_percent: float
+    runs_since_improvement: int
+    recurring_failures: List[str] = field(default_factory=list)
+
+    @property
+    def improving(self) -> bool:
+        return self.latest_percent > self.first_percent
+
+    @property
+    def stuck(self) -> bool:
+        """Many runs without improvement while below full score."""
+        return (
+            self.latest_percent < 100.0
+            and self.runs_since_improvement >= STUCK_RUN_THRESHOLD
+        )
+
+
+@dataclass
+class AwarenessReport:
+    """Class-level view an instructor acts on."""
+
+    suite: str
+    students: List[StudentProgress]
+    aspect_failure_rates: Dict[str, float]
+    mean_latest_percent: float
+
+    @property
+    def difficulty(self) -> str:
+        """"too easy" / "appropriate" / "too hard" from latest scores."""
+        if self.mean_latest_percent >= TOO_EASY_MEAN:
+            return "too easy"
+        if self.mean_latest_percent <= TOO_HARD_MEAN:
+            return "too hard"
+        return "appropriate"
+
+    def stuck_students(self) -> List[StudentProgress]:
+        return [s for s in self.students if s.stuck]
+
+    def hardest_aspects(self, limit: int = 3) -> List[str]:
+        ranked = sorted(
+            self.aspect_failure_rates.items(), key=lambda kv: kv[1], reverse=True
+        )
+        return [aspect for aspect, rate in ranked[:limit] if rate > 0.0]
+
+    def render(self) -> str:
+        lines = [
+            f"Awareness report for {self.suite!r}: assignment looks "
+            f"{self.difficulty} (mean latest score "
+            f"{self.mean_latest_percent:.0f}%)"
+        ]
+        hardest = self.hardest_aspects()
+        if hardest:
+            lines.append("  hardest requirements: " + ", ".join(hardest))
+        for progress in self.students:
+            marker = " <- STUCK" if progress.stuck else ""
+            lines.append(
+                f"  {progress.student:<20} {progress.runs:3d} runs, "
+                f"{progress.first_percent:3.0f}% -> "
+                f"{progress.latest_percent:3.0f}%{marker}"
+            )
+        return "\n".join(lines)
+
+
+def _student_progress(student: str, history: List[SubmissionRecord]) -> StudentProgress:
+    ordered = sorted(history, key=lambda r: r.timestamp)
+    percents = [r.percent for r in ordered]
+    best = max(percents)
+    # Runs after the best score was *first* achieved: repeating the same
+    # score is not progress, so a plateau counts toward stuck-ness.
+    first_best = next(i for i, p in enumerate(percents) if p >= best)
+    runs_since_improvement = len(percents) - 1 - first_best
+    # Aspects that failed in at least half of this student's runs.
+    failure_counts: Dict[str, int] = {}
+    for record in ordered:
+        for aspect in set(record.failed_aspects()):
+            failure_counts[aspect] = failure_counts.get(aspect, 0) + 1
+    recurring = sorted(
+        aspect
+        for aspect, count in failure_counts.items()
+        if count * 2 >= len(ordered)
+    )
+    return StudentProgress(
+        student=student,
+        runs=len(ordered),
+        first_percent=percents[0],
+        latest_percent=percents[-1],
+        best_percent=best,
+        runs_since_improvement=runs_since_improvement,
+        recurring_failures=recurring,
+    )
+
+
+def analyze_progress(log: ProgressLog, *, suite: str = "") -> AwarenessReport:
+    """Build the class-level awareness report from a progress log."""
+    entries = log.entries()
+    if suite:
+        entries = [e for e in entries if e.suite == suite]
+    by_student: Dict[str, List[SubmissionRecord]] = {}
+    for entry in entries:
+        by_student.setdefault(entry.student, []).append(entry)
+
+    students = [
+        _student_progress(student, history)
+        for student, history in sorted(by_student.items())
+    ]
+
+    # Aspect failure rates over each student's *latest* run: the current
+    # state of the class, not its history.
+    latest_runs = [
+        max(history, key=lambda r: r.timestamp) for history in by_student.values()
+    ]
+    aspect_failures: Dict[str, int] = {}
+    for record in latest_runs:
+        for aspect in set(record.failed_aspects()):
+            aspect_failures[aspect] = aspect_failures.get(aspect, 0) + 1
+    rates = {
+        aspect: count / len(latest_runs)
+        for aspect, count in sorted(aspect_failures.items())
+    }
+
+    mean_latest = (
+        statistics.mean(r.percent for r in latest_runs) if latest_runs else 0.0
+    )
+    return AwarenessReport(
+        suite=suite or (entries[0].suite if entries else ""),
+        students=students,
+        aspect_failure_rates=rates,
+        mean_latest_percent=mean_latest,
+    )

@@ -1,0 +1,55 @@
+"""Batch grading: run a suite over many submissions in one sweep.
+
+A grading session binds each submission (a registered main identifier,
+standing in for a student's uploaded program) to the problem's suite,
+runs it to completion, and records the result in a gradebook — the
+automated path the paper contrasts with interactive self-testing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.grading.gradebook import Gradebook
+from repro.grading.records import SubmissionRecord
+from repro.testfw.result import SuiteResult
+from repro.testfw.suite import TestSuite
+
+__all__ = ["grade_batch", "grade_submissions"]
+
+SuiteFactory = Callable[[str], TestSuite]
+
+
+def grade_submissions(
+    suite_factory: SuiteFactory,
+    submissions: Dict[str, str],
+) -> Tuple[Gradebook, Dict[str, SuiteResult]]:
+    """Grade every (student -> identifier) submission with a fresh suite.
+
+    ``suite_factory`` builds the problem's suite against one submission
+    identifier; a fresh suite per student keeps semantic-check state and
+    score displays isolated, exactly as separate JUnit runs would be.
+    Returns the filled gradebook plus the live results for rendering.
+    """
+    gradebook: Optional[Gradebook] = None
+    live: Dict[str, SuiteResult] = {}
+    for student, identifier in submissions.items():
+        suite = suite_factory(identifier)
+        if gradebook is None:
+            gradebook = Gradebook(suite.name)
+        result = suite.run()
+        live[student] = result
+        gradebook.record(SubmissionRecord.from_suite_result(student, result))
+    if gradebook is None:
+        raise ValueError("no submissions to grade")
+    return gradebook, live
+
+
+def grade_batch(
+    suite_factory: SuiteFactory,
+    identifiers: List[str],
+) -> Tuple[Gradebook, Dict[str, SuiteResult]]:
+    """Convenience: grade identifiers as their own student names."""
+    return grade_submissions(
+        suite_factory, {identifier: identifier for identifier in identifiers}
+    )

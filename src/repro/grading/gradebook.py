@@ -1,0 +1,99 @@
+"""Gradebooks: persistent per-student scores (the Gradescope analogue).
+
+Students "confident that they have met all requirements can simply submit
+their solution" (§4.1); the gradebook is where those submissions land.
+It is a JSON file mapping students to their best and latest submission
+records, plus simple class-level statistics an instructor reads first.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.grading.records import SubmissionRecord
+
+__all__ = ["Gradebook"]
+
+
+class Gradebook:
+    """Submission store for one assignment (suite)."""
+
+    def __init__(self, suite: str) -> None:
+        self.suite = suite
+        self._submissions: Dict[str, List[SubmissionRecord]] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, submission: SubmissionRecord) -> None:
+        if submission.suite != self.suite:
+            raise ValueError(
+                f"submission is for suite {submission.suite!r}, gradebook "
+                f"is for {self.suite!r}"
+            )
+        self._submissions.setdefault(submission.student, []).append(submission)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def students(self) -> List[str]:
+        return sorted(self._submissions)
+
+    def submissions_of(self, student: str) -> List[SubmissionRecord]:
+        return list(self._submissions.get(student, []))
+
+    def latest(self, student: str) -> Optional[SubmissionRecord]:
+        history = self._submissions.get(student)
+        if not history:
+            return None
+        return max(history, key=lambda s: s.timestamp)
+
+    def best(self, student: str) -> Optional[SubmissionRecord]:
+        history = self._submissions.get(student)
+        if not history:
+            return None
+        return max(history, key=lambda s: (s.score, s.timestamp))
+
+    def class_percentages(self) -> Dict[str, float]:
+        """Each student's best percentage — the instructor's first look."""
+        return {
+            student: best.percent
+            for student in self.students()
+            if (best := self.best(student)) is not None
+        }
+
+    def mean_percent(self) -> float:
+        percentages = list(self.class_percentages().values())
+        return sum(percentages) / len(percentages) if percentages else 0.0
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Path | str) -> None:
+        payload = {
+            "suite": self.suite,
+            "submissions": {
+                student: [s.to_dict() for s in history]
+                for student, history in self._submissions.items()
+            },
+        }
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Gradebook":
+        payload = json.loads(Path(path).read_text())
+        book = cls(payload["suite"])
+        for student, history in payload.get("submissions", {}).items():
+            for record in history:
+                book._submissions.setdefault(student, []).append(
+                    SubmissionRecord.from_dict(record)
+                )
+        return book
+
+    def render(self) -> str:
+        lines = [f"Gradebook: {self.suite} (mean {self.mean_percent():.0f}%)"]
+        for student, percent in sorted(self.class_percentages().items()):
+            lines.append(f"  {student:<24} {percent:6.1f}%")
+        return "\n".join(lines)

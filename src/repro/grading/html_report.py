@@ -1,0 +1,144 @@
+"""Self-contained HTML reports for suite runs.
+
+The terminal UI serves the interactive loop; this renderer produces the
+artifact an instructor attaches to feedback or posts on a course page: a
+single HTML file (inline CSS, no external assets) with the scored
+requirement tables and, when available, the annotated fork-join trace
+with phases colour-coded per thread.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.core.report import ForkJoinCheckReport
+from repro.testfw.result import AspectStatus, SuiteResult, TestResult
+
+__all__ = ["suite_result_html", "write_html_report"]
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 60rem; color: #1a2233; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.15rem; margin-top: 2rem; }
+.total { font-size: 1.1rem; padding: .6rem 1rem; background: #eef2f8;
+         border-radius: .5rem; display: inline-block; }
+table { border-collapse: collapse; width: 100%; margin: .8rem 0; }
+th, td { text-align: left; padding: .35rem .6rem;
+         border-bottom: 1px solid #dde3ec; vertical-align: top; }
+th { background: #f4f6fa; font-weight: 600; }
+.status { font-weight: 700; border-radius: .3rem; padding: .05rem .45rem; }
+.passed { color: #116633; background: #e2f5e9; }
+.failed { color: #a11221; background: #fbe3e6; }
+.skipped { color: #6b5d11; background: #f7f0d4; }
+.fatal { color: #a11221; font-weight: 600; }
+pre.trace { background: #101522; color: #dce3f2; padding: 1rem;
+            border-radius: .5rem; overflow-x: auto; font-size: .85rem; }
+pre.trace .phase { color: #8fd0ff; }
+pre.trace .t0 { color: #ffd479; } pre.trace .t1 { color: #9ef0a2; }
+pre.trace .t2 { color: #f2a3d8; } pre.trace .t3 { color: #9fb8ff; }
+pre.trace .t4 { color: #ffb3a0; } pre.trace .t5 { color: #c6f06a; }
+.points { white-space: nowrap; }
+"""
+
+_BADGES = {
+    AspectStatus.PASSED: ("passed", "PASS"),
+    AspectStatus.FAILED: ("failed", "FAIL"),
+    AspectStatus.SKIPPED: ("skipped", "SKIP"),
+}
+
+
+def _test_section(result: TestResult) -> List[str]:
+    parts = [
+        f"<h2>{html.escape(result.test_name)} — "
+        f"{result.score:g} / {result.max_score:g} "
+        f"({result.percent:.0f}%)</h2>"
+    ]
+    if result.fatal:
+        parts.append(f'<p class="fatal">FATAL: {html.escape(result.fatal)}</p>')
+        return parts
+    if not result.outcomes:
+        return parts
+    parts.append(
+        "<table><tr><th>requirement</th><th>status</th>"
+        "<th class='points'>points</th><th>message</th></tr>"
+    )
+    for outcome in result.outcomes:
+        css, label = _BADGES[outcome.status]
+        parts.append(
+            "<tr>"
+            f"<td>{html.escape(outcome.aspect)}</td>"
+            f'<td><span class="status {css}">{label}</span></td>'
+            f'<td class="points">{outcome.points_earned:g} / '
+            f"{outcome.points_possible:g}</td>"
+            f"<td>{html.escape(outcome.message) or '&mdash;'}</td>"
+            "</tr>"
+        )
+    parts.append("</table>")
+    return parts
+
+
+def _trace_section(report: ForkJoinCheckReport) -> List[str]:
+    annotated = report.annotated_trace()
+    if not annotated:
+        return []
+    thread_classes = {}
+    lines_html: List[str] = []
+    for line in annotated.splitlines():
+        escaped = html.escape(line)
+        if line.startswith("//"):
+            lines_html.append(f'<span class="phase">{escaped}</span>')
+            continue
+        if line.startswith("Thread "):
+            thread_id = line.split("->", 1)[0]
+            css = thread_classes.setdefault(
+                thread_id, f"t{len(thread_classes) % 6}"
+            )
+            lines_html.append(f'<span class="{css}">{escaped}</span>')
+        else:
+            lines_html.append(escaped)
+    return [
+        "<h2>Annotated trace</h2>",
+        '<pre class="trace">' + "\n".join(lines_html) + "</pre>",
+    ]
+
+
+def suite_result_html(
+    result: SuiteResult,
+    *,
+    student: str = "",
+    reports: Optional[Sequence[ForkJoinCheckReport]] = None,
+) -> str:
+    """Render one suite run (plus optional trace reports) as HTML."""
+    title = f"Fork-Join Test Report — {result.suite_name}"
+    if student:
+        title += f" — {student}"
+    parts = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f'<p class="total">Total: <strong>{result.score:g} / '
+        f"{result.max_score:g}</strong> ({result.percent:.0f}%)</p>",
+    ]
+    for test_result in result.results:
+        parts.extend(_test_section(test_result))
+    for report in reports or []:
+        parts.extend(_trace_section(report))
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_html_report(
+    result: SuiteResult,
+    path: Path | str,
+    *,
+    student: str = "",
+    reports: Optional[Sequence[ForkJoinCheckReport]] = None,
+) -> Path:
+    """Render and write the HTML report; returns the written path."""
+    target = Path(path)
+    target.write_text(suite_result_html(result, student=student, reports=reports))
+    return target

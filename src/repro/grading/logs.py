@@ -1,0 +1,75 @@
+"""Progress logs: the raw material of instructor awareness.
+
+Tests run on in-progress code "can give valuable feedback also to
+instructors.  The logged results of these tests can provide instructors
+with awareness of unseen partial work" (§1).  A :class:`ProgressLog` is
+an append-only JSONL file of submission records tagged ``progress``; the
+awareness module aggregates it into the inferences the paper sketches.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional
+
+from repro.grading.records import SubmissionRecord
+from repro.testfw.result import SuiteResult
+
+__all__ = ["ProgressLog"]
+
+
+class ProgressLog:
+    """Append-only log of in-progress test runs.
+
+    Backed by a JSONL file when *path* is given; purely in-memory
+    otherwise (handy for tests and single-session use).
+    """
+
+    def __init__(self, path: Optional[Path | str] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._entries: List[SubmissionRecord] = []
+        if self.path is not None and self.path.exists():
+            for line in self.path.read_text().splitlines():
+                if line.strip():
+                    self._entries.append(SubmissionRecord.from_dict(json.loads(line)))
+
+    def log_run(
+        self,
+        student: str,
+        result: SuiteResult,
+        *,
+        timestamp: Optional[float] = None,
+    ) -> SubmissionRecord:
+        """Record one self-test run of *student*'s in-progress work."""
+        record = SubmissionRecord.from_suite_result(
+            student, result, kind="progress", timestamp=timestamp
+        )
+        self._entries.append(record)
+        if self.path is not None:
+            with self.path.open("a") as handle:
+                handle.write(json.dumps(record.to_dict()) + "\n")
+        return record
+
+    def entries(self) -> List[SubmissionRecord]:
+        return list(self._entries)
+
+    def entries_of(self, student: str) -> List[SubmissionRecord]:
+        return [e for e in self._entries if e.student == student]
+
+    def students(self) -> List[str]:
+        seen: List[str] = []
+        for entry in self._entries:
+            if entry.student not in seen:
+                seen.append(entry.student)
+        return seen
+
+    def extend(self, records: Iterable[SubmissionRecord]) -> None:
+        for record in records:
+            self._entries.append(record)
+            if self.path is not None:
+                with self.path.open("a") as handle:
+                    handle.write(json.dumps(record.to_dict()) + "\n")
+
+    def __len__(self) -> int:
+        return len(self._entries)

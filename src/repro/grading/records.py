@@ -1,0 +1,175 @@
+"""Plain-data records shared by the grading and awareness layers.
+
+These are the serializable shadows of live results: what gets written to
+gradebooks and progress logs, and what the awareness analysis reads back.
+Keeping them as dicts-of-primitives (via ``to_dict``/``from_dict``) keeps
+the JSON round-trip trivial and the analysis decoupled from the live
+checker objects.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.testfw.result import AspectStatus, SuiteResult, TestResult
+
+__all__ = ["AspectRecord", "TestRecord", "SubmissionRecord"]
+
+
+@dataclass
+class AspectRecord:
+    aspect: str
+    status: str
+    message: str
+    points_earned: float
+    points_possible: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "aspect": self.aspect,
+            "status": self.status,
+            "message": self.message,
+            "points_earned": self.points_earned,
+            "points_possible": self.points_possible,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AspectRecord":
+        return cls(
+            aspect=data["aspect"],
+            status=data["status"],
+            message=data.get("message", ""),
+            points_earned=float(data.get("points_earned", 0.0)),
+            points_possible=float(data.get("points_possible", 0.0)),
+        )
+
+    @property
+    def failed(self) -> bool:
+        return self.status == AspectStatus.FAILED.value
+
+    @property
+    def passed(self) -> bool:
+        return self.status == AspectStatus.PASSED.value
+
+
+@dataclass
+class TestRecord:
+    test_name: str
+    score: float
+    max_score: float
+    fatal: str = ""
+    aspects: List[AspectRecord] = field(default_factory=list)
+
+    @classmethod
+    def from_result(cls, result: TestResult) -> "TestRecord":
+        return cls(
+            test_name=result.test_name,
+            score=result.score,
+            max_score=result.max_score,
+            fatal=result.fatal,
+            aspects=[
+                AspectRecord(
+                    aspect=o.aspect,
+                    status=o.status.value,
+                    message=o.message,
+                    points_earned=o.points_earned,
+                    points_possible=o.points_possible,
+                )
+                for o in result.outcomes
+            ],
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "test_name": self.test_name,
+            "score": self.score,
+            "max_score": self.max_score,
+            "fatal": self.fatal,
+            "aspects": [a.to_dict() for a in self.aspects],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TestRecord":
+        return cls(
+            test_name=data["test_name"],
+            score=float(data["score"]),
+            max_score=float(data["max_score"]),
+            fatal=data.get("fatal", ""),
+            aspects=[AspectRecord.from_dict(a) for a in data.get("aspects", [])],
+        )
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.score / self.max_score if self.max_score else 0.0
+
+    def failed_aspects(self) -> List[str]:
+        return [a.aspect for a in self.aspects if a.failed]
+
+
+@dataclass
+class SubmissionRecord:
+    """One student's (or one variant's) graded suite at one point in time."""
+
+    student: str
+    suite: str
+    timestamp: float
+    tests: List[TestRecord] = field(default_factory=list)
+    #: Free-form tag: "final" for submissions, "progress" for in-progress
+    #: self-test runs logged for instructor awareness.
+    kind: str = "final"
+
+    @classmethod
+    def from_suite_result(
+        cls,
+        student: str,
+        result: SuiteResult,
+        *,
+        kind: str = "final",
+        timestamp: float | None = None,
+    ) -> "SubmissionRecord":
+        return cls(
+            student=student,
+            suite=result.suite_name,
+            timestamp=time.time() if timestamp is None else timestamp,
+            tests=[TestRecord.from_result(r) for r in result.results],
+            kind=kind,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "student": self.student,
+            "suite": self.suite,
+            "timestamp": self.timestamp,
+            "kind": self.kind,
+            "tests": [t.to_dict() for t in self.tests],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SubmissionRecord":
+        return cls(
+            student=data["student"],
+            suite=data["suite"],
+            timestamp=float(data.get("timestamp", 0.0)),
+            kind=data.get("kind", "final"),
+            tests=[TestRecord.from_dict(t) for t in data.get("tests", [])],
+        )
+
+    @property
+    def score(self) -> float:
+        return sum(t.score for t in self.tests)
+
+    @property
+    def max_score(self) -> float:
+        return sum(t.max_score for t in self.tests)
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.score / self.max_score if self.max_score else 0.0
+
+    def failed_aspects(self) -> List[str]:
+        aspects: List[str] = []
+        for test in self.tests:
+            aspects.extend(test.failed_aspects())
+        return aspects

@@ -1,0 +1,10 @@
+"""Auto-instrumentation: trace generation without student print calls.
+
+Implements the paper's §6 future-work item — automatically generating
+fork-join traces by instrumenting the tested code — via CPython's
+tracing hooks.  See :mod:`repro.instrument.watcher`.
+"""
+
+from repro.instrument.watcher import VariableWatcher, instrument
+
+__all__ = ["VariableWatcher", "instrument"]

@@ -1,0 +1,191 @@
+"""Automatic trace generation by instrumenting tested code (§6).
+
+The paper's future work proposes "automatically generat[ing] these
+traces by instrumenting compiled code, thereby reducing testing
+requirements students must follow while writing their code."  Python's
+tracing hooks make this implementable directly: a
+:class:`VariableWatcher` installed around a function observes its
+execution line by line and emits the standard ``print_property`` trace
+whenever a *watched* local variable is assigned — so a completely
+uninstrumented solution produces the same trace as one written against
+the ``print_property`` discipline.
+
+Assignment detection is exact, not value-based: the watcher disassembles
+the target function once and records which source lines contain a
+``STORE_FAST`` of each watched variable; when execution passes such a
+line, the variable was assigned and its (possibly unchanged) value is
+traced.  This handles the case value-diffing cannot — consecutive
+iterations assigning the same value (``Is Prime`` false twice in a row)
+still trace every iteration.
+
+Three kinds of variables are declared by the *instructor* (the student
+code stays untouched), mirroring the fork-join phases:
+
+* ``watch`` — per-assignment properties (the iteration phase's
+  ``Index``/``Number``/``Is Prime``), traced on each executed assignment;
+* ``loop_var`` — the iteration driver; it is traced by value change
+  (a ``for`` line executes once more on loop exhaustion without storing,
+  so store-line detection alone would emit one spurious extra);
+* ``finals`` — end-of-function properties (post-iteration / post-join),
+  traced once from the function's locals when it returns.
+
+One authoring rule for watched code: keep each watched assignment on its
+own statement line (``if p: x = f()`` on one line would trace ``x`` even
+when the branch is not taken).
+
+Tracing is installed per thread by the wrapper, so instrumenting a
+worker function traces exactly the threads that execute it.
+"""
+
+from __future__ import annotations
+
+import dis
+import functools
+import sys
+from typing import Any, Callable, Dict, List, Mapping, Optional, Set, TypeVar
+
+from repro.tracing.print_property import print_property
+
+__all__ = ["VariableWatcher", "instrument", "stores_by_line"]
+
+_MISSING = object()
+_STORE_OPS = {"STORE_FAST", "STORE_DEREF", "STORE_NAME"}
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+def stores_by_line(code, names: Set[str]) -> Dict[int, List[str]]:
+    """Map source line -> watched names stored on that line, in order."""
+    result: Dict[int, List[str]] = {}
+    line = code.co_firstlineno
+    for instruction in dis.get_instructions(code):
+        if instruction.starts_line is not None:
+            line = instruction.starts_line
+        if instruction.opname in _STORE_OPS and instruction.argval in names:
+            stores = result.setdefault(line, [])
+            if instruction.argval not in stores:
+                stores.append(instruction.argval)
+    return result
+
+
+class VariableWatcher:
+    """Per-invocation execution observer for one code object."""
+
+    def __init__(
+        self,
+        code,
+        watch: Mapping[str, str],
+        *,
+        loop_var: Optional[str] = None,
+        finals: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        if loop_var is not None and loop_var not in watch:
+            raise ValueError(
+                f"loop_var {loop_var!r} must be one of the watched "
+                f"variables {sorted(watch)}"
+            )
+        self._code = code
+        self._watch = dict(watch)
+        self._loop_var = loop_var
+        self._finals = dict(finals) if finals else {}
+        store_names = {n for n in watch if n != loop_var}
+        self._stores = stores_by_line(code, store_names)
+        self._prev_line: Optional[int] = None
+        self._loop_snapshot: Any = _MISSING
+
+    # -- trace functions -------------------------------------------------
+    def global_trace(self, frame, event, arg):
+        if event == "call" and frame.f_code is self._code:
+            self._prev_line = None
+            self._loop_snapshot = _MISSING
+            return self.local_trace
+        return None
+
+    def local_trace(self, frame, event, arg):
+        if event == "line":
+            self._emit_executed_stores(frame)
+            self._emit_loop_var(frame)
+            self._prev_line = frame.f_lineno
+        elif event == "return":
+            self._emit_executed_stores(frame)
+            self._emit_loop_var(frame)
+            self._emit_finals(frame.f_locals)
+            self._prev_line = None
+        return self.local_trace
+
+    # -- internals ---------------------------------------------------------
+    def _emit_executed_stores(self, frame) -> None:
+        """Trace variables assigned by the line that just executed."""
+        if self._prev_line is None:
+            return
+        for name in self._stores.get(self._prev_line, ()):
+            if name in frame.f_locals:
+                print_property(self._watch[name], frame.f_locals[name])
+
+    def _emit_loop_var(self, frame) -> None:
+        if self._loop_var is None:
+            return
+        if self._loop_var not in frame.f_locals:
+            return
+        value = frame.f_locals[self._loop_var]
+        previous = self._loop_snapshot
+        changed = previous is _MISSING
+        if not changed:
+            try:
+                changed = bool(previous != value)
+            except Exception:  # noqa: BLE001 - exotic __eq__
+                changed = previous is not value
+        if changed:
+            self._loop_snapshot = value
+            print_property(self._watch[self._loop_var], value)
+
+    def _emit_finals(self, local_vars: Mapping[str, Any]) -> None:
+        for name, property_name in self._finals.items():
+            if name in local_vars:
+                print_property(property_name, local_vars[name])
+
+
+def instrument(
+    watch: Mapping[str, str],
+    *,
+    loop_var: Optional[str] = None,
+    finals: Optional[Mapping[str, str]] = None,
+) -> Callable[[F], F]:
+    """Decorator: auto-trace *func*'s watched locals on the calling thread.
+
+    Example — turning an uninstrumented worker into a traced one::
+
+        traced_worker = instrument(
+            watch={"index": "Index", "number": "Number", "prime": "Is Prime"},
+            loop_var="index",
+            finals={"count": "Num Primes"},
+        )(worker)
+
+    The wrapper installs the watcher via ``sys.settrace`` for the
+    duration of the call (restoring any previous trace function), so it
+    composes with workers running on their own threads: each thread
+    traces only its own execution of the function.
+    """
+
+    if loop_var is not None and loop_var not in watch:
+        raise ValueError(
+            f"loop_var {loop_var!r} must be one of the watched variables "
+            f"{sorted(watch)}"
+        )
+
+    def decorator(func: F) -> F:
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            watcher = VariableWatcher(
+                func.__code__, watch, loop_var=loop_var, finals=finals
+            )
+            previous = sys.gettrace()
+            sys.settrace(watcher.global_trace)
+            try:
+                return func(*args, **kwargs)
+            finally:
+                sys.settrace(previous)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorator

@@ -1,0 +1,87 @@
+"""Virtual time for deterministic, GIL-independent speedup measurement.
+
+CPython's GIL serialises pure-Python compute, so a *wall-clock* speedup
+check of a CPU-bound fork-join workload can fail even for a perfectly
+parallel solution.  The virtual clock models the time a real multi-core
+machine would take: each thread accrues the declared cost of the work it
+performs, and the fork-join makespan is
+
+    root's own cost  +  max over workers of that worker's cost
+
+— the critical path of the fork-join DAG.  Perfectly balanced work over
+``t`` workers therefore yields a virtual speedup approaching ``t``, while
+a serialized schedule yields none, which is exactly the distinction the
+performance checker must grade.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """Accumulates per-thread virtual costs and computes the makespan."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._costs: Dict[int, float] = {}
+        self._root_key: Optional[int] = None
+
+    def _key(self, thread: Optional[threading.Thread]) -> int:
+        return id(thread if thread is not None else threading.current_thread())
+
+    def set_root(self, thread: Optional[threading.Thread] = None) -> None:
+        """Mark *thread* (default: caller) as the fork-join root."""
+        with self._lock:
+            self._root_key = self._key(thread)
+            self._costs.setdefault(self._root_key, 0.0)
+
+    def charge(self, cost: float, thread: Optional[threading.Thread] = None) -> None:
+        """Accrue *cost* virtual seconds to *thread* (default: caller)."""
+        if cost < 0:
+            raise ValueError("virtual cost must be non-negative")
+        key = self._key(thread)
+        with self._lock:
+            self._costs[key] = self._costs.get(key, 0.0) + cost
+
+    def cost_of(self, thread: Optional[threading.Thread] = None) -> float:
+        key = self._key(thread)
+        with self._lock:
+            return self._costs.get(key, 0.0)
+
+    def serial_total(self) -> float:
+        """Total work: virtual time a single-threaded execution needs."""
+        with self._lock:
+            return sum(self._costs.values())
+
+    def makespan(self) -> float:
+        """Critical-path time of the fork-join execution.
+
+        Root cost plus the maximum worker cost.  When no root was marked
+        (a degenerate use), the longest single thread is the critical
+        path.
+        """
+        with self._lock:
+            if self._root_key is None:
+                return max(self._costs.values(), default=0.0)
+            root_cost = self._costs.get(self._root_key, 0.0)
+            worker_costs = [
+                cost for key, cost in self._costs.items() if key != self._root_key
+            ]
+            return root_cost + max(worker_costs, default=0.0)
+
+    def worker_costs(self) -> Dict[int, float]:
+        with self._lock:
+            return {
+                key: cost
+                for key, cost in self._costs.items()
+                if key != self._root_key
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._costs.clear()
+            self._root_key = None

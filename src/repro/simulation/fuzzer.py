@@ -1,0 +1,111 @@
+"""Schedule fuzzing: hunt synchronization bugs by varying interleavings.
+
+Implements the paper's future-work item of "incorporating techniques for
+influencing thread scheduling to catch synchronization bugs".  A racy
+fork-join program may pass a functionality test under the schedule the OS
+happened to produce; the fuzzer reruns the *same* functionality checker
+under many seeded random interleavings (via the simulation backend) and
+reports every schedule whose trace failed a check — typically the
+post-join semantics, where a lost update surfaces as a total that is not
+the sum of the per-thread results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.checker import AbstractForkJoinChecker
+from repro.simulation.backend import SimulationBackend, use_backend
+from repro.simulation.scheduler import RandomPolicy
+from repro.testfw.result import TestResult
+
+__all__ = ["FuzzFinding", "FuzzReport", "ScheduleFuzzer"]
+
+
+@dataclass
+class FuzzFinding:
+    """One schedule under which the checker found an error."""
+
+    seed: int
+    score: float
+    max_score: float
+    failed_aspects: List[str]
+    messages: List[str]
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate result of a fuzzing campaign."""
+
+    schedules_tried: int
+    findings: List[FuzzFinding] = field(default_factory=list)
+
+    @property
+    def bug_found(self) -> bool:
+        return bool(self.findings)
+
+    @property
+    def failure_rate(self) -> float:
+        if not self.schedules_tried:
+            return 0.0
+        return len(self.findings) / self.schedules_tried
+
+    def summary(self) -> str:
+        if not self.bug_found:
+            return (
+                f"no failing schedule in {self.schedules_tried} tried; the "
+                f"program may still be racy - fuzzing can only refute, not "
+                f"prove, synchronization correctness"
+            )
+        first = self.findings[0]
+        return (
+            f"{len(self.findings)}/{self.schedules_tried} schedules failed; "
+            f"first failing seed {first.seed}: "
+            + "; ".join(first.messages[:2])
+        )
+
+
+class ScheduleFuzzer:
+    """Rerun a functionality checker under many seeded interleavings."""
+
+    def __init__(
+        self,
+        checker_factory: Callable[[], AbstractForkJoinChecker],
+        *,
+        schedules: int = 25,
+        first_seed: int = 0,
+    ) -> None:
+        if schedules < 1:
+            raise ValueError("schedules must be >= 1")
+        self._factory = checker_factory
+        self.schedules = schedules
+        self.first_seed = first_seed
+
+    def _failed(self, result: TestResult) -> Optional[FuzzFinding]:
+        failed = result.failed_aspects()
+        if not failed and not result.fatal:
+            return None
+        messages = [o.message for o in failed if o.message]
+        if result.fatal:
+            messages.insert(0, result.fatal)
+        return FuzzFinding(
+            seed=-1,
+            score=result.score,
+            max_score=result.max_score,
+            failed_aspects=[o.aspect for o in failed],
+            messages=messages,
+        )
+
+    def run(self) -> FuzzReport:
+        report = FuzzReport(schedules_tried=self.schedules)
+        for seed in range(self.first_seed, self.first_seed + self.schedules):
+            backend = SimulationBackend(policy=RandomPolicy(seed))
+            checker = self._factory()
+            with use_backend(backend):
+                result = checker.run_safely()
+            finding = self._failed(result)
+            if finding is not None:
+                finding.seed = seed
+                report.findings.append(finding)
+        return report

@@ -1,0 +1,48 @@
+"""Cost models for simulated workloads.
+
+Performance testing needs work whose duration is *predictable per unit*:
+the simulation backend charges each unit's cost to the virtual clock, so
+a workload's virtual duration is exactly its cost-model total along the
+critical path.  The models here give per-item costs for the three
+workshop problems; they are deliberately simple (constant or size-linear)
+because the checker grades speedup *ratios*, which constants preserve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel", "UNIT_COST_MODEL", "trial_division_cost"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Virtual cost accounting for one problem's work items.
+
+    ``per_item`` is the baseline cost of processing one item (one random
+    number, one Monte-Carlo dart); ``per_unit_size`` adds size-dependent
+    cost for algorithms whose per-item work grows with the item (trial
+    division grows with sqrt(n)).
+    """
+
+    per_item: float = 1.0
+    per_unit_size: float = 0.0
+
+    def item_cost(self, size: float = 0.0) -> float:
+        return self.per_item + self.per_unit_size * size
+
+
+#: Every item costs one virtual unit: the right model for Monte-Carlo
+#: darts and odd/even checks, whose per-item work is constant.
+UNIT_COST_MODEL = CostModel(per_item=1.0)
+
+
+def trial_division_cost(n: int, *, scale: float = 0.01) -> float:
+    """Virtual cost of a trial-division primality check of *n*.
+
+    Proportional to the number of candidate divisors examined, i.e.
+    ``sqrt(n)``; *scale* converts divisor-checks to virtual seconds.
+    """
+    if n < 2:
+        return scale
+    return scale * max(1.0, float(n) ** 0.5)

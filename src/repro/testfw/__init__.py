@@ -1,0 +1,36 @@
+"""Mini scored-test framework: the JUnit-analogue layer of the paper.
+
+Suites group a problem's tests, each test produces a score plus
+fine-grained requirement outcomes, and an IDE-independent terminal UI
+(Fig. 5 of the paper) lets students run tests interactively against
+in-progress work.
+"""
+
+from repro.testfw.annotations import (
+    DEFAULT_MAX_VALUE,
+    MAX_VALUE_ATTR,
+    max_value,
+    max_value_of,
+)
+from repro.testfw.case import FunctionTestCase, ScoredTestCase
+from repro.testfw.result import AspectOutcome, AspectStatus, SuiteResult, TestResult
+from repro.testfw.suite import TestSuite, get_suite, register_suite, registered_suites
+from repro.testfw.ui import SuiteUI
+
+__all__ = [
+    "max_value",
+    "max_value_of",
+    "MAX_VALUE_ATTR",
+    "DEFAULT_MAX_VALUE",
+    "ScoredTestCase",
+    "FunctionTestCase",
+    "TestResult",
+    "SuiteResult",
+    "AspectOutcome",
+    "AspectStatus",
+    "TestSuite",
+    "register_suite",
+    "get_suite",
+    "registered_suites",
+    "SuiteUI",
+]

@@ -1,0 +1,42 @@
+"""Class annotations for test programs (the ``@MaxValue`` analogue).
+
+The paper's testing programs carry a ``@MaxValue(40)`` annotation giving
+the score assigned to the test.  Python's idiomatic equivalent is a class
+decorator that stores the value on the class::
+
+    @max_value(40)
+    class PrimesFunctionality(AbstractForkJoinChecker):
+        ...
+
+``max_value_of`` retrieves it with a default of 100, so unannotated
+checkers grade out of 100 points (percentages).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Type, TypeVar
+
+__all__ = ["max_value", "max_value_of", "MAX_VALUE_ATTR", "DEFAULT_MAX_VALUE"]
+
+MAX_VALUE_ATTR = "__fork_join_max_value__"
+DEFAULT_MAX_VALUE = 100.0
+
+T = TypeVar("T", bound=type)
+
+
+def max_value(points: float) -> Callable[[T], T]:
+    """Class decorator assigning the maximum score of a test."""
+    if points <= 0:
+        raise ValueError("max_value must be positive")
+
+    def decorator(cls: T) -> T:
+        setattr(cls, MAX_VALUE_ATTR, float(points))
+        return cls
+
+    return decorator
+
+
+def max_value_of(obj: Any) -> float:
+    """Maximum score annotated on *obj* (class or instance); default 100."""
+    target = obj if isinstance(obj, type) else type(obj)
+    return float(getattr(target, MAX_VALUE_ATTR, DEFAULT_MAX_VALUE))

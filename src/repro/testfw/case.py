@@ -1,0 +1,118 @@
+"""Test cases: the unit the framework runs, scores, and reports.
+
+A :class:`ScoredTestCase` is anything with a name, a maximum score, and a
+``run()`` returning a :class:`~repro.testfw.result.TestResult`.  The
+fork-join checkers of :mod:`repro.core` are test cases; so is any ad-hoc
+callable wrapped with :class:`FunctionTestCase`, which maps plain
+pass/fail (return/raise) onto full/zero credit for interoperability with
+conventional xUnit-style tests.
+"""
+
+from __future__ import annotations
+
+import abc
+import traceback
+from typing import Callable, Optional
+
+from repro.testfw.annotations import max_value_of
+from repro.testfw.result import AspectOutcome, AspectStatus, TestResult
+
+__all__ = ["ScoredTestCase", "FunctionTestCase"]
+
+
+class ScoredTestCase(abc.ABC):
+    """Base of everything runnable by suites and the interactive UI."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    @property
+    def max_score(self) -> float:
+        return max_value_of(self)
+
+    @abc.abstractmethod
+    def run(self) -> TestResult:
+        """Execute the test and return its scored result.
+
+        Implementations must not raise: infrastructure-level failures are
+        reported through :attr:`TestResult.fatal` so one broken test never
+        aborts a grading session.
+        """
+
+    def run_safely(self) -> TestResult:
+        """Run, converting any escaped exception into a fatal result."""
+        try:
+            return self.run()
+        except Exception as exc:  # noqa: BLE001 - boundary of the framework
+            detail = "".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip()
+            return TestResult(
+                test_name=self.name,
+                score=0.0,
+                max_score=self.max_score,
+                fatal=f"test harness error: {detail}",
+            )
+
+
+class FunctionTestCase(ScoredTestCase):
+    """Adapt a plain callable (raises on failure) into a scored case."""
+
+    def __init__(
+        self,
+        func: Callable[[], None],
+        *,
+        name: Optional[str] = None,
+        max_score: Optional[float] = None,
+    ) -> None:
+        self._func = func
+        self._name = name or getattr(func, "__name__", "test")
+        self._max = float(max_score) if max_score is not None else max_value_of(func)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def max_score(self) -> float:
+        return self._max
+
+    def run(self) -> TestResult:
+        try:
+            self._func()
+        except AssertionError as exc:
+            return TestResult(
+                test_name=self._name,
+                score=0.0,
+                max_score=self._max,
+                outcomes=[
+                    AspectOutcome(
+                        aspect="assertion",
+                        status=AspectStatus.FAILED,
+                        message=str(exc) or "assertion failed",
+                        points_earned=0.0,
+                        points_possible=self._max,
+                    )
+                ],
+            )
+        except Exception as exc:  # noqa: BLE001 - converted to a result
+            return TestResult(
+                test_name=self._name,
+                score=0.0,
+                max_score=self._max,
+                fatal=f"{type(exc).__name__}: {exc}",
+            )
+        return TestResult(
+            test_name=self._name,
+            score=self._max,
+            max_score=self._max,
+            outcomes=[
+                AspectOutcome(
+                    aspect="assertion",
+                    status=AspectStatus.PASSED,
+                    points_earned=self._max,
+                    points_possible=self._max,
+                )
+            ],
+        )

@@ -1,0 +1,87 @@
+"""Suites group the tests written for one problem.
+
+As in the paper, a problem's suite typically holds two tests — one for
+functionality and another for performance — and the interactive UI is
+created by simply running the suite.  A global catalogue lets the CLI and
+examples look suites up by name (``"primes"``, ``"pi"``, ...).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional
+
+from repro.testfw.case import ScoredTestCase
+from repro.testfw.result import SuiteResult
+
+__all__ = ["TestSuite", "register_suite", "get_suite", "registered_suites"]
+
+
+class TestSuite:
+    """An ordered collection of scored test cases."""
+
+    def __init__(self, name: str, tests: Optional[Iterable[ScoredTestCase]] = None) -> None:
+        self.name = name
+        self._tests: List[ScoredTestCase] = list(tests) if tests else []
+
+    def add(self, test: ScoredTestCase) -> "TestSuite":
+        self._tests.append(test)
+        return self
+
+    @property
+    def tests(self) -> List[ScoredTestCase]:
+        return list(self._tests)
+
+    def test_named(self, name: str) -> ScoredTestCase:
+        for test in self._tests:
+            if test.name == name:
+                return test
+        raise KeyError(f"suite {self.name!r} has no test named {name!r}")
+
+    @property
+    def max_score(self) -> float:
+        return sum(t.max_score for t in self._tests)
+
+    def run(self) -> SuiteResult:
+        """Run every test, never letting one failure abort the others."""
+        result = SuiteResult(suite_name=self.name)
+        for test in self._tests:
+            result.results.append(test.run_safely())
+        return result
+
+    def run_one(self, test_name: str) -> SuiteResult:
+        """Run a single named test (the UI's double-click action)."""
+        result = SuiteResult(suite_name=self.name)
+        result.results.append(self.test_named(test_name).run_safely())
+        return result
+
+    def __len__(self) -> int:
+        return len(self._tests)
+
+
+_lock = threading.Lock()
+_suites: Dict[str, TestSuite] = {}
+
+
+def register_suite(suite: TestSuite) -> TestSuite:
+    """Publish *suite* in the global catalogue (replacing same-named)."""
+    with _lock:
+        _suites[suite.name] = suite
+    return suite
+
+
+def get_suite(name: str) -> TestSuite:
+    """Look a suite up in the catalogue; raises KeyError with the
+    known names when absent."""
+    with _lock:
+        try:
+            return _suites[name]
+        except KeyError:
+            known = ", ".join(sorted(_suites)) or "<none>"
+            raise KeyError(f"no suite named {name!r}; known suites: {known}") from None
+
+
+def registered_suites() -> List[str]:
+    """Names of every registered suite, sorted."""
+    with _lock:
+        return sorted(_suites)

@@ -1,0 +1,118 @@
+"""Plugin-independent interactive testing UI (the paper's Fig. 5).
+
+Programming environments provide their own test runners; the paper adds a
+UI that (1) is independent of any IDE and can be created from the command
+line, and (2) displays the *score* assigned to each test along with its
+messages.  This terminal version lists the suite's tests; selecting one
+(the double-click of Fig. 5) runs it and shows ``score / max`` plus the
+fine-grained requirement report.
+
+The UI is deliberately I/O-agnostic — it takes ``input_fn``/``output_fn``
+callables — so the same component drives the real terminal, the examples,
+and deterministic unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.testfw.result import TestResult
+from repro.testfw.suite import TestSuite
+
+__all__ = ["SuiteUI"]
+
+_BANNER = "=" * 62
+
+
+class SuiteUI:
+    """Interactive runner for one suite."""
+
+    def __init__(self, suite: TestSuite) -> None:
+        self.suite = suite
+        #: Most recent result per test name, shown in the listing the way
+        #: Fig. 5 shows each test's current score.
+        self.last_results: Dict[str, TestResult] = {}
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render_listing(self) -> str:
+        lines = [
+            _BANNER,
+            f"Fork-Join Test Suite: {self.suite.name}",
+            _BANNER,
+        ]
+        for index, test in enumerate(self.suite.tests, start=1):
+            last = self.last_results.get(test.name)
+            if last is None:
+                score = f"-- / {test.max_score:g}"
+            else:
+                score = f"{last.score:g} / {last.max_score:g}"
+            lines.append(f"  [{index}] {test.name:<40} {score}")
+        lines.append(_BANNER)
+        lines.append("Enter a test number to run it, 'a' for all, 'q' to quit.")
+        return "\n".join(lines)
+
+    def render_result(self, result: TestResult) -> str:
+        return "\n".join([_BANNER, result.render(), _BANNER])
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+    def run_test_at(self, index: int) -> TestResult:
+        """Run the 1-based *index*-th test of the suite."""
+        tests = self.suite.tests
+        if not 1 <= index <= len(tests):
+            raise IndexError(
+                f"test number must be between 1 and {len(tests)}, got {index}"
+            )
+        result = tests[index - 1].run_safely()
+        self.last_results[result.test_name] = result
+        return result
+
+    def run_all(self) -> List[TestResult]:
+        results = [test.run_safely() for test in self.suite.tests]
+        for result in results:
+            self.last_results[result.test_name] = result
+        return results
+
+    # ------------------------------------------------------------------
+    # Interactive loop
+    # ------------------------------------------------------------------
+    def loop(
+        self,
+        input_fn: Optional[Callable[[str], str]] = None,
+        output_fn: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        """Run the read-select-report loop until the user quits.
+
+        ``input_fn``/``output_fn`` default to the real terminal; tests
+        pass scripted versions.
+        """
+        ask = input_fn if input_fn is not None else input
+        say = output_fn if output_fn is not None else print
+        while True:
+            say(self.render_listing())
+            try:
+                choice = ask("> ").strip().lower()
+            except EOFError:
+                return
+            if choice in {"q", "quit", "exit"}:
+                return
+            if choice in {"a", "all"}:
+                for result in self.run_all():
+                    say(self.render_result(result))
+                continue
+            if not choice:
+                continue
+            try:
+                index = int(choice)
+            except ValueError:
+                say(f"unrecognized choice {choice!r}")
+                continue
+            try:
+                result = self.run_test_at(index)
+            except IndexError as exc:
+                say(str(exc))
+                continue
+            say(self.render_result(result))

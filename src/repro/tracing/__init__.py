@@ -1,0 +1,41 @@
+"""Tracing layer: the programming interface for *tested* programs.
+
+Student (tested) programs use exactly two calls from this package —
+:func:`print_property` to trace logical variables and
+:func:`set_hide_redirected_prints` to honour performance-test print
+disabling — mirroring §4.2 of the paper.  The rest of the package is the
+interception machinery the testing side installs around a run.
+"""
+
+from repro.tracing.formatting import (
+    PROPERTY_LINE_RE,
+    format_property_line,
+    format_value,
+    parse_property_line,
+)
+from repro.tracing.observable import CallbackObserver, ObserverRegistry, PrintObserver
+from repro.tracing.print_property import print_property
+from repro.tracing.session import (
+    TraceSession,
+    current_session,
+    get_hide_redirected_prints,
+    set_hide_redirected_prints,
+)
+from repro.util.thread_registry import FIRST_THREAD_ID, ThreadRegistry
+
+__all__ = [
+    "print_property",
+    "set_hide_redirected_prints",
+    "get_hide_redirected_prints",
+    "TraceSession",
+    "current_session",
+    "ThreadRegistry",
+    "FIRST_THREAD_ID",
+    "ObserverRegistry",
+    "PrintObserver",
+    "CallbackObserver",
+    "format_value",
+    "format_property_line",
+    "parse_property_line",
+    "PROPERTY_LINE_RE",
+]

@@ -1,0 +1,77 @@
+"""Standard textual form of traced logical variables.
+
+The infrastructure requires all solutions to a problem to print logical
+variables the same way, so the trace can be checked with regular
+expressions rather than a grammar.  This module defines that standard
+form, used by :func:`repro.tracing.print_property` when producing output
+and by :mod:`repro.core.syntax` when building the regexes that check it:
+
+    ``Thread <id>-><Name>:<value>``
+
+Values are rendered in a Java-trace-compatible way (``true``/``false``
+booleans, ``[a, b, c]`` arrays) so the example traces in the paper's
+figures are reproduced verbatim in shape.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "format_value",
+    "format_property_line",
+    "parse_property_line",
+    "PROPERTY_LINE_RE",
+]
+
+#: Generic shape of any property line; used for coarse filtering before
+#: the per-property regexes of the static-syntax checker are applied.
+PROPERTY_LINE_RE = re.compile(r"^Thread (?P<tid>\d+)->(?P<name>[^:]*):(?P<value>.*)$")
+
+
+def format_value(value: Any) -> str:
+    """Render *value* in the standard trace form.
+
+    Booleans print as ``true``/``false`` and sequences as
+    ``[a, b, c]`` to match the paper's example output; everything else
+    uses its natural ``str`` form.  ``numpy`` scalars and arrays format
+    like their Python counterparts so traced programs may freely mix
+    vectorised and scalar code.
+    """
+    if isinstance(value, bool) or isinstance(value, np.bool_):
+        return "true" if value else "false"
+    if value is None:
+        return "null"
+    if isinstance(value, np.generic):
+        return format_value(value.item())
+    if isinstance(value, np.ndarray):
+        return format_value(value.tolist())
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(format_value(v) for v in value) + "]"
+    if isinstance(value, float) and value.is_integer():
+        # keep 3.0 as "3.0": do not collapse floats to ints, students see
+        # exactly what they computed
+        return repr(value)
+    return str(value)
+
+
+def format_property_line(thread_id: int, name: str, value: Any) -> str:
+    """The full standard line for one logical-variable setting."""
+    return f"Thread {thread_id}->{name}:{format_value(value)}"
+
+
+def parse_property_line(line: str) -> Optional[Tuple[int, str, str]]:
+    """Invert :func:`format_property_line` textually.
+
+    Returns ``(thread_id, name, value_text)`` or ``None`` when the line is
+    not in property form.  Only used when checking output that arrived as
+    bare text (e.g. from a subprocess run); the in-process path keeps the
+    live objects and never needs to parse.
+    """
+    match = PROPERTY_LINE_RE.match(line)
+    if match is None:
+        return None
+    return int(match.group("tid")), match.group("name"), match.group("value")

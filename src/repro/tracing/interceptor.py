@@ -1,0 +1,169 @@
+"""Print interception: the tested program's console becomes observable.
+
+The paper replaces Java's ``System.out`` with a custom observable object
+that (a) forwards to the real console while printing is enabled and
+(b) converts every print into an event.  The Python equivalent here swaps
+``sys.stdout`` for a :class:`RedirectingWriter` and patches
+``builtins.print`` for the duration of a trace session, so that:
+
+* output text is unchanged (students see exactly what they printed);
+* each completed line is recorded as an event carrying the true thread
+  object of the printer;
+* a plain ``print(obj)`` is internally stored as the setting of a logical
+  variable named ``type(obj).__name__``;
+* when prints are *hidden* (performance testing), a print produces no
+  output **and** no trace event.
+
+The writer buffers per thread until a newline so that interleaved partial
+writes from different threads do not corrupt each other's lines.
+"""
+
+from __future__ import annotations
+
+import builtins
+import io
+import sys
+import threading
+from typing import Any, Callable, Optional, TextIO
+
+__all__ = ["RedirectingWriter", "PrintPatch"]
+
+
+class RedirectingWriter(io.TextIOBase):
+    """``sys.stdout`` replacement that records completed lines as events.
+
+    ``session`` is duck-typed: it must provide ``hidden`` (bool),
+    ``record_plain_line(text)`` and ``capture(text)``.  The writer talks
+    to the *original* stdout for actual display.
+    """
+
+    def __init__(self, session: Any, real: TextIO) -> None:
+        super().__init__()
+        self._session = session
+        self._real = real
+        self._buffers = threading.local()
+        # Re-entrancy guard: while an explicit print_property (or patched
+        # print) is emitting its own formatted line, the writer must not
+        # record the same text a second time as a plain-print event.
+        self._suppress = threading.local()
+
+    # -- suppression --------------------------------------------------
+    def suppressed(self) -> bool:
+        return getattr(self._suppress, "value", False)
+
+    class _Suppress:
+        def __init__(self, writer: "RedirectingWriter") -> None:
+            self._writer = writer
+
+        def __enter__(self) -> None:
+            self._writer._suppress.value = True
+
+        def __exit__(self, *exc: Any) -> None:
+            self._writer._suppress.value = False
+
+    def suppress_recording(self) -> "RedirectingWriter._Suppress":
+        """Context manager: write without generating plain-print events."""
+        return RedirectingWriter._Suppress(self)
+
+    # -- TextIOBase interface -----------------------------------------
+    def writable(self) -> bool:  # pragma: no cover - io protocol
+        return True
+
+    def write(self, text: str) -> int:
+        if not isinstance(text, str):
+            raise TypeError(f"write() argument must be str, not {type(text).__name__}")
+        if self._session.hidden:
+            # Disabled prints make no output and no trace.
+            return len(text)
+        buffer = getattr(self._buffers, "value", "")
+        buffer += text
+        emitted = 0
+        while True:
+            newline = buffer.find("\n")
+            if newline < 0:
+                break
+            line, buffer = buffer[:newline], buffer[newline + 1 :]
+            self._emit_line(line)
+            emitted += 1
+        self._buffers.value = buffer
+        return len(text)
+
+    def flush(self) -> None:
+        # Partial (newline-less) content stays buffered until its line
+        # completes; flushing only propagates to the real console.
+        self._real.flush()
+
+    def close_line_buffers(self) -> None:
+        """Flush any trailing newline-less output of the calling thread."""
+        buffer = getattr(self._buffers, "value", "")
+        if buffer:
+            self._buffers.value = ""
+            self._emit_line(buffer)
+
+    # -- internals -----------------------------------------------------
+    def _emit_line(self, line: str) -> None:
+        self._real.write(line + "\n")
+        self._session.capture(line)
+        if not self.suppressed():
+            self._session.record_plain_line(line)
+
+    @property
+    def real(self) -> TextIO:
+        return self._real
+
+
+class PrintPatch:
+    """Temporarily replace ``builtins.print`` to capture live objects.
+
+    A plain ``print(obj)`` must be stored as the setting of a logical
+    variable named after ``obj``'s type, *with the live object as value*.
+    Intercepting only ``sys.stdout`` would lose the object (the stream
+    sees text); patching ``print`` preserves it.  Prints directed at other
+    files (``file=sys.stderr`` etc.) pass through untouched.
+    """
+
+    def __init__(self, session: Any, writer: RedirectingWriter) -> None:
+        self._session = session
+        self._writer = writer
+        self._original: Optional[Callable[..., None]] = None
+
+    def install(self) -> None:
+        if self._original is not None:
+            raise RuntimeError("print patch already installed")
+        self._original = builtins.print
+        original = self._original
+        session = self._session
+        writer = self._writer
+
+        def traced_print(*args: Any, **kwargs: Any) -> None:
+            file = kwargs.get("file")
+            if file is not None and file is not writer and file is not sys.stdout:
+                original(*args, **kwargs)
+                return
+            if session.hidden:
+                return
+            sep = kwargs.get("sep")
+            sep = " " if sep is None else sep
+            text = sep.join(str(a) for a in args)
+            if len(args) == 1:
+                name = type(args[0]).__name__
+                value: Any = args[0]
+            else:
+                name = "str"
+                value = text
+            # Write through the interceptor with recording suppressed,
+            # then record once with the live object.
+            end = kwargs.get("end")
+            end = "\n" if end is None else end
+            with writer.suppress_recording():
+                writer.write(text + end)
+            for line in (text + end).splitlines():
+                session.record_plain_value(name, value, line)
+
+        builtins.print = traced_print
+
+    def uninstall(self) -> None:
+        if self._original is None:
+            return
+        builtins.print = self._original
+        self._original = None

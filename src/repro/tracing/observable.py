@@ -1,0 +1,73 @@
+"""Observer plumbing that makes intercepted prints *observable events*.
+
+The paper layers its fork-join support on earlier infrastructure for
+testing observable concurrent animations: every intercepted print is
+converted into an event that arbitrary observer objects can subscribe to.
+This module provides that observer registry.  The event database
+(:mod:`repro.eventdb`) is simply one such observer; test writers may add
+their own (e.g. live trace viewers or instructor-awareness loggers).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Protocol, runtime_checkable
+
+from repro.eventdb.events import PropertyEvent
+
+__all__ = ["PrintObserver", "ObserverRegistry", "CallbackObserver"]
+
+
+@runtime_checkable
+class PrintObserver(Protocol):
+    """Anything that wants to see print events as they are announced."""
+
+    def notify(self, event: PropertyEvent) -> None:
+        """Called synchronously, on the announcing thread, per event."""
+
+
+class CallbackObserver:
+    """Adapt a plain callable into a :class:`PrintObserver`."""
+
+    def __init__(self, callback: Callable[[PropertyEvent], None]) -> None:
+        self._callback = callback
+
+    def notify(self, event: PropertyEvent) -> None:
+        self._callback(event)
+
+
+class ObserverRegistry:
+    """Thread-safe fan-out of events to registered observers.
+
+    Observers are notified synchronously on the thread that produced the
+    print, mirroring the paper's design where the event database records
+    the announcing ``Thread`` object.  Observer exceptions are not
+    swallowed: a broken observer is a broken test harness and should fail
+    loudly rather than silently drop trace data.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._observers: List[PrintObserver] = []
+
+    def add(self, observer: PrintObserver) -> None:
+        with self._lock:
+            if observer not in self._observers:
+                self._observers.append(observer)
+
+    def remove(self, observer: PrintObserver) -> None:
+        with self._lock:
+            try:
+                self._observers.remove(observer)
+            except ValueError:
+                pass
+
+    def announce(self, event: PropertyEvent) -> None:
+        with self._lock:
+            observers = list(self._observers)
+        for observer in observers:
+            observer.notify(event)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._observers)

@@ -1,0 +1,5 @@
+"""Compatibility re-export; the registry lives in :mod:`repro.util`."""
+
+from repro.util.thread_registry import FIRST_THREAD_ID, ThreadRegistry
+
+__all__ = ["ThreadRegistry", "FIRST_THREAD_ID"]

@@ -1,0 +1,5 @@
+"""Dependency-free utilities shared by the tracing and event-db layers."""
+
+from repro.util.thread_registry import FIRST_THREAD_ID, ThreadRegistry
+
+__all__ = ["ThreadRegistry", "FIRST_THREAD_ID"]

@@ -1,0 +1,18 @@
+"""Tested programs: the role of student submissions in the paper.
+
+Importing a problem subpackage registers its variants with the execution
+registry; importing this package registers everything.
+"""
+
+from repro.workloads import hello, jacobi, odds, pi_montecarlo, primes  # noqa: F401
+
+#: identifier lists per problem, for sweeps and batch grading.
+ALL_VARIANTS = {
+    "hello": hello.VARIANTS,
+    "primes": primes.VARIANTS,
+    "pi": pi_montecarlo.VARIANTS,
+    "odds": odds.VARIANTS,
+    "jacobi": jacobi.VARIANTS,
+}
+
+__all__ = ["ALL_VARIANTS", "hello", "primes", "pi_montecarlo", "odds", "jacobi"]

@@ -1,0 +1,172 @@
+"""Shared helpers for the tested (student) fork-join programs.
+
+The workload modules in this package play the role of the paper's student
+submissions.  Each is a self-contained ``main(args)`` program; these
+helpers keep only the genuinely problem-independent parts — argument
+parsing, deterministic random inputs, fair partitioning, the arithmetic
+predicates, and work kernels with controllable GIL behaviour for
+performance testing.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+import time
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.simulation.backend import ConcurrencyBackend, current_backend
+
+__all__ = [
+    "int_arg",
+    "workload_seed",
+    "generate_randoms",
+    "partition",
+    "is_prime",
+    "is_odd",
+    "SharedCounter",
+    "latency_work",
+    "cpu_work",
+    "numpy_work",
+    "fork_and_join",
+]
+
+#: Deterministic default seed; override per run with REPRO_WORKLOAD_SEED.
+DEFAULT_SEED = 42
+
+
+def workload_seed() -> int:
+    """The seed tested programs use for their random inputs."""
+    raw = os.environ.get("REPRO_WORKLOAD_SEED", "")
+    try:
+        return int(raw)
+    except ValueError:
+        return DEFAULT_SEED
+
+
+def int_arg(args: Sequence[str], index: int, default: int) -> int:
+    """Parse main argument *index* as an int, with a default."""
+    try:
+        return int(args[index])
+    except (IndexError, ValueError):
+        return default
+
+
+def generate_randoms(
+    count: int, *, seed: Optional[int] = None, low: int = 1, high: int = 999
+) -> List[int]:
+    """The problem input: *count* pseudo-random integers in [low, high]."""
+    rng = np.random.default_rng(workload_seed() if seed is None else seed)
+    return [int(v) for v in rng.integers(low, high + 1, size=count)]
+
+
+def partition(total: int, parts: int) -> List[Tuple[int, int]]:
+    """Fair contiguous index ranges: ``parts`` half-open ``(lo, hi)``.
+
+    The first ``total % parts`` ranges take one extra item, so loads
+    differ by at most one — "as balanced as it can be".
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    base, extra = divmod(total, parts)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(parts):
+        size = base + (1 if index < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def is_prime(n: int) -> bool:
+    """Trial-division primality (the reference predicate)."""
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    for divisor in range(3, int(math.isqrt(n)) + 1, 2):
+        if n % divisor == 0:
+            return False
+    return True
+
+
+def is_odd(n: int) -> bool:
+    """Parity predicate for the odd-numbers problem."""
+    return n % 2 != 0
+
+
+class SharedCounter:
+    """A lock-protected running total for worker results."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def add(self, amount: int) -> None:
+        with self._lock:
+            self._value += amount
+
+    def add_racy(self, amount: int, *, gap: float = 0.0005) -> None:
+        """Deliberately unsynchronized read-modify-write with a window.
+
+        Used by the racy workload variants: the checkpoint/sleep between
+        read and write makes the lost-update race near-certain under an
+        adversarial schedule.
+        """
+        snapshot = self._value
+        backend = current_backend()
+        backend.checkpoint()
+        if gap:
+            time.sleep(gap)
+        self._value = snapshot + amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+def latency_work(seconds: float) -> None:
+    """I/O-flavoured work: sleeping releases the GIL, so real threads
+    overlap and wall-clock speedup is genuine."""
+    time.sleep(seconds)
+
+
+def cpu_work(iterations: int) -> int:
+    """Pure-Python CPU-bound work: holds the GIL; threads cannot speed
+    this up.  Used as the performance checker's negative control."""
+    total = 0
+    for i in range(iterations):
+        total += (i * i) % 7
+    return total
+
+
+def numpy_work(size: int) -> float:
+    """Vectorised numeric work: NumPy releases the GIL inside large
+    element-wise kernels, so threads overlap on multi-core hosts."""
+    data = np.arange(1, size + 1, dtype=np.float64)
+    return float(np.sqrt(data).sum())
+
+
+def fork_and_join(
+    worker_bodies: List[Callable[[], None]],
+    *,
+    backend: Optional[ConcurrencyBackend] = None,
+) -> None:
+    """Fork one thread per body, start them all, and join them all.
+
+    This is the canonical fork-join skeleton every correct workload uses;
+    buggy variants intentionally deviate (e.g. join-after-each-start).
+    """
+    backend = backend if backend is not None else current_backend()
+    threads = [
+        backend.spawn(body, name=f"worker-{index}")
+        for index, body in enumerate(worker_bodies)
+    ]
+    backend.start_all(threads)
+    backend.join_all(threads)

@@ -1,0 +1,32 @@
+"""Hello World fork-join programs (Figs. 1, 2 and 12 of the paper).
+
+=====================  ================================================
+identifier             behaviour
+=====================  ================================================
+``hello.correct``      forks ``num_threads`` workers, each printing the
+                       greeting (Fig. 1 generalised)
+``hello.omp_style``    workers print OMP-style concurrency-aware lines
+                       with their thread number (Fig. 2)
+``hello.no_fork``      root prints the greeting itself (Fig. 12(b))
+``hello.wrong_count``  forks fewer workers than asked
+=====================  ================================================
+
+``main([num_threads])``; the greeting is ``"Hello Concurrent World"``.
+"""
+
+from repro.workloads.hello import (  # noqa: F401 - imported for registration
+    correct,
+    no_fork,
+    omp_style,
+    wrong_count,
+)
+from repro.workloads.hello.spec import GREETING
+
+__all__ = ["GREETING", "VARIANTS"]
+
+VARIANTS = [
+    "hello.correct",
+    "hello.omp_style",
+    "hello.no_fork",
+    "hello.wrong_count",
+]

@@ -1,0 +1,26 @@
+"""Fork-join Hello World (Fig. 1, generalised to N workers).
+
+Each worker prints the greeting with a plain ``print`` — the output text
+is concurrency-unaware, but the infrastructure internally records the
+printing thread with each line, so the thread-count check still works
+(§4.2: the print is stored as the setting of a logical variable named
+after the value's type).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.execution.registry import register_main
+from repro.workloads.common import fork_and_join, int_arg
+from repro.workloads.hello.spec import DEFAULT_NUM_THREADS, GREETING
+
+
+@register_main("hello.correct")
+def main(args: List[str]) -> None:
+    num_threads = int_arg(args, 0, DEFAULT_NUM_THREADS)
+
+    def worker() -> None:
+        print(GREETING)
+
+    fork_and_join([worker for _ in range(num_threads)])

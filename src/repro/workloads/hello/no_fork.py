@@ -1,0 +1,19 @@
+"""Hello World without forking (the Fig. 12(b) submission).
+
+The root thread prints the greeting directly.  The console output is
+byte-for-byte identical to the correct solution's, which is precisely why
+input/output testing cannot grade concurrency — but the trace shows zero
+forked threads and the checker says so.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.execution.registry import register_main
+from repro.workloads.hello.spec import GREETING
+
+
+@register_main("hello.no_fork")
+def main(args: List[str]) -> None:
+    print(GREETING)

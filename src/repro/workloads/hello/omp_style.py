@@ -1,0 +1,29 @@
+"""OMP-style concurrency-aware Hello World (Fig. 2 of the paper).
+
+Each worker prints its own thread number in the text, like the OpenMP
+``printf("Hello World.. from thread = %d", omp_get_thread_num())``
+example.  Note the printed number is the *worker index*, not the
+infrastructure's thread id: the trace keeps the real thread object
+regardless, so a test counting threads is immune to what the text says.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.execution.registry import register_main
+from repro.workloads.common import fork_and_join, int_arg
+from repro.workloads.hello.spec import DEFAULT_NUM_THREADS
+
+
+@register_main("hello.omp_style")
+def main(args: List[str]) -> None:
+    num_threads = int_arg(args, 0, DEFAULT_NUM_THREADS)
+
+    def make_worker(index: int):
+        def worker() -> None:
+            print(f"Hello World.. from thread = {index}")
+
+        return worker
+
+    fork_and_join([make_worker(i) for i in range(num_threads)])

@@ -1,0 +1,8 @@
+"""The Hello World assignment statement."""
+
+from __future__ import annotations
+
+__all__ = ["GREETING", "DEFAULT_NUM_THREADS"]
+
+GREETING = "Hello Concurrent World"
+DEFAULT_NUM_THREADS = 1

@@ -1,0 +1,22 @@
+"""Hello World that forks fewer workers than the assignment asks.
+
+Forks exactly one worker no matter the argument — the submission shape
+that earns the *partial* thread-count credit Fig. 12 reserves for
+"creating one or more threads" without the right count.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.execution.registry import register_main
+from repro.workloads.common import fork_and_join
+from repro.workloads.hello.spec import GREETING
+
+
+@register_main("hello.wrong_count")
+def main(args: List[str]) -> None:
+    def worker() -> None:
+        print(GREETING)
+
+    fork_and_join([worker])

@@ -1,0 +1,50 @@
+"""Jacobi heat diffusion: the multi-round fork-join extension workload.
+
+==========================  ===========================================
+identifier                  behaviour
+==========================  ===========================================
+``jacobi.correct``          double-buffered reference solution
+``jacobi.in_place``         no double buffer (Gauss-Seidel by accident)
+``jacobi.missing_round``    one round too few
+``jacobi.wrong_global_delta``  sums chunk deltas instead of max
+``jacobi.no_round_barrier``    rounds collapsed into one fork phase
+==========================  ===========================================
+"""
+
+from repro.workloads.jacobi import bugs, correct  # noqa: F401 - registration
+from repro.workloads.jacobi.spec import (
+    CELL,
+    CHUNK_MAX_DELTA,
+    DEFAULT_NUM_CELLS,
+    DEFAULT_NUM_ROUNDS,
+    DEFAULT_NUM_THREADS,
+    FINAL_HEAT,
+    GLOBAL_MAX_DELTA,
+    NEW_HEAT,
+    ROUND,
+    initial_grid,
+    stencil,
+)
+
+__all__ = [
+    "ROUND",
+    "CELL",
+    "NEW_HEAT",
+    "CHUNK_MAX_DELTA",
+    "GLOBAL_MAX_DELTA",
+    "FINAL_HEAT",
+    "DEFAULT_NUM_CELLS",
+    "DEFAULT_NUM_THREADS",
+    "DEFAULT_NUM_ROUNDS",
+    "initial_grid",
+    "stencil",
+    "VARIANTS",
+]
+
+VARIANTS = [
+    "jacobi.correct",
+    "jacobi.in_place",
+    "jacobi.missing_round",
+    "jacobi.wrong_global_delta",
+    "jacobi.no_round_barrier",
+]

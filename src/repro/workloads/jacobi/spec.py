@@ -1,0 +1,68 @@
+"""The Jacobi heat-diffusion assignment (multi-round fork-join).
+
+``main([num_cells, num_threads, num_rounds])``: a 1-D rod of
+``num_cells`` cells starts with 100.0 units of heat in cell 0 and 0.0
+elsewhere.  Each *round*, every cell's new heat is the average of itself
+and its neighbours (edges use the cell itself in place of the missing
+neighbour), computed from the *previous* round's values — the classic
+double-buffered Jacobi update that students break by updating in place.
+
+Per round the root announces the round number, forks a fixed number of
+worker threads over fair chunks, and after joining prints the global
+maximum change; after the last round it prints the final heat vector.
+
+Trace properties:
+
+* round pre-fork (root): ``Round`` (Number)
+* iteration (worker):    ``Cell`` (Number), ``New Heat`` (Number)
+* post-iteration:        ``Chunk Max Delta`` (Number)
+* round post-join (root): ``Global Max Delta`` (Number)
+* final post-join (root): ``Final Heat`` (Array)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = [
+    "ROUND",
+    "CELL",
+    "NEW_HEAT",
+    "CHUNK_MAX_DELTA",
+    "GLOBAL_MAX_DELTA",
+    "FINAL_HEAT",
+    "DEFAULT_NUM_CELLS",
+    "DEFAULT_NUM_THREADS",
+    "DEFAULT_NUM_ROUNDS",
+    "initial_grid",
+    "stencil",
+]
+
+ROUND = "Round"
+CELL = "Cell"
+NEW_HEAT = "New Heat"
+CHUNK_MAX_DELTA = "Chunk Max Delta"
+GLOBAL_MAX_DELTA = "Global Max Delta"
+FINAL_HEAT = "Final Heat"
+
+#: 12 cells over 4 threads for 3 rounds: by the third round the heat
+#: front crosses a chunk boundary, so mistakes in *combining* chunk
+#: results (sum vs max) become observable.
+DEFAULT_NUM_CELLS = 12
+DEFAULT_NUM_THREADS = 4
+DEFAULT_NUM_ROUNDS = 3
+
+
+def initial_grid(num_cells: int) -> List[float]:
+    """The assignment's fixed initial condition."""
+    grid = [0.0] * num_cells
+    if num_cells:
+        grid[0] = 100.0
+    return grid
+
+
+def stencil(grid: List[float], index: int) -> float:
+    """The reference update: average of self and clamped neighbours."""
+    left = grid[index - 1] if index > 0 else grid[index]
+    right = grid[index + 1] if index < len(grid) - 1 else grid[index]
+    return (left + grid[index] + right) / 3.0

@@ -1,0 +1,32 @@
+"""The odd-numbers assignment statement (the author's worked example, §5).
+
+``main([num_randoms, num_threads])``: a fixed number of threads find the
+odd numbers in a list with a variable number of random numbers — the
+worked example the author developed to demonstrate the Java concurrency
+primitives.  Trace shape mirrors the primes problem with ``Is Odd`` /
+``Num Odds`` / ``Total Num Odds`` in place of the prime properties.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "RANDOM_NUMBERS",
+    "INDEX",
+    "NUMBER",
+    "IS_ODD",
+    "NUM_ODDS",
+    "TOTAL_NUM_ODDS",
+    "DEFAULT_NUM_RANDOMS",
+    "DEFAULT_NUM_THREADS",
+]
+
+RANDOM_NUMBERS = "Random Numbers"
+INDEX = "Index"
+NUMBER = "Number"
+IS_ODD = "Is Odd"
+NUM_ODDS = "Num Odds"
+TOTAL_NUM_ODDS = "Total Num Odds"
+
+#: 27 total iterations, the workshop configuration (§5).
+DEFAULT_NUM_RANDOMS = 27
+DEFAULT_NUM_THREADS = 4

@@ -1,0 +1,70 @@
+"""Reference solution: Monte-Carlo PI with a fixed number of threads.
+
+Each worker throws its fair share of darts at the unit square, tracing
+every dart's coordinates and in-circle judgement, then its hit count; the
+root combines hit counts under a lock and prints the estimate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.execution.registry import register_main
+from repro.simulation.backend import current_backend
+from repro.tracing import print_property
+from repro.workloads.common import SharedCounter, fork_and_join, int_arg, partition, workload_seed
+from repro.workloads.pi_montecarlo.spec import (
+    DEFAULT_NUM_POINTS,
+    DEFAULT_NUM_THREADS,
+    IN_CIRCLE,
+    INDEX,
+    NUM_IN_CIRCLE,
+    NUM_POINTS,
+    PI_ESTIMATE,
+    TOTAL_IN_CIRCLE,
+    X,
+    Y,
+)
+
+
+@register_main("pi.correct")
+def main(args: List[str]) -> None:
+    num_points = int_arg(args, 0, DEFAULT_NUM_POINTS)
+    num_threads = int_arg(args, 1, DEFAULT_NUM_THREADS)
+    backend = current_backend()
+
+    print_property(NUM_POINTS, num_points)
+
+    hits = SharedCounter()
+
+    def make_worker(lo: int, hi: int, seed: int):
+        def worker() -> None:
+            rng = random.Random(seed)
+            count = 0
+            for index in range(lo, hi):
+                x = rng.random()
+                y = rng.random()
+                print_property(INDEX, index)
+                print_property(X, x)
+                print_property(Y, y)
+                in_circle = x * x + y * y <= 1.0
+                print_property(IN_CIRCLE, in_circle)
+                if in_circle:
+                    count += 1
+                backend.checkpoint()
+            print_property(NUM_IN_CIRCLE, count)
+            hits.add(count)
+
+        return worker
+
+    base_seed = workload_seed()
+    bodies = [
+        make_worker(lo, hi, base_seed + part)
+        for part, (lo, hi) in enumerate(partition(num_points, num_threads))
+    ]
+    fork_and_join(bodies, backend=backend)
+
+    total = hits.value
+    print_property(TOTAL_IN_CIRCLE, total)
+    print_property(PI_ESTIMATE, 4.0 * total / num_points if num_points else 0.0)

@@ -1,0 +1,41 @@
+"""The Monte-Carlo PI assignment statement.
+
+``main([num_points, num_threads])``: the root announces the number of
+darts, a fixed number of worker threads throw fair shares of them, each
+tracing every dart (``Index``/``X``/``Y``/``In Circle``) and then its own
+hit count; the root prints the combined hit count and the PI estimate
+``4 * hits / num_points``.
+
+Note the serial-correctness twist the paper highlights for this problem:
+the final PI value is itself random, so the *only* way to check final
+serial correctness is to check intermediate serial results (each dart's
+in-circle judgement and the hit arithmetic built from them).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NUM_POINTS",
+    "INDEX",
+    "X",
+    "Y",
+    "IN_CIRCLE",
+    "NUM_IN_CIRCLE",
+    "TOTAL_IN_CIRCLE",
+    "PI_ESTIMATE",
+    "DEFAULT_NUM_POINTS",
+    "DEFAULT_NUM_THREADS",
+]
+
+NUM_POINTS = "Num Points"
+INDEX = "Index"
+X = "X"
+Y = "Y"
+IN_CIRCLE = "In Circle"
+NUM_IN_CIRCLE = "Num In Circle"
+TOTAL_IN_CIRCLE = "Total In Circle"
+PI_ESTIMATE = "PI"
+
+#: The workshop used 27 total iterations so tests finish quickly (§5).
+DEFAULT_NUM_POINTS = 27
+DEFAULT_NUM_THREADS = 4

@@ -1,0 +1,72 @@
+"""Buggy solution: interleaved threads but lopsided work split.
+
+Isolates the load-balance check from the serialization check: the
+threads run concurrently (so interleaving passes) but the first worker
+takes everything except one number per remaining worker.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.execution.registry import register_main
+from repro.simulation.backend import current_backend
+from repro.tracing import print_property
+from repro.workloads.common import (
+    SharedCounter,
+    fork_and_join,
+    generate_randoms,
+    int_arg,
+    is_prime,
+)
+from repro.workloads.primes.spec import (
+    DEFAULT_NUM_RANDOMS,
+    DEFAULT_NUM_THREADS,
+    INDEX,
+    IS_PRIME,
+    NUM_PRIMES,
+    NUMBER,
+    RANDOM_NUMBERS,
+    TOTAL_NUM_PRIMES,
+)
+
+
+@register_main("primes.imbalanced")
+def main(args: List[str]) -> None:
+    num_randoms = int_arg(args, 0, DEFAULT_NUM_RANDOMS)
+    num_threads = int_arg(args, 1, DEFAULT_NUM_THREADS)
+    backend = current_backend()
+
+    randoms = generate_randoms(num_randoms)
+    print_property(RANDOM_NUMBERS, randoms)
+
+    total = SharedCounter()
+
+    def make_worker(lo: int, hi: int):
+        def worker() -> None:
+            count = 0
+            for index in range(lo, hi):
+                number = randoms[index]
+                print_property(INDEX, index)
+                print_property(NUMBER, number)
+                prime = is_prime(number)
+                print_property(IS_PRIME, prime)
+                if prime:
+                    count += 1
+                backend.checkpoint()
+            print_property(NUM_PRIMES, count)
+            total.add(count)
+
+        return worker
+
+    # Lopsided split (the naive "first thread mops up the remainder").
+    first_hi = max(1, num_randoms - (num_threads - 1))
+    ranges = [(0, first_hi)]
+    for offset in range(num_threads - 1):
+        start = first_hi + offset
+        ranges.append((start, min(start + 1, num_randoms)))
+
+    bodies = [make_worker(lo, hi) for lo, hi in ranges]
+    fork_and_join(bodies, backend=backend)
+
+    print_property(TOTAL_NUM_PRIMES, total.value)

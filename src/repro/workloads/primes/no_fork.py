@@ -1,0 +1,45 @@
+"""Buggy solution: no forking — the root thread does all the work.
+
+The output *text* of this program can look plausible, but the trace is
+concurrency-unaware in the strong sense: every event carries the root
+thread object, so the infrastructure sees zero forked workers no matter
+what the printed lines claim (§3: a program "cannot fool the
+infrastructure" about thread identity).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.execution.registry import register_main
+from repro.tracing import print_property
+from repro.workloads.common import generate_randoms, int_arg, is_prime
+from repro.workloads.primes.spec import (
+    DEFAULT_NUM_RANDOMS,
+    INDEX,
+    IS_PRIME,
+    NUM_PRIMES,
+    NUMBER,
+    RANDOM_NUMBERS,
+    TOTAL_NUM_PRIMES,
+)
+
+
+@register_main("primes.no_fork")
+def main(args: List[str]) -> None:
+    num_randoms = int_arg(args, 0, DEFAULT_NUM_RANDOMS)
+
+    randoms = generate_randoms(num_randoms)
+    print_property(RANDOM_NUMBERS, randoms)
+
+    total = 0
+    for index, number in enumerate(randoms):
+        print_property(INDEX, index)
+        print_property(NUMBER, number)
+        prime = is_prime(number)
+        print_property(IS_PRIME, prime)
+        if prime:
+            total += 1
+    print_property(NUM_PRIMES, total)
+
+    print_property(TOTAL_NUM_PRIMES, total)

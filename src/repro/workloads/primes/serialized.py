@@ -1,0 +1,74 @@
+"""Buggy solution (Fig. 10): serialized threads and imbalanced load.
+
+This submission makes the paper's two Fig.-10 mistakes at once: it joins
+each worker immediately after starting it — so thread executions are
+fully serialized in thread order, dodging the synchronization the
+assignment requires — and it splits the work lopsidedly, giving the first
+worker everything except one number per remaining worker.  The trace
+syntax and all serial semantics are correct, which is why this submission
+earns 80 % (32/40 in Fig. 5).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.execution.registry import register_main
+from repro.simulation.backend import current_backend
+from repro.tracing import print_property
+from repro.workloads.common import SharedCounter, generate_randoms, int_arg, is_prime
+from repro.workloads.primes.spec import (
+    DEFAULT_NUM_RANDOMS,
+    DEFAULT_NUM_THREADS,
+    INDEX,
+    IS_PRIME,
+    NUM_PRIMES,
+    NUMBER,
+    RANDOM_NUMBERS,
+    TOTAL_NUM_PRIMES,
+)
+
+
+@register_main("primes.serialized")
+def main(args: List[str]) -> None:
+    num_randoms = int_arg(args, 0, DEFAULT_NUM_RANDOMS)
+    num_threads = int_arg(args, 1, DEFAULT_NUM_THREADS)
+    backend = current_backend()
+
+    randoms = generate_randoms(num_randoms)
+    print_property(RANDOM_NUMBERS, randoms)
+
+    total = SharedCounter()
+
+    def make_worker(lo: int, hi: int):
+        def worker() -> None:
+            count = 0
+            for index in range(lo, hi):
+                number = randoms[index]
+                print_property(INDEX, index)
+                print_property(NUMBER, number)
+                prime = is_prime(number)
+                print_property(IS_PRIME, prime)
+                if prime:
+                    count += 1
+            print_property(NUM_PRIMES, count)
+            total.add(count)
+
+        return worker
+
+    # Imbalanced split: the first worker takes everything except one
+    # number for each of the remaining workers.
+    ranges = []
+    first_hi = max(1, num_randoms - (num_threads - 1))
+    ranges.append((0, first_hi))
+    for offset in range(num_threads - 1):
+        start = first_hi + offset
+        ranges.append((start, min(start + 1, num_randoms)))
+
+    # Serialization bug: join each thread before starting the next.
+    for lo, hi in ranges:
+        thread = backend.spawn(make_worker(lo, hi))
+        backend.start_all([thread])
+        backend.join_all([thread])
+
+    print_property(TOTAL_NUM_PRIMES, total.value)

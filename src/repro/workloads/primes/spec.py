@@ -1,0 +1,35 @@
+"""The primes assignment statement: logical-variable names and arguments.
+
+These constants are part of the assignment requirement — all solutions
+must trace exactly these property names (§3 of the paper) — so both the
+tested programs (the workload variants in this package) and the testing
+program (:mod:`repro.graders.primes`) import them from here, mirroring
+the paper's appendix where the test class exports public constants for
+tested programs to use in their ``printProperty`` calls.
+
+Program arguments: ``main([num_randoms, num_threads])``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "RANDOM_NUMBERS",
+    "INDEX",
+    "NUMBER",
+    "IS_PRIME",
+    "NUM_PRIMES",
+    "TOTAL_NUM_PRIMES",
+    "DEFAULT_NUM_RANDOMS",
+    "DEFAULT_NUM_THREADS",
+]
+
+RANDOM_NUMBERS = "Random Numbers"
+INDEX = "Index"
+NUMBER = "Number"
+IS_PRIME = "Is Prime"
+NUM_PRIMES = "Num Primes"
+TOTAL_NUM_PRIMES = "Total Num Primes"
+
+#: The paper's workshop configuration: 7 randoms over 4 threads.
+DEFAULT_NUM_RANDOMS = 7
+DEFAULT_NUM_THREADS = 4

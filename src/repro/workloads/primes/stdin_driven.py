@@ -1,0 +1,74 @@
+"""A solution parameterised from standard input instead of arguments.
+
+The program-execution layer runs programs "with specified input and
+arguments" (§4.4).  This variant reads its two parameters from the
+console — the other common convention in intro courses — and is graded
+with the checker's ``stdin_lines`` parameter method supplying the input.
+Behaviour is otherwise identical to the reference solution.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.execution.registry import register_main
+from repro.simulation.backend import current_backend
+from repro.tracing import print_property
+from repro.workloads.common import (
+    SharedCounter,
+    fork_and_join,
+    generate_randoms,
+    is_prime,
+    partition,
+)
+from repro.workloads.primes.spec import (
+    DEFAULT_NUM_RANDOMS,
+    DEFAULT_NUM_THREADS,
+    INDEX,
+    IS_PRIME,
+    NUM_PRIMES,
+    NUMBER,
+    RANDOM_NUMBERS,
+    TOTAL_NUM_PRIMES,
+)
+
+
+def _read_int(prompt: str, default: int) -> int:
+    try:
+        return int(input(prompt))
+    except (ValueError, EOFError):
+        return default
+
+
+@register_main("primes.stdin")
+def main(args: List[str]) -> None:  # noqa: ARG001 - parameters come from stdin
+    num_randoms = _read_int("How many random numbers? ", DEFAULT_NUM_RANDOMS)
+    num_threads = _read_int("How many threads? ", DEFAULT_NUM_THREADS)
+    backend = current_backend()
+
+    randoms = generate_randoms(num_randoms)
+    print_property(RANDOM_NUMBERS, randoms)
+
+    total = SharedCounter()
+
+    def make_worker(lo: int, hi: int):
+        def worker() -> None:
+            count = 0
+            for index in range(lo, hi):
+                number = randoms[index]
+                print_property(INDEX, index)
+                print_property(NUMBER, number)
+                prime = is_prime(number)
+                print_property(IS_PRIME, prime)
+                if prime:
+                    count += 1
+                backend.checkpoint()
+            print_property(NUM_PRIMES, count)
+            total.add(count)
+
+        return worker
+
+    bodies = [make_worker(lo, hi) for lo, hi in partition(num_randoms, num_threads)]
+    fork_and_join(bodies, backend=backend)
+
+    print_property(TOTAL_NUM_PRIMES, total.value)

@@ -1,0 +1,71 @@
+"""Buggy solution (Fig. 11): wrong property name and a loop error.
+
+Two syntax mistakes: the pre-fork property is printed as ``"Randoms"``
+rather than ``"Random Numbers"``, and an off-by-one loop bound makes each
+worker skip the last number of its slice, so the fork output falls short
+of the expected regular expressions.  Because of these syntax errors the
+infrastructure runs no semantic checks, and only the post-join syntax
+credit survives (10 % in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.execution.registry import register_main
+from repro.simulation.backend import current_backend
+from repro.tracing import print_property
+from repro.workloads.common import (
+    SharedCounter,
+    fork_and_join,
+    generate_randoms,
+    int_arg,
+    is_prime,
+    partition,
+)
+from repro.workloads.primes.spec import (
+    DEFAULT_NUM_RANDOMS,
+    DEFAULT_NUM_THREADS,
+    INDEX,
+    IS_PRIME,
+    NUM_PRIMES,
+    NUMBER,
+    TOTAL_NUM_PRIMES,
+)
+
+
+@register_main("primes.syntax_error")
+def main(args: List[str]) -> None:
+    num_randoms = int_arg(args, 0, DEFAULT_NUM_RANDOMS)
+    num_threads = int_arg(args, 1, DEFAULT_NUM_THREADS)
+    backend = current_backend()
+
+    randoms = generate_randoms(num_randoms)
+    # Mistake 1: wrong logical-variable name.
+    print_property("Randoms", randoms)
+
+    total = SharedCounter()
+
+    def make_worker(lo: int, hi: int):
+        def worker() -> None:
+            count = 0
+            # Mistake 2: off-by-one loop bound skips the slice's last
+            # number, so some iteration outputs never appear.
+            for index in range(lo, hi - 1):
+                number = randoms[index]
+                print_property(INDEX, index)
+                print_property(NUMBER, number)
+                prime = is_prime(number)
+                print_property(IS_PRIME, prime)
+                if prime:
+                    count += 1
+                backend.checkpoint()
+            print_property(NUM_PRIMES, count)
+            total.add(count)
+
+        return worker
+
+    bodies = [make_worker(lo, hi) for lo, hi in partition(num_randoms, num_threads)]
+    fork_and_join(bodies, backend=backend)
+
+    print_property(TOTAL_NUM_PRIMES, total.value)

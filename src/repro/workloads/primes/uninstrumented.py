@@ -1,0 +1,90 @@
+"""A solution with NO tracing calls, auto-instrumented by the harness.
+
+``_uninstrumented_main`` is what a student would write with zero
+knowledge of the testing infrastructure: ordinary variables, ordinary
+threads, not one ``print_property``.  The registered program
+``primes.auto`` wraps its root and worker functions with
+:func:`repro.instrument.instrument`, whose variable watchers emit the
+standard trace — demonstrating the paper's future-work claim that
+instrumentation can remove the tracing requirements from student code.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List
+
+from repro.execution.registry import register_main
+from repro.instrument import instrument
+from repro.simulation.backend import current_backend
+from repro.workloads.common import generate_randoms, int_arg, is_prime, partition
+from repro.workloads.primes.spec import (
+    DEFAULT_NUM_RANDOMS,
+    DEFAULT_NUM_THREADS,
+    INDEX,
+    IS_PRIME,
+    NUM_PRIMES,
+    NUMBER,
+    RANDOM_NUMBERS,
+    TOTAL_NUM_PRIMES,
+)
+
+#: Instructor-declared mapping from the solution's variable names to the
+#: assignment's logical-variable names — the auto-instrumentation
+#: replacement for the print_property discipline.
+WORKER_INSTRUMENTATION = dict(
+    watch={"index": INDEX, "number": NUMBER, "prime": IS_PRIME},
+    loop_var="index",
+    finals={"count": NUM_PRIMES},
+)
+ROOT_INSTRUMENTATION = dict(
+    watch={"randoms": RANDOM_NUMBERS},
+    finals={"total_primes": TOTAL_NUM_PRIMES},
+)
+
+
+def _uninstrumented_main(args: List[str]) -> None:
+    """The student's code: no tracing anywhere."""
+    num_randoms = int_arg(args, 0, DEFAULT_NUM_RANDOMS)
+    num_threads = int_arg(args, 1, DEFAULT_NUM_THREADS)
+    backend = current_backend()
+
+    randoms = generate_randoms(num_randoms)
+
+    lock = threading.Lock()
+    results: List[int] = []
+
+    def make_worker(lo: int, hi: int):
+        @instrument(**WORKER_INSTRUMENTATION)
+        def worker() -> None:
+            count = 0
+            for index in range(lo, hi):
+                number = randoms[index]
+                prime = is_prime(number)
+                if prime:
+                    count += 1
+                backend.checkpoint()
+            with lock:
+                results.append(count)
+
+        return worker
+
+    threads = [
+        backend.spawn(make_worker(lo, hi))
+        for lo, hi in partition(num_randoms, num_threads)
+    ]
+    backend.start_all(threads)
+    backend.join_all(threads)
+
+    total_primes = sum(results)
+    assert total_primes >= 0  # keep the final in scope until return
+
+
+# The harness-side wrapping: the instructor declares the variable maps
+# and instruments the student's untouched functions.
+_traced_root = instrument(**ROOT_INSTRUMENTATION)(_uninstrumented_main)
+
+
+@register_main("primes.auto")
+def main(args: List[str]) -> None:
+    _traced_root(args)

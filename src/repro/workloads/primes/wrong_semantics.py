@@ -1,0 +1,73 @@
+"""Buggy solution: inverted primality predicate.
+
+Trace syntax, threading, interleaving and load balance are all correct;
+only the *serial intermediate* semantics are wrong — every ``Is Prime``
+value is inverted, so the iteration semantic check (and the downstream
+totals) flag the error.  This isolates the serial-intermediate checking
+path of the grader.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.execution.registry import register_main
+from repro.simulation.backend import current_backend
+from repro.tracing import print_property
+from repro.workloads.common import (
+    SharedCounter,
+    fork_and_join,
+    generate_randoms,
+    int_arg,
+    is_prime,
+    partition,
+)
+from repro.workloads.primes.spec import (
+    DEFAULT_NUM_RANDOMS,
+    DEFAULT_NUM_THREADS,
+    INDEX,
+    IS_PRIME,
+    NUM_PRIMES,
+    NUMBER,
+    RANDOM_NUMBERS,
+    TOTAL_NUM_PRIMES,
+)
+
+
+def _broken_is_prime(n: int) -> bool:
+    # The student inverted the predicate while refactoring.
+    return not is_prime(n)
+
+
+@register_main("primes.wrong_semantics")
+def main(args: List[str]) -> None:
+    num_randoms = int_arg(args, 0, DEFAULT_NUM_RANDOMS)
+    num_threads = int_arg(args, 1, DEFAULT_NUM_THREADS)
+    backend = current_backend()
+
+    randoms = generate_randoms(num_randoms)
+    print_property(RANDOM_NUMBERS, randoms)
+
+    total = SharedCounter()
+
+    def make_worker(lo: int, hi: int):
+        def worker() -> None:
+            count = 0
+            for index in range(lo, hi):
+                number = randoms[index]
+                print_property(INDEX, index)
+                print_property(NUMBER, number)
+                prime = _broken_is_prime(number)
+                print_property(IS_PRIME, prime)
+                if prime:
+                    count += 1
+                backend.checkpoint()
+            print_property(NUM_PRIMES, count)
+            total.add(count)
+
+        return worker
+
+    bodies = [make_worker(lo, hi) for lo, hi in partition(num_randoms, num_threads)]
+    fork_and_join(bodies, backend=backend)
+
+    print_property(TOTAL_NUM_PRIMES, total.value)

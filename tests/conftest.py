@@ -1,0 +1,40 @@
+"""Shared fixtures for the fork-join infrastructure tests."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.workloads  # noqa: F401 - registers every workload variant
+from repro.execution.runner import ProgramRunner
+from repro.simulation.backend import SimulationBackend, use_backend
+from repro.simulation.scheduler import RoundRobinPolicy, SerializedPolicy
+from repro.tracing.session import current_session
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_session():
+    """Every test must start and end without an active trace session."""
+    assert current_session() is None, "a previous test leaked a trace session"
+    yield
+    assert current_session() is None, "this test leaked a trace session"
+
+
+@pytest.fixture
+def runner() -> ProgramRunner:
+    return ProgramRunner(timeout=20.0)
+
+
+@pytest.fixture
+def round_robin_backend():
+    """Deterministically interleaved execution for trace-shape tests."""
+    backend = SimulationBackend(policy=RoundRobinPolicy())
+    with use_backend(backend):
+        yield backend
+
+
+@pytest.fixture
+def serialized_backend():
+    """Deterministically serialized execution (the Fig. 10 schedule)."""
+    backend = SimulationBackend(policy=SerializedPolicy())
+    with use_backend(backend):
+        yield backend

@@ -1,0 +1,95 @@
+"""Tests of the extended CLI commands (export, awareness, subprocess)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.grading import ProgressLog
+from repro.graders import PrimesFunctionality
+from repro.testfw.suite import TestSuite
+
+
+class TestJacobiSuite:
+    def test_run_jacobi(self, capsys, round_robin_backend):
+        assert main(["run", "jacobi"]) == 0
+        assert "JacobiFunctionality" in capsys.readouterr().out
+
+    def test_list_mentions_jacobi(self, capsys):
+        main(["list"])
+        assert "jacobi" in capsys.readouterr().out
+
+
+class TestExportCommand:
+    def test_export_writes_gradescope_document(self, tmp_path, capsys):
+        out = tmp_path / "results.json"
+        code = main(["export", "hello", "--out", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["score"] == 10.0
+        assert payload["tests"][0]["name"] == "HelloFunctionality"
+        assert "execution_time" in payload
+
+    def test_export_failing_submission(self, tmp_path):
+        out = tmp_path / "results.json"
+        main(["export", "hello", "--submission", "hello.no_fork", "--out", str(out)])
+        payload = json.loads(out.read_text())
+        assert payload["score"] == 0.0
+        assert "must fork" in payload["tests"][0]["output"]
+
+
+class TestGradeMarkdown:
+    def test_grade_writes_markdown(self, tmp_path, round_robin_backend):
+        md = tmp_path / "class.md"
+        main(
+            [
+                "grade",
+                "hello",
+                "--submissions",
+                "hello.correct,hello.no_fork",
+                "--markdown",
+                str(md),
+            ]
+        )
+        text = md.read_text()
+        assert "## Gradebook — hello" in text
+        assert "hello.correct" in text
+
+
+class TestAwarenessCommand:
+    def test_awareness_over_jsonl(self, tmp_path, capsys, round_robin_backend):
+        log_path = tmp_path / "progress.jsonl"
+        log = ProgressLog(log_path)
+        for t, ident in enumerate(["primes.no_fork", "primes.correct"]):
+            suite = TestSuite("primes", [PrimesFunctionality(ident)])
+            log.log_run("ada", suite.run(), timestamp=float(t))
+        code = main(["awareness", str(log_path), "--suite", "primes"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ada" in out
+        assert "Awareness report" in out
+
+
+class TestSubprocessFlag:
+    def test_run_with_subprocess_flag(self, capsys):
+        code = main(["run", "hello", "--subprocess"])
+        assert code == 0
+        assert "100%" in capsys.readouterr().out
+
+    def test_run_student_file_via_subprocess(self, tmp_path, capsys):
+        submission = tmp_path / "student_hello.py"
+        submission.write_text(
+            "import threading\n"
+            "def main(args):\n"
+            "    t = threading.Thread(target=lambda: print('Hello Concurrent World'))\n"
+            "    t.start()\n"
+            "    t.join()\n"
+        )
+        code = main(["run", "hello", "--submission", str(submission), "--subprocess"])
+        assert code == 0
+
+    def test_unknown_suite_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nachos"])

@@ -1,0 +1,236 @@
+"""Integration tests of AbstractForkJoinChecker's full pipeline."""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List
+
+import pytest
+
+from repro.core.checker import AbstractForkJoinChecker
+from repro.core.outcome import Aspect
+from repro.core.properties import ARRAY, BOOLEAN, NUMBER
+from repro.execution.registry import register_main, unregister_main
+from repro.testfw.annotations import max_value
+from repro.testfw.result import AspectStatus
+from repro.tracing import print_property
+
+
+@register_main("checker.test.program")
+def _configurable_program(args: List[str]) -> None:
+    """A tiny fork-join program whose behaviour is driven by its args."""
+    mode = args[0] if args else "correct"
+    numbers = [4, 7, 9, 11]
+    pre_fork = "Numbers" if mode != "bad-name" else "Nums"
+    print_property(pre_fork, numbers)
+
+    total: List[int] = []
+    barrier = threading.Barrier(2)
+
+    def worker(lo: int, hi: int) -> None:
+        if mode != "no-fork":
+            barrier.wait()  # start together so output interleaves
+        count = 0
+        for index in range(lo, hi):
+            print_property("Index", index)
+            odd = numbers[index] % 2 == 1
+            if mode == "bad-verdict":
+                odd = not odd
+            print_property("Is Odd", odd)
+            count += odd
+            time.sleep(0.002)
+        print_property("Count", count)
+        total.append(count)
+
+    if mode == "no-fork":
+        worker(0, 4)
+    else:
+        threads = [
+            threading.Thread(target=worker, args=(0, 2)),
+            threading.Thread(target=worker, args=(2, 4)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    print_property("Total", sum(total) + (1 if mode == "bad-total" else 0))
+
+
+@max_value(50)
+class _Checker(AbstractForkJoinChecker):
+    def __init__(self, mode: str = "correct") -> None:
+        self.mode = mode
+        self.reset_state()
+
+    def reset_state(self) -> None:
+        self.sum_counts = 0
+        self.current = 0
+
+    def main_class_identifier(self) -> str:
+        return "checker.test.program"
+
+    def args(self) -> List[str]:
+        return [self.mode]
+
+    def num_expected_forked_threads(self) -> int:
+        return 2
+
+    def total_iterations(self) -> int:
+        return 4
+
+    def pre_fork_property_names_and_types(self):
+        return (("Numbers", ARRAY),)
+
+    def iteration_property_names_and_types(self):
+        return (("Index", NUMBER), ("Is Odd", BOOLEAN))
+
+    def post_iteration_property_names_and_types(self):
+        return (("Count", NUMBER),)
+
+    def post_join_property_names_and_types(self):
+        return (("Total", NUMBER),)
+
+    def pre_fork_events_message(self, thread, values):
+        self.numbers = list(values["Numbers"])
+        return None
+
+    def iteration_events_message(self, thread, values):
+        actual = self.numbers[values["Index"]] % 2 == 1
+        if values["Is Odd"] != actual:
+            return f"Is Odd wrong at index {values['Index']}"
+        self.current += actual
+        return None
+
+    def post_iteration_events_message(self, thread, values):
+        if values["Count"] != self.current:
+            return "per-thread count inconsistent"
+        self.sum_counts += values["Count"]
+        self.current = 0
+        return None
+
+    def post_join_events_message(self, thread, values):
+        if values["Total"] != self.sum_counts:
+            return "total is not the sum of thread counts"
+        return None
+
+
+class TestFullPipeline:
+    def test_correct_program_earns_full_score(self):
+        result = _Checker("correct").run()
+        assert result.score == pytest.approx(50.0)
+        assert result.passed
+        assert all(o.status is AspectStatus.PASSED for o in result.outcomes)
+
+    def test_max_value_annotation_respected(self):
+        checker = _Checker()
+        assert checker.max_score == 50.0
+
+    def test_bad_name_gates_semantics(self):
+        result = _Checker("bad-name").run()
+        statuses = {o.aspect: o.status for o in result.outcomes}
+        assert statuses[Aspect.PRE_FORK_SYNTAX] is AspectStatus.FAILED
+        assert statuses[Aspect.ITERATION_SEMANTICS] is AspectStatus.SKIPPED
+        assert statuses[Aspect.THREAD_COUNT] is AspectStatus.SKIPPED
+        assert 0 < result.score < result.max_score
+
+    def test_bad_verdict_fails_iteration_semantics_only_in_semantics(self):
+        result = _Checker("bad-verdict").run()
+        failed = {o.aspect for o in result.failed_aspects()}
+        assert Aspect.ITERATION_SEMANTICS in failed
+        assert Aspect.PRE_FORK_SYNTAX not in failed
+
+    def test_bad_total_fails_post_join_semantics(self):
+        result = _Checker("bad-total").run()
+        failed = {o.aspect for o in result.failed_aspects()}
+        assert failed == {Aspect.POST_JOIN_SEMANTICS}
+
+    def test_no_fork_reported_via_syntax_gate(self):
+        result = _Checker("no-fork").run()
+        assert result.score < result.max_score
+        failed = {o.aspect for o in result.failed_aspects()}
+        assert Aspect.FORK_SYNTAX in failed
+
+    def test_state_reset_between_runs(self):
+        checker = _Checker("correct")
+        first = checker.run()
+        second = checker.run()
+        assert first.score == second.score == pytest.approx(50.0)
+
+    def test_check_returns_full_report(self):
+        report = _Checker("correct").check()
+        assert report.result.passed
+        assert report.trace is not None
+        assert report.execution is not None
+        annotated = report.annotated_trace()
+        assert "// pre-fork phase (root thread)" in annotated
+        assert "// post-join phase (root thread)" in annotated
+        assert "// fork phase" in annotated
+
+
+class TestFatalPaths:
+    def test_unknown_program_is_fatal(self):
+        class Missing(AbstractForkJoinChecker):
+            def main_class_identifier(self):
+                return "does.not.exist"
+
+        result = Missing().run()
+        assert result.score == 0
+        assert "no tested program" in result.fatal
+
+    def test_crashing_program_is_fatal_with_reason(self):
+        @register_main("checker.test.crash")
+        def crash(args):
+            raise ZeroDivisionError("by zero")
+
+        class Crash(AbstractForkJoinChecker):
+            def main_class_identifier(self):
+                return "checker.test.crash"
+
+        try:
+            result = Crash().run()
+        finally:
+            unregister_main("checker.test.crash")
+        assert result.score == 0
+        assert "did not run to completion" in result.fatal
+        assert "ZeroDivisionError" in result.fatal
+
+    def test_unimplemented_identifier_raises_via_run_safely(self):
+        class Bare(AbstractForkJoinChecker):
+            pass
+
+        result = Bare().run_safely()
+        assert result.score == 0
+        assert "must override main_class_identifier" in result.fatal
+
+
+class TestParameterDefaults:
+    def test_defaults(self):
+        class Minimal(AbstractForkJoinChecker):
+            def main_class_identifier(self):
+                return "x"
+
+        checker = Minimal()
+        assert checker.args() == []
+        assert checker.total_iterations() is None
+        assert checker.num_expected_forked_threads() == 1
+        assert checker.thread_count_credit() == 1.0
+        assert checker.credit_weights() is None
+        assert checker.load_balance_tolerance() == 0
+        assert checker.max_score == 100.0
+
+    def test_credit_weight_overrides_flow_through(self):
+        class Weighted(_Checker):
+            def credit_weights(self):
+                # All credit on the post-join semantics.
+                return {a: 0.0 for a in [
+                    Aspect.PRE_FORK_SYNTAX, Aspect.FORK_SYNTAX, Aspect.POST_JOIN_SYNTAX,
+                    Aspect.THREAD_COUNT, Aspect.INTERLEAVING, Aspect.LOAD_BALANCE,
+                    Aspect.PRE_FORK_SEMANTICS, Aspect.ITERATION_SEMANTICS,
+                    Aspect.POST_ITERATION_SEMANTICS,
+                ]} | {Aspect.POST_JOIN_SEMANTICS: 1.0}
+
+        result = Weighted("bad-total").run()
+        assert result.score == pytest.approx(0.0)
+        ok_result = Weighted("correct").run()
+        assert ok_result.score == pytest.approx(50.0)

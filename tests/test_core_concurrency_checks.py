@@ -1,0 +1,132 @@
+"""Unit tests of the concurrency checks: count, interleaving, balance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.concurrency_checks import (
+    check_concurrency,
+    check_interleaving,
+    check_load_balance,
+    check_thread_count,
+)
+from repro.core.outcome import Aspect
+from repro.core.trace_model import build_phased_trace
+from tests.helpers import primes_schedule, synthetic_execution
+from tests.test_core_trace_model import PRIMES_SPECS
+
+
+def trace_of(schedule):
+    return build_phased_trace(synthetic_execution(schedule), PRIMES_SPECS)
+
+
+class TestThreadCount:
+    def test_exact_count_passes(self):
+        trace = trace_of(primes_schedule())
+        assert check_thread_count(trace, expected_threads=4).ok
+
+    def test_wrong_count_fails_with_zero_credit_by_default(self):
+        trace = trace_of(primes_schedule(worker_slices={"A": [0, 1, 2, 3, 4, 5, 6]}))
+        outcome = check_thread_count(trace, expected_threads=4)
+        assert not outcome.ok
+        assert outcome.partial_credit == 0.0
+        assert "4" in outcome.errors[0] and "1" in outcome.errors[0]
+
+    def test_consolation_credit_for_some_forking(self):
+        trace = trace_of(primes_schedule(worker_slices={"A": [0, 1, 2, 3, 4, 5, 6]}))
+        outcome = check_thread_count(trace, expected_threads=4, exact_fraction=0.8)
+        assert outcome.partial_credit == pytest.approx(0.2)
+
+    def test_zero_workers_message_mentions_forking(self):
+        trace = trace_of([("R", "Random Numbers", [1]), ("R", "Total Num Primes", 0)])
+        outcome = check_thread_count(trace, expected_threads=4, exact_fraction=0.8)
+        assert outcome.partial_credit == 0.0
+        assert "must fork" in outcome.errors[0]
+
+    def test_invalid_fraction_rejected(self):
+        trace = trace_of(primes_schedule())
+        with pytest.raises(ValueError):
+            check_thread_count(trace, expected_threads=4, exact_fraction=1.5)
+
+
+class TestInterleaving:
+    def test_interleaved_trace_passes(self):
+        outcome = check_interleaving(trace_of(primes_schedule(interleave=True)))
+        assert outcome.ok
+
+    def test_serialized_trace_fails_with_order(self):
+        outcome = check_interleaving(trace_of(primes_schedule(interleave=False)))
+        assert not outcome.ok
+        assert "serialized in the order" in outcome.errors[0]
+        assert "synchronization" in outcome.errors[0]
+
+
+class TestLoadBalance:
+    def test_fair_split_passes(self):
+        outcome = check_load_balance(
+            trace_of(primes_schedule()), total_iterations=7, expected_threads=4
+        )
+        assert outcome.ok
+
+    def test_lopsided_split_fails_with_counts(self):
+        trace = trace_of(
+            primes_schedule(worker_slices={"A": [0, 1, 2, 3], "B": [4], "C": [5], "D": [6]})
+        )
+        outcome = check_load_balance(trace, total_iterations=7, expected_threads=4)
+        assert not outcome.ok
+        assert "imbalanced" in outcome.errors[0]
+        assert "performed 4" in outcome.errors[0]
+
+    def test_tolerance_allows_slack(self):
+        trace = trace_of(
+            primes_schedule(worker_slices={"A": [0, 1, 2], "B": [3], "C": [4, 5], "D": [6]})
+        )
+        assert not check_load_balance(
+            trace, total_iterations=7, expected_threads=4, tolerance=0
+        ).ok
+        assert check_load_balance(
+            trace, total_iterations=7, expected_threads=4, tolerance=1
+        ).ok
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ValueError):
+            check_load_balance(
+                trace_of(primes_schedule()), total_iterations=7, expected_threads=0
+            )
+
+    def test_no_workers_is_imbalanced(self):
+        trace = trace_of([("R", "Random Numbers", [1])])
+        outcome = check_load_balance(trace, total_iterations=7, expected_threads=4)
+        assert not outcome.ok
+
+
+class TestAggregation:
+    def test_all_three_aspects_for_full_specs(self):
+        outcomes = check_concurrency(
+            trace_of(primes_schedule()),
+            expected_threads=4,
+            total_iterations=7,
+        )
+        assert {o.aspect for o in outcomes} == {
+            Aspect.THREAD_COUNT,
+            Aspect.INTERLEAVING,
+            Aspect.LOAD_BALANCE,
+        }
+
+    def test_single_thread_skips_interleaving_and_balance(self):
+        outcomes = check_concurrency(
+            trace_of(primes_schedule(worker_slices={"A": [0, 1, 2, 3, 4, 5, 6]})),
+            expected_threads=1,
+            total_iterations=7,
+        )
+        assert [o.aspect for o in outcomes] == [Aspect.THREAD_COUNT]
+
+    def test_no_iteration_specs_skips_interleaving(self):
+        from repro.core.trace_model import PhaseSpecs
+
+        trace = build_phased_trace(
+            synthetic_execution([("A", "str", "hi"), ("B", "str", "hi")]),
+            PhaseSpecs(),
+        )
+        outcomes = check_concurrency(trace, expected_threads=2, total_iterations=None)
+        assert [o.aspect for o in outcomes] == [Aspect.THREAD_COUNT]

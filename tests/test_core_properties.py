@@ -1,0 +1,136 @@
+"""Unit + property tests of the trace property type system."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.properties import (
+    ANY,
+    ARRAY,
+    BOOLEAN,
+    NUMBER,
+    STRING,
+    PropertySpec,
+    coerce_type,
+    normalize_specs,
+)
+from repro.tracing.formatting import format_property_line
+
+
+class TestTypeMatching:
+    def test_number_matches_ints_and_floats(self):
+        assert NUMBER.matches_value(3)
+        assert NUMBER.matches_value(-2.5)
+        assert NUMBER.matches_value(np.int64(7))
+        assert NUMBER.matches_value(np.float64(1.5))
+
+    def test_number_rejects_bool(self):
+        # As in Java: a Boolean is not a Number.
+        assert not NUMBER.matches_value(True)
+        assert not NUMBER.matches_value(np.bool_(False))
+
+    def test_boolean_matches_only_bools(self):
+        assert BOOLEAN.matches_value(True)
+        assert not BOOLEAN.matches_value(1)
+        assert not BOOLEAN.matches_value("true")
+
+    def test_array_matches_sequences(self):
+        assert ARRAY.matches_value([1, 2])
+        assert ARRAY.matches_value((1, 2))
+        assert ARRAY.matches_value(np.array([1]))
+        assert not ARRAY.matches_value("not an array")
+
+    def test_string_and_any(self):
+        assert STRING.matches_value("x")
+        assert not STRING.matches_value(1)
+        assert ANY.matches_value(object())
+
+
+class TestCoercion:
+    @pytest.mark.parametrize(
+        "python_type,expected",
+        [(int, NUMBER), (float, NUMBER), (bool, BOOLEAN), (list, ARRAY), (tuple, ARRAY), (str, STRING), (object, ANY)],
+    )
+    def test_python_types_map(self, python_type, expected):
+        assert coerce_type(python_type) is expected
+
+    def test_property_type_passes_through(self):
+        assert coerce_type(NUMBER) is NUMBER
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError, match="unsupported property type"):
+            coerce_type(dict)
+
+
+class TestSpecs:
+    def test_normalize_pairs(self):
+        specs = normalize_specs([("Index", NUMBER), ("Is Prime", bool)])
+        assert specs[0] == PropertySpec("Index", NUMBER)
+        assert specs[1].type is BOOLEAN
+
+    def test_normalize_accepts_spec_objects(self):
+        spec = PropertySpec("X", NUMBER)
+        assert normalize_specs([spec]) == [spec]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate property names"):
+            normalize_specs([("X", NUMBER), ("X", NUMBER)])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(TypeError):
+            normalize_specs([42])
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(TypeError, match="name must be a string"):
+            normalize_specs([(42, NUMBER)])
+
+    def test_line_regex_anchors_full_line(self):
+        spec = PropertySpec("Index", NUMBER)
+        assert spec.matches_line("Thread 24->Index:0")
+        assert not spec.matches_line("Thread 24->Index:0 extra")
+        assert not spec.matches_line("prefix Thread 24->Index:0")
+
+    def test_regex_distinguishes_names(self):
+        spec = PropertySpec("Random Numbers", ARRAY)
+        assert spec.matches_line("Thread 23->Random Numbers:[1, 2]")
+        assert not spec.matches_line("Thread 23->Randoms:[1, 2]")
+
+    def test_regex_name_with_special_chars_escaped(self):
+        spec = PropertySpec("A+B (sum)", NUMBER)
+        assert spec.matches_line("Thread 1->A+B (sum):5")
+        assert not spec.matches_line("Thread 1->AxB (sum):5")
+
+    def test_boolean_regex(self):
+        spec = PropertySpec("Is Prime", BOOLEAN)
+        assert spec.matches_line("Thread 24->Is Prime:true")
+        assert spec.matches_line("Thread 24->Is Prime:false")
+        assert not spec.matches_line("Thread 24->Is Prime:maybe")
+
+    def test_describe(self):
+        assert PropertySpec("X", NUMBER).describe() == "'X' (Number)"
+
+
+# ----------------------------------------------------------------------
+# Consistency between the two faces of the type system: any value a type
+# accepts must, once formatted the standard way, match the type's regex.
+# ----------------------------------------------------------------------
+
+_typed_values = st.one_of(
+    st.tuples(st.just(NUMBER), st.integers(min_value=-(10**12), max_value=10**12)),
+    st.tuples(st.just(NUMBER), st.floats(allow_nan=False, allow_infinity=False, width=32)),
+    st.tuples(st.just(BOOLEAN), st.booleans()),
+    st.tuples(st.just(ARRAY), st.lists(st.integers(min_value=-999, max_value=999), max_size=6)),
+    st.tuples(st.just(STRING), st.text(alphabet=st.characters(blacklist_characters="\n\r"), max_size=20)),
+)
+
+
+@given(_typed_values, st.integers(min_value=0, max_value=99))
+def test_value_match_implies_line_match(typed_value, tid):
+    prop_type, value = typed_value
+    assert prop_type.matches_value(value)
+    spec = PropertySpec("P", prop_type)
+    line = format_property_line(tid, "P", value)
+    assert spec.matches_line(line), f"regex rejected {line!r}"

@@ -1,0 +1,76 @@
+"""Tests of the full check report (annotated traces, rendering)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.report import ForkJoinCheckReport
+from repro.core.trace_model import build_phased_trace
+from repro.graders import PrimesFunctionality
+from repro.testfw.result import TestResult
+from tests.helpers import primes_schedule, synthetic_execution
+from tests.test_core_trace_model import PRIMES_SPECS
+
+
+def make_report():
+    execution = synthetic_execution(primes_schedule())
+    trace = build_phased_trace(execution, PRIMES_SPECS)
+    result = TestResult("T", 40.0, 40.0)
+    return ForkJoinCheckReport(result=result, execution=execution, trace=trace)
+
+
+class TestAnnotatedTrace:
+    def test_phase_comments_inserted_once_per_transition(self):
+        annotated = make_report().annotated_trace()
+        assert annotated.count("// pre-fork phase (root thread)") == 1
+        assert annotated.count("// fork phase") == 1
+        assert annotated.count("// post-join phase (root thread)") == 1
+
+    def test_all_output_lines_present(self):
+        report = make_report()
+        annotated = report.annotated_trace()
+        for event in report.execution.events:
+            assert event.raw_line in annotated
+
+    def test_phase_order(self):
+        annotated = make_report().annotated_trace()
+        pre = annotated.index("// pre-fork")
+        fork = annotated.index("// fork phase")
+        post = annotated.index("// post-join")
+        assert pre < fork < post
+
+    def test_mid_fork_root_output_called_out(self):
+        schedule = primes_schedule()
+        schedule.insert(5, ("R", "Debug", 1))
+        execution = synthetic_execution(schedule)
+        trace = build_phased_trace(execution, PRIMES_SPECS)
+        report = ForkJoinCheckReport(
+            result=TestResult("T", 0, 40), execution=execution, trace=trace
+        )
+        assert "UNEXPECTED root output during fork phase" in report.annotated_trace()
+
+    def test_empty_report_renders_result_only(self):
+        report = ForkJoinCheckReport(result=TestResult("T", 0, 40, fatal="x"))
+        assert report.annotated_trace() == ""
+        assert "! x" in report.render()
+
+    def test_render_combines_trace_and_result(self):
+        text = make_report().render()
+        assert "// fork phase" in text
+        assert "T: 40 / 40" in text
+
+    def test_score_accessors(self):
+        report = make_report()
+        assert report.score == 40.0
+        assert report.percent == pytest.approx(100.0)
+
+
+class TestReportFromRealChecker:
+    def test_annotated_trace_matches_figure_nine_shape(self, round_robin_backend):
+        report = PrimesFunctionality("primes.correct").check()
+        lines = report.annotated_trace().splitlines()
+        # First content line after the pre-fork comment is the randoms.
+        assert lines[0] == "// pre-fork phase (root thread)"
+        assert lines[1].startswith("Thread 23->Random Numbers:[")
+        assert lines[-1].startswith("Thread 23->Total Num Primes:")
+        assert lines[-2] == "// post-join phase (root thread)"

@@ -1,0 +1,242 @@
+"""Unit + property tests of semantic dispatch and credit allocation."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.credit import DEFAULT_WEIGHTS, CreditSchema, score_outcomes
+from repro.core.outcome import Aspect, CheckOutcome, merge_outcomes
+from repro.core.semantics import run_semantic_checks
+from repro.core.trace_model import build_phased_trace
+from repro.testfw.result import AspectStatus
+from tests.helpers import primes_schedule, synthetic_execution
+from tests.test_core_trace_model import PRIMES_SPECS
+
+
+class RecordingCallbacks:
+    """Scriptable semantic callbacks that record their invocation order."""
+
+    def __init__(self, verdicts: Optional[Dict[str, str]] = None) -> None:
+        self.calls: List[tuple] = []
+        self.verdicts = verdicts or {}
+
+    def pre_fork_events_message(self, thread, values):
+        self.calls.append(("pre-fork", dict(values)))
+        return self.verdicts.get("pre-fork")
+
+    def iteration_events_message(self, thread, values):
+        self.calls.append(("iteration", values["Index"]))
+        return self.verdicts.get("iteration")
+
+    def post_iteration_events_message(self, thread, values):
+        self.calls.append(("post-iteration", values["Num Primes"]))
+        return self.verdicts.get("post-iteration")
+
+    def post_join_events_message(self, thread, values):
+        self.calls.append(("post-join", dict(values)))
+        return self.verdicts.get("post-join")
+
+
+ALL_OVERRIDDEN = {aspect: True for aspect in Aspect.SEMANTICS}
+
+
+def primes_trace(**kwargs):
+    return build_phased_trace(synthetic_execution(primes_schedule(**kwargs)), PRIMES_SPECS)
+
+
+class TestSemanticDispatch:
+    def test_invocation_order_groups_threads(self):
+        """Iterations of one thread are fully processed before the next
+        thread's — the appendix's de-interleaving guarantee."""
+        callbacks = RecordingCallbacks()
+        run_semantic_checks(primes_trace(), callbacks, overridden=ALL_OVERRIDDEN)
+        kinds = [kind for kind, _payload in callbacks.calls]
+        assert kinds[0] == "pre-fork"
+        assert kinds[-1] == "post-join"
+        # Between pre-fork and post-join: per-thread blocks, each a run of
+        # iterations terminated by exactly one post-iteration.
+        middle = kinds[1:-1]
+        blocks = 0
+        expecting_iteration = True
+        for kind in middle:
+            if kind == "post-iteration":
+                blocks += 1
+                expecting_iteration = True
+            else:
+                assert kind == "iteration"
+        assert blocks == 4
+
+    def test_iteration_indices_grouped_by_slice(self):
+        callbacks = RecordingCallbacks()
+        run_semantic_checks(primes_trace(), callbacks, overridden=ALL_OVERRIDDEN)
+        iteration_indices = [p for k, p in callbacks.calls if k == "iteration"]
+        # Thread slices are contiguous even though the trace interleaved.
+        assert iteration_indices == [0, 1, 2, 3, 4, 5, 6]
+
+    def test_all_aspects_ok_when_callbacks_return_none(self):
+        outcomes = run_semantic_checks(
+            primes_trace(), RecordingCallbacks(), overridden=ALL_OVERRIDDEN
+        )
+        assert len(outcomes) == 4
+        assert all(o.ok for o in outcomes)
+
+    def test_error_message_fails_one_aspect(self):
+        callbacks = RecordingCallbacks(verdicts={"iteration": "wrong prime"})
+        outcomes = run_semantic_checks(
+            primes_trace(), callbacks, overridden=ALL_OVERRIDDEN
+        )
+        by_aspect = {o.aspect: o for o in outcomes}
+        assert not by_aspect[Aspect.ITERATION_SEMANTICS].ok
+        assert "wrong prime" in by_aspect[Aspect.ITERATION_SEMANTICS].message
+        assert by_aspect[Aspect.POST_JOIN_SEMANTICS].ok
+
+    def test_raising_callback_fails_aspect_with_diagnosis(self):
+        class Exploding(RecordingCallbacks):
+            def iteration_events_message(self, thread, values):
+                raise KeyError("Missing Prop")
+
+        outcomes = run_semantic_checks(
+            primes_trace(), Exploding(), overridden=ALL_OVERRIDDEN
+        )
+        by_aspect = {o.aspect: o for o in outcomes}
+        assert not by_aspect[Aspect.ITERATION_SEMANTICS].ok
+        assert "semantic check raised" in by_aspect[Aspect.ITERATION_SEMANTICS].message
+
+    def test_unoverridden_aspects_not_dispatched(self):
+        callbacks = RecordingCallbacks()
+        outcomes = run_semantic_checks(
+            primes_trace(),
+            callbacks,
+            overridden={Aspect.ITERATION_SEMANTICS: True},
+        )
+        assert [o.aspect for o in outcomes] == [Aspect.ITERATION_SEMANTICS]
+        kinds = {k for k, _p in callbacks.calls}
+        assert kinds == {"iteration"}
+
+
+class TestMergeOutcomes:
+    def test_duplicate_aspects_merge_conservatively(self):
+        merged = merge_outcomes(
+            [
+                CheckOutcome(Aspect.FORK_SYNTAX, ok=True),
+                CheckOutcome(Aspect.FORK_SYNTAX, ok=False, errors=["count off"]),
+            ]
+        )
+        outcome = merged[Aspect.FORK_SYNTAX]
+        assert not outcome.ok
+        assert outcome.errors == ["count off"]
+        assert outcome.partial_credit == 0.0
+
+    def test_both_ok_stays_ok(self):
+        merged = merge_outcomes(
+            [CheckOutcome(Aspect.FORK_SYNTAX, ok=True), CheckOutcome(Aspect.FORK_SYNTAX, ok=True)]
+        )
+        assert merged[Aspect.FORK_SYNTAX].ok
+
+
+class TestCreditSchema:
+    def test_default_weights_sum_to_100(self):
+        assert sum(DEFAULT_WEIGHTS.values()) == pytest.approx(100.0)
+
+    def test_normalisation_preserves_ratios(self):
+        schema = CreditSchema()
+        points = schema.normalised([Aspect.FORK_SYNTAX, Aspect.PRE_FORK_SYNTAX], 40.0)
+        assert points[Aspect.FORK_SYNTAX] == pytest.approx(30.0)
+        assert points[Aspect.PRE_FORK_SYNTAX] == pytest.approx(10.0)
+
+    def test_override_replaces_weight(self):
+        schema = CreditSchema().override({Aspect.FORK_SYNTAX: 0.0})
+        assert schema.weight_of(Aspect.FORK_SYNTAX) == 0.0
+
+    def test_negative_override_rejected(self):
+        with pytest.raises(ValueError):
+            CreditSchema().override({Aspect.FORK_SYNTAX: -1})
+
+    def test_unknown_aspects_split_evenly(self):
+        schema = CreditSchema(weights={})
+        points = schema.normalised(["a", "b"], 10.0)
+        assert points == {"a": 5.0, "b": 5.0}
+
+    def test_empty_applicable_set(self):
+        assert CreditSchema().normalised([], 10.0) == {}
+
+
+class TestScoring:
+    def test_paper_reference_scores(self):
+        """The calibration the paper's figures report: 100/80/10."""
+        schema = CreditSchema()
+        all_aspects = list(DEFAULT_WEIGHTS)
+
+        # Fig. 9: everything passes.
+        checked = {a: CheckOutcome(a, ok=True) for a in all_aspects}
+        score, _report = score_outcomes(checked, [], schema, 100.0)
+        assert score == pytest.approx(100.0)
+
+        # Fig. 10: interleaving and load balance fail.
+        checked = {
+            a: CheckOutcome(a, ok=a not in (Aspect.INTERLEAVING, Aspect.LOAD_BALANCE))
+            for a in all_aspects
+        }
+        score, _report = score_outcomes(checked, [], schema, 100.0)
+        assert score == pytest.approx(80.0)
+
+        # Fig. 11: pre-fork + fork syntax fail, the rest skipped.
+        checked = {
+            Aspect.PRE_FORK_SYNTAX: CheckOutcome(Aspect.PRE_FORK_SYNTAX, ok=False),
+            Aspect.FORK_SYNTAX: CheckOutcome(Aspect.FORK_SYNTAX, ok=False),
+            Aspect.POST_JOIN_SYNTAX: CheckOutcome(Aspect.POST_JOIN_SYNTAX, ok=True),
+        }
+        skipped = [a for a in all_aspects if a not in checked]
+        score, report = score_outcomes(checked, skipped, schema, 100.0)
+        assert score == pytest.approx(10.0)
+        statuses = {o.aspect: o.status for o in report}
+        assert statuses[Aspect.ITERATION_SEMANTICS] is AspectStatus.SKIPPED
+
+    def test_partial_credit_scales_weight(self):
+        checked = {
+            Aspect.THREAD_COUNT: CheckOutcome(
+                Aspect.THREAD_COUNT, ok=False, errors=["wrong"], partial_credit=0.2
+            )
+        }
+        score, [line] = score_outcomes(checked, [], CreditSchema(), 10.0)
+        assert score == pytest.approx(2.0)
+        assert line.status is AspectStatus.FAILED
+        assert line.points_possible == pytest.approx(10.0)
+
+    def test_max_value_scaling(self):
+        checked = {a: CheckOutcome(a, ok=True) for a in DEFAULT_WEIGHTS}
+        score, _report = score_outcomes(checked, [], CreditSchema(), 40.0)
+        assert score == pytest.approx(40.0)
+
+
+# ----------------------------------------------------------------------
+# Property: scoring is bounded and monotone in the outcome set.
+# ----------------------------------------------------------------------
+
+aspect_subsets = st.dictionaries(
+    st.sampled_from(list(DEFAULT_WEIGHTS)), st.booleans(), min_size=1
+)
+
+
+@given(aspect_subsets, st.floats(min_value=1.0, max_value=1000.0))
+def test_score_bounded_by_max(verdicts, max_score):
+    checked = {a: CheckOutcome(a, ok=ok) for a, ok in verdicts.items()}
+    score, report = score_outcomes(checked, [], CreditSchema(), max_score)
+    assert 0.0 <= score <= max_score + 1e-6
+    assert sum(o.points_possible for o in report) == pytest.approx(max_score, rel=1e-6)
+
+
+@given(aspect_subsets)
+def test_flipping_failure_to_pass_never_lowers_score(verdicts):
+    schema = CreditSchema()
+    checked = {a: CheckOutcome(a, ok=ok) for a, ok in verdicts.items()}
+    base, _r = score_outcomes(checked, [], schema, 100.0)
+    for aspect in verdicts:
+        improved = dict(checked)
+        improved[aspect] = CheckOutcome(aspect, ok=True)
+        better, _r2 = score_outcomes(improved, [], schema, 100.0)
+        assert better >= base - 1e-9

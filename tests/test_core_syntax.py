@@ -1,0 +1,154 @@
+"""Unit tests of static and dynamic syntax checking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dynamic_syntax import check_dynamic_syntax
+from repro.core.outcome import Aspect
+from repro.core.syntax import check_fork_syntax, check_root_phase_syntax, check_static_syntax
+from repro.core.trace_model import build_phased_trace
+from tests.helpers import primes_schedule, synthetic_execution
+from tests.test_core_trace_model import PRIMES_SPECS
+
+
+def trace_of(schedule):
+    return build_phased_trace(synthetic_execution(schedule), PRIMES_SPECS)
+
+
+class TestRootPhaseSyntax:
+    def test_correct_pre_fork_passes(self):
+        trace = trace_of(primes_schedule())
+        outcome = check_root_phase_syntax(
+            "pre-fork", Aspect.PRE_FORK_SYNTAX, trace.pre_fork_events, PRIMES_SPECS.pre_fork
+        )
+        assert outcome.ok
+
+    def test_wrong_name_reported_with_paper_wording(self):
+        trace = trace_of(primes_schedule(pre_fork_name="Randoms"))
+        outcome = check_root_phase_syntax(
+            "pre-fork", Aspect.PRE_FORK_SYNTAX, trace.pre_fork_events, PRIMES_SPECS.pre_fork
+        )
+        assert not outcome.ok
+        assert outcome.errors == [
+            "the pre-fork property is named 'Randoms' rather than 'Random Numbers'"
+        ]
+
+    def test_missing_property_reported(self):
+        trace = trace_of([("A", "Index", 0)])
+        outcome = check_root_phase_syntax(
+            "pre-fork", Aspect.PRE_FORK_SYNTAX, trace.pre_fork_events, PRIMES_SPECS.pre_fork
+        )
+        assert not outcome.ok
+        assert "missing 'Random Numbers'" in outcome.errors[0]
+
+    def test_wrong_type_reported(self):
+        # Root prints a scalar where an array is required.
+        schedule = primes_schedule()
+        schedule[0] = ("R", "Random Numbers", 42)
+        trace = trace_of(schedule)
+        outcome = check_root_phase_syntax(
+            "pre-fork", Aspect.PRE_FORK_SYNTAX, trace.pre_fork_events, PRIMES_SPECS.pre_fork
+        )
+        assert not outcome.ok
+        assert "should be a Array" in outcome.errors[0]
+
+
+class TestForkSyntax:
+    def test_correct_fork_count_passes(self):
+        trace = trace_of(primes_schedule())
+        outcome = check_fork_syntax(trace, total_iterations=7, expected_threads=4)
+        assert outcome.ok
+
+    def test_shortfall_reported_with_expected_regex_count(self):
+        # Drop one worker's entire slice: 2 iterations -> 6 lines missing.
+        trace = trace_of(
+            primes_schedule(worker_slices={"A": [0, 1], "B": [2, 3], "C": [4, 5]})
+        )
+        outcome = check_fork_syntax(trace, total_iterations=7, expected_threads=4)
+        assert not outcome.ok
+        message = outcome.errors[0]
+        assert "25 regular expressions" in message
+        assert "7 iterations" in message
+        assert "4 threads" in message
+
+    def test_unknown_total_skips_count_check(self):
+        trace = trace_of(
+            primes_schedule(worker_slices={"A": [0, 1], "B": [2, 3], "C": [4, 5]})
+        )
+        outcome = check_fork_syntax(trace, total_iterations=None, expected_threads=4)
+        assert outcome.ok  # all lines match declared regexes
+
+    def test_unmatched_lines_itemised_and_elided(self):
+        schedule = primes_schedule()
+        for i in range(5):
+            schedule.insert(3, ("A", f"Junk{i}", i))
+        trace = trace_of(schedule)
+        outcome = check_fork_syntax(trace, total_iterations=7, expected_threads=4)
+        assert not outcome.ok
+        itemised = [e for e in outcome.errors if "matches no declared" in e]
+        assert len(itemised) == 3  # capped
+        assert any("more unmatched" in e for e in outcome.errors)
+
+
+class TestStaticSyntaxAggregation:
+    def test_all_phases_checked(self):
+        trace = trace_of(primes_schedule())
+        outcomes = check_static_syntax(trace, total_iterations=7, expected_threads=4)
+        assert {o.aspect for o in outcomes} == {
+            Aspect.PRE_FORK_SYNTAX,
+            Aspect.FORK_SYNTAX,
+            Aspect.POST_JOIN_SYNTAX,
+        }
+        assert all(o.ok for o in outcomes)
+
+    def test_aspects_omitted_without_specs(self):
+        from repro.core.trace_model import PhaseSpecs
+
+        trace = build_phased_trace(
+            synthetic_execution([("A", "str", "hi")]), PhaseSpecs()
+        )
+        assert check_static_syntax(trace, total_iterations=None, expected_threads=1) == []
+
+
+class TestDynamicSyntax:
+    def test_clean_trace_passes(self):
+        trace = trace_of(primes_schedule())
+        outcomes = check_dynamic_syntax(trace, total_iterations=7)
+        assert len(outcomes) == 1 and outcomes[0].ok
+
+    def test_structure_errors_fail_fork_aspect(self):
+        schedule = [
+            ("R", "Random Numbers", [5]),
+            ("A", "Index", 0),
+            ("A", "Number", 5),
+            ("A", "Is Prime", True),
+            # missing post-iteration
+            ("R", "Total Num Primes", 1),
+        ]
+        trace = trace_of(schedule)
+        [outcome] = check_dynamic_syntax(trace, total_iterations=1)
+        assert not outcome.ok
+        assert outcome.aspect == Aspect.FORK_SYNTAX
+
+    def test_iteration_total_mismatch_reported(self):
+        trace = trace_of(primes_schedule())
+        [outcome] = check_dynamic_syntax(trace, total_iterations=9)
+        assert not outcome.ok
+        assert "requires exactly 9" in outcome.errors[0]
+
+    def test_root_output_mid_fork_fails(self):
+        schedule = primes_schedule()
+        schedule.insert(5, ("R", "Debug", 1))
+        trace = trace_of(schedule)
+        [outcome] = check_dynamic_syntax(trace, total_iterations=7)
+        assert not outcome.ok
+        assert any("during the fork phase" in e for e in outcome.errors)
+
+    def test_concurrency_only_specs_yield_no_outcomes(self):
+        from repro.core.trace_model import PhaseSpecs
+
+        trace = build_phased_trace(
+            synthetic_execution([("A", "str", "hi")]), PhaseSpecs()
+        )
+        assert check_dynamic_syntax(trace, total_iterations=None) == []

@@ -1,0 +1,157 @@
+"""Unit tests of phased-trace construction from raw event logs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.properties import ARRAY, BOOLEAN, NUMBER, PropertySpec
+from repro.core.trace_model import PhaseSpecs, build_phased_trace
+from tests.helpers import primes_schedule, synthetic_execution
+
+PRIMES_SPECS = PhaseSpecs(
+    pre_fork=[PropertySpec("Random Numbers", ARRAY)],
+    iteration=[
+        PropertySpec("Index", NUMBER),
+        PropertySpec("Number", NUMBER),
+        PropertySpec("Is Prime", BOOLEAN),
+    ],
+    post_iteration=[PropertySpec("Num Primes", NUMBER)],
+    post_join=[PropertySpec("Total Num Primes", NUMBER)],
+)
+
+
+class TestPhasePartitioning:
+    def test_standard_trace_partitions_cleanly(self):
+        execution = synthetic_execution(primes_schedule())
+        trace = build_phased_trace(execution, PRIMES_SPECS)
+        assert [e.name for e in trace.pre_fork_events] == ["Random Numbers"]
+        assert [e.name for e in trace.post_join_events] == ["Total Num Primes"]
+        assert trace.mid_fork_root_events == []
+        assert trace.worker_count == 4
+        assert trace.total_iterations == 7
+        assert trace.structure_errors() == []
+
+    def test_values_are_live_objects(self):
+        execution = synthetic_execution(primes_schedule())
+        trace = build_phased_trace(execution, PRIMES_SPECS)
+        assert trace.pre_fork.values["Random Numbers"] == [509, 578, 796, 129, 272, 594, 714]
+        assert isinstance(trace.post_join.values["Total Num Primes"], int)
+
+    def test_iteration_tuples_grouped_per_thread(self):
+        execution = synthetic_execution(primes_schedule())
+        trace = build_phased_trace(execution, PRIMES_SPECS)
+        by_id = {w.thread_id: w for w in trace.workers}
+        counts = sorted(w.iteration_count for w in trace.workers)
+        assert counts == [1, 2, 2, 2]
+        for worker in trace.workers:
+            assert worker.post_iteration is not None
+            assert set(worker.iterations[0].values) == {"Index", "Number", "Is Prime"}
+        assert len(by_id) == 4
+
+    def test_workers_ordered_by_first_output(self):
+        execution = synthetic_execution(primes_schedule())
+        trace = build_phased_trace(execution, PRIMES_SPECS)
+        first_seqs = [w.events[0].seq for w in trace.workers]
+        assert first_seqs == sorted(first_seqs)
+
+    def test_root_output_during_fork_flagged(self):
+        schedule = primes_schedule()
+        # Inject a root print in the middle of the fork phase.
+        schedule.insert(5, ("R", "Debug", "oops"))
+        execution = synthetic_execution(schedule)
+        trace = build_phased_trace(execution, PRIMES_SPECS)
+        assert len(trace.mid_fork_root_events) == 1
+        assert any("during the fork phase" in e for e in trace.structure_errors())
+
+    def test_no_workers_everything_is_pre_fork(self):
+        execution = synthetic_execution(
+            [("R", "Random Numbers", [1, 2]), ("R", "Total Num Primes", 1)]
+        )
+        trace = build_phased_trace(execution, PRIMES_SPECS)
+        assert len(trace.pre_fork_events) == 2
+        assert trace.post_join_events == []
+        assert trace.worker_count == 0
+
+
+class TestStructureErrors:
+    def test_torn_iteration_tuple_reported(self):
+        schedule = [
+            ("R", "Random Numbers", [5, 7]),
+            ("A", "Index", 0),
+            ("A", "Number", 5),
+            # "Is Prime" missing -> next tuple starts early
+            ("A", "Index", 1),
+            ("A", "Number", 7),
+            ("A", "Is Prime", True),
+            ("A", "Num Primes", 2),
+            ("R", "Total Num Primes", 2),
+        ]
+        trace = build_phased_trace(synthetic_execution(schedule), PRIMES_SPECS)
+        [worker] = trace.workers
+        assert worker.iteration_count == 1  # only the complete tuple
+        assert any("was expected" in e for e in worker.structure_errors)
+
+    def test_missing_post_iteration_reported(self):
+        schedule = [
+            ("R", "Random Numbers", [5]),
+            ("A", "Index", 0),
+            ("A", "Number", 5),
+            ("A", "Is Prime", True),
+            ("R", "Total Num Primes", 1),
+        ]
+        trace = build_phased_trace(synthetic_execution(schedule), PRIMES_SPECS)
+        [worker] = trace.workers
+        assert worker.post_iteration is None
+        assert any("without printing its" in e for e in worker.structure_errors)
+
+    def test_duplicate_post_iteration_reported(self):
+        schedule = [
+            ("R", "Random Numbers", [5]),
+            ("A", "Index", 0),
+            ("A", "Number", 5),
+            ("A", "Is Prime", True),
+            ("A", "Num Primes", 1),
+            ("A", "Num Primes", 1),
+            ("R", "Total Num Primes", 1),
+        ]
+        trace = build_phased_trace(synthetic_execution(schedule), PRIMES_SPECS)
+        [worker] = trace.workers
+        assert any("more than once" in e for e in worker.structure_errors)
+
+    def test_unmatched_worker_line_reported(self):
+        schedule = [
+            ("R", "Random Numbers", [5]),
+            ("A", "Garbage", 42),
+            ("A", "Index", 0),
+            ("A", "Number", 5),
+            ("A", "Is Prime", True),
+            ("A", "Num Primes", 1),
+            ("R", "Total Num Primes", 1),
+        ]
+        trace = build_phased_trace(synthetic_execution(schedule), PRIMES_SPECS)
+        [worker] = trace.workers
+        assert any("matches no declared" in e for e in worker.structure_errors)
+        assert worker.iteration_count == 1
+
+    def test_no_worker_specs_means_unconstrained(self):
+        specs = PhaseSpecs()
+        schedule = [("A", "str", "Hello Concurrent World")]
+        trace = build_phased_trace(synthetic_execution(schedule), specs)
+        [worker] = trace.workers
+        assert worker.structure_errors == []
+        assert worker.iterations == []
+
+
+class TestLookups:
+    def test_worker_by_id(self):
+        execution = synthetic_execution(primes_schedule())
+        trace = build_phased_trace(execution, PRIMES_SPECS)
+        known = trace.workers[0].thread_id
+        assert trace.worker_by_id(known) is trace.workers[0]
+        assert trace.worker_by_id(9999) is None
+
+    def test_root_tuple_none_when_no_events(self):
+        execution = synthetic_execution([("A", "Index", 0)])
+        trace = build_phased_trace(execution, PRIMES_SPECS)
+        assert trace.pre_fork is None
+        assert trace.post_join is None

@@ -1,0 +1,220 @@
+"""Unit + property tests of the event database and its queries."""
+
+from __future__ import annotations
+
+import threading
+from typing import List
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eventdb.database import EventDatabase
+from repro.eventdb.events import PropertyEvent
+from repro.eventdb.queries import (
+    distinct_thread_ids,
+    distinct_threads,
+    events_by_thread,
+    interleaved_thread_pairs,
+    is_interleaved,
+    is_load_balanced,
+    load_counts,
+    max_load_imbalance,
+    serialization_order,
+    thread_spans,
+)
+from repro.util.thread_registry import ThreadRegistry
+
+
+def make_events(schedule: List[int]) -> List[PropertyEvent]:
+    """Build a synthetic event log; schedule[i] is the thread of event i.
+
+    Thread keys are small ints mapped onto dummy Thread objects so that
+    identity-based queries behave exactly as in real traces.
+    """
+    registry = ThreadRegistry(first_id=0)
+    db = EventDatabase(registry)
+    threads = {}
+    for key in schedule:
+        thread = threads.setdefault(key, threading.Thread(name=f"T{key}"))
+        db.record("Index", key, f"Thread {key}->Index:{key}", thread=thread)
+    return db.snapshot()
+
+
+class TestDatabase:
+    def test_sequence_numbers_are_dense(self):
+        events = make_events([0, 1, 0, 1])
+        assert [e.seq for e in events] == [0, 1, 2, 3]
+
+    def test_thread_seq_counts_per_thread(self):
+        events = make_events([0, 1, 0, 1, 0])
+        by_thread = events_by_thread(events)
+        for stream in by_thread.values():
+            assert [e.thread_seq for e in stream] == list(range(len(stream)))
+
+    def test_record_default_thread_is_caller(self):
+        db = EventDatabase()
+        event = db.record("X", 1, "line")
+        assert event.thread is threading.current_thread()
+
+    def test_events_of_filters_by_identity(self):
+        db = EventDatabase()
+        other = threading.Thread()
+        db.record("A", 1, "a", thread=other)
+        db.record("B", 2, "b")
+        assert [e.name for e in db.events_of(other)] == ["A"]
+
+    def test_events_named(self):
+        db = EventDatabase()
+        db.record("Index", 0, "x")
+        db.record("Number", 509, "y")
+        db.record("Index", 1, "z")
+        assert [e.value for e in db.events_named("Index")] == [0, 1]
+
+    def test_events_between(self):
+        db = EventDatabase()
+        for i in range(5):
+            db.record("Index", i, str(i))
+        assert [e.value for e in db.events_between(1, 3)] == [1, 2, 3]
+
+    def test_clear_resets_log(self):
+        db = EventDatabase()
+        db.record("A", 1, "a")
+        db.clear()
+        assert len(db) == 0
+        assert db.record("B", 2, "b").seq == 0
+
+    def test_notify_re_sequences(self):
+        source = EventDatabase()
+        sink = EventDatabase()
+        event = source.record("A", 1, "a")
+        sink.notify(event)
+        [copied] = sink.snapshot()
+        assert copied.name == "A" and copied.seq == 0
+
+    def test_iteration_yields_snapshot(self):
+        db = EventDatabase()
+        db.record("A", 1, "a")
+        assert [e.name for e in db] == ["A"]
+
+    def test_concurrent_recording_is_consistent(self):
+        db = EventDatabase()
+
+        def hammer():
+            for _ in range(200):
+                db.record("X", 0, "x")
+
+        workers = [threading.Thread(target=hammer) for _ in range(4)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        events = db.snapshot()
+        assert len(events) == 800
+        assert [e.seq for e in events] == list(range(800))
+
+
+class TestInterleavingQueries:
+    def test_empty_log_not_interleaved(self):
+        assert not is_interleaved([])
+
+    def test_single_thread_not_interleaved(self):
+        assert not is_interleaved(make_events([0, 0, 0]))
+
+    def test_serialized_threads_not_interleaved(self):
+        events = make_events([0, 0, 1, 1, 2, 2])
+        assert not is_interleaved(events)
+        assert serialization_order(events) == [0, 1, 2]
+
+    def test_interleaved_threads_detected(self):
+        events = make_events([0, 1, 0, 1])
+        assert is_interleaved(events)
+        assert serialization_order(events) == []
+
+    def test_one_event_inside_other_span_interleaves(self):
+        events = make_events([0, 1, 0])
+        assert is_interleaved(events)
+
+    def test_pairs_reported_sorted(self):
+        events = make_events([0, 1, 2, 0, 1, 2])
+        pairs = interleaved_thread_pairs(events)
+        assert (0, 1) in pairs and (1, 2) in pairs and (0, 2) in pairs
+
+    def test_spans(self):
+        events = make_events([0, 1, 1, 0])
+        spans = thread_spans(events)
+        assert spans[0] == (0, 3)
+        assert spans[1] == (1, 2)
+
+    def test_distinct_threads_first_output_order(self):
+        events = make_events([2, 0, 1, 0])
+        assert distinct_thread_ids(events) == [0, 1, 2]
+        # ids assigned by first registration: schedule key 2 registered first
+        assert len(distinct_threads(events)) == 3
+
+
+class TestLoadQueries:
+    def test_load_counts_divides_by_tuple_size(self):
+        events = make_events([0, 0, 0, 1, 1, 1])
+        counts = load_counts(events, per_iteration_events=3)
+        assert counts == {0: 1, 1: 1}
+
+    def test_partial_tuple_rounds_up(self):
+        events = make_events([0, 0, 0, 0])
+        counts = load_counts(events, per_iteration_events=3)
+        assert counts == {0: 2}
+
+    def test_zero_tuple_size_rejected(self):
+        with pytest.raises(ValueError):
+            load_counts([], per_iteration_events=0)
+
+    def test_balance_with_tolerance_one(self):
+        assert is_load_balanced({0: 2, 1: 1}, tolerance=1)
+        assert not is_load_balanced({0: 4, 1: 1}, tolerance=1)
+
+    def test_imbalance_magnitude(self):
+        assert max_load_imbalance({0: 4, 1: 1, 2: 1}) == 3
+        assert max_load_imbalance({}) == 0
+
+
+# ----------------------------------------------------------------------
+# Property-based invariants on schedules
+# ----------------------------------------------------------------------
+
+schedules = st.lists(st.integers(min_value=0, max_value=4), min_size=0, max_size=40)
+
+
+@given(schedules)
+def test_serialization_order_iff_not_interleaved(schedule):
+    """A multi-thread log has a serialization order exactly when it is
+    not interleaved."""
+    events = make_events(schedule)
+    order = serialization_order(events)
+    if len(distinct_thread_ids(events)) >= 2:
+        assert bool(order) == (not is_interleaved(events))
+    if order:
+        # The order must list every event-producing thread exactly once.
+        assert sorted(order) == sorted(distinct_thread_ids(events))
+
+
+@given(schedules)
+def test_block_sorted_schedule_never_interleaves(schedule):
+    """Sorting a schedule into contiguous per-thread blocks serializes it."""
+    events = make_events(sorted(schedule))
+    assert not is_interleaved(events)
+
+
+@given(schedules)
+def test_spans_cover_all_events(schedule):
+    events = make_events(schedule)
+    spans = thread_spans(events)
+    for event in events:
+        first, last = spans[event.thread_id]
+        assert first <= event.seq <= last
+
+
+@given(schedules)
+def test_load_counts_total_matches_event_count(schedule):
+    events = make_events(schedule)
+    counts = load_counts(events, per_iteration_events=1)
+    assert sum(counts.values()) == len(events)

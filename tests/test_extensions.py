@@ -1,0 +1,120 @@
+"""Tests of the smaller extensions: stdin-driven grading, partial
+speedup credit, suite registration, report rendering edges."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import pytest
+
+from repro.core.performance import AbstractConcurrencyPerformanceChecker
+from repro.execution.runner import ExecutionResult
+from repro.graders import PrimesFunctionality, register_all_suites
+from repro.testfw.annotations import max_value
+from repro.testfw.suite import get_suite, registered_suites
+
+
+class StdinPrimes(PrimesFunctionality):
+    """Grades the stdin-parameterised variant: args empty, input scripted."""
+
+    def __init__(self) -> None:
+        super().__init__("primes.stdin")
+
+    def args(self) -> List[str]:
+        return []
+
+    def stdin_lines(self) -> List[str]:
+        return ["7", "4"]
+
+
+class TestStdinDrivenGrading:
+    def test_full_marks_with_scripted_input(self, round_robin_backend):
+        result = StdinPrimes().run()
+        assert result.percent == pytest.approx(100.0), result.render()
+
+    def test_prompts_do_not_break_the_trace(self, round_robin_backend):
+        checker = StdinPrimes()
+        checker.run()
+        output = checker.last_report.execution.output
+        # The prompts are plain root output before the pre-fork property.
+        assert "How many random numbers?" in output
+        assert output.index("How many") < output.index("Random Numbers")
+
+    def test_missing_input_degrades_to_defaults(self, round_robin_backend):
+        class NoInput(StdinPrimes):
+            def stdin_lines(self):
+                return []  # program falls back to its defaults (7, 4)
+
+        result = NoInput().run()
+        assert result.percent == pytest.approx(100.0)
+
+
+@max_value(30)
+class _PartialPerf(AbstractConcurrencyPerformanceChecker):
+    """Fake-duration checker isolating the credit arithmetic."""
+
+    def __init__(self, measured_speedup: float, *, partial: bool) -> None:
+        self._speedup = measured_speedup
+        self._partial = partial
+
+    def main_class_identifier(self) -> str:
+        return "primes.correct"
+
+    def low_thread_args(self) -> List[str]:
+        return ["4", "1"]
+
+    def high_thread_args(self) -> List[str]:
+        return ["4", "4"]
+
+    def num_timed_runs(self) -> int:
+        return 1
+
+    def warmup_runs(self) -> int:
+        return 0
+
+    def expected_minimum_speedup(self) -> float:
+        return 2.0
+
+    def partial_speedup_credit(self) -> bool:
+        return self._partial
+
+    def duration_source(self):
+        target = self._speedup
+
+        def fake(execution: ExecutionResult) -> float:
+            return 1.0 if execution.args[-1] == "4" else target
+
+        return fake
+
+
+class TestPartialSpeedupCredit:
+    def test_default_is_all_or_nothing(self):
+        assert _PartialPerf(1.5, partial=False).run().score == 0.0
+        assert _PartialPerf(2.5, partial=False).run().score == 30.0
+
+    def test_partial_credit_is_linear_above_one(self):
+        # required 2.0: speedup 1.5 -> (1.5-1)/(2-1) = 50% of 30 points.
+        result = _PartialPerf(1.5, partial=True).run()
+        assert result.score == pytest.approx(15.0)
+
+    def test_no_credit_at_or_below_unity(self):
+        assert _PartialPerf(1.0, partial=True).run().score == 0.0
+        assert _PartialPerf(0.7, partial=True).run().score == 0.0
+
+    def test_full_credit_at_the_bar(self):
+        assert _PartialPerf(2.0, partial=True).run().score == 30.0
+
+    def test_failed_status_even_with_partial_points(self):
+        result = _PartialPerf(1.5, partial=True).run()
+        [outcome] = result.outcomes
+        assert outcome.status.value == "failed"
+        assert outcome.points_earned == pytest.approx(15.0)
+
+
+class TestSuiteRegistration:
+    def test_register_all_suites_publishes_all_five(self):
+        register_all_suites()
+        names = registered_suites()
+        for name in ("primes", "pi", "odds", "hello", "jacobi"):
+            assert name in names
+            assert len(get_suite(name)) >= 1

@@ -1,0 +1,251 @@
+"""Failure-injection tests: the harness under misbehaving components.
+
+A grading harness meets broken student code, broken observers, and
+broken test programs; these tests pin down how each failure surfaces —
+loudly where silence would corrupt grades, gracefully where one student
+must not take down the session.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import List
+
+import pytest
+
+from repro.core.checker import AbstractForkJoinChecker
+from repro.core.outcome import Aspect
+from repro.core.properties import NUMBER
+from repro.execution.registry import UnknownMainError, register_main, resolve_main, unregister_main
+from repro.execution.runner import ProgramRunner
+from repro.testfw.result import AspectStatus
+from repro.tracing import print_property
+from repro.tracing.session import TraceSession
+
+
+class TestObserverFailures:
+    def test_broken_observer_fails_loudly_on_the_printing_thread(self):
+        """A broken observer is a broken harness: the exception must not
+        be swallowed (silently dropping trace data corrupts grades)."""
+        session = TraceSession()
+
+        class Broken:
+            def notify(self, event):
+                raise RuntimeError("observer bug")
+
+        session.add_observer(Broken())
+        with session.activate():
+            with pytest.raises(RuntimeError, match="observer bug"):
+                print_property("X", 1)
+        # ...but the event itself was recorded before observers ran.
+        assert len(session.database) == 1
+
+    def test_callback_observer_sees_every_event(self):
+        from repro.tracing.observable import CallbackObserver
+
+        session = TraceSession()
+        seen: List[str] = []
+        session.add_observer(CallbackObserver(lambda e: seen.append(e.name)))
+        with session.activate():
+            print_property("A", 1)
+            print("plain")
+        assert seen == ["A", "str"]
+
+    def test_observer_removal(self):
+        from repro.tracing.observable import CallbackObserver, ObserverRegistry
+
+        registry = ObserverRegistry()
+        observer = CallbackObserver(lambda e: None)
+        registry.add(observer)
+        registry.add(observer)  # idempotent
+        assert len(registry) == 1
+        registry.remove(observer)
+        registry.remove(observer)  # idempotent
+        assert len(registry) == 0
+
+
+class TestInterceptorEdgeCases:
+    def test_write_rejects_non_strings(self):
+        session = TraceSession()
+        with session.activate():
+            with pytest.raises(TypeError, match="must be str"):
+                sys.stdout.write(b"bytes")  # type: ignore[arg-type]
+
+    def test_echo_mode_forwards_to_real_stdout(self, capsys):
+        session = TraceSession(echo=True)
+        with session.activate():
+            print("visible to the operator")
+        assert "visible to the operator" in capsys.readouterr().out
+        assert len(session.database) == 1
+
+    def test_print_with_explicit_stdout_file_is_captured(self):
+        session = TraceSession()
+        with session.activate():
+            print("routed", file=sys.stdout)
+        assert session.output_lines() == ["routed"]
+
+    def test_print_with_custom_end(self):
+        session = TraceSession()
+        with session.activate():
+            print("a", end="")
+            print("b")
+        assert session.output_lines() == ["ab"]
+
+    def test_interleaved_partial_writes_keep_lines_intact(self):
+        session = TraceSession()
+        barrier = threading.Barrier(2)
+        with session.activate():
+            def writer(tag: str) -> None:
+                barrier.wait()
+                for _ in range(20):
+                    sys.stdout.write(tag)
+                    time.sleep(0.0002)
+                    sys.stdout.write(tag + "\n")
+
+            threads = [threading.Thread(target=writer, args=(t,)) for t in "ab"]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        for line in session.output_lines():
+            assert line in ("aa", "bb"), f"torn line: {line!r}"
+
+
+@pytest.mark.filterwarnings("ignore::pytest.PytestUnhandledThreadExceptionWarning")
+class TestBrokenStudentPrograms:
+    def test_worker_crash_truncates_trace_but_run_completes(self, runner):
+        @register_main("inject.worker_crash")
+        def program(args: List[str]) -> None:
+            print_property("Numbers", [1, 2])
+
+            def worker():
+                print_property("Index", 0)
+                raise ValueError("worker died")
+
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+            print_property("Total", 0)
+
+        try:
+            result = runner.run("inject.worker_crash")
+        finally:
+            unregister_main("inject.worker_crash")
+        # The root completed; the worker's death left a truncated trace.
+        assert result.ok
+        names = [e.name for e in result.events]
+        assert names == ["Numbers", "Index", "Total"]
+
+    def test_checker_reports_truncated_worker_as_syntax_error(self, runner):
+        @register_main("inject.truncated")
+        def program(args: List[str]) -> None:
+            print_property("Numbers", [1, 2])
+
+            def worker():
+                print_property("Index", 0)
+                raise ValueError("died before Is Odd")
+
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+            print_property("Total", 0)
+
+        class Checker(AbstractForkJoinChecker):
+            def main_class_identifier(self):
+                return "inject.truncated"
+
+            def num_expected_forked_threads(self):
+                return 1
+
+            def total_iterations(self):
+                return 2
+
+            def pre_fork_property_names_and_types(self):
+                return (("Numbers", list),)
+
+            def iteration_property_names_and_types(self):
+                return (("Index", NUMBER), ("Is Odd", bool))
+
+            def post_join_property_names_and_types(self):
+                return (("Total", NUMBER),)
+
+        try:
+            result = Checker().run()
+        finally:
+            unregister_main("inject.truncated")
+        statuses = {o.aspect: o.status for o in result.outcomes}
+        assert statuses[Aspect.FORK_SYNTAX] is AspectStatus.FAILED
+
+    def test_program_mutating_stdout_is_contained(self, runner):
+        """A program that replaces sys.stdout mid-run cannot corrupt the
+        harness: the session restores the original stream on exit."""
+
+        @register_main("inject.stdout_thief")
+        def program(args: List[str]) -> None:
+            import io
+
+            print_property("Before", 1)
+            sys.stdout = io.StringIO()  # the theft
+            print("swallowed")
+
+        before = sys.stdout
+        try:
+            result = runner.run("inject.stdout_thief")
+        finally:
+            unregister_main("inject.stdout_thief")
+        assert sys.stdout is before
+        assert result.events[0].name == "Before"
+
+    def test_daemon_threads_left_running_do_not_wedge_the_harness(self, runner):
+        @register_main("inject.daemon")
+        def program(args: List[str]) -> None:
+            def immortal():
+                while True:
+                    time.sleep(0.2)
+
+            t = threading.Thread(target=immortal, daemon=True)
+            t.start()
+            print_property("Spawned", True)
+
+        try:
+            result = runner.run("inject.daemon", timeout=5.0)
+        finally:
+            unregister_main("inject.daemon")
+        assert result.ok  # main returned; the daemon is not joined
+
+
+class TestRegistryFileLoading:
+    def test_py_file_with_import_error_reports_cleanly(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("import nonexistent_module_xyz\n")
+        with pytest.raises(UnknownMainError, match="importing"):
+            resolve_main(str(bad))
+
+    def test_py_file_without_main(self, tmp_path):
+        nomain = tmp_path / "nomain.py"
+        nomain.write_text("x = 1\n")
+        with pytest.raises(UnknownMainError, match="no callable"):
+            resolve_main(str(nomain))
+
+    def test_py_file_with_custom_entry_point(self, tmp_path):
+        custom = tmp_path / "custom.py"
+        custom.write_text("def grade_me(args):\n    pass\n")
+        func = resolve_main(f"{custom}:grade_me")
+        assert callable(func)
+
+    def test_missing_py_file(self):
+        with pytest.raises(UnknownMainError, match="does not exist"):
+            resolve_main("/nowhere/never.py")
+
+    def test_py_file_loads_and_runs(self, tmp_path, runner):
+        ok = tmp_path / "fine.py"
+        ok.write_text(
+            "from repro.tracing import print_property\n"
+            "def main(args):\n"
+            "    print_property('Echo', list(args))\n"
+        )
+        result = runner.run(str(ok), ["x"])
+        assert result.ok
+        assert result.events[0].value == ["x"]

@@ -1,0 +1,209 @@
+"""Integration tests: the real graders against every submission variant.
+
+These pin the scores and diagnoses the infrastructure assigns to each
+submission class — the observable behaviour the paper's figures document.
+Deterministic simulation backends remove schedule luck.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.outcome import Aspect
+from repro.graders import (
+    HelloFunctionality,
+    OddsFunctionality,
+    PiFunctionality,
+    PrimesFunctionality,
+    SimulatedOddsPerformance,
+    SimulatedPiPerformance,
+    SimulatedPrimesPerformance,
+    build_hello_suite,
+    build_odds_suite,
+    build_pi_suite,
+    build_primes_suite,
+)
+from repro.testfw.result import AspectStatus
+
+
+class TestPrimesFunctionalityScores:
+    """The paper's reference scores (Figs. 9-11 / Fig. 5)."""
+
+    def test_correct_is_100_percent(self, round_robin_backend):
+        result = PrimesFunctionality("primes.correct").run()
+        assert result.percent == pytest.approx(100.0)
+        assert result.score == pytest.approx(40.0)
+
+    def test_serialized_is_80_percent(self, serialized_backend):
+        result = PrimesFunctionality("primes.serialized").run()
+        assert result.percent == pytest.approx(80.0)
+        assert result.score == pytest.approx(32.0)  # Fig. 5's 32/40
+        failed = {o.aspect for o in result.failed_aspects()}
+        assert failed == {Aspect.INTERLEAVING, Aspect.LOAD_BALANCE}
+
+    def test_syntax_error_is_10_percent(self, round_robin_backend):
+        result = PrimesFunctionality("primes.syntax_error").run()
+        assert result.percent == pytest.approx(10.0)
+        statuses = {o.aspect: o.status for o in result.outcomes}
+        assert statuses[Aspect.PRE_FORK_SYNTAX] is AspectStatus.FAILED
+        assert statuses[Aspect.FORK_SYNTAX] is AspectStatus.FAILED
+        assert statuses[Aspect.POST_JOIN_SYNTAX] is AspectStatus.PASSED
+        for aspect in (Aspect.ITERATION_SEMANTICS, Aspect.THREAD_COUNT):
+            assert statuses[aspect] is AspectStatus.SKIPPED
+
+    def test_imbalanced_fails_only_balance(self, round_robin_backend):
+        result = PrimesFunctionality("primes.imbalanced").run()
+        failed = {o.aspect for o in result.failed_aspects()}
+        assert failed == {Aspect.LOAD_BALANCE}
+
+    def test_wrong_semantics_fails_serial_intermediate(self, round_robin_backend):
+        result = PrimesFunctionality("primes.wrong_semantics").run()
+        failed = {o.aspect for o in result.failed_aspects()}
+        assert Aspect.ITERATION_SEMANTICS in failed
+        assert Aspect.FORK_SYNTAX not in failed
+
+    def test_wrong_total_fails_post_join_semantics(self, round_robin_backend):
+        result = PrimesFunctionality("primes.wrong_total").run()
+        failed = {o.aspect for o in result.failed_aspects()}
+        assert failed == {Aspect.POST_JOIN_SEMANTICS}
+        [message] = [o.message for o in result.failed_aspects()]
+        assert "sum of primes found by each thread" in message
+
+    def test_racy_caught_under_round_robin(self, round_robin_backend):
+        result = PrimesFunctionality("primes.racy").run()
+        failed = {o.aspect for o in result.failed_aspects()}
+        assert Aspect.POST_JOIN_SEMANTICS in failed
+
+    def test_error_messages_match_paper_wording(self, serialized_backend):
+        result = PrimesFunctionality("primes.serialized").run()
+        messages = "\n".join(o.message for o in result.failed_aspects())
+        assert "serialized in the order" in messages
+        assert "load is imbalanced" in messages
+
+
+class TestPiFunctionality:
+    @pytest.mark.parametrize(
+        "identifier,failing",
+        [
+            ("pi.correct", set()),
+            ("pi.serialized", {Aspect.INTERLEAVING}),
+            ("pi.wrong_semantics", {Aspect.ITERATION_SEMANTICS}),
+            ("pi.wrong_final", {Aspect.POST_JOIN_SEMANTICS}),
+        ],
+    )
+    def test_failure_sets(self, round_robin_backend, identifier, failing):
+        if identifier == "pi.serialized":
+            pytest.skip("needs the serialized backend fixture")
+        result = PiFunctionality(identifier).run()
+        assert {o.aspect for o in result.failed_aspects()} == failing
+
+    def test_serialized_under_serialized_backend(self, serialized_backend):
+        result = PiFunctionality("pi.serialized").run()
+        assert {o.aspect for o in result.failed_aspects()} == {Aspect.INTERLEAVING}
+
+    def test_syntax_error_gates(self, round_robin_backend):
+        result = PiFunctionality("pi.syntax_error").run()
+        statuses = {o.aspect: o.status for o in result.outcomes}
+        assert statuses[Aspect.PRE_FORK_SYNTAX] is AspectStatus.FAILED
+        assert statuses[Aspect.ITERATION_SEMANTICS] is AspectStatus.SKIPPED
+
+    def test_no_fork_scores_low(self, round_robin_backend):
+        result = PiFunctionality("pi.no_fork").run()
+        assert result.percent < 30.0
+
+
+class TestOddsFunctionality:
+    def test_correct_full_score(self, round_robin_backend):
+        result = OddsFunctionality("odds.correct").run()
+        assert result.percent == pytest.approx(100.0)
+
+    def test_workshop_configuration_is_27_iterations(self):
+        checker = OddsFunctionality()
+        assert checker.total_iterations() == 27
+        assert checker.num_expected_forked_threads() == 4
+
+    @pytest.mark.parametrize(
+        "identifier,expected_failed",
+        [
+            ("odds.wrong_semantics", Aspect.ITERATION_SEMANTICS),
+            ("odds.wrong_total", Aspect.POST_JOIN_SEMANTICS),
+        ],
+    )
+    def test_bug_diagnoses(self, round_robin_backend, identifier, expected_failed):
+        result = OddsFunctionality(identifier).run()
+        assert expected_failed in {o.aspect for o in result.failed_aspects()}
+
+    def test_syntax_error_is_10_percent(self, round_robin_backend):
+        result = OddsFunctionality("odds.syntax_error").run()
+        assert result.percent == pytest.approx(10.0)
+
+
+class TestHelloFunctionality:
+    def test_correct_full(self):
+        assert HelloFunctionality("hello.correct").run().percent == 100.0
+
+    def test_no_fork_zero_with_pinpointed_message(self):
+        result = HelloFunctionality("hello.no_fork").run()
+        assert result.score == 0.0
+        [outcome] = result.outcomes
+        assert "must fork" in outcome.message
+
+    def test_wrong_count_earns_consolation_20_percent(self):
+        result = HelloFunctionality("hello.wrong_count", num_threads=4).run()
+        assert result.percent == pytest.approx(20.0)
+
+    def test_three_parameter_methods_suffice(self):
+        """The Fig. 12 point: a concurrency-only test needs just the
+        program name, its args, and the thread count."""
+        checker = HelloFunctionality()
+        assert checker.pre_fork_property_names_and_types() == ()
+        assert checker.iteration_property_names_and_types() == ()
+        assert checker.post_join_property_names_and_types() == ()
+
+
+class TestSimulatedPerformance:
+    def test_primes_speedup_passes(self):
+        checker = SimulatedPrimesPerformance(runs=2)
+        result = checker.run()
+        assert result.passed
+        assert checker.last_speedup > 3.0  # near-linear on 4 virtual threads
+
+    def test_pi_speedup_passes(self):
+        checker = SimulatedPiPerformance(runs=2)
+        assert checker.run().passed
+
+    def test_odds_speedup_passes(self):
+        checker = SimulatedOddsPerformance(runs=2)
+        assert checker.run().passed
+
+    def test_speedup_deterministic_across_reruns(self):
+        first = SimulatedPrimesPerformance(runs=2)
+        second = SimulatedPrimesPerformance(runs=2)
+        first.run()
+        second.run()
+        assert first.last_speedup == pytest.approx(second.last_speedup)
+
+
+class TestSuites:
+    def test_primes_suite_composition(self):
+        suite = build_primes_suite()
+        assert suite.name == "primes"
+        assert len(suite) == 2
+        names = [t.name for t in suite.tests]
+        assert "PrimesFunctionality" in names
+
+    def test_suite_runs_clean_against_correct(self, round_robin_backend):
+        suite = build_primes_suite(perf_runs=2)
+        result = suite.run()
+        assert result.percent == pytest.approx(100.0)
+
+    def test_suite_against_buggy_submission(self, serialized_backend):
+        suite = build_primes_suite("primes.serialized", perf_runs=2)
+        result = suite.run()
+        functionality = result.result_for("PrimesFunctionality")
+        assert functionality.score == pytest.approx(32.0)
+
+    def test_other_suites_build(self):
+        assert len(build_pi_suite()) == 2
+        assert len(build_odds_suite()) == 2
+        assert len(build_hello_suite()) == 1

@@ -1,0 +1,203 @@
+"""Tests of the grading layer: records, gradebook, logs, awareness, batch."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.grading.awareness import analyze_progress
+from repro.grading.batch import grade_batch, grade_submissions
+from repro.grading.gradebook import Gradebook
+from repro.grading.logs import ProgressLog
+from repro.grading.records import AspectRecord, SubmissionRecord, TestRecord
+from repro.testfw.result import (
+    AspectOutcome,
+    AspectStatus,
+    SuiteResult,
+    TestResult,
+)
+
+
+def make_suite_result(score: float, *, failed_aspect: str = "") -> SuiteResult:
+    outcomes = []
+    if failed_aspect:
+        outcomes.append(
+            AspectOutcome(failed_aspect, AspectStatus.FAILED, message="nope")
+        )
+    return SuiteResult(
+        "primes",
+        [TestResult("Functionality", score, 40.0, outcomes=outcomes)],
+    )
+
+
+class TestRecords:
+    def test_round_trip_via_dict(self):
+        record = SubmissionRecord.from_suite_result(
+            "alice", make_suite_result(32.0, failed_aspect="thread interleaving"),
+            timestamp=1000.0,
+        )
+        clone = SubmissionRecord.from_dict(record.to_dict())
+        assert clone.student == "alice"
+        assert clone.percent == pytest.approx(80.0)
+        assert clone.failed_aspects() == ["thread interleaving"]
+        assert clone.timestamp == 1000.0
+
+    def test_kind_defaults_and_tags(self):
+        record = SubmissionRecord.from_suite_result("bob", make_suite_result(40.0))
+        assert record.kind == "final"
+
+    def test_aspect_record_flags(self):
+        failed = AspectRecord("x", "failed", "m", 0, 5)
+        passed = AspectRecord("x", "passed", "", 5, 5)
+        assert failed.failed and not failed.passed
+        assert passed.passed and not passed.failed
+
+    def test_test_record_percent(self):
+        record = TestRecord("t", 10.0, 40.0)
+        assert record.percent == pytest.approx(25.0)
+
+
+class TestGradebook:
+    def test_best_and_latest(self):
+        book = Gradebook("primes")
+        book.record(SubmissionRecord.from_suite_result("alice", make_suite_result(20.0), timestamp=1))
+        book.record(SubmissionRecord.from_suite_result("alice", make_suite_result(36.0), timestamp=2))
+        book.record(SubmissionRecord.from_suite_result("alice", make_suite_result(32.0), timestamp=3))
+        assert book.best("alice").score == 36.0
+        assert book.latest("alice").score == 32.0
+
+    def test_unknown_student(self):
+        book = Gradebook("primes")
+        assert book.best("nobody") is None
+        assert book.latest("nobody") is None
+
+    def test_wrong_suite_rejected(self):
+        book = Gradebook("odds")
+        with pytest.raises(ValueError, match="suite"):
+            book.record(SubmissionRecord.from_suite_result("a", make_suite_result(1.0)))
+
+    def test_class_statistics(self):
+        book = Gradebook("primes")
+        book.record(SubmissionRecord.from_suite_result("alice", make_suite_result(40.0)))
+        book.record(SubmissionRecord.from_suite_result("bob", make_suite_result(20.0)))
+        assert book.class_percentages() == {"alice": 100.0, "bob": 50.0}
+        assert book.mean_percent() == pytest.approx(75.0)
+        assert "alice" in book.render()
+
+    def test_save_and_load(self, tmp_path):
+        book = Gradebook("primes")
+        book.record(SubmissionRecord.from_suite_result("alice", make_suite_result(40.0)))
+        path = tmp_path / "gradebook.json"
+        book.save(path)
+        loaded = Gradebook.load(path)
+        assert loaded.suite == "primes"
+        assert loaded.best("alice").score == 40.0
+        # File is honest JSON an instructor can inspect.
+        payload = json.loads(path.read_text())
+        assert payload["suite"] == "primes"
+
+
+class TestProgressLog:
+    def test_in_memory_logging(self):
+        log = ProgressLog()
+        log.log_run("alice", make_suite_result(10.0), timestamp=1.0)
+        log.log_run("bob", make_suite_result(40.0), timestamp=2.0)
+        assert len(log) == 2
+        assert log.students() == ["alice", "bob"]
+        assert len(log.entries_of("alice")) == 1
+        assert log.entries()[0].kind == "progress"
+
+    def test_jsonl_persistence(self, tmp_path):
+        path = tmp_path / "progress.jsonl"
+        log = ProgressLog(path)
+        log.log_run("alice", make_suite_result(10.0), timestamp=1.0)
+        log.log_run("alice", make_suite_result(20.0), timestamp=2.0)
+        reloaded = ProgressLog(path)
+        assert len(reloaded) == 2
+        assert reloaded.entries()[1].percent == pytest.approx(50.0)
+
+
+class TestAwareness:
+    def build_log(self):
+        log = ProgressLog()
+        # alice improves steadily to full marks
+        for t, score in enumerate([8.0, 24.0, 40.0]):
+            log.log_run("alice", make_suite_result(score), timestamp=float(t))
+        # bob is stuck on interleaving at 32/40 for many runs
+        log.log_run("bob", make_suite_result(32.0, failed_aspect="thread interleaving"), timestamp=0.0)
+        for t in range(1, 5):
+            log.log_run(
+                "bob",
+                make_suite_result(28.0, failed_aspect="thread interleaving"),
+                timestamp=float(t),
+            )
+        return log
+
+    def test_student_trajectories(self):
+        report = analyze_progress(self.build_log(), suite="primes")
+        by_name = {s.student: s for s in report.students}
+        assert by_name["alice"].improving
+        assert not by_name["alice"].stuck
+        assert by_name["bob"].stuck
+        assert by_name["bob"].runs == 5
+        assert "thread interleaving" in by_name["bob"].recurring_failures
+
+    def test_hardest_aspects_ranked(self):
+        report = analyze_progress(self.build_log(), suite="primes")
+        assert report.hardest_aspects() == ["thread interleaving"]
+        assert report.aspect_failure_rates["thread interleaving"] == pytest.approx(0.5)
+
+    def test_difficulty_classification(self):
+        report = analyze_progress(self.build_log(), suite="primes")
+        # alice latest 100, bob latest 70 -> mean 85 -> appropriate
+        assert report.difficulty == "appropriate"
+
+    def test_difficulty_extremes(self):
+        easy = ProgressLog()
+        easy.log_run("a", make_suite_result(40.0), timestamp=1.0)
+        assert analyze_progress(easy).difficulty == "too easy"
+        hard = ProgressLog()
+        hard.log_run("a", make_suite_result(8.0), timestamp=1.0)
+        assert analyze_progress(hard).difficulty == "too hard"
+
+    def test_render_flags_stuck_students(self):
+        text = analyze_progress(self.build_log(), suite="primes").render()
+        assert "STUCK" in text
+        assert "hardest requirements" in text
+
+    def test_empty_log(self):
+        report = analyze_progress(ProgressLog())
+        assert report.students == []
+        assert report.mean_latest_percent == 0.0
+
+
+class TestBatch:
+    def test_grade_batch_over_variants(self, round_robin_backend):
+        from repro.graders import PrimesFunctionality
+        from repro.testfw.suite import TestSuite
+
+        def factory(identifier: str) -> TestSuite:
+            return TestSuite("primes", [PrimesFunctionality(identifier)])
+
+        gradebook, live = grade_batch(
+            factory, ["primes.correct", "primes.imbalanced", "primes.no_fork"]
+        )
+        percentages = gradebook.class_percentages()
+        assert percentages["primes.correct"] == pytest.approx(100.0)
+        assert percentages["primes.no_fork"] < percentages["primes.imbalanced"] < 100.0
+        assert set(live) == set(percentages)
+
+    def test_grade_submissions_custom_names(self, round_robin_backend):
+        from repro.graders import PrimesFunctionality
+        from repro.testfw.suite import TestSuite
+
+        def factory(identifier: str) -> TestSuite:
+            return TestSuite("primes", [PrimesFunctionality(identifier)])
+
+        gradebook, _live = grade_submissions(factory, {"alice": "primes.correct"})
+        assert gradebook.students() == ["alice"]
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            grade_batch(lambda i: None, [])

@@ -1,0 +1,109 @@
+"""Tests of the HTML report renderer and its CLI command."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.grading import suite_result_html, write_html_report
+from repro.graders import PrimesFunctionality
+from repro.testfw.result import (
+    AspectOutcome,
+    AspectStatus,
+    SuiteResult,
+    TestResult,
+)
+from repro.testfw.suite import TestSuite
+
+
+def make_suite_result() -> SuiteResult:
+    return SuiteResult(
+        "primes",
+        [
+            TestResult(
+                "Functionality",
+                32.0,
+                40.0,
+                outcomes=[
+                    AspectOutcome(
+                        "fork syntax",
+                        AspectStatus.PASSED,
+                        points_earned=6,
+                        points_possible=6,
+                    ),
+                    AspectOutcome(
+                        "thread interleaving",
+                        AspectStatus.FAILED,
+                        message="serialized <order>",
+                        points_earned=0,
+                        points_possible=4,
+                    ),
+                    AspectOutcome(
+                        "iteration semantics",
+                        AspectStatus.SKIPPED,
+                        points_possible=6,
+                    ),
+                ],
+            )
+        ],
+    )
+
+
+class TestHtmlRendering:
+    def test_document_structure(self):
+        html_text = suite_result_html(make_suite_result(), student="ada")
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert "Fork-Join Test Report — primes — ada" in html_text
+        assert "32 / 40" in html_text
+
+    def test_status_badges(self):
+        html_text = suite_result_html(make_suite_result())
+        assert '<span class="status passed">PASS</span>' in html_text
+        assert '<span class="status failed">FAIL</span>' in html_text
+        assert '<span class="status skipped">SKIP</span>' in html_text
+
+    def test_messages_are_escaped(self):
+        html_text = suite_result_html(make_suite_result())
+        assert "serialized &lt;order&gt;" in html_text
+        assert "serialized <order>" not in html_text
+
+    def test_fatal_result(self):
+        suite = SuiteResult("s", [TestResult("t", 0, 10, fatal="<boom>")])
+        html_text = suite_result_html(suite)
+        assert "FATAL: &lt;boom&gt;" in html_text
+
+    def test_trace_section_with_real_report(self, round_robin_backend):
+        checker = PrimesFunctionality("primes.correct")
+        report = checker.check()
+        suite_result = SuiteResult("primes", [report.result])
+        html_text = suite_result_html(suite_result, reports=[report])
+        assert "Annotated trace" in html_text
+        assert "// pre-fork phase (root thread)" in html_text
+        # Per-thread colour classes assigned.
+        assert 'class="t0"' in html_text and 'class="t1"' in html_text
+
+    def test_write_to_file(self, tmp_path):
+        path = write_html_report(make_suite_result(), tmp_path / "r.html")
+        assert path.read_text().startswith("<!DOCTYPE html>")
+
+
+class TestReportCommand:
+    def test_cli_report_writes_html(self, tmp_path, capsys, round_robin_backend):
+        out = tmp_path / "report.html"
+        code = main(
+            [
+                "report",
+                "primes",
+                "--submission",
+                "primes.serialized",
+                "--out",
+                str(out),
+                "--student",
+                "bob",
+            ]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert "bob" in text
+        assert "Annotated trace" in text
+        assert "serialized in the order" in text

@@ -1,0 +1,195 @@
+"""Tests of automatic trace generation (the §6 instrumentation)."""
+
+from __future__ import annotations
+
+import threading
+from typing import List
+
+import pytest
+
+from repro.instrument import VariableWatcher, instrument
+from repro.instrument.watcher import stores_by_line
+from repro.tracing.session import TraceSession
+
+
+def traced_events(func, *args):
+    """Run *func* under a session and return its (name, value) events."""
+    session = TraceSession()
+    with session.activate():
+        func(*args)
+    return [(e.name, e.value) for e in session.database.snapshot()]
+
+
+class TestStoresByLine:
+    def test_finds_assignment_lines(self):
+        def sample():
+            x = 1
+            y = x + 1
+            return y
+
+        code = sample.__code__
+        stores = stores_by_line(code, {"x", "y"})
+        lines = sorted(stores)
+        assert len(lines) == 2
+        assert stores[lines[0]] == ["x"]
+        assert stores[lines[1]] == ["y"]
+
+    def test_ignores_unwatched_names(self):
+        def sample():
+            x = 1
+            z = 2
+            return x + z
+
+        stores = stores_by_line(sample.__code__, {"x"})
+        assert all(names == ["x"] for names in stores.values())
+
+
+class TestInstrumentedLoop:
+    def test_every_iteration_traced_even_with_repeated_values(self):
+        @instrument(
+            watch={"i": "Index", "odd": "Is Odd"},
+            loop_var="i",
+        )
+        def count_odds(numbers: List[int]) -> int:
+            total = 0
+            for i in range(len(numbers)):
+                odd = numbers[i] % 2 == 1
+                if odd:
+                    total += 1
+            return total
+
+        # Consecutive equal "Is Odd" values: the case value-diffing loses.
+        events = traced_events(count_odds, [2, 4, 6, 3])
+        assert events == [
+            ("Index", 0),
+            ("Is Odd", False),
+            ("Index", 1),
+            ("Is Odd", False),
+            ("Index", 2),
+            ("Is Odd", False),
+            ("Index", 3),
+            ("Is Odd", True),
+        ]
+
+    def test_loop_exhaustion_emits_no_spurious_index(self):
+        @instrument(watch={"i": "Index"}, loop_var="i")
+        def loop():
+            for i in range(3):
+                pass
+
+        events = traced_events(loop)
+        assert events == [("Index", 0), ("Index", 1), ("Index", 2)]
+
+    def test_finals_emitted_once_at_return(self):
+        @instrument(watch={"i": "Index"}, loop_var="i", finals={"total": "Total"})
+        def summing():
+            total = 0
+            for i in range(3):
+                total += i
+            return total
+
+        events = traced_events(summing)
+        assert events[-1] == ("Total", 3)
+        assert [e for e in events if e[0] == "Total"] == [("Total", 3)]
+
+    def test_conditional_assignment_traced_only_when_executed(self):
+        @instrument(watch={"i": "Index", "flag": "Flag"}, loop_var="i")
+        def conditional():
+            for i in range(4):
+                if i % 2 == 0:
+                    flag = True
+
+        events = traced_events(conditional)
+        assert events == [
+            ("Index", 0),
+            ("Flag", True),
+            ("Index", 1),
+            ("Index", 2),
+            ("Flag", True),
+            ("Index", 3),
+        ]
+
+    def test_while_loop_with_manual_increment(self):
+        @instrument(watch={"i": "Index"}, loop_var="i")
+        def manual():
+            i = 0
+            while i < 3:
+                i += 1
+
+        events = traced_events(manual)
+        assert events == [("Index", 0), ("Index", 1), ("Index", 2), ("Index", 3)]
+
+    def test_loop_var_must_be_watched(self):
+        with pytest.raises(ValueError, match="loop_var"):
+            instrument(watch={"x": "X"}, loop_var="y")(lambda: None)
+
+
+class TestThreadScoping:
+    def test_each_thread_traces_its_own_execution(self):
+        @instrument(watch={"i": "Index"}, loop_var="i", finals={"done": "Done"})
+        def worker():
+            for i in range(2):
+                pass
+            done = True
+
+        session = TraceSession()
+        with session.activate():
+            threads = [threading.Thread(target=worker) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        events = session.database.snapshot()
+        per_thread = {}
+        for event in events:
+            per_thread.setdefault(event.thread_id, []).append(event.name)
+        assert len(per_thread) == 2
+        for names in per_thread.values():
+            assert names == ["Index", "Index", "Done"]
+
+    def test_previous_trace_function_restored(self):
+        import sys
+
+        sentinel_calls = []
+
+        def sentinel(frame, event, arg):
+            sentinel_calls.append(event)
+            return None
+
+        @instrument(watch={"x": "X"})
+        def traced():
+            x = 1
+
+        old = sys.gettrace()
+        sys.settrace(sentinel)
+        try:
+            traced()
+            assert sys.gettrace() is sentinel
+        finally:
+            sys.settrace(old)
+
+
+class TestEndToEndAutoGrading:
+    def test_uninstrumented_primes_earns_full_marks(self, round_robin_backend):
+        """The §6 headline: zero print calls in the student code, full
+        score from the unchanged grader."""
+        from repro.graders import PrimesFunctionality
+
+        result = PrimesFunctionality("primes.auto").run()
+        assert result.percent == pytest.approx(100.0), result.render()
+
+    def test_auto_trace_matches_hand_traced_solution(self, round_robin_backend):
+        from repro.execution.runner import ProgramRunner
+
+        auto = ProgramRunner().run("primes.auto", ["7", "4"])
+        hand = ProgramRunner().run("primes.correct", ["7", "4"])
+        assert [e.name for e in auto.events] == [e.name for e in hand.events]
+        assert [e.value for e in auto.events] == [e.value for e in hand.events]
+
+    def test_source_has_no_print_property_calls(self):
+        import inspect
+
+        from repro.workloads.primes import uninstrumented
+
+        source = inspect.getsource(uninstrumented._uninstrumented_main)
+        assert "print_property" not in source

@@ -1,0 +1,199 @@
+"""Tests of the test-program configuration linter."""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional
+
+import pytest
+
+from repro.core.checker import AbstractForkJoinChecker
+from repro.core.properties import BOOLEAN, NUMBER
+from repro.core.spec_lint import LintLevel, lint_checker
+from repro.graders import (
+    HelloFunctionality,
+    OddsFunctionality,
+    PiFunctionality,
+    PrimesFunctionality,
+)
+
+
+class _Base(AbstractForkJoinChecker):
+    """A clean baseline configuration to mutate per test."""
+
+    def main_class_identifier(self) -> str:
+        return "primes.correct"
+
+    def num_expected_forked_threads(self) -> int:
+        return 4
+
+    def total_iterations(self) -> int:
+        return 8
+
+    def pre_fork_property_names_and_types(self):
+        return (("Input", list),)
+
+    def iteration_property_names_and_types(self):
+        return (("Index", NUMBER), ("Verdict", BOOLEAN))
+
+    def post_iteration_property_names_and_types(self):
+        return (("Count", NUMBER),)
+
+    def post_join_property_names_and_types(self):
+        return (("Total", NUMBER),)
+
+
+def rules(findings, level=None):
+    return [
+        f.rule
+        for f in findings
+        if level is None or f.level is level
+    ]
+
+
+class TestCleanConfigurations:
+    def test_baseline_is_clean(self):
+        assert lint_checker(_Base()) == []
+
+    @pytest.mark.parametrize(
+        "checker",
+        [
+            PrimesFunctionality(),
+            OddsFunctionality(),
+            PiFunctionality(),
+            HelloFunctionality(),
+        ],
+        ids=["primes", "odds", "pi", "hello"],
+    )
+    def test_shipped_graders_have_no_errors(self, checker):
+        findings = lint_checker(checker)
+        assert rules(findings, LintLevel.ERROR) == [], [
+            f.render() for f in findings
+        ]
+
+
+class TestSpecRules:
+    def test_phase_name_collision_is_an_error(self):
+        class Collides(_Base):
+            def post_iteration_property_names_and_types(self):
+                return (("Index", NUMBER),)  # also an iteration property
+
+        assert "phase-name-collision" in rules(lint_checker(Collides()), LintLevel.ERROR)
+
+    def test_ambiguous_tuple_boundary(self):
+        class Ambiguous(_Base):
+            def iteration_property_names_and_types(self):
+                return (("Index", NUMBER), ("Count", NUMBER))
+
+            def post_iteration_property_names_and_types(self):
+                return (("Count", NUMBER), ("Extra", NUMBER))
+
+        found = rules(lint_checker(Ambiguous()), LintLevel.ERROR)
+        # Count appears in both phases -> collision; and it is also the
+        # post-iteration tuple's first name appearing mid-iteration.
+        assert "phase-name-collision" in found
+
+    def test_root_worker_overlap_is_a_warning(self):
+        class Overlap(_Base):
+            def post_join_property_names_and_types(self):
+                return (("Count", NUMBER),)  # worker's post-iteration name
+
+        findings = lint_checker(Overlap())
+        assert "root-worker-name-overlap" in rules(findings, LintLevel.WARNING)
+        assert rules(findings, LintLevel.ERROR) == []
+
+    def test_duplicate_names_within_a_phase_reported(self):
+        class Duplicate(_Base):
+            def iteration_property_names_and_types(self):
+                return (("Index", NUMBER), ("Index", NUMBER))
+
+        assert "invalid-specs" in rules(lint_checker(Duplicate()), LintLevel.ERROR)
+
+
+class TestCountRules:
+    def test_zero_threads_is_an_error(self):
+        class NoThreads(_Base):
+            def num_expected_forked_threads(self):
+                return 0
+
+        assert "no-threads-expected" in rules(lint_checker(NoThreads()), LintLevel.ERROR)
+
+    def test_negative_iterations(self):
+        class Negative(_Base):
+            def total_iterations(self):
+                return -1
+
+        assert "negative-iterations" in rules(lint_checker(Negative()), LintLevel.ERROR)
+
+    def test_fewer_iterations_than_threads_warns(self):
+        class Sparse(_Base):
+            def total_iterations(self):
+                return 2
+
+        assert "fewer-iterations-than-threads" in rules(
+            lint_checker(Sparse()), LintLevel.WARNING
+        )
+
+    def test_unbounded_iterations_warns(self):
+        class Unbounded(_Base):
+            def total_iterations(self):
+                return None
+
+        assert "unbounded-iterations" in rules(
+            lint_checker(Unbounded()), LintLevel.WARNING
+        )
+
+
+class TestCreditRules:
+    def test_bad_thread_count_credit(self):
+        class Bad(_Base):
+            def thread_count_credit(self):
+                return 1.5
+
+        assert "bad-thread-count-credit" in rules(lint_checker(Bad()), LintLevel.ERROR)
+
+    def test_unknown_credit_aspects_warn(self):
+        class Unknown(_Base):
+            def credit_weights(self) -> Optional[Mapping[str, float]]:
+                return {"style points": 10.0}
+
+        assert "unknown-credit-aspects" in rules(
+            lint_checker(Unknown()), LintLevel.WARNING
+        )
+
+    def test_negative_weight_is_an_error(self):
+        class Negative(_Base):
+            def credit_weights(self):
+                return {"fork syntax": -1.0}
+
+        assert "negative-credit-weight" in rules(
+            lint_checker(Negative()), LintLevel.ERROR
+        )
+
+    def test_all_zero_weights_is_an_error(self):
+        from repro.core.credit import DEFAULT_WEIGHTS
+
+        class Zeroed(_Base):
+            def credit_weights(self):
+                return {k: 0.0 for k in DEFAULT_WEIGHTS}
+
+        assert "all-credit-zeroed" in rules(lint_checker(Zeroed()), LintLevel.ERROR)
+
+    def test_negative_tolerance(self):
+        class Negative(_Base):
+            def load_balance_tolerance(self):
+                return -1
+
+        assert "negative-balance-tolerance" in rules(
+            lint_checker(Negative()), LintLevel.ERROR
+        )
+
+
+class TestFindingRendering:
+    def test_render_includes_level_and_rule(self):
+        class NoThreads(_Base):
+            def num_expected_forked_threads(self):
+                return 0
+
+        [finding] = lint_checker(NoThreads())
+        text = finding.render()
+        assert text.startswith("[error] no-threads-expected:")

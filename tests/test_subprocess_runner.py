@@ -1,0 +1,175 @@
+"""Tests of subprocess execution of tested programs."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.execution.registry import UnknownMainError
+from repro.execution.subprocess_runner import SubprocessRunner
+from repro.graders import HelloFunctionality, PrimesFunctionality
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SubprocessRunner(timeout=60.0)
+
+
+class TestReconstruction:
+    def test_correct_primes_trace_rebuilt(self, runner):
+        result = runner.run("primes.correct", ["7", "4"])
+        assert result.ok
+        assert result.root_thread_id == 23
+        assert len(result.worker_threads) == 4
+        names = [e.name for e in result.events]
+        assert names[0] == "Random Numbers"
+        assert names[-1] == "Total Num Primes"
+        assert names.count("Index") == 7
+        # Values are text at this level; typed parsing happens in the
+        # phased-trace builder.
+        assert isinstance(result.events[0].value, str)
+
+    def test_root_marker_not_part_of_output(self, runner):
+        result = runner.run("primes.correct", ["4", "2"])
+        assert "__root__" not in result.output
+
+    def test_plain_print_lines_attributed_via_annotations(self, runner):
+        result = runner.run("hello.correct", ["3"])
+        assert result.output.count("Hello Concurrent World") == 3
+        assert len(result.worker_threads) == 3
+        assert all(e.thread is not result.root_thread for e in result.events)
+
+    def test_no_fork_hello_attributed_to_root(self, runner):
+        result = runner.run("hello.no_fork", ["1"])
+        assert result.worker_threads == []
+        assert len(result.root_events()) == 1
+
+    def test_hidden_run_produces_nothing(self, runner):
+        result = runner.run("primes.correct", ["5", "2"], hide_prints=True)
+        assert result.ok
+        assert result.events == []
+        assert result.output == ""
+
+    def test_torn_lines_do_not_occur(self, runner):
+        """Concurrent prints in the child must never interleave within a
+        line (the child buffers per thread and writes lines atomically)."""
+        for _ in range(3):
+            result = runner.run("primes.correct", ["12", "4"])
+            for event in result.events:
+                assert event.raw_line.count("Thread ") == 1, event.raw_line
+
+
+class TestFailureModes:
+    def test_unknown_identifier_raises(self, runner):
+        with pytest.raises(UnknownMainError):
+            runner.run("totally.unknown.program")
+
+    def test_program_exception_reported(self, runner):
+        with pytest.raises(UnknownMainError):
+            # resolvable module but non-callable attr -> unknown-main exit
+            runner.run("repro.workloads.primes.spec:RANDOM_NUMBERS")
+
+    def test_timeout_reported(self, tmp_path):
+        slow = tmp_path / "slow.py"
+        slow.write_text(
+            textwrap.dedent(
+                """
+                import time
+
+                def main(args):
+                    time.sleep(30)
+                """
+            )
+        )
+        result = SubprocessRunner(timeout=2.0).run(str(slow))
+        assert result.timed_out
+        assert not result.ok
+
+    def test_crashing_file_reported(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def main(args):\n    raise ValueError('student bug')\n")
+        runner = SubprocessRunner(timeout=30.0)
+        result = runner.run(str(bad))
+        assert not result.ok
+        assert "student bug" in result.failure_reason()
+
+
+class TestGradingStudentFiles:
+    """The real-world path: grade an actual .py file submission."""
+
+    SUBMISSION = textwrap.dedent(
+        """
+        import threading
+        import time
+        from repro.tracing import print_property
+
+        def main(args):
+            num_randoms = int(args[0]); num_threads = int(args[1])
+            randoms = [509, 578, 796, 129, 272, 594, 714][:num_randoms]
+            print_property("Random Numbers", randoms)
+            counts = []
+            lock = threading.Lock()
+            barrier = threading.Barrier(num_threads)
+
+            def worker(lo, hi):
+                barrier.wait()
+                count = 0
+                for i in range(lo, hi):
+                    n = randoms[i]
+                    print_property("Index", i)
+                    print_property("Number", n)
+                    prime = n > 1 and all(n % d for d in range(2, int(n ** 0.5) + 1))
+                    print_property("Is Prime", prime)
+                    if prime:
+                        count += 1
+                    time.sleep(0.002)
+                print_property("Num Primes", count)
+                with lock:
+                    counts.append(count)
+
+            base, extra = divmod(num_randoms, num_threads)
+            threads, start = [], 0
+            for t in range(num_threads):
+                size = base + (1 if t < extra else 0)
+                threads.append(threading.Thread(target=worker, args=(start, start + size)))
+                start += size
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            print_property("Total Num Primes", sum(counts))
+        """
+    )
+
+    def test_student_file_earns_full_marks(self, tmp_path):
+        submission = tmp_path / "alice_primes.py"
+        submission.write_text(self.SUBMISSION)
+
+        class SubprocessPrimes(PrimesFunctionality):
+            def make_runner(self):
+                return SubprocessRunner(timeout=60.0)
+
+        result = SubprocessPrimes(str(submission)).run()
+        assert result.percent == pytest.approx(100.0), result.render()
+
+    def test_registered_variants_grade_identically_in_both_regimes(self):
+        class SubprocessPrimes(PrimesFunctionality):
+            def make_runner(self):
+                return SubprocessRunner(timeout=60.0)
+
+        for identifier, expected in [
+            ("primes.serialized", 80.0),
+            ("primes.syntax_error", 10.0),
+            ("primes.no_fork", 5.0),
+        ]:
+            result = SubprocessPrimes(identifier).run()
+            assert result.percent == pytest.approx(expected), identifier
+
+    def test_hello_checker_via_subprocess(self):
+        class SubprocessHello(HelloFunctionality):
+            def make_runner(self):
+                return SubprocessRunner(timeout=60.0)
+
+        assert SubprocessHello("hello.correct").run().percent == 100.0
+        assert SubprocessHello("hello.no_fork").run().percent == 0.0

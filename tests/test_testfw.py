@@ -1,0 +1,190 @@
+"""Unit tests of the scored mini test framework (the JUnit analogue)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testfw.annotations import max_value, max_value_of
+from repro.testfw.case import FunctionTestCase, ScoredTestCase
+from repro.testfw.result import AspectOutcome, AspectStatus, SuiteResult, TestResult
+from repro.testfw.suite import TestSuite, get_suite, register_suite, registered_suites
+from repro.testfw.ui import SuiteUI
+
+
+class TestAnnotations:
+    def test_max_value_stored_and_read(self):
+        @max_value(40)
+        class Annotated:
+            pass
+
+        assert max_value_of(Annotated) == 40.0
+        assert max_value_of(Annotated()) == 40.0
+
+    def test_default_max_value_is_100(self):
+        class Plain:
+            pass
+
+        assert max_value_of(Plain) == 100.0
+
+    def test_non_positive_max_rejected(self):
+        with pytest.raises(ValueError):
+            max_value(0)
+
+
+class TestResults:
+    def make_result(self):
+        return TestResult(
+            test_name="T",
+            score=32.0,
+            max_score=40.0,
+            outcomes=[
+                AspectOutcome("syntax", AspectStatus.PASSED, points_earned=10, points_possible=10),
+                AspectOutcome(
+                    "interleaving",
+                    AspectStatus.FAILED,
+                    message="serialized",
+                    points_earned=0,
+                    points_possible=8,
+                ),
+                AspectOutcome("semantics", AspectStatus.SKIPPED, points_possible=2),
+            ],
+        )
+
+    def test_percent(self):
+        assert self.make_result().percent == pytest.approx(80.0)
+
+    def test_aspect_partitions(self):
+        result = self.make_result()
+        assert [o.aspect for o in result.passed_aspects()] == ["syntax"]
+        assert [o.aspect for o in result.failed_aspects()] == ["interleaving"]
+        assert [o.aspect for o in result.skipped_aspects()] == ["semantics"]
+
+    def test_render_contains_score_and_messages(self):
+        text = self.make_result().render()
+        assert "32 / 40" in text
+        assert "(80%)" in text
+        assert "- interleaving" in text and "serialized" in text
+        assert "~ semantics" in text
+
+    def test_passed_requires_full_score(self):
+        assert not self.make_result().passed
+        full = TestResult("T", 40.0, 40.0)
+        assert full.passed
+
+    def test_fatal_renders(self):
+        result = TestResult("T", 0, 10, fatal="program crashed")
+        assert "! program crashed" in result.render()
+
+    def test_suite_result_aggregates(self):
+        suite_result = SuiteResult("s", [TestResult("a", 10, 20), TestResult("b", 5, 5)])
+        assert suite_result.score == 15
+        assert suite_result.max_score == 25
+        assert suite_result.percent == pytest.approx(60.0)
+        assert suite_result.result_for("b").score == 5
+        assert suite_result.result_for("zzz") is None
+        assert "Suite s" in suite_result.render()
+
+
+class TestFunctionCase:
+    def test_passing_function_earns_full(self):
+        case = FunctionTestCase(lambda: None, name="ok", max_score=7)
+        result = case.run()
+        assert result.score == 7 and result.passed
+
+    def test_assertion_failure_earns_zero_with_message(self):
+        def failing():
+            assert 1 == 2, "one is not two"
+
+        result = FunctionTestCase(failing).run()
+        assert result.score == 0
+        assert "one is not two" in result.outcomes[0].message
+
+    def test_unexpected_exception_is_fatal(self):
+        def broken():
+            raise OSError("disk on fire")
+
+        result = FunctionTestCase(broken).run()
+        assert result.fatal.startswith("OSError")
+
+    def test_run_safely_catches_harness_bugs(self):
+        class Broken(ScoredTestCase):
+            def run(self):
+                raise RuntimeError("harness bug")
+
+        result = Broken().run_safely()
+        assert result.score == 0
+        assert "harness bug" in result.fatal
+
+
+class TestSuites:
+    def make_suite(self):
+        return TestSuite(
+            "demo",
+            [
+                FunctionTestCase(lambda: None, name="good", max_score=10),
+                FunctionTestCase(lambda: (_ for _ in ()).throw(AssertionError()), name="bad", max_score=10),
+            ],
+        )
+
+    def test_run_all(self):
+        result = self.make_suite().run()
+        assert result.score == 10 and result.max_score == 20
+
+    def test_run_one(self):
+        result = self.make_suite().run_one("good")
+        assert [r.test_name for r in result.results] == ["good"]
+
+    def test_unknown_test_name(self):
+        with pytest.raises(KeyError, match="no test named"):
+            self.make_suite().run_one("nope")
+
+    def test_registry_round_trip(self):
+        suite = register_suite(self.make_suite())
+        assert get_suite("demo") is suite
+        assert "demo" in registered_suites()
+
+    def test_unknown_suite_lists_known(self):
+        with pytest.raises(KeyError, match="known suites"):
+            get_suite("never-registered")
+
+    def test_add_returns_self(self):
+        suite = TestSuite("chained")
+        assert suite.add(FunctionTestCase(lambda: None)) is suite
+        assert len(suite) == 1
+
+
+class TestUI:
+    def test_listing_shows_unrun_tests_with_dashes(self):
+        ui = SuiteUI(TestSuite("s", [FunctionTestCase(lambda: None, name="t1", max_score=5)]))
+        listing = ui.render_listing()
+        assert "[1] t1" in listing
+        assert "-- / 5" in listing
+
+    def test_run_test_at_updates_listing(self):
+        ui = SuiteUI(TestSuite("s", [FunctionTestCase(lambda: None, name="t1", max_score=5)]))
+        result = ui.run_test_at(1)
+        assert result.score == 5
+        assert "5 / 5" in ui.render_listing()
+
+    def test_run_test_at_out_of_range(self):
+        ui = SuiteUI(TestSuite("s", [FunctionTestCase(lambda: None, name="t1")]))
+        with pytest.raises(IndexError):
+            ui.run_test_at(2)
+
+    def test_scripted_interactive_loop(self):
+        ui = SuiteUI(TestSuite("s", [FunctionTestCase(lambda: None, name="t1", max_score=5)]))
+        script = iter(["1", "a", "junk", "9", "", "q"])
+        transcript = []
+        ui.loop(input_fn=lambda prompt: next(script), output_fn=transcript.append)
+        text = "\n".join(transcript)
+        assert "t1: 5 / 5" in text
+        assert "unrecognized choice 'junk'" in text
+        assert "between 1 and 1" in text
+
+    def test_loop_exits_on_eof(self):
+        ui = SuiteUI(TestSuite("s", []))
+
+        def raise_eof(prompt):
+            raise EOFError
+
+        ui.loop(input_fn=raise_eof, output_fn=lambda _line: None)

@@ -1,0 +1,105 @@
+"""Property-based tests of phase structuring over generated traces."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.trace_model import build_phased_trace
+from repro.workloads.common import is_prime
+from tests.helpers import primes_schedule, synthetic_execution
+from tests.test_core_trace_model import PRIMES_SPECS
+
+_SETTINGS = settings(max_examples=40, deadline=None)
+
+
+@st.composite
+def work_assignments(draw):
+    """A random fair-or-unfair split of N indices over K workers."""
+    total = draw(st.integers(min_value=1, max_value=12))
+    workers = draw(st.integers(min_value=1, max_value=4))
+    keys = [f"W{k}" for k in range(workers)]
+    assignment = {key: [] for key in keys}
+    for index in range(total):
+        assignment[draw(st.sampled_from(keys))].append(index)
+    # Workers may end up with no work; drop them (they never print).
+    return {key: indices for key, indices in assignment.items() if indices}
+
+
+@_SETTINGS
+@given(work_assignments(), st.booleans())
+def test_well_formed_traces_always_parse_cleanly(assignment, interleave):
+    if not assignment:
+        return
+    randoms = list(range(100, 100 + 12))
+    schedule = primes_schedule(
+        randoms=randoms, worker_slices=assignment, interleave=interleave
+    )
+    trace = build_phased_trace(synthetic_execution(schedule), PRIMES_SPECS)
+    # No structure errors on a well-formed trace, any schedule.
+    assert trace.structure_errors() == []
+    # Iteration counts per worker match the assignment exactly.
+    by_count = sorted(w.iteration_count for w in trace.workers)
+    assert by_count == sorted(len(v) for v in assignment.values())
+    # Every worker has exactly one post-iteration tuple.
+    assert all(w.post_iteration is not None for w in trace.workers)
+    # Root tuples present with the right names.
+    assert set(trace.pre_fork.values) == {"Random Numbers"}
+    assert set(trace.post_join.values) == {"Total Num Primes"}
+
+
+@_SETTINGS
+@given(work_assignments())
+def test_total_iterations_invariant(assignment):
+    if not assignment:
+        return
+    randoms = list(range(100, 112))
+    schedule = primes_schedule(randoms=randoms, worker_slices=assignment)
+    trace = build_phased_trace(synthetic_execution(schedule), PRIMES_SPECS)
+    assert trace.total_iterations == sum(len(v) for v in assignment.values())
+
+
+@_SETTINGS
+@given(work_assignments())
+def test_iteration_values_survive_structuring(assignment):
+    """Values in the structured trace equal the scheduled prints."""
+    if not assignment:
+        return
+    randoms = list(range(100, 112))
+    schedule = primes_schedule(randoms=randoms, worker_slices=assignment)
+    trace = build_phased_trace(synthetic_execution(schedule), PRIMES_SPECS)
+    seen = {}
+    for worker in trace.workers:
+        for tup in worker.iterations:
+            index = tup.values["Index"]
+            assert tup.values["Number"] == randoms[index]
+            assert tup.values["Is Prime"] == is_prime(randoms[index])
+            seen.setdefault(index, 0)
+            seen[index] += 1
+    expected_indices = sorted(i for v in assignment.values() for i in v)
+    assert sorted(seen) == sorted(set(expected_indices))
+
+
+@_SETTINGS
+@given(
+    work_assignments(),
+    st.integers(min_value=0, max_value=30),
+)
+def test_dropping_one_event_never_crashes_the_builder(assignment, drop_at):
+    """Robustness: removing any single event yields a parseable (if
+    erroneous) trace — the builder must be total on corrupted input."""
+    if not assignment:
+        return
+    randoms = list(range(100, 112))
+    schedule = primes_schedule(randoms=randoms, worker_slices=assignment)
+    if drop_at < len(schedule):
+        del schedule[drop_at]
+    trace = build_phased_trace(synthetic_execution(schedule), PRIMES_SPECS)
+    # The builder is best-effort: structure errors may exist, but the
+    # object is complete and internally consistent.
+    assert trace.worker_count == len(
+        {e.thread_id for e in trace.worker_events}
+    )
+    for worker in trace.workers:
+        assert worker.iteration_count <= len(worker.events)

@@ -1,0 +1,111 @@
+"""Unit + property tests of the standard trace line format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tracing.formatting import (
+    PROPERTY_LINE_RE,
+    format_property_line,
+    format_value,
+    parse_property_line,
+)
+
+
+class TestFormatValue:
+    def test_booleans_render_java_style(self):
+        assert format_value(True) == "true"
+        assert format_value(False) == "false"
+
+    def test_numpy_bool(self):
+        assert format_value(np.bool_(True)) == "true"
+
+    def test_none_renders_null(self):
+        assert format_value(None) == "null"
+
+    def test_int(self):
+        assert format_value(509) == "509"
+        assert format_value(-3) == "-3"
+
+    def test_float_keeps_fraction(self):
+        assert format_value(3.0) == "3.0"
+        assert format_value(0.5) == "0.5"
+
+    def test_list_renders_bracketed(self):
+        assert format_value([509, 578, 796]) == "[509, 578, 796]"
+
+    def test_nested_list(self):
+        assert format_value([[1, 2], [3]]) == "[[1, 2], [3]]"
+
+    def test_tuple_renders_like_list(self):
+        assert format_value((1, 2)) == "[1, 2]"
+
+    def test_ndarray_renders_like_list(self):
+        assert format_value(np.array([1, 2, 3])) == "[1, 2, 3]"
+
+    def test_numpy_scalar(self):
+        assert format_value(np.int64(7)) == "7"
+
+    def test_booleans_inside_list(self):
+        assert format_value([True, False]) == "[true, false]"
+
+    def test_string_verbatim(self):
+        assert format_value("Hello Concurrent World") == "Hello Concurrent World"
+
+
+class TestPropertyLine:
+    def test_matches_paper_figure_3(self):
+        line = format_property_line(23, "Total Num Primes", 1)
+        assert line == "Thread 23->Total Num Primes:1"
+
+    def test_matches_paper_figure_4(self):
+        assert format_property_line(24, "Index", 0) == "Thread 24->Index:0"
+        assert format_property_line(24, "Is Prime", True) == "Thread 24->Is Prime:true"
+
+    def test_parse_round_trip(self):
+        line = format_property_line(31, "Random Numbers", [509, 578])
+        parsed = parse_property_line(line)
+        assert parsed == (31, "Random Numbers", "[509, 578]")
+
+    def test_parse_rejects_non_property_line(self):
+        assert parse_property_line("Hello Concurrent World") is None
+
+    def test_generic_regex_matches(self):
+        line = format_property_line(23, "X", 0.25)
+        match = PROPERTY_LINE_RE.match(line)
+        assert match is not None
+        assert match.group("tid") == "23"
+
+
+@given(
+    tid=st.integers(min_value=0, max_value=10_000),
+    name=st.text(
+        alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), whitelist_characters=" "),
+        min_size=1,
+        max_size=30,
+    ).filter(lambda s: ":" not in s and s.strip() == s),
+    value=st.one_of(
+        st.integers(min_value=-(10**9), max_value=10**9),
+        st.booleans(),
+        st.lists(st.integers(min_value=0, max_value=999), max_size=8),
+    ),
+)
+def test_property_line_always_parses_back(tid, name, value):
+    """format -> parse is the identity on (tid, name) and the value text."""
+    line = format_property_line(tid, name, value)
+    parsed = parse_property_line(line)
+    assert parsed is not None
+    parsed_tid, parsed_name, parsed_value = parsed
+    assert parsed_tid == tid
+    assert parsed_name == name
+    assert parsed_value == format_value(value)
+
+
+@given(st.lists(st.integers(min_value=-999, max_value=999), max_size=10))
+def test_list_format_has_matching_brackets(values):
+    text = format_value(values)
+    assert text.startswith("[") and text.endswith("]")
+    assert text.count("[") == text.count("]")

@@ -1,0 +1,85 @@
+"""Unit tests of the thread registry (stable small thread ids)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.util.thread_registry import FIRST_THREAD_ID, ThreadRegistry
+
+
+def test_first_id_matches_paper_flavour():
+    registry = ThreadRegistry()
+    assert registry.id_for() == FIRST_THREAD_ID == 23
+
+
+def test_same_thread_same_id():
+    registry = ThreadRegistry()
+    first = registry.id_for()
+    second = registry.id_for()
+    assert first == second
+
+
+def test_distinct_threads_get_sequential_ids():
+    registry = ThreadRegistry()
+    ids = []
+
+    def record():
+        ids.append(registry.id_for())
+
+    root_id = registry.id_for()
+    threads = [threading.Thread(target=record) for _ in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert root_id == FIRST_THREAD_ID
+    assert sorted(ids) == [FIRST_THREAD_ID + 1, FIRST_THREAD_ID + 2, FIRST_THREAD_ID + 3]
+
+
+def test_explicit_thread_argument():
+    registry = ThreadRegistry()
+    other = threading.Thread(target=lambda: None)
+    assigned = registry.id_for(other)
+    assert registry.id_for(other) == assigned
+    assert registry.thread_for(assigned) is other
+
+
+def test_thread_for_unknown_id_raises():
+    registry = ThreadRegistry()
+    with pytest.raises(KeyError):
+        registry.thread_for(999)
+
+
+def test_known_threads_in_registration_order():
+    registry = ThreadRegistry()
+    a = threading.Thread(target=lambda: None)
+    b = threading.Thread(target=lambda: None)
+    registry.id_for(a)
+    registry.id_for(b)
+    assert registry.known_threads() == [a, b]
+    assert len(registry) == 2
+    assert a in registry
+    assert threading.current_thread() not in registry
+
+
+def test_custom_first_id():
+    registry = ThreadRegistry(first_id=100)
+    assert registry.id_for() == 100
+
+
+def test_ids_stable_under_concurrent_registration():
+    registry = ThreadRegistry()
+    results = {}
+
+    def record(key):
+        results[key] = registry.id_for()
+
+    threads = [threading.Thread(target=record, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(set(results.values())) == 8
+    assert registry.known_ids() == sorted(results.values())

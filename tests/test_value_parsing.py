@@ -1,0 +1,95 @@
+"""Unit + property tests of typed value parsing (the subprocess path)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.properties import ANY, ARRAY, BOOLEAN, NUMBER, STRING
+from repro.core.value_parsing import ValueParseError, parse_scalar, parse_value
+from repro.tracing.formatting import format_value
+
+
+class TestScalars:
+    def test_booleans(self):
+        assert parse_scalar("true") is True
+        assert parse_scalar("false") is False
+
+    def test_null(self):
+        assert parse_scalar("null") is None
+
+    def test_numbers(self):
+        assert parse_scalar("42") == 42
+        assert parse_scalar("-3") == -3
+        assert parse_scalar("2.5") == 2.5
+
+    def test_fallback_to_text(self):
+        assert parse_scalar("hello") == "hello"
+
+
+class TestTyped:
+    def test_number(self):
+        assert parse_value("509", NUMBER) == 509
+        assert parse_value("-1.25", NUMBER) == -1.25
+        assert isinstance(parse_value("7", NUMBER), int)
+
+    def test_number_rejects_garbage(self):
+        with pytest.raises(ValueParseError, match="Number"):
+            parse_value("seven", NUMBER)
+
+    def test_boolean(self):
+        assert parse_value("true", BOOLEAN) is True
+        assert parse_value("false", BOOLEAN) is False
+        with pytest.raises(ValueParseError):
+            parse_value("1", BOOLEAN)
+
+    def test_string_verbatim(self):
+        assert parse_value("true", STRING) == "true"
+
+    def test_array_flat(self):
+        assert parse_value("[509, 578, 796]", ARRAY) == [509, 578, 796]
+
+    def test_array_empty(self):
+        assert parse_value("[]", ARRAY) == []
+
+    def test_array_nested(self):
+        assert parse_value("[[1, 2], [3]]", ARRAY) == [[1, 2], [3]]
+
+    def test_array_mixed(self):
+        assert parse_value("[1, true, x]", ARRAY) == [1, True, "x"]
+
+    def test_array_rejects_unbracketed(self):
+        with pytest.raises(ValueParseError, match="Array"):
+            parse_value("1, 2", ARRAY)
+
+    def test_any_best_effort(self):
+        assert parse_value("42", ANY) == 42
+
+
+# ----------------------------------------------------------------------
+# Round-trip property: parse is a left inverse of format for each type.
+# ----------------------------------------------------------------------
+
+_cases = st.one_of(
+    st.tuples(st.just(NUMBER), st.integers(min_value=-(10**9), max_value=10**9)),
+    st.tuples(st.just(BOOLEAN), st.booleans()),
+    st.tuples(
+        st.just(ARRAY),
+        st.lists(
+            st.one_of(st.integers(min_value=-999, max_value=999), st.booleans()),
+            max_size=8,
+        ),
+    ),
+    st.tuples(
+        st.just(ARRAY),
+        st.lists(st.lists(st.integers(min_value=0, max_value=9), max_size=3), max_size=3),
+    ),
+)
+
+
+@given(_cases)
+def test_parse_inverts_format(case):
+    prop_type, value = case
+    text = format_value(value)
+    assert parse_value(text, prop_type) == value

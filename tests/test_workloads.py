@@ -1,0 +1,189 @@
+"""Behavioural tests of the tested programs (workload variants).
+
+These check the *programs themselves* — what they print, which threads
+print it — independent of the graders, using deterministic simulation
+backends where trace shape matters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eventdb.queries import is_interleaved, load_counts, serialization_order
+from repro.execution.runner import ProgramRunner
+from repro.workloads import ALL_VARIANTS
+from repro.workloads.common import is_prime
+
+
+def run(identifier, args=("7", "4")):
+    return ProgramRunner(timeout=20.0).run(identifier, list(args))
+
+
+class TestRegistrations:
+    def test_all_variant_identifiers_resolve(self):
+        from repro.execution.registry import resolve_main
+
+        for variants in ALL_VARIANTS.values():
+            for identifier in variants:
+                assert callable(resolve_main(identifier))
+
+    def test_perf_identifiers_resolve(self):
+        from repro.execution.registry import resolve_main
+
+        for identifier in [
+            "primes.perf.latency",
+            "primes.perf.numpy",
+            "primes.perf.cpu",
+            "primes.perf.sim",
+            "pi.perf.latency",
+            "pi.perf.sim",
+            "odds.perf.latency",
+            "odds.perf.sim",
+        ]:
+            assert callable(resolve_main(identifier))
+
+
+class TestPrimesCorrect:
+    def test_trace_shape(self, round_robin_backend):
+        result = run("primes.correct")
+        assert result.ok
+        names = [e.name for e in result.events]
+        assert names[0] == "Random Numbers"
+        assert names[-1] == "Total Num Primes"
+        assert names.count("Index") == 7
+        assert names.count("Num Primes") == 4
+        assert len(result.worker_threads) == 4
+
+    def test_totals_consistent(self, round_robin_backend):
+        result = run("primes.correct")
+        randoms = result.events[0].value
+        total = result.events[-1].value
+        assert total == sum(1 for n in randoms if is_prime(n))
+        per_thread = [e.value for e in result.events if e.name == "Num Primes"]
+        assert sum(per_thread) == total
+
+    def test_interleaves_under_round_robin(self, round_robin_backend):
+        result = run("primes.correct")
+        assert is_interleaved(result.worker_events())
+
+    def test_balanced_under_any_schedule(self, round_robin_backend):
+        result = run("primes.correct")
+        counts = load_counts(result.worker_events(), per_iteration_events=1)
+        # 7 iterations * 3 prints + 1 post-iteration print per thread
+        assert sorted(counts.values()) == [4, 7, 7, 7]
+
+    def test_thread_count_follows_arg(self, round_robin_backend):
+        result = run("primes.correct", ("6", "2"))
+        assert len(result.worker_threads) == 2
+
+
+class TestPrimesBugs:
+    def test_serialized_variant_serializes_even_under_round_robin(self, round_robin_backend):
+        result = run("primes.serialized")
+        assert not is_interleaved(result.worker_events())
+        assert len(serialization_order(result.worker_events())) == 4
+
+    def test_serialized_variant_is_imbalanced(self, round_robin_backend):
+        result = run("primes.serialized")
+        counts = load_counts(result.worker_events(), per_iteration_events=1)
+        assert max(counts.values()) > min(counts.values()) + 1
+
+    def test_syntax_error_variant_misnames_and_undershoots(self, round_robin_backend):
+        result = run("primes.syntax_error")
+        names = [e.name for e in result.events]
+        assert names[0] == "Randoms"
+        assert names.count("Index") < 7
+
+    def test_no_fork_produces_no_worker_events(self):
+        result = run("primes.no_fork")
+        assert result.worker_threads == []
+        assert all(e.thread is result.root_thread for e in result.events)
+
+    def test_wrong_semantics_inverts_every_verdict(self, round_robin_backend):
+        result = run("primes.wrong_semantics")
+        randoms = result.events[0].value
+        verdicts = {
+            e.value: None for e in result.events if e.name == "Is Prime"
+        }
+        pairs = [
+            (e1.value, e2.value)
+            for e1, e2 in zip(result.events, result.events[1:])
+            if e1.name == "Number" and e2.name == "Is Prime"
+        ]
+        assert pairs
+        for number, verdict in pairs:
+            assert verdict == (not is_prime(number))
+
+    def test_wrong_total_off_by_one(self, round_robin_backend):
+        result = run("primes.wrong_total")
+        per_thread = sum(e.value for e in result.events if e.name == "Num Primes")
+        total = result.events[-1].value
+        assert total == per_thread + 1
+
+    def test_racy_variant_loses_updates_under_round_robin(self, round_robin_backend):
+        result = run("primes.racy")
+        per_thread = sum(e.value for e in result.events if e.name == "Num Primes")
+        total = result.events[-1].value
+        # Round-robin interleaves every read-modify-write: updates lost.
+        assert total < per_thread
+
+
+class TestHello:
+    def test_correct_forks_requested_threads(self):
+        result = run("hello.correct", ("3",))
+        assert len(result.worker_threads) == 3
+        assert result.output.count("Hello Concurrent World") == 3
+
+    def test_no_fork_output_identical_but_trace_differs(self):
+        forked = run("hello.correct", ("1",))
+        direct = run("hello.no_fork", ("1",))
+        assert forked.output == direct.output
+        assert len(forked.worker_threads) == 1
+        assert len(direct.worker_threads) == 0
+
+    def test_omp_style_output_names_worker_indices(self):
+        result = run("hello.omp_style", ("2",))
+        assert "from thread = 0" in result.output
+        assert "from thread = 1" in result.output
+
+    def test_wrong_count_forks_one(self):
+        result = run("hello.wrong_count", ("4",))
+        assert len(result.worker_threads) == 1
+
+
+class TestPi:
+    def test_correct_trace_consistency(self, round_robin_backend):
+        result = run("pi.correct", ("12", "3"))
+        events = result.events
+        assert events[0].name == "Num Points" and events[0].value == 12
+        hits = [e.value for e in events if e.name == "Num In Circle"]
+        total = next(e.value for e in events if e.name == "Total In Circle")
+        pi = next(e.value for e in events if e.name == "PI")
+        assert sum(hits) == total
+        assert pi == pytest.approx(4.0 * total / 12)
+
+    def test_darts_within_unit_square(self, round_robin_backend):
+        result = run("pi.correct", ("12", "3"))
+        xs = [e.value for e in result.events if e.name == "X"]
+        ys = [e.value for e in result.events if e.name == "Y"]
+        assert len(xs) == len(ys) == 12
+        assert all(0.0 <= v < 1.0 for v in xs + ys)
+
+    def test_wrong_final_misses_factor_four(self, round_robin_backend):
+        result = run("pi.wrong_final", ("12", "3"))
+        total = next(e.value for e in result.events if e.name == "Total In Circle")
+        pi = next(e.value for e in result.events if e.name == "PI")
+        assert pi == pytest.approx(total / 12)
+
+
+class TestOdds:
+    def test_correct_default_uses_27_iterations(self, round_robin_backend):
+        result = run("odds.correct", ())
+        names = [e.name for e in result.events]
+        assert names.count("Index") == 27
+
+    def test_totals_consistent(self, round_robin_backend):
+        result = run("odds.correct", ("10", "2"))
+        randoms = result.events[0].value
+        total = result.events[-1].value
+        assert total == sum(1 for n in randoms if n % 2 != 0)

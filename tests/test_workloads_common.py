@@ -1,0 +1,145 @@
+"""Tests of the shared workload helpers (+ partition properties)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workloads.common import (
+    SharedCounter,
+    fork_and_join,
+    generate_randoms,
+    int_arg,
+    is_odd,
+    is_prime,
+    partition,
+    workload_seed,
+)
+
+
+class TestArgs:
+    def test_int_arg_parses(self):
+        assert int_arg(["7", "4"], 0, 1) == 7
+        assert int_arg(["7", "4"], 1, 1) == 4
+
+    def test_int_arg_defaults_on_missing(self):
+        assert int_arg([], 0, 9) == 9
+
+    def test_int_arg_defaults_on_garbage(self):
+        assert int_arg(["many"], 0, 9) == 9
+
+
+class TestRandoms:
+    def test_deterministic_for_seed(self):
+        assert generate_randoms(5, seed=1) == generate_randoms(5, seed=1)
+        assert generate_randoms(5, seed=1) != generate_randoms(5, seed=2)
+
+    def test_bounds_respected(self):
+        values = generate_randoms(200, seed=3, low=10, high=20)
+        assert all(10 <= v <= 20 for v in values)
+
+    def test_env_seed_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKLOAD_SEED", "123")
+        assert workload_seed() == 123
+        monkeypatch.setenv("REPRO_WORKLOAD_SEED", "not-a-number")
+        assert workload_seed() == 42
+
+    def test_values_are_python_ints(self):
+        assert all(type(v) is int for v in generate_randoms(3))
+
+
+class TestPredicates:
+    @pytest.mark.parametrize("n,expected", [(0, False), (1, False), (2, True), (3, True), (4, False), (9, False), (509, True), (578, False), (997, True)])
+    def test_is_prime(self, n, expected):
+        assert is_prime(n) is expected
+
+    def test_is_odd(self):
+        assert is_odd(3) and not is_odd(4)
+        assert is_odd(-3)
+
+
+class TestPartition:
+    def test_seven_over_four(self):
+        assert partition(7, 4) == [(0, 2), (2, 4), (4, 6), (6, 7)]
+
+    def test_exact_division(self):
+        assert partition(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_more_parts_than_items(self):
+        ranges = partition(2, 4)
+        sizes = [hi - lo for lo, hi in ranges]
+        assert sizes == [1, 1, 0, 0]
+
+    def test_zero_parts_rejected(self):
+        with pytest.raises(ValueError):
+            partition(5, 0)
+
+    @given(st.integers(min_value=0, max_value=500), st.integers(min_value=1, max_value=32))
+    def test_partition_is_fair_cover(self, total, parts):
+        ranges = partition(total, parts)
+        assert len(ranges) == parts
+        # Contiguous cover of [0, total)
+        position = 0
+        for lo, hi in ranges:
+            assert lo == position
+            assert hi >= lo
+            position = hi
+        assert position == total
+        # Fair: sizes differ by at most one
+        sizes = [hi - lo for lo, hi in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestSharedCounter:
+    def test_locked_add_is_exact_under_contention(self):
+        counter = SharedCounter()
+
+        def hammer():
+            for _ in range(1000):
+                counter.add(1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 4000
+
+    def test_racy_add_loses_updates_under_gated_interleaving(self):
+        from repro.simulation.backend import SimulationBackend
+
+        backend = SimulationBackend()
+        from repro.simulation.backend import use_backend
+
+        counter = SharedCounter()
+        with use_backend(backend):
+            def body():
+                counter.add_racy(1, gap=0.0)
+
+            threads = [backend.spawn(body) for _ in range(4)]
+            backend.start_all(threads)
+            backend.join_all(threads)
+        # Round-robin switches between every read and write: all four
+        # workers read 0, so only one increment survives.
+        assert counter.value == 1
+
+
+class TestForkAndJoin:
+    def test_runs_every_body_on_a_fresh_thread(self):
+        seen = []
+        lock = threading.Lock()
+
+        def body():
+            with lock:
+                seen.append(threading.current_thread())
+
+        fork_and_join([body, body, body])
+        assert len(seen) == 3
+        assert len(set(seen)) == 3
+        assert threading.current_thread() not in seen
+
+    def test_empty_body_list_is_noop(self):
+        fork_and_join([])
