@@ -10,6 +10,8 @@ is that entry point::
     forkjoin-test run primes --submission path/to/student.py --subprocess
     forkjoin-test grade primes --submissions primes.correct,primes.racy \
         --out book.json --markdown report.md
+    forkjoin-test grade primes --submissions primes.correct,primes.racy \
+        --jobs 4 --retries 2 --deadline 60 --resume grading.jsonl
     forkjoin-test export primes --submission primes.serialized \
         --out results.json          # Gradescope results.json
     forkjoin-test fuzz primes.racy --schedules 25
@@ -83,6 +85,48 @@ def build_parser() -> argparse.ArgumentParser:
     grade.add_argument("--out", default=None, help="write gradebook JSON here")
     grade.add_argument(
         "--markdown", default=None, help="write a markdown class report here"
+    )
+    grade.add_argument(
+        "--subprocess",
+        action="store_true",
+        help="run each tested program in its own interpreter (isolation)",
+    )
+    grade.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="grade up to N submissions concurrently (default 1)",
+    )
+    grade.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="K",
+        help=(
+            "rerun a failed submission up to K extra times with jittered "
+            "backoff; pass-after-fail is recorded as flaky-pass"
+        ),
+    )
+    grade.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-submission wall-clock limit; hung subprocess children are "
+            "hard-killed and wedged workers abandoned"
+        ),
+    )
+    grade.add_argument(
+        "--resume",
+        default=None,
+        metavar="JOURNAL",
+        help=(
+            "checkpoint journal (JSONL): submissions already journaled are "
+            "not regraded, newly finished ones are appended — an "
+            "interrupted batch picks up where it left off"
+        ),
     )
 
     export = commands.add_parser(
@@ -197,13 +241,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0 if result.score >= result.max_score else 1
 
     if args.command == "grade":
-        from repro.grading import grade_batch, gradebook_markdown
+        from repro.execution.supervisor import GradingSupervisor
+        from repro.grading import gradebook_markdown
+        from repro.grading.journal import GradingJournal
 
         identifiers = [s.strip() for s in args.submissions.split(",") if s.strip()]
-        gradebook, _live = grade_batch(
-            lambda ident: _suite_for(args.suite, ident), identifiers
+        journal = GradingJournal(args.resume) if args.resume else None
+        supervisor = GradingSupervisor(
+            lambda ident: _suite_for(
+                args.suite, ident, subprocess_mode=args.subprocess
+            ),
+            jobs=args.jobs,
+            retries=args.retries,
+            deadline=args.deadline,
+            journal=journal,
         )
+        try:
+            report = supervisor.grade(
+                {identifier: identifier for identifier in identifiers}
+            )
+        except KeyboardInterrupt:
+            if args.resume:
+                print(
+                    f"\ninterrupted; completed submissions are journaled in "
+                    f"{args.resume} — rerun the same command to resume"
+                )
+            else:
+                print(
+                    "\ninterrupted; rerun with --resume <journal> to make "
+                    "batches checkpointable"
+                )
+            return 130
+        gradebook = report.gradebook
         print(gradebook.render())
+        print(report.summary())
         if args.out:
             gradebook.save(args.out)
             print(f"gradebook written to {args.out}")

@@ -231,6 +231,7 @@ class AbstractForkJoinChecker(ScoredTestCase):
                 score=0.0,
                 max_score=self.max_score,
                 fatal=str(exc),
+                failure_kind="infra-error",
             )
             self.last_report = ForkJoinCheckReport(result=result)
             return result
@@ -243,6 +244,7 @@ class AbstractForkJoinChecker(ScoredTestCase):
                 fatal=Messages.program_crashed(
                     identifier, execution.failure_reason()
                 ),
+                failure_kind=execution.failure_kind.value,
             )
             self.last_report = ForkJoinCheckReport(
                 result=result, execution=execution
@@ -304,6 +306,7 @@ class AbstractForkJoinChecker(ScoredTestCase):
             score=score,
             max_score=self.max_score,
             outcomes=report_lines,
+            failure_kind=execution.failure_kind.value,
         )
         self.last_report = ForkJoinCheckReport(
             result=result, execution=execution, trace=trace

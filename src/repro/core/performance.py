@@ -128,11 +128,14 @@ class AbstractConcurrencyPerformanceChecker(ScoredTestCase):
                 score=0.0,
                 max_score=self.max_score,
                 fatal=str(exc),
+                failure_kind="infra-error",
             )
         self.last_low, self.last_high = low, high
 
         for config, timing in (("low-thread", low), ("high-thread", high)):
             if not timing.all_ok:
+                # Without the run's own kind, a timed-out (or killed)
+                # measurement run would read as a harness error upstream.
                 return TestResult(
                     test_name=self.name,
                     score=0.0,
@@ -140,6 +143,7 @@ class AbstractConcurrencyPerformanceChecker(ScoredTestCase):
                     fatal=Messages.performance_run_failed(
                         config, timing.first_failure()
                     ),
+                    failure_kind=timing.first_failure_kind(),
                 )
 
         actual = speedup(low, high)

@@ -9,6 +9,13 @@ from repro.execution.registry import (
     unregister_main,
 )
 from repro.execution.runner import DEFAULT_TIMEOUT, ExecutionResult, ProgramRunner
+from repro.execution.taxonomy import (
+    RETRYABLE_KINDS,
+    FailureKind,
+    classify_execution,
+    classify_returncode,
+    detect_garbled_lines,
+)
 from repro.execution.timing import (
     DEFAULT_TIMED_RUNS,
     TimingResult,
@@ -17,7 +24,42 @@ from repro.execution.timing import (
     time_program,
 )
 
+#: Supervisor names resolved lazily (PEP 562): the supervisor imports
+#: the grading layer, which imports back into execution — eager import
+#: here would make that a cycle.
+_LAZY_SUPERVISOR = {
+    "GradingSupervisor",
+    "SubmissionOutcome",
+    "BatchReport",
+    "suite_failure_kind",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_SUPERVISOR:
+        from repro.execution import supervisor
+
+        return getattr(supervisor, name)
+    if name in ("SubprocessRunner", "kill_active_child", "active_child_count"):
+        from repro.execution import subprocess_runner
+
+        return getattr(subprocess_runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "FailureKind",
+    "RETRYABLE_KINDS",
+    "classify_execution",
+    "classify_returncode",
+    "detect_garbled_lines",
+    "GradingSupervisor",
+    "SubmissionOutcome",
+    "BatchReport",
+    "suite_failure_kind",
+    "SubprocessRunner",
+    "kill_active_child",
+    "active_child_count",
     "MainFunction",
     "UnknownMainError",
     "register_main",

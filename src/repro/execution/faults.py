@@ -1,0 +1,155 @@
+"""Deterministic fault injection: misbehaving programs, on demand.
+
+Every branch of the failure taxonomy needs a test that *provably*
+reaches it, and "wait for a student to segfault" is not a test plan.
+This module ships one registered tested-program per failure mode, each
+deterministic (no randomness, no timing races in what they emit), so
+the supervisor, the subprocess runner, and the retry policy can be
+exercised end to end:
+
+==================  ====================================================
+identifier          behaviour
+==================  ====================================================
+``faults.ok``       prints a tiny valid trace and exits cleanly
+``faults.hang``     prints a partial trace, flushes, then never returns
+                    (the deadlocked-join shape; must be hard-killed)
+``faults.crash``    prints a partial trace then raises
+``faults.signal``   prints a partial trace then kills itself with a
+                    signal (arg 0: signal number, default ``SIGKILL``)
+``faults.truncate`` writes a property line with **no** trailing newline
+                    straight to fd 1 and ``os._exit(0)`` — a trace torn
+                    mid-line, as a kill mid-write would leave it
+``faults.garble``   emits property-shaped lines that fail the grammar
+``faults.flaky``    fails the first K runs, then passes — driven by a
+                    counter file (arg 0: path, arg 1: K, default 1) so
+                    the nondeterminism is *scripted*, not real
+==================  ====================================================
+
+All of them resolve through the normal registry (imported via
+:mod:`repro.workloads`, so the subprocess child sees them too) and
+print through :func:`repro.tracing.print_property` like any tested
+program — the faults live in the *program*, never in the harness.
+"""
+
+from __future__ import annotations
+
+import os
+import signal as signal_module
+import sys
+import time
+from pathlib import Path
+from typing import List
+
+from repro.execution.registry import register_main
+from repro.tracing import print_property
+
+__all__ = [
+    "ok_main",
+    "hang_main",
+    "crash_main",
+    "signal_main",
+    "truncate_main",
+    "garble_main",
+    "flaky_main",
+    "FAULT_IDENTIFIERS",
+]
+
+#: Identifier -> registered fault main, for sweeps in tests and docs.
+FAULT_IDENTIFIERS = (
+    "faults.ok",
+    "faults.hang",
+    "faults.crash",
+    "faults.signal",
+    "faults.truncate",
+    "faults.garble",
+    "faults.flaky",
+)
+
+
+@register_main("faults.ok")
+def ok_main(args: List[str]) -> None:
+    """A minimal healthy program: one property, clean exit."""
+    print_property("Fault", "none")
+
+
+@register_main("faults.hang")
+def hang_main(args: List[str]) -> None:
+    """Emit a partial trace, flush it past the pipe buffer, then hang.
+
+    The flush matters: a hung child killed by the watchdog never runs
+    its exit-time flush, so without it the "partial output before the
+    timeout" evidence would die in the child's stdio buffer.
+    """
+    print_property("Fault", "hang")
+    print_property("Progress", 1)
+    sys.stdout.flush()
+    while True:  # pragma: no cover - only ever exits by being killed
+        time.sleep(3600)
+
+
+@register_main("faults.crash")
+def crash_main(args: List[str]) -> None:
+    """Emit a partial trace then die the way student code dies."""
+    print_property("Fault", "crash")
+    raise RuntimeError("injected crash")
+
+
+@register_main("faults.signal")
+def signal_main(args: List[str]) -> None:
+    """Emit a partial trace then die by signal (default ``SIGKILL``).
+
+    ``args[0]`` may name the signal number — e.g. ``11`` to simulate a
+    segfault — so tests can pin the exact negative returncode.
+    """
+    print_property("Fault", "signal")
+    sys.stdout.flush()
+    signum = int(args[0]) if args else int(signal_module.SIGKILL)
+    os.kill(os.getpid(), signum)
+
+
+@register_main("faults.truncate")
+def truncate_main(args: List[str]) -> None:
+    """Leave a trace torn mid-line.
+
+    Writes directly to fd 1 (bypassing the line-atomic wrapper, which
+    would otherwise refuse to emit an unterminated line) and exits with
+    ``os._exit`` so no buffered-IO cleanup appends the newline for us.
+    """
+    print_property("Fault", "truncate")
+    sys.stdout.flush()
+    os.write(1, b"Thread 9->Index:4")  # no newline: torn mid-value
+    os._exit(0)
+
+
+@register_main("faults.garble")
+def garble_main(args: List[str]) -> None:
+    """Emit property-shaped lines that fail the standard grammar."""
+    print_property("Fault", "garble")
+    print("Thread 9->NoColonHere")  # property-shaped, unparseable
+    print("Thread notanumber->X:1")
+
+
+@register_main("faults.flaky")
+def flaky_main(args: List[str]) -> None:
+    """Fail deterministically for the first K runs, then pass.
+
+    ``args[0]`` is a counter-file path shared across runs; ``args[1]``
+    is K (default 1).  Each failing run appends one line to the file
+    and crashes; once K lines exist the program prints a clean trace.
+    This scripts exactly the pass-by-luck shape rerun-vote grading must
+    distinguish from deterministic wrongness.
+    """
+    if not args:
+        raise ValueError("faults.flaky needs a counter-file path argument")
+    counter = Path(args[0])
+    failures_wanted = int(args[1]) if len(args) > 1 else 1
+    failures_so_far = (
+        len(counter.read_text().splitlines()) if counter.exists() else 0
+    )
+    if failures_so_far < failures_wanted:
+        with counter.open("a") as handle:
+            handle.write("fail\n")
+        raise RuntimeError(
+            f"injected flaky failure {failures_so_far + 1}/{failures_wanted}"
+        )
+    print_property("Fault", "flaky-but-recovered")

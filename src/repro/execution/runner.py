@@ -32,6 +32,14 @@ __all__ = ["ExecutionResult", "ProgramRunner", "DEFAULT_TIMEOUT"]
 #: catches deadlocked joins without stalling a grading session.
 DEFAULT_TIMEOUT = 30.0
 
+#: In-process tracing patches *process-global* state (``sys.stdout``,
+#: ``builtins.print``), so two concurrent in-process runs would corrupt
+#: each other's traces.  All in-process runs serialize on this lock; a
+#: parallel grading batch that wants real concurrency must use
+#: :class:`~repro.execution.subprocess_runner.SubprocessRunner`, whose
+#: children own their interpreters outright.
+_SESSION_LOCK = threading.RLock()
+
 
 @dataclass
 class ExecutionResult:
@@ -51,11 +59,24 @@ class ExecutionResult:
     #: Threads other than the root that produced at least one event, in
     #: first-output order — the *forked worker threads* of the model.
     worker_threads: List[threading.Thread] = field(default_factory=list)
+    #: Signal that killed the child (subprocess regime only; ``None``
+    #: for normal exits and the whole in-process regime).
+    signal_number: Optional[int] = None
+    #: Trace lines that are property-shaped but unparseable, or cut
+    #: mid-line — evidence of a torn/garbled trace (subprocess regime).
+    garbled_lines: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         """True when the program ran to completion without an exception."""
-        return self.exception is None and not self.timed_out
+        return self.exception is None and not self.timed_out and self.signal_number is None
+
+    @property
+    def failure_kind(self):
+        """This run's :class:`~repro.execution.taxonomy.FailureKind`."""
+        from repro.execution.taxonomy import classify_execution
+
+        return classify_execution(self)
 
     def failure_reason(self) -> str:
         if self.timed_out:
@@ -63,6 +84,14 @@ class ExecutionResult:
                 f"program {self.identifier!r} did not terminate within the "
                 f"time limit (deadlocked join?)"
             )
+        if self.signal_number is not None:
+            import signal as _signal
+
+            try:
+                name = _signal.Signals(self.signal_number).name
+            except ValueError:  # pragma: no cover - exotic signal number
+                name = f"signal {self.signal_number}"
+            return f"program {self.identifier!r} was killed by {name}"
         if self.exception is not None:
             return (
                 f"program {self.identifier!r} raised "
@@ -122,19 +151,21 @@ class ProgramRunner:
 
         root = threading.Thread(target=root_body, name=f"root:{identifier}")
         started = time.perf_counter()
-        if feed is not None:
-            feed.install()
-        try:
-            with session.activate():
-                # Register the root thread first so it receives the lowest
-                # id, as in the paper's traces where the root prints first.
-                root_id = session.registry.id_for(root)
-                root.start()
-                root.join(limit)
-                timed_out = root.is_alive()
-        finally:
+        with _SESSION_LOCK:
             if feed is not None:
-                feed.uninstall()
+                feed.install()
+            try:
+                with session.activate():
+                    # Register the root thread first so it receives the
+                    # lowest id, as in the paper's traces where the root
+                    # prints first.
+                    root_id = session.registry.id_for(root)
+                    root.start()
+                    root.join(limit)
+                    timed_out = root.is_alive()
+            finally:
+                if feed is not None:
+                    feed.uninstall()
         duration = time.perf_counter() - started
 
         events = session.database.snapshot()

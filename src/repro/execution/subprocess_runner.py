@@ -28,7 +28,7 @@ import subprocess
 import sys
 import threading
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.eventdb.database import EventDatabase
 from repro.eventdb.events import PropertyEvent
@@ -40,10 +40,75 @@ from repro.execution.child import (
 )
 from repro.execution.registry import UnknownMainError
 from repro.execution.runner import DEFAULT_TIMEOUT, ExecutionResult
+from repro.execution.taxonomy import detect_garbled_lines
 from repro.tracing.formatting import parse_property_line
 from repro.util.thread_registry import ThreadRegistry
 
-__all__ = ["SubprocessRunner"]
+__all__ = ["SubprocessRunner", "kill_active_child", "active_child_count"]
+
+
+class _ActiveChildren:
+    """Live grading children, keyed by the thread that spawned them.
+
+    The supervisor's watchdog enforces deadlines from *outside* the
+    worker thread; the worker itself is blocked in ``communicate()`` and
+    cannot act.  Registering every child here gives the watchdog a
+    handle to hard-kill, and the ``harness_killed`` flag lets the worker
+    distinguish "my child was killed for exceeding its deadline" (a
+    timeout) from "my child died by its own signal" (a signal death) —
+    both surface as a negative returncode.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._children: Dict[
+            threading.Thread, Tuple[subprocess.Popen, Dict[str, bool]]
+        ] = {}
+
+    def register(self, popen: subprocess.Popen) -> Dict[str, bool]:
+        state = {"harness_killed": False}
+        with self._lock:
+            self._children[threading.current_thread()] = (popen, state)
+        return state
+
+    def unregister(self) -> None:
+        with self._lock:
+            self._children.pop(threading.current_thread(), None)
+
+    def kill_for(self, thread: threading.Thread) -> bool:
+        with self._lock:
+            entry = self._children.get(thread)
+        if entry is None:
+            return False
+        popen, state = entry
+        state["harness_killed"] = True
+        try:
+            popen.kill()
+        except OSError:  # pragma: no cover - already-reaped race
+            pass
+        return True
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._children)
+
+
+_active_children = _ActiveChildren()
+
+
+def kill_active_child(thread: threading.Thread) -> bool:
+    """Hard-kill the child process *thread* is currently waiting on.
+
+    Returns False when the thread has no live child (it may be hung in
+    pure-Python harness code instead — the watchdog's other case).
+    The killed run is reported as a timeout, not a signal death.
+    """
+    return _active_children.kill_for(thread)
+
+
+def active_child_count() -> int:
+    """Number of live grading children (observability / test hook)."""
+    return len(_active_children)
 
 
 class SubprocessRunner:
@@ -87,38 +152,50 @@ class SubprocessRunner:
 
         started = time.perf_counter()
         timed_out = False
+        proc = subprocess.Popen(
+            command,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        state = _active_children.register(proc)
         try:
-            completed = subprocess.run(
-                command,
-                capture_output=True,
-                text=True,
-                timeout=limit,
-                env=env,
-            )
-            stdout, stderr, returncode = (
-                completed.stdout,
-                completed.stderr,
-                completed.returncode,
-            )
-        except subprocess.TimeoutExpired as exc:
-            timed_out = True
-            stdout = exc.stdout or ""
-            stderr = exc.stderr or ""
-            if isinstance(stdout, bytes):  # pragma: no cover - platform quirk
-                stdout = stdout.decode(errors="replace")
-            if isinstance(stderr, bytes):  # pragma: no cover
-                stderr = stderr.decode(errors="replace")
-            returncode = -1
+            try:
+                stdout, stderr = proc.communicate(timeout=limit)
+            except subprocess.TimeoutExpired:
+                # The in-process runner can only *report* a timeout; here
+                # the child is a real process and we actually end it.
+                timed_out = True
+                proc.kill()
+                stdout, stderr = proc.communicate()
+            returncode = proc.returncode
+        finally:
+            _active_children.unregister()
         duration = time.perf_counter() - started
+        stdout = stdout or ""
+        stderr = stderr or ""
+        if state["harness_killed"]:
+            # A supervisor watchdog ended this child for exceeding its
+            # deadline: the cause is the timeout, not the kill signal.
+            timed_out = True
 
-        if returncode == UNKNOWN_MAIN_EXIT:
-            raise UnknownMainError(identifier, stderr.strip().splitlines()[-1] if stderr else "")
+        if returncode == UNKNOWN_MAIN_EXIT and not timed_out:
+            tail = stderr.strip().splitlines()
+            raise UnknownMainError(identifier, tail[-1] if tail else "")
 
         exception: Optional[BaseException] = None
-        if returncode == PROGRAM_ERROR_EXIT:
+        signal_number: Optional[int] = None
+        if timed_out:
+            pass
+        elif returncode < 0:
+            # CPython reports a signal-killed child as -signum; this is a
+            # distinct failure mode (SIGSEGV, OOM-kill, ...), not a timeout.
+            signal_number = -returncode
+        elif returncode == PROGRAM_ERROR_EXIT:
             tail = stderr.strip().splitlines()
             exception = RuntimeError(tail[-1] if tail else "program raised")
-        elif returncode not in (0, -1):
+        elif returncode != 0:
             exception = RuntimeError(
                 f"child exited with status {returncode}: {stderr.strip()[:200]}"
             )
@@ -132,6 +209,7 @@ class SubprocessRunner:
             exception=exception,
             timed_out=timed_out,
             hidden=hide_prints,
+            signal_number=signal_number,
         )
 
     @staticmethod
@@ -161,6 +239,7 @@ class SubprocessRunner:
         exception: Optional[BaseException],
         timed_out: bool,
         hidden: bool,
+        signal_number: Optional[int] = None,
     ) -> ExecutionResult:
         """Rebuild an ExecutionResult from the child's output text."""
         attributions = self._line_attributions(stderr)
@@ -238,4 +317,6 @@ class SubprocessRunner:
             timed_out=timed_out,
             hidden=hidden,
             worker_threads=workers,
+            signal_number=signal_number,
+            garbled_lines=detect_garbled_lines(stdout),
         )

@@ -1,0 +1,596 @@
+"""Supervised batch grading: a worker pool that survives its workload.
+
+The paper's division of labour — the infrastructure owns invocation and
+error reporting — has a batch-scale consequence: one deadlocked
+submission must not stall a class, one segfault must not lose a
+session, and a racy program must not be graded by the luck of one
+schedule.  This module is that supervision layer:
+
+* a bounded pool of worker threads grades submissions concurrently,
+  each under a per-submission wall-clock **deadline**;
+* a **watchdog** thread enforces deadlines from outside: a worker stuck
+  waiting on a subprocess child gets that child *hard-killed* (via the
+  active-child registry in
+  :mod:`repro.execution.subprocess_runner`), and a worker wedged in
+  pure-Python code is abandoned — its task is resolved as a timeout, a
+  replacement worker is spawned, and the batch moves on;
+* failed attempts are **retried** with jittered exponential backoff,
+  and the per-attempt outcomes are kept (rerun-vote): a submission that
+  fails then passes is recorded as ``flaky-pass``, distinct from
+  "deterministically wrong";
+* every finished submission is checkpointed to a
+  :class:`~repro.grading.journal.GradingJournal`, so an interrupted
+  batch resumes without regrading and converges to the same gradebook.
+
+The supervisor is deliberately *outside* the test framework: suites and
+checkers never learn about deadlines, retries, or journals — exactly as
+tested programs never learn how they are invoked.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.execution.subprocess_runner import kill_active_child
+from repro.execution.taxonomy import RETRYABLE_KINDS, FailureKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.grading.gradebook import Gradebook
+    from repro.grading.journal import GradingJournal
+    from repro.grading.records import SubmissionRecord
+    from repro.testfw.result import SuiteResult
+    from repro.testfw.suite import TestSuite
+
+__all__ = [
+    "GradingSupervisor",
+    "SubmissionOutcome",
+    "BatchReport",
+    "suite_failure_kind",
+]
+
+SuiteFactory = Callable[[str], "TestSuite"]
+
+#: Kind precedence when a suite's tests disagree: the most
+#: infrastructure-relevant cause wins (an infra error needs a human
+#: before a timeout does; a garbled trace is the least alarming).
+_KIND_PRECEDENCE = (
+    FailureKind.INFRA_ERROR,
+    FailureKind.TIMEOUT,
+    FailureKind.SIGNAL,
+    FailureKind.CRASH,
+    FailureKind.GARBLED_TRACE,
+)
+
+
+def _attempt_label(kind: FailureKind, result: "SuiteResult") -> str:
+    """One attempt's entry in the rerun-vote history.
+
+    Failure kinds appear verbatim; clean runs distinguish a full pass
+    from partial credit, so ``["crash", "pass"]`` reads as flaky while
+    ``["fail(80%)", "fail(80%)"]`` reads as deterministically wrong.
+    """
+    if kind is not FailureKind.OK:
+        return kind.value
+    if result.score >= result.max_score:
+        return "pass"
+    return f"fail({result.percent:.0f}%)"
+
+
+def suite_failure_kind(result: "SuiteResult") -> FailureKind:
+    """Classify a whole suite run by its worst test-level kind.
+
+    A suite whose programs all ran cleanly is ``OK`` even when it earned
+    partial credit — a wrong answer is a grade, not a failure.
+    """
+    kinds = []
+    for test in result.results:
+        if test.failure_kind:
+            kind = FailureKind(test.failure_kind)
+            if kind is not FailureKind.OK:
+                kinds.append(kind)
+        elif test.fatal:
+            # A fatal with no taxonomy kind is the harness's own doing.
+            kinds.append(FailureKind.INFRA_ERROR)
+    for kind in _KIND_PRECEDENCE:
+        if kind in kinds:
+            return kind
+    return kinds[0] if kinds else FailureKind.OK
+
+
+@dataclass
+class SubmissionOutcome:
+    """Everything the supervisor learned about one submission."""
+
+    student: str
+    identifier: str
+    record: "SubmissionRecord"
+    #: Live suite result of the recorded attempt (``None`` when the
+    #: grade was resumed from a journal or forced by the watchdog).
+    result: Optional["SuiteResult"]
+    failure_kind: FailureKind
+    attempts: int
+    attempt_outcomes: List[str] = field(default_factory=list)
+    resumed: bool = False
+
+
+@dataclass
+class BatchReport:
+    """The supervisor's full answer for one batch."""
+
+    gradebook: "Gradebook"
+    live: Dict[str, "SuiteResult"]
+    outcomes: Dict[str, SubmissionOutcome]
+    resumed: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """Operator-facing one-screen account of the batch."""
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes.values():
+            key = outcome.failure_kind.value
+            counts[key] = counts.get(key, 0) + 1
+        parts = [f"{kind}={count}" for kind, count in sorted(counts.items())]
+        lines = [
+            f"graded {len(self.outcomes)} submission(s)"
+            + (f", {len(self.resumed)} resumed from journal" if self.resumed else "")
+            + (": " + ", ".join(parts) if parts else "")
+        ]
+        flaky = [s for s, o in self.outcomes.items() if o.record.flaky]
+        if flaky:
+            lines.append(
+                "schedule-dependent (rerun-vote disagreed): " + ", ".join(sorted(flaky))
+            )
+        return "\n".join(lines)
+
+
+class _TaskState:
+    """Watchdog-visible state of one in-flight submission."""
+
+    def __init__(self, student: str, identifier: str) -> None:
+        self.student = student
+        self.identifier = identifier
+        self.worker: Optional[threading.Thread] = None
+        #: Monotonic instant after which the watchdog intervenes;
+        #: ``None`` while disarmed (between attempts / during backoff).
+        self.deadline_at: Optional[float] = None
+        #: The watchdog already hard-killed this attempt's child.
+        self.killed = False
+        self.resolved = False
+        self.abandoned = False
+        #: Attempt kinds observed so far (for a watchdog-forced record).
+        self.attempt_outcomes: List[str] = []
+
+
+class GradingSupervisor:
+    """Grade a submissions dict under supervision.
+
+    Parameters
+    ----------
+    suite_factory:
+        Builds the problem's suite for one submission identifier —
+        the same callable :func:`repro.grading.batch.grade_submissions`
+        takes.
+    jobs:
+        Worker-pool width (1 = serial, the exact semantics of the
+        unsupervised path, still with deadlines/retries/journal).
+    retries:
+        Extra attempts for a failed submission.  All failures are
+        retried except ``infra-error`` (the harness is broken; retrying
+        regrades nothing).
+    deadline:
+        Per-*attempt* wall-clock limit in seconds; ``None`` disables
+        the watchdog.  This backstops the runners' own timeouts: it
+        also catches hangs in harness code the runners never see.
+    backoff:
+        Base of the jittered exponential backoff between attempts.
+    jitter_seed:
+        Seeds the per-submission jitter streams; a fixed seed makes the
+        whole retry schedule reproducible.
+    journal:
+        Checkpoint journal.  Entries already present are *not*
+        regraded; every newly finished submission is appended.
+    """
+
+    #: How long after a hard kill the watchdog waits before concluding
+    #: the worker is wedged in pure-Python code and abandoning it.
+    KILL_GRACE = 1.0
+
+    def __init__(
+        self,
+        suite_factory: SuiteFactory,
+        *,
+        jobs: int = 1,
+        retries: int = 0,
+        deadline: Optional[float] = None,
+        backoff: float = 0.05,
+        jitter_seed: int = 0,
+        journal: Optional["GradingJournal"] = None,
+        watchdog_poll: float = 0.05,
+        suite_name: str = "",
+    ) -> None:
+        self.suite_factory = suite_factory
+        self.jobs = max(1, int(jobs))
+        self.retries = max(0, int(retries))
+        self.deadline = deadline
+        self.backoff = backoff
+        self.jitter_seed = jitter_seed
+        self.journal = journal
+        self.watchdog_poll = watchdog_poll
+        self._suite_name = suite_name
+
+        self._lock = threading.Lock()
+        self._done = threading.Condition(self._lock)
+        self._queue: deque = deque()
+        self._active: Dict[threading.Thread, _TaskState] = {}
+        self._outcomes: Dict[str, SubmissionOutcome] = {}
+        self._expected = 0
+        self._stop = False
+        self._journal_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def grade(self, submissions: Dict[str, str]) -> BatchReport:
+        """Grade every (student -> identifier) pair; returns the report.
+
+        The gradebook's contents and ordering depend only on
+        ``submissions`` — never on worker completion order — so a
+        parallel batch, a serial batch, and a resumed batch of the same
+        input are byte-identical once saved.
+        """
+        from repro.grading.gradebook import Gradebook
+
+        resumed = self._load_journal(submissions)
+        pending = [
+            (student, identifier)
+            for student, identifier in submissions.items()
+            if student not in self._outcomes
+        ]
+
+        with self._lock:
+            self._expected = len(self._outcomes) + len(pending)
+            self._queue.extend(pending)
+            self._stop = False
+
+        workers = [self._spawn_worker(i) for i in range(min(self.jobs, len(pending)))]
+        stop_watchdog = threading.Event()
+        watchdog = None
+        if self.deadline is not None and pending:
+            watchdog = threading.Thread(
+                target=self._watchdog_loop,
+                args=(stop_watchdog,),
+                name="grading-watchdog",
+                daemon=True,
+            )
+            watchdog.start()
+
+        try:
+            with self._done:
+                while len(self._outcomes) < self._expected:
+                    self._done.wait(timeout=0.1)
+        except BaseException:
+            # KeyboardInterrupt / crash: stop handing out work; the
+            # journal already holds everything that finished.
+            with self._lock:
+                self._stop = True
+                self._queue.clear()
+            stop_watchdog.set()
+            raise
+        stop_watchdog.set()
+        for worker in workers:
+            worker.join(timeout=1.0)
+        if watchdog is not None:
+            watchdog.join(timeout=1.0)
+
+        # Deterministic merge: submissions order, never completion order.
+        book = Gradebook(self._suite_name)
+        live: Dict[str, "SuiteResult"] = {}
+        ordered: Dict[str, SubmissionOutcome] = {}
+        for student in submissions:
+            outcome = self._outcomes[student]
+            ordered[student] = outcome
+            record = outcome.record
+            if not record.suite:
+                record.suite = book.suite
+            book.record(record)
+            if outcome.result is not None:
+                live[student] = outcome.result
+        return BatchReport(
+            gradebook=book, live=live, outcomes=ordered, resumed=resumed
+        )
+
+    # ------------------------------------------------------------------
+    # Resume
+    # ------------------------------------------------------------------
+    def _load_journal(self, submissions: Dict[str, str]) -> List[str]:
+        if self.journal is None:
+            return []
+        resumed: List[str] = []
+        for student, entry in self.journal.completed().items():
+            if student not in submissions:
+                continue  # journaled under a different batch
+            record = entry.record
+            self._outcomes[student] = SubmissionOutcome(
+                student=student,
+                identifier=entry.identifier,
+                record=record,
+                result=None,
+                failure_kind=FailureKind(record.failure_kind or "ok"),
+                attempts=record.attempts,
+                attempt_outcomes=list(record.attempt_outcomes),
+                resumed=True,
+            )
+            resumed.append(student)
+        if not self._suite_name:
+            self._suite_name = self.journal.suite_name() or ""
+        return sorted(resumed)
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+    def _spawn_worker(self, index: int) -> threading.Thread:
+        worker = threading.Thread(
+            target=self._worker_loop, name=f"grading-worker-{index}", daemon=True
+        )
+        worker.start()
+        return worker
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._stop or not self._queue:
+                    return
+                student, identifier = self._queue.popleft()
+                task = _TaskState(student, identifier)
+                task.worker = threading.current_thread()
+                self._active[task.worker] = task
+            try:
+                outcome = self._grade_with_retries(task)
+            except BaseException as exc:  # noqa: BLE001 - worker boundary
+                outcome = self._infra_outcome(task, exc)
+            abandoned = not self._resolve(task, outcome)
+            if abandoned:
+                # The watchdog gave up on us and spawned a replacement;
+                # whatever we just computed lost the race.  Do not pull
+                # further tasks from a thread presumed wedged.
+                return
+
+    def _grade_with_retries(self, task: _TaskState) -> SubmissionOutcome:
+        from repro.grading.records import SubmissionRecord
+
+        rng = random.Random(f"{self.jitter_seed}:{task.student}")
+        attempts: List[Tuple[FailureKind, "SuiteResult"]] = []
+        for attempt in range(self.retries + 1):
+            if attempt:
+                delay = self.backoff * (2 ** (attempt - 1))
+                time.sleep(delay * (0.5 + rng.random() / 2))
+            self._arm(task)
+            try:
+                suite = self.suite_factory(task.identifier)
+                result = suite.run()
+            finally:
+                self._disarm(task)
+            kind = suite_failure_kind(result)
+            attempts.append((kind, result))
+            task.attempt_outcomes.append(_attempt_label(kind, result))
+            passed = kind is FailureKind.OK and result.score >= result.max_score
+            # A clean-but-imperfect run is retried too: a racy program's
+            # most common failure shape is a *wrong answer* under an
+            # unlucky schedule, not a crash.
+            retryable = kind in RETRYABLE_KINDS or (
+                kind is FailureKind.OK and not passed
+            )
+            if passed or not retryable:
+                break
+
+        outcome_kinds = [
+            _attempt_label(kind, result) for kind, result in attempts
+        ]
+        final_kind, final_result = attempts[-1]
+        final_passed = (
+            final_kind is FailureKind.OK
+            and final_result.score >= final_result.max_score
+        )
+        if final_passed and len(attempts) > 1:
+            # Rerun-vote: failed under at least one schedule, passed
+            # under another — flaky, not correct-with-confidence.
+            final_kind = FailureKind.FLAKY_PASS
+        elif not final_passed:
+            # Keep the best-scoring attempt as the grade of record.
+            best_kind, best_result = max(
+                attempts, key=lambda pair: pair[1].score
+            )
+            final_kind, final_result = best_kind, best_result
+
+        if not self._suite_name:
+            with self._lock:
+                if not self._suite_name:
+                    self._suite_name = final_result.suite_name
+        record = SubmissionRecord.from_suite_result(
+            task.student,
+            final_result,
+            failure_kind=final_kind.value,
+            attempts=len(attempts),
+            attempt_outcomes=outcome_kinds,
+        )
+        return SubmissionOutcome(
+            student=task.student,
+            identifier=task.identifier,
+            record=record,
+            result=final_result,
+            failure_kind=final_kind,
+            attempts=len(attempts),
+            attempt_outcomes=outcome_kinds,
+        )
+
+    def _infra_outcome(
+        self, task: _TaskState, exc: BaseException
+    ) -> SubmissionOutcome:
+        """An exception escaped the suite factory or the framework."""
+        from repro.grading.records import SubmissionRecord, TestRecord
+
+        outcomes = task.attempt_outcomes + [FailureKind.INFRA_ERROR.value]
+        record = SubmissionRecord(
+            student=task.student,
+            suite=self._suite_name,
+            timestamp=time.time(),
+            tests=[
+                TestRecord(
+                    test_name="supervisor",
+                    score=0.0,
+                    max_score=0.0,
+                    fatal=f"{type(exc).__name__}: {exc}",
+                    failure_kind=FailureKind.INFRA_ERROR.value,
+                )
+            ],
+            failure_kind=FailureKind.INFRA_ERROR.value,
+            attempts=len(outcomes),
+            attempt_outcomes=outcomes,
+        )
+        return SubmissionOutcome(
+            student=task.student,
+            identifier=task.identifier,
+            record=record,
+            result=None,
+            failure_kind=FailureKind.INFRA_ERROR,
+            attempts=len(outcomes),
+            attempt_outcomes=outcomes,
+        )
+
+    # ------------------------------------------------------------------
+    # Resolution (worker and watchdog race; first one wins)
+    # ------------------------------------------------------------------
+    def _resolve(self, task: _TaskState, outcome: SubmissionOutcome) -> bool:
+        with self._lock:
+            if task.resolved:
+                return False
+            task.resolved = True
+            self._outcomes[task.student] = outcome
+            if task.worker is not None:
+                self._active.pop(task.worker, None)
+        self._journal_outcome(outcome)
+        with self._done:
+            self._done.notify_all()
+        return True
+
+    def _journal_outcome(self, outcome: SubmissionOutcome) -> None:
+        if self.journal is None:
+            return
+        from repro.grading.journal import JournalEntry
+
+        with self._journal_lock:
+            self.journal.append(
+                JournalEntry(
+                    student=outcome.student,
+                    identifier=outcome.identifier,
+                    record=outcome.record,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Watchdog
+    # ------------------------------------------------------------------
+    def _arm(self, task: _TaskState) -> None:
+        if self.deadline is None:
+            return
+        with self._lock:
+            task.deadline_at = time.monotonic() + self.deadline
+            task.killed = False
+
+    def _disarm(self, task: _TaskState) -> None:
+        if self.deadline is None:
+            return
+        with self._lock:
+            task.deadline_at = None
+
+    def _watchdog_loop(self, stop: threading.Event) -> None:
+        while not stop.wait(self.watchdog_poll):
+            now = time.monotonic()
+            with self._lock:
+                expired = [
+                    task
+                    for task in self._active.values()
+                    if not task.resolved
+                    and task.deadline_at is not None
+                    and now >= task.deadline_at
+                ]
+            for task in expired:
+                self._enforce_deadline(task)
+
+    def _enforce_deadline(self, task: _TaskState) -> None:
+        """One expired task: kill its child, or abandon its worker."""
+        worker = task.worker
+        assert worker is not None
+        if not task.killed:
+            # First strike: hard-kill whatever child the worker is
+            # blocked on.  The worker unblocks, sees harness_killed,
+            # and reports the attempt as a timeout through the normal
+            # result path (possibly retrying).
+            killed = kill_active_child(worker)
+            with self._lock:
+                task.killed = True
+                task.deadline_at = time.monotonic() + self.KILL_GRACE
+            if killed:
+                return
+            # No child to kill: fall through after the grace period.
+            return
+        if kill_active_child(worker):
+            # The worker moved on to a fresh child (a retry) that is
+            # itself past the deadline; kill that one too and keep
+            # waiting for the worker to surface.
+            with self._lock:
+                task.deadline_at = time.monotonic() + self.KILL_GRACE
+            return
+        # Second strike with nothing left to kill: the worker thread is
+        # wedged in pure-Python code.  Abandon it, resolve the task as
+        # a timeout ourselves, and restaff the pool.
+        with self._lock:
+            if task.resolved:
+                return
+            task.abandoned = True
+        outcome = self._timeout_outcome(task)
+        if self._resolve(task, outcome):
+            with self._lock:
+                self._active.pop(worker, None)
+                restaff = bool(self._queue) and not self._stop
+            if restaff:
+                self._spawn_worker(int(time.monotonic() * 1000) % 100000)
+
+    def _timeout_outcome(self, task: _TaskState) -> SubmissionOutcome:
+        from repro.grading.records import SubmissionRecord, TestRecord
+
+        outcomes = task.attempt_outcomes + [FailureKind.TIMEOUT.value]
+        record = SubmissionRecord(
+            student=task.student,
+            suite=self._suite_name,
+            timestamp=time.time(),
+            tests=[
+                TestRecord(
+                    test_name="supervisor",
+                    score=0.0,
+                    max_score=0.0,
+                    fatal=(
+                        f"submission {task.identifier!r} exceeded its "
+                        f"{self.deadline:g}s deadline and its worker could "
+                        f"not be recovered; graded as timeout"
+                    ),
+                    failure_kind=FailureKind.TIMEOUT.value,
+                )
+            ],
+            failure_kind=FailureKind.TIMEOUT.value,
+            attempts=len(outcomes),
+            attempt_outcomes=outcomes,
+        )
+        return SubmissionOutcome(
+            student=task.student,
+            identifier=task.identifier,
+            record=record,
+            result=None,
+            failure_kind=FailureKind.TIMEOUT,
+            attempts=len(outcomes),
+            attempt_outcomes=outcomes,
+        )

@@ -1,0 +1,153 @@
+"""Failure taxonomy: every way a graded run can end, named.
+
+A grading service meets more failure shapes than "pass" and "error":
+children hang, die by signal, crash in student code, emit traces torn
+mid-line by a kill, or never start because the harness itself broke.
+Collapsing those into one bucket destroys exactly the information an
+instructor (or a retry policy) needs — a deadlocked join and a SIGSEGV
+call for different feedback, and only *nondeterministic* failures are
+worth rerunning.
+
+This module is the shared vocabulary: a closed set of failure kinds
+threaded through :class:`~repro.execution.runner.ExecutionResult`,
+:class:`~repro.grading.records.SubmissionRecord`, the gradebook, and the
+grading journal, plus the classification helpers that map raw process
+facts (return codes, timeout flags, trace shape) onto it.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+__all__ = [
+    "FailureKind",
+    "RETRYABLE_KINDS",
+    "classify_returncode",
+    "classify_execution",
+    "detect_garbled_lines",
+]
+
+
+class FailureKind(str, enum.Enum):
+    """Terminal classification of one graded run (or run attempt).
+
+    The values are stable strings: they appear verbatim in gradebook
+    JSON, journal lines, and reports, so renaming one is a data-format
+    change.
+    """
+
+    #: Ran to completion; no infrastructure-visible failure.
+    OK = "ok"
+    #: Failed at least once but passed on a rerun — nondeterministic
+    #: under this machine's schedules (the Fray-style flakiness case).
+    FLAKY_PASS = "flaky-pass"
+    #: Exceeded its wall-clock deadline (deadlocked join, infinite loop).
+    TIMEOUT = "timeout"
+    #: The tested program raised / exited reporting a program error.
+    CRASH = "crash"
+    #: The child process was killed by a signal (SIGSEGV, SIGKILL, ...).
+    SIGNAL = "signal"
+    #: The trace text was malformed: property-shaped lines that do not
+    #: parse, or output truncated mid-line.
+    GARBLED_TRACE = "garbled-trace"
+    #: The harness itself failed (unresolvable program, suite-factory
+    #: exception, journal corruption) — not the student's fault.
+    INFRA_ERROR = "infra-error"
+
+    def __str__(self) -> str:  # journal/gradebook lines print the value
+        return self.value
+
+    @property
+    def is_failure(self) -> bool:
+        return self not in (FailureKind.OK, FailureKind.FLAKY_PASS)
+
+
+#: Kinds worth rerunning: the outcome may differ under another schedule.
+#: Concurrent student code fails nondeterministically in *every* one of
+#: these shapes — a race can raise, tear output, deadlock, or die by
+#: signal depending on the interleaving.  Only an infra error is
+#: excluded: the harness is broken, so retrying regrades nothing.
+RETRYABLE_KINDS = frozenset(
+    {
+        FailureKind.TIMEOUT,
+        FailureKind.SIGNAL,
+        FailureKind.CRASH,
+        FailureKind.GARBLED_TRACE,
+        FailureKind.FLAKY_PASS,
+    }
+)
+
+
+def classify_returncode(
+    returncode: Optional[int],
+    *,
+    timed_out: bool = False,
+    program_error_exit: int = 70,
+    unknown_main_exit: int = 71,
+) -> FailureKind:
+    """Classify a child process's exit status.
+
+    ``timed_out`` takes precedence: a child the harness killed after its
+    deadline also dies with a negative returncode, but the *cause* is
+    the timeout, not the signal that delivered the kill.  A negative
+    returncode without a timeout is a genuine signal death (CPython's
+    ``subprocess`` reports ``-signum``).
+    """
+    if timed_out:
+        return FailureKind.TIMEOUT
+    if returncode is None or returncode == 0:
+        return FailureKind.OK
+    if returncode < 0:
+        return FailureKind.SIGNAL
+    if returncode == program_error_exit:
+        return FailureKind.CRASH
+    if returncode == unknown_main_exit:
+        return FailureKind.INFRA_ERROR
+    # Any other nonzero status: the interpreter itself exited abnormally.
+    return FailureKind.CRASH
+
+
+def detect_garbled_lines(stdout: str) -> List[str]:
+    """Return trace lines that are property-shaped but unparseable.
+
+    Two shapes count as garbled: a line that starts like a property line
+    (``Thread ...``) but fails the standard grammar, and a final line
+    with no terminating newline (output truncated mid-line by a kill or
+    a crashed writer).  Plain prose lines are *not* garbled — programs
+    may legitimately print free text (the Hello World case).
+    """
+    from repro.tracing.formatting import parse_property_line
+
+    garbled: List[str] = []
+    lines = stdout.splitlines()
+    for line in lines:
+        if line.startswith("Thread ") and parse_property_line(line) is None:
+            garbled.append(line)
+    if stdout and not stdout.endswith("\n") and lines:
+        tail = lines[-1]
+        if tail not in garbled:
+            garbled.append(tail)
+    return garbled
+
+
+def classify_execution(result) -> FailureKind:
+    """Classify a finished :class:`ExecutionResult`.
+
+    Order matters: a timed-out run often *also* has a truncated trace
+    and a signal-killed child — the earliest cause wins so every run has
+    exactly one kind.
+    """
+    if result.timed_out:
+        return FailureKind.TIMEOUT
+    if getattr(result, "signal_number", None):
+        return FailureKind.SIGNAL
+    if result.exception is not None:
+        from repro.execution.registry import UnknownMainError
+
+        if isinstance(result.exception, UnknownMainError):
+            return FailureKind.INFRA_ERROR
+        return FailureKind.CRASH
+    if getattr(result, "garbled_lines", None):
+        return FailureKind.GARBLED_TRACE
+    return FailureKind.OK

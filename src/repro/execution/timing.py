@@ -34,6 +34,8 @@ class TimingSample:
     duration: float
     ok: bool
     reason: str = ""
+    #: Failure-taxonomy kind of the run (``"ok"`` for clean runs).
+    kind: str = "ok"
 
 
 @dataclass
@@ -56,6 +58,13 @@ class TimingResult:
         for sample in self.samples:
             if not sample.ok:
                 return sample.reason
+        return ""
+
+    def first_failure_kind(self) -> str:
+        """Taxonomy kind of the first failed run (``""`` when all ok)."""
+        for sample in self.samples:
+            if not sample.ok:
+                return sample.kind
         return ""
 
     @property
@@ -116,7 +125,12 @@ def time_program(
         wall = time.perf_counter() - started
         duration = duration_of(execution) if duration_of is not None else wall
         result.samples.append(
-            TimingSample(duration=duration, ok=execution.ok, reason=execution.failure_reason())
+            TimingSample(
+                duration=duration,
+                ok=execution.ok,
+                reason=execution.failure_reason(),
+                kind=execution.failure_kind.value,
+            )
         )
     return result
 

@@ -14,11 +14,15 @@ from repro.grading.export import (
 )
 from repro.grading.gradebook import Gradebook
 from repro.grading.html_report import suite_result_html, write_html_report
+from repro.grading.journal import GradingJournal, JournalEntry, JournalError
 from repro.grading.logs import ProgressLog
 from repro.grading.records import AspectRecord, SubmissionRecord, TestRecord
 
 __all__ = [
     "Gradebook",
+    "GradingJournal",
+    "JournalEntry",
+    "JournalError",
     "ProgressLog",
     "SubmissionRecord",
     "TestRecord",

@@ -23,6 +23,8 @@ SuiteFactory = Callable[[str], TestSuite]
 def grade_submissions(
     suite_factory: SuiteFactory,
     submissions: Dict[str, str],
+    *,
+    suite_name: str = "",
 ) -> Tuple[Gradebook, Dict[str, SuiteResult]]:
     """Grade every (student -> identifier) submission with a fresh suite.
 
@@ -30,6 +32,11 @@ def grade_submissions(
     identifier; a fresh suite per student keeps semantic-check state and
     score displays isolated, exactly as separate JUnit runs would be.
     Returns the filled gradebook plus the live results for rendering.
+
+    An empty ``submissions`` dict is a valid state, not an error — a
+    resumed batch whose journal already covers every student grades
+    nothing — and yields an empty gradebook (named ``suite_name``, since
+    no suite was ever built to ask).
     """
     gradebook: Optional[Gradebook] = None
     live: Dict[str, SuiteResult] = {}
@@ -41,7 +48,7 @@ def grade_submissions(
         live[student] = result
         gradebook.record(SubmissionRecord.from_suite_result(student, result))
     if gradebook is None:
-        raise ValueError("no submissions to grade")
+        gradebook = Gradebook(suite_name)
     return gradebook, live
 
 

@@ -68,6 +68,32 @@ class Gradebook:
         percentages = list(self.class_percentages().values())
         return sum(percentages) / len(percentages) if percentages else 0.0
 
+    def failure_kinds(self) -> Dict[str, str]:
+        """Each student's latest failure-taxonomy kind."""
+        return {
+            student: latest.failure_kind
+            for student in self.students()
+            if (latest := self.latest(student)) is not None
+        }
+
+    def flaky_students(self) -> List[str]:
+        """Students whose latest grade is schedule-dependent (rerun-vote
+        attempts disagreed) — the ones a grader should eyeball."""
+        return [
+            student
+            for student in self.students()
+            if (latest := self.latest(student)) is not None and latest.flaky
+        ]
+
+    def failed_students(self) -> List[str]:
+        """Students whose latest run ended in a hard failure kind
+        (timeout / crash / signal / garbled-trace / infra-error)."""
+        return [
+            student
+            for student, kind in self.failure_kinds().items()
+            if kind not in ("ok", "flaky-pass")
+        ]
+
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
@@ -94,6 +120,11 @@ class Gradebook:
 
     def render(self) -> str:
         lines = [f"Gradebook: {self.suite} (mean {self.mean_percent():.0f}%)"]
+        kinds = self.failure_kinds()
         for student, percent in sorted(self.class_percentages().items()):
-            lines.append(f"  {student:<24} {percent:6.1f}%")
+            line = f"  {student:<24} {percent:6.1f}%"
+            kind = kinds.get(student, "ok")
+            if kind != "ok":
+                line += f"  [{kind}]"
+            lines.append(line)
         return "\n".join(lines)

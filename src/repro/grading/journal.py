@@ -1,0 +1,126 @@
+"""Checkpoint journal: one JSONL line per completed submission.
+
+A batch over a whole class is long-running and interruptible — a
+``KeyboardInterrupt``, a harness crash, an OOM-kill — and regrading
+everything from scratch doubles the damage.  The journal is the
+supervisor's write-ahead record: *after* each submission's grade is
+final (all retries done), one self-contained JSON line is appended and
+flushed to disk.  Resuming a batch against the same journal grades only
+the students the journal does not cover, and the merged gradebook is
+identical to the uninterrupted run's.
+
+Crash tolerance is asymmetric by design: a torn *final* line is exactly
+what an interrupted ``append`` leaves behind, so it is dropped silently;
+a corrupt line anywhere *else* means the file was damaged some other
+way, and silently skipping it would silently lose a student's grade —
+that raises :class:`JournalError` instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.grading.records import SubmissionRecord
+
+__all__ = ["GradingJournal", "JournalEntry", "JournalError"]
+
+
+class JournalError(RuntimeError):
+    """The journal file is damaged beyond the torn-tail case."""
+
+
+@dataclass
+class JournalEntry:
+    """One completed (student, identifier) grading, as journaled."""
+
+    student: str
+    identifier: str
+    record: SubmissionRecord
+
+    def to_dict(self) -> dict:
+        return {
+            "student": self.student,
+            "identifier": self.identifier,
+            "record": self.record.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JournalEntry":
+        return cls(
+            student=data["student"],
+            identifier=data.get("identifier", ""),
+            record=SubmissionRecord.from_dict(data["record"]),
+        )
+
+
+class GradingJournal:
+    """Append-only JSONL checkpoint of a grading batch."""
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------
+    # Reading (resume)
+    # ------------------------------------------------------------------
+    def entries(self) -> List[JournalEntry]:
+        """Every durable entry, oldest first.
+
+        Tolerates a torn final line (the interrupted-write case); any
+        other unparseable line raises :class:`JournalError`.
+        """
+        if not self.path.exists():
+            return []
+        lines = self.path.read_text().splitlines()
+        entries: List[JournalEntry] = []
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                entries.append(JournalEntry.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                if index == len(lines) - 1:
+                    break  # torn tail from an interrupted append
+                raise JournalError(
+                    f"{self.path}: corrupt journal line {index + 1}: {exc}"
+                ) from exc
+        return entries
+
+    def completed(self) -> Dict[str, JournalEntry]:
+        """Latest entry per student — the set a resumed batch skips."""
+        by_student: Dict[str, JournalEntry] = {}
+        for entry in self.entries():
+            by_student[entry.student] = entry
+        return by_student
+
+    def completed_students(self) -> List[str]:
+        return sorted(self.completed())
+
+    def suite_name(self) -> Optional[str]:
+        """Suite of the journaled batch (``None`` for an empty journal)."""
+        entries = self.entries()
+        return entries[0].record.suite if entries else None
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    # ------------------------------------------------------------------
+    # Writing (checkpoint)
+    # ------------------------------------------------------------------
+    def append(self, entry: JournalEntry) -> None:
+        """Durably append one completed submission.
+
+        Opens, writes, flushes, fsyncs, closes per call: the journal is
+        written once per *submission*, not per event, so durability wins
+        over write batching.  Callers grading in parallel must serialize
+        appends (the supervisor holds a lock around this).
+        """
+        line = json.dumps(entry.to_dict(), separators=(",", ":"))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())

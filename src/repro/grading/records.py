@@ -61,6 +61,9 @@ class TestRecord:
     max_score: float
     fatal: str = ""
     aspects: List[AspectRecord] = field(default_factory=list)
+    #: Failure-taxonomy kind of the underlying execution (empty when the
+    #: result predates the taxonomy or never ran a program).
+    failure_kind: str = ""
 
     @classmethod
     def from_result(cls, result: TestResult) -> "TestRecord":
@@ -69,6 +72,7 @@ class TestRecord:
             score=result.score,
             max_score=result.max_score,
             fatal=result.fatal,
+            failure_kind=result.failure_kind,
             aspects=[
                 AspectRecord(
                     aspect=o.aspect,
@@ -87,6 +91,7 @@ class TestRecord:
             "score": self.score,
             "max_score": self.max_score,
             "fatal": self.fatal,
+            "failure_kind": self.failure_kind,
             "aspects": [a.to_dict() for a in self.aspects],
         }
 
@@ -97,6 +102,7 @@ class TestRecord:
             score=float(data["score"]),
             max_score=float(data["max_score"]),
             fatal=data.get("fatal", ""),
+            failure_kind=data.get("failure_kind", ""),
             aspects=[AspectRecord.from_dict(a) for a in data.get("aspects", [])],
         )
 
@@ -119,6 +125,15 @@ class SubmissionRecord:
     #: Free-form tag: "final" for submissions, "progress" for in-progress
     #: self-test runs logged for instructor awareness.
     kind: str = "final"
+    #: Failure-taxonomy kind for the submission as a whole (``"ok"``,
+    #: ``"flaky-pass"``, ``"timeout"``, ``"crash"``, ``"signal"``,
+    #: ``"garbled-trace"``, ``"infra-error"``).
+    failure_kind: str = "ok"
+    #: How many grading attempts this record reflects (> 1 after retries).
+    attempts: int = 1
+    #: Per-attempt failure kinds, oldest first — the rerun-vote history
+    #: that lets a grader tell "deterministically wrong" from "flaky".
+    attempt_outcomes: List[str] = field(default_factory=list)
 
     @classmethod
     def from_suite_result(
@@ -128,6 +143,9 @@ class SubmissionRecord:
         *,
         kind: str = "final",
         timestamp: float | None = None,
+        failure_kind: str = "ok",
+        attempts: int = 1,
+        attempt_outcomes: List[str] | None = None,
     ) -> "SubmissionRecord":
         return cls(
             student=student,
@@ -135,6 +153,9 @@ class SubmissionRecord:
             timestamp=time.time() if timestamp is None else timestamp,
             tests=[TestRecord.from_result(r) for r in result.results],
             kind=kind,
+            failure_kind=failure_kind,
+            attempts=attempts,
+            attempt_outcomes=list(attempt_outcomes or []),
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -143,6 +164,9 @@ class SubmissionRecord:
             "suite": self.suite,
             "timestamp": self.timestamp,
             "kind": self.kind,
+            "failure_kind": self.failure_kind,
+            "attempts": self.attempts,
+            "attempt_outcomes": list(self.attempt_outcomes),
             "tests": [t.to_dict() for t in self.tests],
         }
 
@@ -153,6 +177,9 @@ class SubmissionRecord:
             suite=data["suite"],
             timestamp=float(data.get("timestamp", 0.0)),
             kind=data.get("kind", "final"),
+            failure_kind=data.get("failure_kind", "ok"),
+            attempts=int(data.get("attempts", 1)),
+            attempt_outcomes=list(data.get("attempt_outcomes", [])),
             tests=[TestRecord.from_dict(t) for t in data.get("tests", [])],
         )
 
@@ -167,6 +194,13 @@ class SubmissionRecord:
     @property
     def percent(self) -> float:
         return 100.0 * self.score / self.max_score if self.max_score else 0.0
+
+    @property
+    def flaky(self) -> bool:
+        """True when attempts disagreed — the grade is schedule-dependent."""
+        return self.failure_kind == "flaky-pass" or (
+            len(set(self.attempt_outcomes)) > 1
+        )
 
     def failed_aspects(self) -> List[str]:
         aspects: List[str] = []

@@ -53,6 +53,7 @@ class ScoredTestCase(abc.ABC):
                 score=0.0,
                 max_score=self.max_score,
                 fatal=f"test harness error: {detail}",
+                failure_kind="infra-error",
             )
 
 

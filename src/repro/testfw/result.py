@@ -65,6 +65,11 @@ class TestResult:
     #: Fatal condition that pre-empted checking (crash, timeout, missing
     #: program); when set, ``outcomes`` may be empty.
     fatal: str = ""
+    #: Failure-taxonomy kind of the underlying execution
+    #: (:class:`repro.execution.taxonomy.FailureKind` value: ``"ok"``,
+    #: ``"timeout"``, ``"crash"``, ``"signal"``, ``"garbled-trace"``,
+    #: ``"infra-error"``); empty for results that never ran a program.
+    failure_kind: str = ""
 
     @property
     def percent(self) -> float:

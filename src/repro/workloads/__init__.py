@@ -4,6 +4,7 @@ Importing a problem subpackage registers its variants with the execution
 registry; importing this package registers everything.
 """
 
+from repro.execution import faults  # noqa: F401 - registers the fault programs
 from repro.workloads import hello, jacobi, odds, pi_montecarlo, primes  # noqa: F401
 
 #: identifier lists per problem, for sweeps and batch grading.

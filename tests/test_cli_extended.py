@@ -72,6 +72,51 @@ class TestAwarenessCommand:
         assert "Awareness report" in out
 
 
+class TestSupervisedGrading:
+    def test_grade_with_jobs_and_journal(self, tmp_path, capsys, round_robin_backend):
+        journal = tmp_path / "grading.jsonl"
+        book = tmp_path / "book.json"
+        argv = [
+            "grade",
+            "hello",
+            "--submissions",
+            "hello.correct,hello.no_fork",
+            "--jobs",
+            "2",
+            "--resume",
+            str(journal),
+            "--out",
+            str(book),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "graded 2 submission(s)" in out
+        assert len(journal.read_text().splitlines()) == 2
+        saved = json.loads(book.read_text())
+        record = saved["submissions"]["hello.correct"][0]
+        assert record["failure_kind"] == "ok"
+
+        # Rerunning the same command resumes everything from the journal.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 resumed from journal" in out
+        assert len(journal.read_text().splitlines()) == 2
+
+    def test_grade_with_retries(self, capsys, round_robin_backend):
+        code = main(
+            ["grade", "hello", "--submissions", "hello.no_fork", "--retries", "1"]
+        )
+        assert code == 0
+        assert "graded 1 submission(s)" in capsys.readouterr().out
+
+    def test_grade_with_deadline(self, capsys, round_robin_backend):
+        code = main(
+            ["grade", "hello", "--submissions", "hello.correct", "--deadline", "30"]
+        )
+        assert code == 0
+        assert "100.0%" in capsys.readouterr().out
+
+
 class TestSubprocessFlag:
     def test_run_with_subprocess_flag(self, capsys):
         code = main(["run", "hello", "--subprocess"])

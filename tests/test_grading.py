@@ -198,6 +198,19 @@ class TestBatch:
         gradebook, _live = grade_submissions(factory, {"alice": "primes.correct"})
         assert gradebook.students() == ["alice"]
 
-    def test_empty_batch_rejected(self):
-        with pytest.raises(ValueError):
-            grade_batch(lambda i: None, [])
+    def test_empty_batch_yields_empty_gradebook(self):
+        # An empty batch is a valid (resumed-and-complete) state, not an
+        # error: the suite factory must not even be called.
+        def exploding_factory(identifier):
+            raise AssertionError("factory called for an empty batch")
+
+        gradebook, live = grade_batch(exploding_factory, [])
+        assert gradebook.students() == []
+        assert live == {}
+
+    def test_empty_batch_names_gradebook_when_asked(self):
+        gradebook, _live = grade_submissions(
+            lambda i: None, {}, suite_name="primes"
+        )
+        assert gradebook.suite == "primes"
+        assert gradebook.mean_percent() == 0.0

@@ -7,7 +7,8 @@ import textwrap
 import pytest
 
 from repro.execution.registry import UnknownMainError
-from repro.execution.subprocess_runner import SubprocessRunner
+from repro.execution.subprocess_runner import SubprocessRunner, active_child_count
+from repro.execution.taxonomy import FailureKind
 from repro.graders import HelloFunctionality, PrimesFunctionality
 
 
@@ -93,6 +94,72 @@ class TestFailureModes:
         result = runner.run(str(bad))
         assert not result.ok
         assert "student bug" in result.failure_reason()
+
+
+class TestFailureTaxonomyPaths:
+    """The failure shapes a batch of real submissions actually produces."""
+
+    def test_timeout_preserves_partial_output(self):
+        result = SubprocessRunner(timeout=2.0).run("faults.hang")
+        assert result.timed_out
+        assert not result.ok
+        assert result.failure_kind is FailureKind.TIMEOUT
+        # The child flushed before hanging: the evidence survives the kill.
+        assert "Fault:hang" in result.output
+        assert "Progress:1" in result.output
+        assert active_child_count() == 0
+
+    def test_signal_killed_child_distinct_from_timeout(self):
+        result = SubprocessRunner(timeout=30.0).run("faults.signal", ["9"])
+        assert not result.timed_out
+        assert not result.ok
+        assert result.signal_number == 9
+        assert result.failure_kind is FailureKind.SIGNAL
+        assert "SIGKILL" in result.failure_reason()
+        assert "Fault:signal" in result.output
+
+    def test_simulated_segfault(self):
+        result = SubprocessRunner(timeout=30.0).run("faults.signal", ["11"])
+        assert result.signal_number == 11
+        assert result.failure_kind is FailureKind.SIGNAL
+        assert "SIGSEGV" in result.failure_reason()
+
+    def test_crash_carries_child_error_text(self, runner):
+        result = runner.run("faults.crash")
+        assert not result.ok
+        assert result.failure_kind is FailureKind.CRASH
+        assert "injected crash" in result.failure_reason()
+
+    def test_garbled_property_lines_flagged(self, runner):
+        result = runner.run("faults.garble")
+        assert result.exception is None
+        assert result.signal_number is None
+        assert result.failure_kind is FailureKind.GARBLED_TRACE
+        assert "Thread 9->NoColonHere" in result.garbled_lines
+        assert "Thread notanumber->X:1" in result.garbled_lines
+
+    def test_trace_truncated_mid_line_flagged(self, runner):
+        result = runner.run("faults.truncate")
+        assert result.failure_kind is FailureKind.GARBLED_TRACE
+        # The torn line parses as a property — only the missing newline
+        # betrays it.
+        assert result.garbled_lines == ["Thread 9->Index:4"]
+
+    def test_clean_fault_program_is_ok(self, runner):
+        result = runner.run("faults.ok")
+        assert result.ok
+        assert result.failure_kind is FailureKind.OK
+        assert result.garbled_lines == []
+
+    def test_whitespace_only_stderr_on_unknown_main_exit(self, tmp_path):
+        # A child that dies with the unknown-main status but writes only
+        # whitespace to stderr used to raise IndexError in the parent.
+        fake = tmp_path / "fake-python"
+        fake.write_text("#!/bin/sh\nprintf '\\n' >&2\nexit 71\n")
+        fake.chmod(0o755)
+        runner = SubprocessRunner(timeout=10.0, python=str(fake))
+        with pytest.raises(UnknownMainError):
+            runner.run("whatever")
 
 
 class TestGradingStudentFiles:

@@ -1,0 +1,413 @@
+"""Tests of supervised batch grading: pool, watchdog, retries, resume.
+
+The fault-injection programs of :mod:`repro.execution.faults` drive the
+supervisor end to end: every failure-taxonomy kind is produced by a
+real misbehaving child and must come out distinctly classified, hung
+children must be hard-killed, wedged workers abandoned, and an
+interrupted batch must resume from its journal to the exact gradebook
+an uninterrupted run produces.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+import pytest
+
+from repro.core.checker import AbstractForkJoinChecker
+from repro.execution.subprocess_runner import SubprocessRunner, active_child_count
+from repro.execution.supervisor import GradingSupervisor, suite_failure_kind
+from repro.execution.taxonomy import FailureKind
+from repro.grading.journal import GradingJournal
+from repro.graders import PrimesFunctionality
+from repro.testfw.annotations import max_value
+from repro.testfw.case import FunctionTestCase, ScoredTestCase
+from repro.testfw.result import SuiteResult, TestResult
+from repro.testfw.suite import TestSuite
+
+
+@max_value(10)
+class FaultChecker(AbstractForkJoinChecker):
+    """Minimal subprocess checker for the fault-injection programs."""
+
+    def __init__(self, identifier, fault_args=(), *, timeout=20.0):
+        self._identifier = identifier
+        self._args = [str(a) for a in fault_args]
+        self._timeout = timeout
+
+    def main_class_identifier(self):
+        return self._identifier
+
+    def args(self):
+        return list(self._args)
+
+    def pre_fork_property_names_and_types(self):
+        return (("Fault", str),)
+
+    def make_runner(self):
+        return SubprocessRunner(timeout=self._timeout)
+
+
+class SubprocessPrimes(PrimesFunctionality):
+    def make_runner(self):
+        return SubprocessRunner(timeout=60.0)
+
+
+def primes_factory(identifier):
+    return TestSuite("primes", [SubprocessPrimes(identifier)])
+
+
+#: Three variants with three distinct, deterministic grades.
+VARIANTS = {
+    "alice": "primes.correct",
+    "bob": "primes.serialized",
+    "carl": "primes.no_fork",
+}
+
+
+def normalized(book):
+    """Gradebook contents with timestamps zeroed, for equality checks."""
+    snapshot = {}
+    for student in book.students():
+        data = book.latest(student).to_dict()
+        data["timestamp"] = 0.0
+        snapshot[student] = data
+    return snapshot
+
+
+class FixedCase(ScoredTestCase):
+    """A test case that returns a pre-built result, verbatim."""
+
+    def __init__(self, result: TestResult) -> None:
+        self._result = result
+
+    @property
+    def name(self):
+        return self._result.test_name
+
+    @property
+    def max_score(self):
+        return self._result.max_score
+
+    def run(self):
+        return self._result
+
+
+def scripted_factory(results: List[TestResult]):
+    """Suite factory replaying *results* one per attempt (last repeats).
+
+    The supervisor builds a fresh suite per attempt, so the script lives
+    in the closure, not in the test case.
+    """
+    remaining = list(results)
+
+    def factory(identifier):
+        result = remaining.pop(0) if len(remaining) > 1 else remaining[0]
+        return TestSuite("s", [FixedCase(result)])
+
+    return factory
+
+
+def scripted(score: float, kind: str = "ok", fatal: str = "") -> TestResult:
+    return TestResult("T", score, 10.0, fatal=fatal, failure_kind=kind)
+
+
+class TestSuiteFailureKind:
+    def test_clean_partial_credit_is_ok(self):
+        result = SuiteResult("s", [scripted(4.0)])
+        assert suite_failure_kind(result) is FailureKind.OK
+
+    def test_precedence_picks_most_alarming(self):
+        result = SuiteResult(
+            "s",
+            [
+                scripted(0.0, "garbled-trace"),
+                scripted(0.0, "timeout", fatal="hung"),
+                scripted(0.0, "crash", fatal="boom"),
+            ],
+        )
+        assert suite_failure_kind(result) is FailureKind.TIMEOUT
+
+    def test_fatal_without_kind_is_infra(self):
+        result = SuiteResult("s", [TestResult("T", 0.0, 10.0, fatal="harness bug")])
+        assert suite_failure_kind(result) is FailureKind.INFRA_ERROR
+
+
+class TestTaxonomyEndToEnd:
+    """Acceptance: every taxonomy outcome, distinctly, in one batch."""
+
+    def test_every_failure_kind_distinct_in_one_batch(self):
+        def factory(identifier):
+            timeout = 3.0 if identifier == "faults.hang" else 20.0
+            return TestSuite("faults", [FaultChecker(identifier, timeout=timeout)])
+
+        submissions = {
+            "healthy": "faults.ok",
+            "crasher": "faults.crash",
+            "segfaulter": "faults.signal",
+            "garbler": "faults.garble",
+            "truncator": "faults.truncate",
+            "hanger": "faults.hang",
+            "ghost": "no.such.program",
+        }
+        report = GradingSupervisor(factory, jobs=4).grade(submissions)
+        assert report.gradebook.failure_kinds() == {
+            "healthy": "ok",
+            "crasher": "crash",
+            "segfaulter": "signal",
+            "garbler": "garbled-trace",
+            "truncator": "garbled-trace",
+            "hanger": "timeout",
+            "ghost": "infra-error",
+        }
+        text = report.gradebook.render()
+        for kind in ("crash", "signal", "garbled-trace", "timeout", "infra-error"):
+            assert f"[{kind}]" in text
+        assert "time limit" in report.outcomes["hanger"].record.tests[0].fatal
+        assert report.gradebook.failed_students() == sorted(
+            ["crasher", "segfaulter", "garbler", "truncator", "hanger", "ghost"]
+        )
+        assert active_child_count() == 0
+
+    def test_summary_counts_kinds(self):
+        def factory(identifier):
+            return TestSuite("faults", [FaultChecker(identifier)])
+
+        report = GradingSupervisor(factory).grade(
+            {"a": "faults.ok", "b": "faults.crash"}
+        )
+        summary = report.summary()
+        assert "graded 2 submission(s)" in summary
+        assert "crash=1" in summary
+        assert "ok=1" in summary
+
+
+class TestDeterministicMerge:
+    def test_parallel_batch_matches_serial(self):
+        serial = GradingSupervisor(primes_factory).grade(VARIANTS)
+        parallel = GradingSupervisor(primes_factory, jobs=3).grade(VARIANTS)
+        assert normalized(parallel.gradebook) == normalized(serial.gradebook)
+        assert list(parallel.outcomes) == list(VARIANTS)
+        percentages = parallel.gradebook.class_percentages()
+        assert percentages["alice"] == pytest.approx(100.0)
+        assert percentages["carl"] < percentages["bob"] < 100.0
+
+    def test_merge_order_is_submissions_order_not_completion_order(self):
+        def factory(identifier):
+            delay = 0.3 if identifier == "slow" else 0.0
+
+            def body():
+                time.sleep(delay)
+
+            return TestSuite("s", [FunctionTestCase(body, name="T", max_score=5)])
+
+        submissions = {"tortoise": "slow", "hare1": "fast", "hare2": "fast"}
+        report = GradingSupervisor(factory, jobs=3).grade(submissions)
+        # The slow submission finishes last but is merged first.
+        assert list(report.outcomes) == ["tortoise", "hare1", "hare2"]
+        assert list(report.live) == ["tortoise", "hare1", "hare2"]
+
+
+class TestRerunVote:
+    def test_fail_then_pass_is_flaky_pass(self):
+        factory = scripted_factory([scripted(0.0), scripted(10.0)])
+        report = GradingSupervisor(factory, retries=3, backoff=0.001).grade(
+            {"bob": "x"}
+        )
+        outcome = report.outcomes["bob"]
+        assert outcome.failure_kind is FailureKind.FLAKY_PASS
+        assert outcome.attempt_outcomes == ["fail(0%)", "pass"]
+        assert outcome.attempts == 2  # stops at the first pass
+        assert outcome.record.flaky
+        assert outcome.record.percent == pytest.approx(100.0)
+        assert report.gradebook.flaky_students() == ["bob"]
+        assert "rerun-vote disagreed" in report.summary()
+
+    def test_crash_then_pass_is_flaky_pass(self):
+        factory = scripted_factory(
+            [scripted(0.0, "crash", fatal="boom"), scripted(10.0)]
+        )
+        report = GradingSupervisor(factory, retries=1, backoff=0.001).grade(
+            {"bob": "x"}
+        )
+        outcome = report.outcomes["bob"]
+        assert outcome.failure_kind is FailureKind.FLAKY_PASS
+        assert outcome.attempt_outcomes == ["crash", "pass"]
+
+    def test_steady_pass_needs_no_retry(self):
+        factory = scripted_factory([scripted(10.0)])
+        report = GradingSupervisor(factory, retries=3).grade({"ann": "x"})
+        outcome = report.outcomes["ann"]
+        assert outcome.attempts == 1
+        assert outcome.attempt_outcomes == ["pass"]
+        assert outcome.failure_kind is FailureKind.OK
+        assert not outcome.record.flaky
+
+    def test_never_passing_keeps_best_attempt(self):
+        factory = scripted_factory([scripted(4.0), scripted(8.0), scripted(6.0)])
+        report = GradingSupervisor(factory, retries=2, backoff=0.001).grade(
+            {"cam": "x"}
+        )
+        outcome = report.outcomes["cam"]
+        assert outcome.attempts == 3
+        assert outcome.attempt_outcomes == ["fail(40%)", "fail(80%)", "fail(60%)"]
+        assert outcome.record.score == pytest.approx(8.0)  # best, not last
+        assert outcome.failure_kind is FailureKind.OK  # wrong, not broken
+        assert outcome.record.flaky  # ...but schedule-dependent
+
+    def test_deterministic_wrong_answer_is_not_flaky(self):
+        factory = scripted_factory([scripted(7.0)])
+        report = GradingSupervisor(factory, retries=2, backoff=0.001).grade(
+            {"dee": "x"}
+        )
+        outcome = report.outcomes["dee"]
+        assert outcome.attempts == 3
+        assert outcome.attempt_outcomes == ["fail(70%)"] * 3
+        assert not outcome.record.flaky
+
+    def test_infra_error_is_not_retried(self):
+        factory = scripted_factory(
+            [scripted(0.0, "infra-error", fatal="harness broke")]
+        )
+        report = GradingSupervisor(factory, retries=5).grade({"eve": "x"})
+        assert report.outcomes["eve"].attempts == 1
+        assert report.outcomes["eve"].failure_kind is FailureKind.INFRA_ERROR
+
+    def test_factory_exception_is_infra_error(self):
+        def factory(identifier):
+            raise OSError("disk gone")
+
+        report = GradingSupervisor(factory, retries=2).grade({"flo": "x"})
+        outcome = report.outcomes["flo"]
+        assert outcome.failure_kind is FailureKind.INFRA_ERROR
+        assert "disk gone" in outcome.record.tests[0].fatal
+
+    def test_subprocess_crash_then_clean_rerun(self, tmp_path):
+        # End to end through a real child: faults.flaky crashes once,
+        # then runs clean; the rerun-vote history records both.
+        counter = tmp_path / "counter"
+
+        def factory(identifier):
+            return TestSuite("faults", [FaultChecker(identifier, [counter])])
+
+        report = GradingSupervisor(factory, retries=1, backoff=0.001).grade(
+            {"zoe": "faults.flaky"}
+        )
+        outcome = report.outcomes["zoe"]
+        assert outcome.attempts == 2
+        assert outcome.attempt_outcomes[0] == "crash"
+        assert outcome.attempt_outcomes[1].startswith(("pass", "fail"))
+        assert outcome.record.flaky
+        assert counter.read_text().splitlines() == ["fail"]
+
+
+class TestJournalResume:
+    def test_interrupted_batch_resumes_to_identical_gradebook(self, tmp_path):
+        baseline = GradingSupervisor(primes_factory, jobs=2).grade(VARIANTS)
+
+        # First run "dies" after grading two of the three submissions.
+        journal = GradingJournal(tmp_path / "grading.jsonl")
+        first_two = {s: i for s, i in list(VARIANTS.items())[:2]}
+        GradingSupervisor(primes_factory, journal=journal).grade(first_two)
+        assert journal.completed_students() == sorted(first_two)
+
+        # Resume over the full batch: only the third is actually graded.
+        calls: List[str] = []
+
+        def counting_factory(identifier):
+            calls.append(identifier)
+            return primes_factory(identifier)
+
+        resumed = GradingSupervisor(counting_factory, journal=journal).grade(VARIANTS)
+        assert calls == ["primes.no_fork"]
+        assert resumed.resumed == ["alice", "bob"]
+        assert list(resumed.live) == ["carl"]  # only live-graded results
+        assert resumed.outcomes["alice"].resumed
+        assert not resumed.outcomes["carl"].resumed
+        assert normalized(resumed.gradebook) == normalized(baseline.gradebook)
+        assert resumed.gradebook.suite == baseline.gradebook.suite == "primes"
+
+        # The journal is now complete: a third run grades nothing at all.
+        again = GradingSupervisor(counting_factory, journal=journal).grade(VARIANTS)
+        assert calls == ["primes.no_fork"]
+        assert again.resumed == ["alice", "bob", "carl"]
+        assert normalized(again.gradebook) == normalized(baseline.gradebook)
+
+    def test_journal_entries_ignore_other_batches(self, tmp_path):
+        journal = GradingJournal(tmp_path / "grading.jsonl")
+        GradingSupervisor(primes_factory, journal=journal).grade(
+            {"alice": "primes.correct"}
+        )
+        # A different roster: alice's entry applies, strangers' don't.
+        report = GradingSupervisor(primes_factory, journal=journal).grade(
+            {"alice": "primes.correct", "dora": "primes.no_fork"}
+        )
+        assert report.resumed == ["alice"]
+        assert set(report.gradebook.students()) == {"alice", "dora"}
+
+    def test_empty_batch_is_graded_as_empty(self):
+        def exploding_factory(identifier):
+            raise AssertionError("factory called for an empty batch")
+
+        report = GradingSupervisor(exploding_factory).grade({})
+        assert report.gradebook.students() == []
+        assert report.outcomes == {}
+        assert "graded 0 submission(s)" in report.summary()
+
+
+class TestWatchdog:
+    def test_hung_child_hard_killed_at_deadline(self):
+        # The runner would wait 120s; only the watchdog saves the batch.
+        def factory(identifier):
+            return TestSuite("faults", [FaultChecker(identifier, timeout=120.0)])
+
+        started = time.monotonic()
+        report = GradingSupervisor(
+            factory, deadline=2.0, watchdog_poll=0.05
+        ).grade({"hanger": "faults.hang"})
+        elapsed = time.monotonic() - started
+        assert elapsed < 30.0
+        outcome = report.outcomes["hanger"]
+        assert outcome.failure_kind is FailureKind.TIMEOUT
+        assert "time limit" in outcome.record.tests[0].fatal
+        assert active_child_count() == 0
+
+    def test_wedged_worker_abandoned_and_pool_restaffed(self):
+        # A worker stuck in pure-Python code has no child to kill: after
+        # the grace period it is abandoned and the batch still finishes.
+        def factory(identifier):
+            if identifier == "wedge":
+
+                def body():
+                    time.sleep(20)
+
+            else:
+
+                def body():
+                    return None
+
+            return TestSuite("s", [FunctionTestCase(body, name="T", max_score=5)])
+
+        supervisor = GradingSupervisor(
+            factory, jobs=1, deadline=0.4, watchdog_poll=0.05
+        )
+        supervisor.KILL_GRACE = 0.2
+        started = time.monotonic()
+        report = supervisor.grade({"stuck": "wedge", "after": "fine"})
+        elapsed = time.monotonic() - started
+        assert elapsed < 15.0
+        stuck = report.outcomes["stuck"]
+        assert stuck.failure_kind is FailureKind.TIMEOUT
+        assert "could not be recovered" in stuck.record.tests[0].fatal
+        # The queued submission was graded by the replacement worker.
+        after = report.outcomes["after"]
+        assert after.failure_kind is FailureKind.OK
+        assert after.record.percent == pytest.approx(100.0)
+
+    def test_fast_batch_unbothered_by_deadline(self):
+        report = GradingSupervisor(
+            primes_factory, deadline=30.0, watchdog_poll=0.05
+        ).grade({"alice": "primes.correct"})
+        assert report.outcomes["alice"].failure_kind is FailureKind.OK
+        assert report.gradebook.class_percentages()["alice"] == pytest.approx(100.0)

@@ -1,0 +1,216 @@
+"""Unit tests of the failure taxonomy, journal, and record threading."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.execution.taxonomy import (
+    RETRYABLE_KINDS,
+    FailureKind,
+    classify_returncode,
+    detect_garbled_lines,
+)
+from repro.grading.gradebook import Gradebook
+from repro.grading.journal import GradingJournal, JournalEntry, JournalError
+from repro.grading.records import SubmissionRecord, TestRecord
+from repro.testfw.result import SuiteResult, TestResult
+
+
+class TestClassifyReturncode:
+    def test_clean_exit_is_ok(self):
+        assert classify_returncode(0) is FailureKind.OK
+
+    def test_negative_returncode_is_signal_not_timeout(self):
+        # SIGSEGV -> -11; the old code conflated this with timeouts.
+        assert classify_returncode(-11) is FailureKind.SIGNAL
+        assert classify_returncode(-9) is FailureKind.SIGNAL
+        # SIGHUP -> -1, the exact value the old code reserved for timeout.
+        assert classify_returncode(-1) is FailureKind.SIGNAL
+
+    def test_timeout_takes_precedence_over_kill_signal(self):
+        # A child killed for exceeding its deadline dies by signal too;
+        # the cause is the timeout.
+        assert classify_returncode(-9, timed_out=True) is FailureKind.TIMEOUT
+
+    def test_program_error_exit_is_crash(self):
+        assert classify_returncode(70) is FailureKind.CRASH
+
+    def test_unknown_main_exit_is_infra(self):
+        assert classify_returncode(71) is FailureKind.INFRA_ERROR
+
+    def test_other_nonzero_is_crash(self):
+        assert classify_returncode(1) is FailureKind.CRASH
+
+    def test_retryable_kinds_exclude_only_infra_errors(self):
+        # Any schedule-dependent shape is worth a rerun; a broken
+        # harness is not.
+        assert FailureKind.TIMEOUT in RETRYABLE_KINDS
+        assert FailureKind.SIGNAL in RETRYABLE_KINDS
+        assert FailureKind.CRASH in RETRYABLE_KINDS
+        assert FailureKind.GARBLED_TRACE in RETRYABLE_KINDS
+        assert FailureKind.INFRA_ERROR not in RETRYABLE_KINDS
+        assert FailureKind.OK not in RETRYABLE_KINDS
+
+
+class TestDetectGarbledLines:
+    def test_clean_trace_has_none(self):
+        assert detect_garbled_lines("Thread 1->Index:0\nThread 1->Total:3\n") == []
+
+    def test_plain_prose_is_not_garbled(self):
+        assert detect_garbled_lines("Hello Concurrent World\n") == []
+
+    def test_property_shaped_but_unparseable(self):
+        garbled = detect_garbled_lines("Thread 1->NoColon\nThread x->A:1\n")
+        assert garbled == ["Thread 1->NoColon", "Thread x->A:1"]
+
+    def test_truncated_final_line(self):
+        garbled = detect_garbled_lines("Thread 1->Index:0\nThread 1->Ind")
+        assert garbled == ["Thread 1->Ind"]
+
+    def test_empty_output(self):
+        assert detect_garbled_lines("") == []
+
+
+def record_with_kind(student: str, kind: str, **extra) -> SubmissionRecord:
+    result = SuiteResult("primes", [TestResult("F", 10.0, 40.0)])
+    return SubmissionRecord.from_suite_result(
+        student, result, timestamp=1.0, failure_kind=kind, **extra
+    )
+
+
+class TestRecordThreading:
+    def test_taxonomy_fields_round_trip(self):
+        record = record_with_kind(
+            "alice",
+            "flaky-pass",
+            attempts=3,
+            attempt_outcomes=["crash", "timeout", "pass"],
+        )
+        clone = SubmissionRecord.from_dict(record.to_dict())
+        assert clone.failure_kind == "flaky-pass"
+        assert clone.attempts == 3
+        assert clone.attempt_outcomes == ["crash", "timeout", "pass"]
+        assert clone.flaky
+
+    def test_legacy_dicts_still_load(self):
+        # Records written before the taxonomy existed must load as ok.
+        legacy = record_with_kind("bob", "ok").to_dict()
+        for key in ("failure_kind", "attempts", "attempt_outcomes"):
+            legacy.pop(key)
+        clone = SubmissionRecord.from_dict(legacy)
+        assert clone.failure_kind == "ok"
+        assert clone.attempts == 1
+        assert not clone.flaky
+
+    def test_flaky_from_disagreeing_attempts(self):
+        record = record_with_kind(
+            "carl", "ok", attempts=2, attempt_outcomes=["fail(60%)", "fail(80%)"]
+        )
+        assert record.flaky
+        steady = record_with_kind(
+            "dana", "ok", attempts=2, attempt_outcomes=["fail(80%)", "fail(80%)"]
+        )
+        assert not steady.flaky
+
+    def test_test_record_carries_failure_kind(self):
+        result = TestResult("F", 0.0, 40.0, fatal="boom", failure_kind="signal")
+        record = TestRecord.from_result(result)
+        assert record.failure_kind == "signal"
+        assert TestRecord.from_dict(record.to_dict()).failure_kind == "signal"
+
+
+class TestGradebookTaxonomy:
+    def build(self) -> Gradebook:
+        book = Gradebook("primes")
+        book.record(record_with_kind("alice", "ok"))
+        book.record(record_with_kind("bob", "timeout"))
+        book.record(
+            record_with_kind(
+                "carl", "flaky-pass", attempts=2, attempt_outcomes=["crash", "pass"]
+            )
+        )
+        return book
+
+    def test_failure_kinds_per_student(self):
+        assert self.build().failure_kinds() == {
+            "alice": "ok",
+            "bob": "timeout",
+            "carl": "flaky-pass",
+        }
+
+    def test_flaky_and_failed_queries(self):
+        book = self.build()
+        assert book.flaky_students() == ["carl"]
+        assert book.failed_students() == ["bob"]
+
+    def test_render_annotates_failures_only(self):
+        text = self.build().render()
+        assert "[timeout]" in text
+        assert "[flaky-pass]" in text
+        assert "[ok]" not in text
+
+    def test_save_load_keeps_kinds(self, tmp_path):
+        path = tmp_path / "book.json"
+        self.build().save(path)
+        assert Gradebook.load(path).failure_kinds()["bob"] == "timeout"
+
+
+class TestJournal:
+    def entry(self, student: str) -> JournalEntry:
+        return JournalEntry(
+            student=student,
+            identifier=f"{student}.py",
+            record=record_with_kind(student, "ok"),
+        )
+
+    def test_append_and_reload(self, tmp_path):
+        journal = GradingJournal(tmp_path / "j.jsonl")
+        journal.append(self.entry("alice"))
+        journal.append(self.entry("bob"))
+        reloaded = GradingJournal(journal.path)
+        assert reloaded.completed_students() == ["alice", "bob"]
+        assert len(reloaded) == 2
+        assert reloaded.suite_name() == "primes"
+        assert reloaded.completed()["alice"].identifier == "alice.py"
+
+    def test_missing_file_is_empty(self, tmp_path):
+        journal = GradingJournal(tmp_path / "absent.jsonl")
+        assert journal.entries() == []
+        assert journal.suite_name() is None
+
+    def test_torn_tail_dropped_silently(self, tmp_path):
+        # An interrupted append leaves a torn final line; the student it
+        # covered is simply regraded on resume.
+        journal = GradingJournal(tmp_path / "j.jsonl")
+        journal.append(self.entry("alice"))
+        with journal.path.open("a") as handle:
+            handle.write('{"student": "bob", "rec')  # torn mid-write
+        assert GradingJournal(journal.path).completed_students() == ["alice"]
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        # Damage anywhere else would silently lose a grade: refuse.
+        journal = GradingJournal(tmp_path / "j.jsonl")
+        journal.append(self.entry("alice"))
+        journal.append(self.entry("bob"))
+        lines = journal.path.read_text().splitlines()
+        lines[0] = "not json at all"
+        journal.path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="line 1"):
+            GradingJournal(journal.path).entries()
+
+    def test_latest_entry_per_student_wins(self, tmp_path):
+        journal = GradingJournal(tmp_path / "j.jsonl")
+        journal.append(self.entry("alice"))
+        better = self.entry("alice")
+        better.record.failure_kind = "flaky-pass"
+        journal.append(better)
+        assert journal.completed()["alice"].record.failure_kind == "flaky-pass"
+
+    def test_lines_are_plain_json(self, tmp_path):
+        journal = GradingJournal(tmp_path / "j.jsonl")
+        journal.append(self.entry("alice"))
+        payload = json.loads(journal.path.read_text().splitlines()[0])
+        assert payload["student"] == "alice"
+        assert payload["record"]["suite"] == "primes"
