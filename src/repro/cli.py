@@ -15,12 +15,19 @@ is that entry point::
     forkjoin-test export primes --submission primes.serialized \
         --out results.json          # Gradescope results.json
     forkjoin-test fuzz primes.racy --schedules 25
+    forkjoin-test explore primes.racy --schedules 20 --seed 0 \
+        --record failing.schedule.json
+    forkjoin-test explore primes.racy --replay failing.schedule.json
     forkjoin-test awareness progress.jsonl --suite primes
 
 ``ui`` opens the interactive suite runner (Fig. 5); ``run`` executes a
 suite once and prints the scored report; ``grade`` sweeps submissions
-into a gradebook; ``export`` writes a Gradescope document; ``fuzz``
-hunts schedule-dependent bugs; ``awareness`` analyses a progress log.
+into a gradebook (``--explore`` switches racy-failure retries to
+deterministic schedule exploration); ``export`` writes a Gradescope
+document; ``fuzz`` hunts schedule-dependent bugs through the simulation
+backend; ``explore`` hunts them with the controlled scheduler —
+deterministic, recordable, and exactly replayable; ``awareness``
+analyses a progress log.
 """
 
 from __future__ import annotations
@@ -128,6 +135,24 @@ def build_parser() -> argparse.ArgumentParser:
             "interrupted batch picks up where it left off"
         ),
     )
+    grade.add_argument(
+        "--explore",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "after a retryable failure, re-grade under N controlled "
+            "schedules instead of blind reruns; the first failing "
+            "schedule's seed is recorded in the gradebook for replay"
+        ),
+    )
+    grade.add_argument(
+        "--explore-seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="first seed of the exploration range (default 0)",
+    )
 
     export = commands.add_parser(
         "export", help="grade one submission and write Gradescope results.json"
@@ -154,6 +179,59 @@ def build_parser() -> argparse.ArgumentParser:
         default="primes",
         choices=["primes", "pi", "odds"],
         help="which problem's functionality checker to run under fuzzing",
+    )
+
+    explore = commands.add_parser(
+        "explore",
+        help=(
+            "deterministically explore controlled schedules for a racy "
+            "submission (exit 1 when a failing schedule is found)"
+        ),
+    )
+    explore.add_argument("submission", help="tested-program identifier")
+    explore.add_argument(
+        "--problem",
+        default="primes",
+        choices=["primes", "pi", "odds", "jacobi"],
+        help="which problem's functionality checker to run under exploration",
+    )
+    explore.add_argument(
+        "--schedules",
+        type=int,
+        default=20,
+        metavar="N",
+        help="how many controlled schedules to try (default 20)",
+    )
+    explore.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="first random-walk seed (default 0)",
+    )
+    explore.add_argument(
+        "--strategy",
+        default="random-walk",
+        choices=["random-walk", "preemption-sweep"],
+        help=(
+            "schedule family: seeded random walks, or the deterministic "
+            "bounded (quantum, rotation) preemption sweep"
+        ),
+    )
+    explore.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help=(
+            "replay a recorded schedule file decision-for-decision instead "
+            "of exploring; exits 1 when the failure reproduces"
+        ),
+    )
+    explore.add_argument(
+        "--record",
+        default=None,
+        metavar="FILE",
+        help="write the first failing schedule to FILE for later --replay",
     )
 
     awareness = commands.add_parser(
@@ -203,12 +281,18 @@ def _suite_for(name: str, submission: Optional[str], *, subprocess_mode: bool = 
 
 
 def _checker_factory(problem: str, submission: str):
-    from repro.graders import OddsFunctionality, PiFunctionality, PrimesFunctionality
+    from repro.graders import (
+        JacobiFunctionality,
+        OddsFunctionality,
+        PiFunctionality,
+        PrimesFunctionality,
+    )
 
     factories = {
         "primes": lambda: PrimesFunctionality(submission),
         "pi": lambda: PiFunctionality(submission),
         "odds": lambda: OddsFunctionality(submission),
+        "jacobi": lambda: JacobiFunctionality(submission),
     }
     return factories[problem]
 
@@ -255,6 +339,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             retries=args.retries,
             deadline=args.deadline,
             journal=journal,
+            explore_schedules=args.explore,
+            explore_seed=args.explore_seed,
         )
         try:
             report = supervisor.grade(
@@ -328,6 +414,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         report = fuzzer.run()
         print(report.summary())
+        return 1 if report.bug_found else 0
+
+    if args.command == "explore":
+        from repro.execution.exploration import ScheduleExplorer
+        from repro.execution.scheduling import ScheduleTrace
+
+        factory = _checker_factory(args.problem, args.submission)
+        explorer = ScheduleExplorer(
+            factory,
+            schedules=args.schedules,
+            first_seed=args.seed,
+            strategy=args.strategy,
+        )
+        if args.replay:
+            trace = ScheduleTrace.load(args.replay)
+            result, replayed = explorer.replay(trace)
+            if replayed.divergence:
+                print(f"replay DIVERGED: {replayed.divergence}")
+                return 2
+            reproduced = result.score < result.max_score or bool(result.fatal)
+            print(
+                f"replayed {trace.label()} ({len(trace.decisions)} decisions): "
+                + (
+                    "failure reproduced"
+                    if reproduced
+                    else "program passed under the recorded schedule"
+                )
+            )
+            return 1 if reproduced else 0
+        report = explorer.run()
+        print(report.summary())
+        if report.bug_found and args.record:
+            path = report.first_failing_trace().save(args.record)
+            print(f"failing schedule written to {path}")
         return 1 if report.bug_found else 0
 
     if args.command == "awareness":

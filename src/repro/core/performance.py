@@ -16,6 +16,7 @@ virtual-time makespan measured by :mod:`repro.simulation`.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, List, Optional
 
 from repro.core.messages import Messages
@@ -148,6 +149,25 @@ class AbstractConcurrencyPerformanceChecker(ScoredTestCase):
 
         actual = speedup(low, high)
         self.last_speedup = actual
+        if math.isnan(actual):
+            # No clean run on one side (speedup() had nothing to
+            # measure); the all_ok gate above normally catches this, but
+            # subclasses overriding the gate must still not be graded on
+            # a NaN ratio.
+            return TestResult(
+                test_name=self.name,
+                score=0.0,
+                max_score=self.max_score,
+                fatal=(
+                    "performance could not be measured: no clean timed run "
+                    "in at least one configuration"
+                ),
+                failure_kind=(
+                    low.first_failure_kind()
+                    or high.first_failure_kind()
+                    or "infra-error"
+                ),
+            )
         expected = self.expected_minimum_speedup()
         ok = actual >= expected
         if ok:

@@ -36,6 +36,9 @@ class EventDatabase:
         self._events: List[PropertyEvent] = []
         self._per_thread_counts: Dict[int, int] = {}
         self.registry = registry if registry is not None else ThreadRegistry()
+        #: Identity of the controlled schedule this run executes under
+        #: (stamped onto every event); empty for free-running runs.
+        self.schedule_id: str = ""
 
     # ------------------------------------------------------------------
     # Recording
@@ -73,6 +76,7 @@ class EventDatabase:
                 explicit=explicit,
                 timestamp=now,
                 thread_seq=thread_seq,
+                schedule_id=self.schedule_id,
             )
             self._events.append(event)
         return event

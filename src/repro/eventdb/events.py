@@ -62,6 +62,9 @@ class PropertyEvent:
     timestamp: float = 0.0
     #: Index of the event within its own thread's event stream.
     thread_seq: int = field(default=0)
+    #: Identity of the controlled schedule the run executed under
+    #: (e.g. ``"random-walk:17"``); empty for free-running runs.
+    schedule_id: str = field(default="")
 
     def is_from(self, thread: threading.Thread) -> bool:
         """True when this event was produced by *thread* (identity test)."""
@@ -82,6 +85,7 @@ def make_event(
     explicit: bool,
     timestamp: float,
     thread_seq: int,
+    schedule_id: str = "",
 ) -> PropertyEvent:
     """Internal constructor used by the database; keeps call sites tidy."""
     return PropertyEvent(
@@ -94,4 +98,5 @@ def make_event(
         explicit=explicit,
         timestamp=timestamp,
         thread_seq=thread_seq,
+        schedule_id=schedule_id,
     )

@@ -8,7 +8,24 @@ from repro.execution.registry import (
     resolve_main,
     unregister_main,
 )
-from repro.execution.runner import DEFAULT_TIMEOUT, ExecutionResult, ProgramRunner
+from repro.execution.runner import (
+    DEFAULT_TIMEOUT,
+    ExecutionResult,
+    ProgramRunner,
+    in_process_session_lock,
+)
+from repro.execution.scheduling import (
+    BoundedPreemptionStrategy,
+    ControlledScheduler,
+    RandomWalkStrategy,
+    ReplayStrategy,
+    ScheduleAbort,
+    ScheduleDivergenceError,
+    ScheduleTrace,
+    ScheduledBackend,
+    bounded_preemption_sweep,
+    resolve_schedule_strategy,
+)
 from repro.execution.taxonomy import (
     RETRYABLE_KINDS,
     FailureKind,
@@ -34,12 +51,24 @@ _LAZY_SUPERVISOR = {
     "suite_failure_kind",
 }
 
+#: Explorer names resolved lazily (PEP 562): the explorer imports the
+#: core checker, which imports back into execution.
+_LAZY_EXPLORATION = {
+    "ScheduleExplorer",
+    "ExplorationReport",
+    "ExplorationFinding",
+}
+
 
 def __getattr__(name: str):
     if name in _LAZY_SUPERVISOR:
         from repro.execution import supervisor
 
         return getattr(supervisor, name)
+    if name in _LAZY_EXPLORATION:
+        from repro.execution import exploration
+
+        return getattr(exploration, name)
     if name in ("SubprocessRunner", "kill_active_child", "active_child_count"):
         from repro.execution import subprocess_runner
 
@@ -68,6 +97,20 @@ __all__ = [
     "unregister_main",
     "ProgramRunner",
     "ExecutionResult",
+    "in_process_session_lock",
+    "ScheduledBackend",
+    "ControlledScheduler",
+    "ScheduleTrace",
+    "ScheduleAbort",
+    "ScheduleDivergenceError",
+    "RandomWalkStrategy",
+    "BoundedPreemptionStrategy",
+    "ReplayStrategy",
+    "bounded_preemption_sweep",
+    "resolve_schedule_strategy",
+    "ScheduleExplorer",
+    "ExplorationReport",
+    "ExplorationFinding",
     "DEFAULT_TIMEOUT",
     "DEFAULT_TIMED_RUNS",
     "TimingResult",

@@ -16,17 +16,26 @@ the event trace.  The program runs on a dedicated *root thread* so that
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, Any, List, Optional
 
 from repro.eventdb.database import EventDatabase
 from repro.eventdb.events import PropertyEvent
 from repro.execution.registry import MainFunction, resolve_main
 from repro.tracing.session import TraceSession
 
-__all__ = ["ExecutionResult", "ProgramRunner", "DEFAULT_TIMEOUT"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.execution.scheduling import ScheduleTrace
+
+__all__ = [
+    "ExecutionResult",
+    "ProgramRunner",
+    "DEFAULT_TIMEOUT",
+    "in_process_session_lock",
+]
 
 #: Course fork-join workloads complete in milliseconds; a generous default
 #: catches deadlocked joins without stalling a grading session.
@@ -39,6 +48,16 @@ DEFAULT_TIMEOUT = 30.0
 #: :class:`~repro.execution.subprocess_runner.SubprocessRunner`, whose
 #: children own their interpreters outright.
 _SESSION_LOCK = threading.RLock()
+
+
+def in_process_session_lock() -> threading.RLock:
+    """The lock serializing all in-process runs (re-entrant).
+
+    Callers that install an ambient backend around a whole checker run —
+    e.g. schedule exploration — hold this so a parallel grading batch
+    cannot interleave another submission into their controlled backend.
+    """
+    return _SESSION_LOCK
 
 
 @dataclass
@@ -65,6 +84,12 @@ class ExecutionResult:
     #: Trace lines that are property-shaped but unparseable, or cut
     #: mid-line — evidence of a torn/garbled trace (subprocess regime).
     garbled_lines: List[str] = field(default_factory=list)
+    #: Recorded interleaving when the run executed under a controlled
+    #: schedule (:class:`~repro.execution.scheduling.ScheduleTrace`),
+    #: else ``None``.
+    schedule: Optional["ScheduleTrace"] = None
+    #: Seed of the controlled schedule's strategy, when it had one.
+    schedule_seed: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -123,6 +148,7 @@ class ProgramRunner:
         hide_prints: bool = False,
         timeout: Optional[float] = None,
         stdin_lines: Optional[List[str]] = None,
+        schedule: Optional[Any] = None,
     ) -> ExecutionResult:
         """Execute ``main(args)`` of *identifier* under a fresh session.
 
@@ -132,8 +158,25 @@ class ProgramRunner:
         the program's standard input (§4.4: programs run "with specified
         input and arguments"); a program that reads more than provided
         fails with an EOF, as it would on a closed pipe.
+
+        ``schedule`` runs the program under a *controlled schedule*: a
+        seed (``int``), a recorded
+        :class:`~repro.execution.scheduling.ScheduleTrace` to replay, or
+        a strategy object.  The corresponding
+        :class:`~repro.execution.scheduling.ScheduledBackend` is
+        installed as the ambient concurrency backend for the run, every
+        intercepted print becomes a yield point, and the recorded
+        interleaving is attached to the result as ``result.schedule``.
+        If a ``ScheduledBackend`` is already ambient (an explorer
+        installed one around a whole checker), it is picked up and wired
+        the same way without passing ``schedule=``.
         """
         from repro.execution.stdin_feed import StdinFeed
+        from repro.execution.scheduling import (
+            ScheduledBackend,
+            resolve_schedule_strategy,
+        )
+        from repro.simulation.backend import current_backend, use_backend
 
         main = resolve_main(identifier)
         args = list(args) if args is not None else []
@@ -152,10 +195,28 @@ class ProgramRunner:
         root = threading.Thread(target=root_body, name=f"root:{identifier}")
         started = time.perf_counter()
         with _SESSION_LOCK:
+            controlled: Optional[ScheduledBackend] = None
+            install_backend = False
+            if schedule is not None:
+                if isinstance(schedule, ScheduledBackend):
+                    controlled = schedule
+                else:
+                    controlled = ScheduledBackend(resolve_schedule_strategy(schedule))
+                install_backend = True
+            else:
+                ambient = current_backend()
+                if isinstance(ambient, ScheduledBackend):
+                    controlled = ambient
+            if controlled is not None:
+                session.yield_hook = controlled.trace_yield
+                session.database.schedule_id = controlled.schedule_id()
             if feed is not None:
                 feed.install()
             try:
-                with session.activate():
+                with contextlib.ExitStack() as stack:
+                    if install_backend:
+                        stack.enter_context(use_backend(controlled))
+                    stack.enter_context(session.activate())
                     # Register the root thread first so it receives the
                     # lowest id, as in the paper's traces where the root
                     # prints first.
@@ -163,6 +224,14 @@ class ProgramRunner:
                     root.start()
                     root.join(limit)
                     timed_out = root.is_alive()
+                    if controlled is not None:
+                        if timed_out:
+                            # Unwind gated workers (deadlock or divergence
+                            # left them parked) so the session teardown is
+                            # not racing live prints.
+                            controlled.abort()
+                        else:
+                            controlled.finish()
             finally:
                 if feed is not None:
                     feed.uninstall()
@@ -187,6 +256,12 @@ class ProgramRunner:
             timed_out=timed_out,
             hidden=hide_prints,
             worker_threads=workers,
+            schedule=(
+                controlled.schedule_trace(identifier, args)
+                if controlled is not None
+                else None
+            ),
+            schedule_seed=controlled.seed if controlled is not None else None,
         )
 
     def run_callable(

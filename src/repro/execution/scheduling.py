@@ -1,0 +1,694 @@
+"""Controlled scheduling: deterministic interleaving of tested programs.
+
+PR 1's rerun-vote retries catch racy submissions only when the OS
+scheduler happens to expose the race.  This module removes the luck: a
+**controlled scheduler** in the style of Fray (Li et al., 2025) and the
+one-page model checkers serializes the tested program's worker threads —
+only one runs at a time — and decides, at every *yield point*, which
+worker proceeds next.  The interleaving is then a pure function of a
+pluggable :class:`ScheduleStrategy`, so a failing schedule can be
+**recorded**, attached to a gradebook record as a seed, and **replayed
+exactly** from a serialized schedule file.
+
+Yield points, in the fork-join vocabulary of the paper:
+
+* ``fork``/``start`` — workers are spawned and gated; the first grant is
+  a recorded decision over the full ready set;
+* ``checkpoint`` — the workload API's explicit scheduling point
+  (``backend.checkpoint()``);
+* ``trace`` — every intercepted print / ``print_property`` call (wired
+  through :attr:`repro.tracing.session.TraceSession.yield_hook`);
+* ``lock-acquire`` / ``lock-release`` / ``block`` — operations on locks
+  handed out by :meth:`ScheduledBackend.lock`; a worker that finds its
+  lock held leaves the ready set until the holder releases;
+* ``retire`` — a worker finished; the scheduler picks a survivor.
+
+Three strategy families ship here:
+
+* :class:`RandomWalkStrategy` — a seeded random walk over the ready set;
+  the workhorse of N-schedule exploration;
+* :class:`BoundedPreemptionStrategy` — round-robin with a fixed quantum
+  and starting rotation; :func:`bounded_preemption_sweep` enumerates the
+  (quantum, rotation) grid deterministically, a small-preemption-bound
+  sweep in the CHESS tradition;
+* :class:`ReplayStrategy` — replays a recorded :class:`ScheduleTrace`
+  decision for decision, raising :class:`ScheduleDivergenceError` the
+  moment the live run disagrees with the recording.
+
+Only worker threads participate; the root thread runs free (it is
+blocked in ``join`` for the whole fork phase of a correct program) and
+harness threads pass through every hook untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Protocol, Union
+
+__all__ = [
+    "SCHEDULE_FORMAT_VERSION",
+    "ScheduleAbort",
+    "ScheduleDivergenceError",
+    "ScheduleStrategy",
+    "RandomWalkStrategy",
+    "BoundedPreemptionStrategy",
+    "bounded_preemption_sweep",
+    "ReplayStrategy",
+    "ScheduleDecision",
+    "ScheduleTrace",
+    "ControlledScheduler",
+    "InstrumentedLock",
+    "ScheduledBackend",
+    "resolve_schedule_strategy",
+]
+
+#: Version stamp written into serialized schedule files.
+SCHEDULE_FORMAT_VERSION = 1
+
+
+class ScheduleAbort(Exception):
+    """The controlled run is being torn down; gated workers unwind.
+
+    Raised inside worker threads when the scheduler aborts (timeout,
+    deadlock, replay divergence).  The backend's gate wrapper swallows
+    it, so an aborted worker dies quietly rather than spamming stderr.
+    """
+
+
+class ScheduleDivergenceError(RuntimeError):
+    """A replayed run disagreed with its recorded schedule.
+
+    The tested program took a different sequence of yield points (or
+    presented a different ready set) than the recording — it is either
+    nondeterministic beyond its scheduling or not the same program.
+    """
+
+
+class ScheduleStrategy(Protocol):
+    """Chooses which ready worker runs after each yield point."""
+
+    #: Stable strategy family name, serialized into schedule files.
+    name: str
+    #: Seed for seeded strategies; ``None`` for enumerative/replay ones.
+    seed: Optional[int]
+
+    def choose(
+        self, ready: List[int], current: Optional[int], point: str, step: int
+    ) -> int:
+        """Pick one key from *ready* (non-empty, ascending).  *current*
+        is the worker that just yielded when still runnable, else
+        ``None``; *point* is the yield-point kind; *step* the 0-based
+        global decision index."""
+
+    def label(self) -> str:
+        """Human/file-facing identity, e.g. ``random-walk:17``."""
+
+
+class RandomWalkStrategy:
+    """Seeded random walk: each decision is a uniform pick over ready."""
+
+    name = "random-walk"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._rng = random.Random(self.seed)
+
+    def choose(
+        self, ready: List[int], current: Optional[int], point: str, step: int
+    ) -> int:
+        return self._rng.choice(ready)
+
+    def label(self) -> str:
+        return f"{self.name}:{self.seed}"
+
+
+class BoundedPreemptionStrategy:
+    """Round-robin with a fixed quantum and starting rotation.
+
+    The chosen worker keeps running for *quantum* consecutive decisions
+    before the grant rotates to the next ready worker in key order;
+    *rotation* offsets the very first pick.  Enumerating small
+    (quantum, rotation) pairs is a preemption-bound sweep: most
+    schedule-sensitive bugs need only a couple of well-placed context
+    switches to surface.
+    """
+
+    name = "preemption-bound"
+    seed: Optional[int] = None
+
+    def __init__(self, quantum: int = 1, rotation: int = 0) -> None:
+        if quantum < 1:
+            raise ValueError("quantum must be >= 1")
+        self.quantum = quantum
+        self.rotation = max(0, int(rotation))
+        self._remaining = quantum
+
+    def choose(
+        self, ready: List[int], current: Optional[int], point: str, step: int
+    ) -> int:
+        if current is None or current not in ready:
+            self._remaining = self.quantum
+            return ready[self.rotation % len(ready)]
+        if self._remaining > 1:
+            self._remaining -= 1
+            return current
+        self._remaining = self.quantum
+        return ready[(ready.index(current) + 1) % len(ready)]
+
+    def label(self) -> str:
+        return f"{self.name}:q{self.quantum}.r{self.rotation}"
+
+
+def bounded_preemption_sweep(
+    schedules: int, *, max_quantum: int = 4
+) -> Iterator["BoundedPreemptionStrategy"]:
+    """Deterministically enumerate *schedules* preemption-bound points.
+
+    Walks the (quantum, rotation) grid column-first — all rotations of
+    quantum 1 (maximal preemption) before quantum 2, and so on — then
+    wraps, so any budget yields a stable, preemption-dense prefix.
+    """
+    produced = 0
+    while produced < schedules:
+        for quantum in range(1, max_quantum + 1):
+            for rotation in range(max_quantum):
+                if produced >= schedules:
+                    return
+                yield BoundedPreemptionStrategy(quantum=quantum, rotation=rotation)
+                produced += 1
+
+
+class ReplayStrategy:
+    """Replay a recorded schedule exactly, validating every decision."""
+
+    name = "replay"
+
+    def __init__(self, trace: "ScheduleTrace") -> None:
+        self.trace = trace
+        self.seed = trace.seed
+
+    def choose(
+        self, ready: List[int], current: Optional[int], point: str, step: int
+    ) -> int:
+        decisions = self.trace.decisions
+        if step >= len(decisions):
+            raise ScheduleDivergenceError(
+                f"replay exhausted: live run reached decision {step} but the "
+                f"recording holds only {len(decisions)}"
+            )
+        recorded = decisions[step]
+        if recorded.ready != ready or recorded.point != point:
+            raise ScheduleDivergenceError(
+                f"replay diverged at decision {step}: recorded "
+                f"{recorded.point}/ready={recorded.ready}, live "
+                f"{point}/ready={ready}"
+            )
+        return recorded.chosen
+
+    def label(self) -> str:
+        return f"{self.name}:{self.trace.label()}"
+
+
+def resolve_schedule_strategy(
+    spec: Union[int, "ScheduleTrace", ScheduleStrategy]
+) -> ScheduleStrategy:
+    """Coerce a runner-facing schedule spec into a strategy.
+
+    An ``int`` is shorthand for a random walk with that seed; a
+    :class:`ScheduleTrace` replays itself; a strategy passes through.
+    """
+    if isinstance(spec, ScheduleTrace):
+        return ReplayStrategy(spec)
+    if isinstance(spec, int) and not isinstance(spec, bool):
+        return RandomWalkStrategy(spec)
+    if hasattr(spec, "choose"):
+        return spec  # type: ignore[return-value]
+    raise TypeError(
+        f"schedule must be a seed, a ScheduleTrace, or a strategy; got "
+        f"{type(spec).__name__}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Recorded schedules
+# ----------------------------------------------------------------------
+@dataclass
+class ScheduleDecision:
+    """One scheduling decision: who ran next, and why we were asked."""
+
+    step: int
+    point: str
+    ready: List[int]
+    chosen: int
+
+    def to_dict(self) -> dict:
+        return {
+            "step": self.step,
+            "point": self.point,
+            "ready": list(self.ready),
+            "chosen": self.chosen,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScheduleDecision":
+        return cls(
+            step=int(data["step"]),
+            point=str(data["point"]),
+            ready=[int(k) for k in data["ready"]],
+            chosen=int(data["chosen"]),
+        )
+
+
+@dataclass
+class ScheduleTrace:
+    """A complete recorded interleaving, serializable for exact replay."""
+
+    identifier: str = ""
+    args: List[str] = field(default_factory=list)
+    strategy: str = ""
+    seed: Optional[int] = None
+    #: Worker key (spawn order) -> thread name, for human-readable files.
+    workers: Dict[int, str] = field(default_factory=dict)
+    decisions: List[ScheduleDecision] = field(default_factory=list)
+    deadlocked: bool = False
+    #: Non-empty when a replay against this trace diverged.
+    divergence: str = ""
+    version: int = SCHEDULE_FORMAT_VERSION
+
+    def label(self) -> str:
+        tag = self.strategy or "schedule"
+        return f"{tag}:{self.seed}" if self.seed is not None else tag
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "identifier": self.identifier,
+            "args": list(self.args),
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "workers": {str(k): v for k, v in self.workers.items()},
+            "deadlocked": self.deadlocked,
+            "decisions": [d.to_dict() for d in self.decisions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScheduleTrace":
+        version = int(data.get("version", SCHEDULE_FORMAT_VERSION))
+        if version > SCHEDULE_FORMAT_VERSION:
+            raise ValueError(
+                f"schedule file version {version} is newer than this "
+                f"harness understands ({SCHEDULE_FORMAT_VERSION})"
+            )
+        seed = data.get("seed")
+        return cls(
+            identifier=data.get("identifier", ""),
+            args=[str(a) for a in data.get("args", [])],
+            strategy=data.get("strategy", ""),
+            seed=None if seed is None else int(seed),
+            workers={int(k): str(v) for k, v in data.get("workers", {}).items()},
+            decisions=[
+                ScheduleDecision.from_dict(d) for d in data.get("decisions", [])
+            ],
+            deadlocked=bool(data.get("deadlocked", False)),
+            version=version,
+        )
+
+    def save(self, path: Union[Path, str]) -> Path:
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return target
+
+    @classmethod
+    def load(cls, path: Union[Path, str]) -> "ScheduleTrace":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# The scheduler
+# ----------------------------------------------------------------------
+class _WorkerState:
+    __slots__ = ("key", "blocked_on")
+
+    def __init__(self, key: int) -> None:
+        self.key = key
+        self.blocked_on: Optional["InstrumentedLock"] = None
+
+
+class ControlledScheduler:
+    """Token-passing gate whose every grant is a recorded decision.
+
+    Worker keys are assigned at *spawn* time on the root thread (program
+    order), not at enrollment (OS order), so the ready sets the strategy
+    sees — and therefore the whole interleaving — are deterministic for
+    a deterministic tested program.
+    """
+
+    def __init__(self, strategy: ScheduleStrategy) -> None:
+        self.strategy = strategy
+        self._cv = threading.Condition()
+        self._states: Dict[int, _WorkerState] = {}
+        self._by_thread: Dict[int, int] = {}
+        self._total_enrolled = 0
+        self._granted: Optional[int] = None
+        self._started = False
+        self._aborted = False
+        self._step = 0
+        self.deadlocked = False
+        self.divergence = ""
+        self.decisions: List[ScheduleDecision] = []
+        #: Every worker ever spawned under this scheduler: key -> name.
+        self.workers: Dict[int, str] = {}
+
+    # -- root / backend side -------------------------------------------
+    def register(self, key: int, name: str) -> None:
+        """Pre-assign *key* (spawn order) to a worker named *name*."""
+        with self._cv:
+            self.workers[key] = name
+
+    def start(self, expected_total: int) -> None:
+        """Open the gate once *expected_total* workers have ever enrolled
+        (a cumulative count, so batched start/join patterns work)."""
+        with self._cv:
+            self._cv.wait_for(
+                lambda: self._aborted or self._total_enrolled >= expected_total
+            )
+            if self._aborted:
+                return
+            self._started = True
+            self._grant_next(current=None, point="start")
+
+    def abort(self) -> None:
+        """Release every gated worker with :class:`ScheduleAbort`."""
+        with self._cv:
+            self._aborted = True
+            self._granted = None
+            self._cv.notify_all()
+
+    def live_workers(self) -> int:
+        with self._cv:
+            return len(self._states)
+
+    # -- worker side ----------------------------------------------------
+    def enroll(self, key: int) -> None:
+        me = threading.get_ident()
+        with self._cv:
+            self._check_abort()
+            if key in self._states:
+                raise RuntimeError(f"worker key {key} enrolled twice")
+            self._states[key] = _WorkerState(key)
+            self._by_thread[me] = key
+            self._total_enrolled += 1
+            self._cv.notify_all()
+            self._wait_for_grant(key)
+
+    def yield_point(self, point: str) -> None:
+        """Give up the grant at *point*; return when granted again.
+
+        Unenrolled threads (the root, the harness) pass through — this
+        is what makes it safe to call from the trace-session hook on
+        every intercepted print.
+        """
+        with self._cv:
+            key = self._by_thread.get(threading.get_ident())
+            if key is None or self._aborted or not self._started:
+                return
+            self._grant_next(current=key, point=point)
+            self._wait_for_grant(key)
+
+    def retire(self) -> None:
+        me = threading.get_ident()
+        with self._cv:
+            key = self._by_thread.pop(me, None)
+            if key is None:
+                return
+            self._states.pop(key, None)
+            if self._aborted:
+                self._cv.notify_all()
+                return
+            if self._started:
+                self._grant_next(current=key, point="retire")
+
+    def participating(self) -> bool:
+        """Is the calling thread an enrolled, un-aborted worker?"""
+        with self._cv:
+            return (
+                threading.get_ident() in self._by_thread and not self._aborted
+            )
+
+    # -- locks ----------------------------------------------------------
+    def acquire_lock(self, lock: "InstrumentedLock") -> None:
+        """Enrolled-worker lock acquire: a yield point, then a wait that
+        leaves the ready set while the lock is held elsewhere."""
+        with self._cv:
+            key = self._by_thread.get(threading.get_ident())
+            if key is None:
+                raise RuntimeError("acquire_lock called by unenrolled thread")
+            state = self._states[key]
+            if self._started:
+                self._grant_next(current=key, point="lock-acquire")
+                self._wait_for_grant(key)
+            while not lock.raw.acquire(blocking=False):
+                state.blocked_on = lock
+                self._grant_next(current=key, point="block")
+                self._cv.wait_for(
+                    lambda: self._aborted
+                    or (state.blocked_on is None and self._granted == key)
+                )
+                self._check_abort()
+
+    def release_lock(self, lock: "InstrumentedLock") -> None:
+        """Release *lock* and wake any workers parked on it.
+
+        Callable by enrolled workers (a yield point) and by free-running
+        threads such as the root (waiters are unparked, no yield).
+        """
+        with self._cv:
+            lock.raw.release()
+            woken = False
+            for state in self._states.values():
+                if state.blocked_on is lock:
+                    state.blocked_on = None
+                    woken = True
+            if self._aborted:
+                self._cv.notify_all()
+                return
+            key = self._by_thread.get(threading.get_ident())
+            if key is not None and self._started:
+                self._grant_next(current=key, point="lock-release")
+                self._wait_for_grant(key)
+            elif woken and self._granted is None and self._started:
+                # A free-running thread released the lock every live
+                # worker was parked on; restart granting.
+                self._grant_next(current=None, point="lock-release")
+
+    # -- internals (hold self._cv) --------------------------------------
+    def _check_abort(self) -> None:
+        if self._aborted:
+            raise ScheduleAbort(
+                "controlled schedule aborted"
+                + (": deadlock" if self.deadlocked else "")
+                + (f": {self.divergence}" if self.divergence else "")
+            )
+
+    def _wait_for_grant(self, key: int) -> None:
+        self._cv.wait_for(
+            lambda: self._aborted
+            or (
+                self._started
+                and self._granted == key
+                and self._states[key].blocked_on is None
+            )
+        )
+        self._check_abort()
+
+    def _ready(self) -> List[int]:
+        return sorted(
+            key for key, state in self._states.items() if state.blocked_on is None
+        )
+
+    def _grant_next(self, current: Optional[int], point: str) -> None:
+        ready = self._ready()
+        if not ready:
+            if self._states:
+                # Live workers remain but every one is parked on a lock:
+                # a genuine deadlock.  Abort deterministically; the
+                # workers unwind and the trace records the verdict.
+                self.deadlocked = True
+                self._aborted = True
+            self._granted = None
+            self._cv.notify_all()
+            return
+        try:
+            chosen = self.strategy.choose(
+                ready, current if current in ready else None, point, self._step
+            )
+        except ScheduleDivergenceError as exc:
+            self.divergence = str(exc)
+            self._aborted = True
+            self._granted = None
+            self._cv.notify_all()
+            raise ScheduleAbort(str(exc)) from exc
+        if chosen not in ready:
+            raise RuntimeError(
+                f"strategy {self.strategy.label()} chose worker {chosen} "
+                f"outside ready set {ready}"
+            )
+        self.decisions.append(
+            ScheduleDecision(step=self._step, point=point, ready=ready, chosen=chosen)
+        )
+        self._step += 1
+        self._granted = chosen
+        self._cv.notify_all()
+
+
+class InstrumentedLock:
+    """A lock whose acquire/release are scheduling decisions.
+
+    Handed out by :meth:`ScheduledBackend.lock`.  Enrolled workers go
+    through the scheduler (yield on acquire, park while held, yield on
+    release); any other thread — the root after ``join``, harness code —
+    falls back to the raw lock, with waiter wake-up still routed through
+    the scheduler so parked workers are not stranded.
+    """
+
+    def __init__(self, scheduler: ControlledScheduler) -> None:
+        self._scheduler = scheduler
+        self.raw = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        scheduler = self._scheduler
+        if blocking and timeout == -1 and scheduler.participating():
+            scheduler.acquire_lock(self)
+            return True
+        return self.raw.acquire(blocking, timeout)
+
+    def release(self) -> None:
+        self._scheduler.release_lock(self)
+
+    def locked(self) -> bool:
+        return self.raw.locked()
+
+    def __enter__(self) -> "InstrumentedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+# ----------------------------------------------------------------------
+# The backend
+# ----------------------------------------------------------------------
+class ScheduledBackend:
+    """Concurrency backend that runs workers under a controlled schedule.
+
+    Duck-typed drop-in for the ambient-backend API tested programs
+    already use (``spawn`` / ``start_all`` / ``join_all`` /
+    ``checkpoint`` / ``lock``; deliberately not a
+    :class:`repro.simulation.backend.ConcurrencyBackend` subclass, to
+    keep this module import-cycle-free): install with
+    :func:`repro.simulation.backend.use_backend`, or let
+    :meth:`repro.execution.runner.ProgramRunner.run` install it via its
+    ``schedule=`` argument.
+    """
+
+    def __init__(
+        self,
+        strategy: Optional[ScheduleStrategy] = None,
+        *,
+        seed: Optional[int] = None,
+    ) -> None:
+        if strategy is None:
+            strategy = RandomWalkStrategy(0 if seed is None else seed)
+        self.strategy = strategy
+        self.scheduler = ControlledScheduler(strategy)
+        self._spawn_lock = threading.Lock()
+        self._spawned = 0
+        self._started_total = 0
+
+    # -- workload API ---------------------------------------------------
+    def spawn(self, target: Callable[[], None], name: str = "") -> threading.Thread:
+        with self._spawn_lock:
+            key = self._spawned
+            self._spawned += 1
+        label = name or f"worker-{key}"
+        scheduler = self.scheduler
+        scheduler.register(key, label)
+
+        def gated() -> None:
+            try:
+                scheduler.enroll(key)
+                target()
+            except ScheduleAbort:
+                pass
+            finally:
+                scheduler.retire()
+
+        # Daemon: a timed-out controlled run must not pin the process on
+        # workers parked in the scheduler gate.
+        return threading.Thread(target=gated, name=label, daemon=True)
+
+    def start_all(self, threads: List[threading.Thread]) -> None:
+        for thread in threads:
+            thread.start()
+        with self._spawn_lock:
+            self._started_total += len(threads)
+            expected = self._started_total
+        self.scheduler.start(expected)
+
+    def join_all(self, threads: List[threading.Thread]) -> None:
+        for thread in threads:
+            thread.join()
+
+    def checkpoint(self, cost: float = 0.0) -> None:
+        self.scheduler.yield_point("checkpoint")
+
+    def charge_root(self, cost: float) -> None:
+        """Virtual-cost accounting is a simulation concern; no-op here."""
+
+    def lock(self) -> InstrumentedLock:
+        return InstrumentedLock(self.scheduler)
+
+    # -- harness API ----------------------------------------------------
+    def trace_yield(self) -> None:
+        """Yield point invoked by the trace session on every recorded
+        print — the ``printProperty`` interception hook."""
+        self.scheduler.yield_point("trace")
+
+    def abort(self) -> None:
+        self.scheduler.abort()
+
+    def finish(self) -> None:
+        """Post-run cleanup: abort only if gated workers linger (a
+        program that returned from ``main`` without joining)."""
+        if self.scheduler.live_workers():
+            self.scheduler.abort()
+
+    @property
+    def seed(self) -> Optional[int]:
+        return getattr(self.strategy, "seed", None)
+
+    def schedule_id(self) -> str:
+        """Stable identity stamped onto this run's trace events."""
+        return self.strategy.label()
+
+    def schedule_trace(
+        self, identifier: str = "", args: Optional[List[str]] = None
+    ) -> ScheduleTrace:
+        """The recorded interleaving of the run this backend hosted."""
+        scheduler = self.scheduler
+        return ScheduleTrace(
+            identifier=identifier,
+            args=list(args) if args else [],
+            strategy=self.strategy.name,
+            seed=self.seed,
+            workers=dict(scheduler.workers),
+            decisions=list(scheduler.decisions),
+            deadlocked=scheduler.deadlocked,
+            divergence=scheduler.divergence,
+        )

@@ -29,6 +29,7 @@ tested programs never learn how they are invoked.
 
 from __future__ import annotations
 
+import itertools
 import random
 import threading
 import time
@@ -40,6 +41,7 @@ from repro.execution.subprocess_runner import kill_active_child
 from repro.execution.taxonomy import RETRYABLE_KINDS, FailureKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.execution.scheduling import ScheduleTrace
     from repro.grading.gradebook import Gradebook
     from repro.grading.journal import GradingJournal
     from repro.grading.records import SubmissionRecord
@@ -116,6 +118,9 @@ class SubmissionOutcome:
     attempts: int
     attempt_outcomes: List[str] = field(default_factory=list)
     resumed: bool = False
+    #: Recorded interleaving of the failing controlled schedule, when
+    #: N-schedule exploration reproduced the failure (savable for replay).
+    schedule_trace: Optional["ScheduleTrace"] = None
 
 
 @dataclass
@@ -144,6 +149,16 @@ class BatchReport:
             lines.append(
                 "schedule-dependent (rerun-vote disagreed): " + ", ".join(sorted(flaky))
             )
+        racy = {
+            s: o.record.schedule_seed
+            for s, o in self.outcomes.items()
+            if o.record.racy
+        }
+        if racy:
+            lines.append(
+                "racy (failure reproduces under a recorded schedule): "
+                + ", ".join(f"{s} @seed {seed}" for s, seed in sorted(racy.items()))
+            )
         return "\n".join(lines)
 
 
@@ -163,6 +178,8 @@ class _TaskState:
         self.abandoned = False
         #: Attempt kinds observed so far (for a watchdog-forced record).
         self.attempt_outcomes: List[str] = []
+        #: Recorded failing interleaving from schedule exploration.
+        self.failing_trace = None
 
 
 class GradingSupervisor:
@@ -193,6 +210,18 @@ class GradingSupervisor:
     journal:
         Checkpoint journal.  Entries already present are *not*
         regraded; every newly finished submission is appended.
+    explore_schedules:
+        When > 0, a submission whose first attempt fails retryably is
+        re-graded under this many *controlled* schedules (seeded random
+        walks via :mod:`repro.execution.scheduling`) instead of blind
+        reruns.  The first failing schedule becomes the grade of record
+        with its seed attached (``SubmissionRecord.schedule_seed``) so
+        the race replays on demand; if every explored schedule passes
+        the submission is exonerated as ``flaky-pass``.
+    explore_seed:
+        First seed of the exploration range (seeds
+        ``explore_seed .. explore_seed + explore_schedules - 1``); fixed
+        seeds make the whole batch's verdicts host-independent.
     """
 
     #: How long after a hard kill the watchdog waits before concluding
@@ -211,6 +240,8 @@ class GradingSupervisor:
         journal: Optional["GradingJournal"] = None,
         watchdog_poll: float = 0.05,
         suite_name: str = "",
+        explore_schedules: int = 0,
+        explore_seed: int = 0,
     ) -> None:
         self.suite_factory = suite_factory
         self.jobs = max(1, int(jobs))
@@ -221,7 +252,16 @@ class GradingSupervisor:
         self.journal = journal
         self.watchdog_poll = watchdog_poll
         self._suite_name = suite_name
+        self.explore_schedules = max(0, int(explore_schedules))
+        self.explore_seed = int(explore_seed)
 
+        #: Serial for replacement-worker names; starts past the initial
+        #: pool's indices so a replacement can never collide with a live
+        #: worker (the old millisecond-derived name could).
+        self._worker_serial = itertools.count(self.jobs)
+        #: Monotonic origin of the batch; records carry ``elapsed``
+        #: relative to this so resume ordering survives wall-clock jumps.
+        self._epoch = time.monotonic()
         self._lock = threading.Lock()
         self._done = threading.Condition(self._lock)
         self._queue: deque = deque()
@@ -244,6 +284,7 @@ class GradingSupervisor:
         """
         from repro.grading.gradebook import Gradebook
 
+        self._epoch = time.monotonic()
         resumed = self._load_journal(submissions)
         pending = [
             (student, identifier)
@@ -359,22 +400,73 @@ class GradingSupervisor:
                 # further tasks from a thread presumed wedged.
                 return
 
+    def _run_attempt(
+        self, task: _TaskState, backend=None
+    ) -> Tuple[FailureKind, "SuiteResult"]:
+        """One armed suite run, optionally under a controlled backend.
+
+        A controlled attempt holds the in-process session lock for the
+        whole suite run, so a parallel batch cannot interleave another
+        submission's run into the installed ambient backend.
+        """
+        self._arm(task)
+        try:
+            suite = self.suite_factory(task.identifier)
+            if backend is None:
+                result = suite.run()
+            else:
+                from repro.execution.runner import in_process_session_lock
+                from repro.simulation.backend import use_backend
+
+                with in_process_session_lock():
+                    with use_backend(backend):
+                        result = suite.run()
+        finally:
+            self._disarm(task)
+        return suite_failure_kind(result), result
+
+    def _explore_racy(
+        self,
+        task: _TaskState,
+        attempts: List[Tuple[FailureKind, "SuiteResult"]],
+    ) -> Optional[int]:
+        """N-schedule exploration after a retryable first failure.
+
+        Re-grades under ``explore_schedules`` seeded controlled
+        schedules; appends each controlled attempt (labelled ``@s<seed>``
+        in the rerun-vote history).  Returns the first failing seed —
+        whose attempt, now last in *attempts*, is the deterministic grade
+        of record — or ``None`` when every schedule exonerated the
+        submission.
+        """
+        from repro.execution.scheduling import RandomWalkStrategy, ScheduledBackend
+
+        for index in range(self.explore_schedules):
+            seed = self.explore_seed + index
+            backend = ScheduledBackend(RandomWalkStrategy(seed))
+            kind, result = self._run_attempt(task, backend=backend)
+            attempts.append((kind, result))
+            task.attempt_outcomes.append(
+                f"{_attempt_label(kind, result)}@s{seed}"
+            )
+            passed = kind is FailureKind.OK and result.score >= result.max_score
+            if not passed:
+                task.failing_trace = backend.schedule_trace(task.identifier)
+                return seed
+        return None
+
     def _grade_with_retries(self, task: _TaskState) -> SubmissionOutcome:
         from repro.grading.records import SubmissionRecord
 
         rng = random.Random(f"{self.jitter_seed}:{task.student}")
         attempts: List[Tuple[FailureKind, "SuiteResult"]] = []
+        failing_seed: Optional[int] = None
+        explored = False
         for attempt in range(self.retries + 1):
             if attempt:
                 delay = self.backoff * (2 ** (attempt - 1))
                 time.sleep(delay * (0.5 + rng.random() / 2))
-            self._arm(task)
-            try:
-                suite = self.suite_factory(task.identifier)
-                result = suite.run()
-            finally:
-                self._disarm(task)
-            kind = suite_failure_kind(result)
+            kind, result = self._run_attempt(task)
             attempts.append((kind, result))
             task.attempt_outcomes.append(_attempt_label(kind, result))
             passed = kind is FailureKind.OK and result.score >= result.max_score
@@ -386,20 +478,30 @@ class GradingSupervisor:
             )
             if passed or not retryable:
                 break
+            if self.explore_schedules > 0:
+                # Deterministic exploration replaces blind reruns: the
+                # verdict depends on the seed range, not scheduler luck.
+                failing_seed = self._explore_racy(task, attempts)
+                explored = True
+                break
 
-        outcome_kinds = [
-            _attempt_label(kind, result) for kind, result in attempts
-        ]
+        outcome_kinds = list(task.attempt_outcomes)
         final_kind, final_result = attempts[-1]
         final_passed = (
             final_kind is FailureKind.OK
             and final_result.score >= final_result.max_score
         )
-        if final_passed and len(attempts) > 1:
-            # Rerun-vote: failed under at least one schedule, passed
-            # under another — flaky, not correct-with-confidence.
+        if failing_seed is not None:
+            # The failing controlled attempt (last) is the grade of
+            # record: deterministic and replayable, so never flaky and
+            # never traded for a better-scoring free-running attempt.
+            pass
+        elif final_passed and len(attempts) > 1:
+            # Rerun-vote (or full exoneration by exploration): failed
+            # under at least one schedule, passed under another / all
+            # explored ones — flaky, not correct-with-confidence.
             final_kind = FailureKind.FLAKY_PASS
-        elif not final_passed:
+        elif not final_passed and not explored:
             # Keep the best-scoring attempt as the grade of record.
             best_kind, best_result = max(
                 attempts, key=lambda pair: pair[1].score
@@ -416,6 +518,8 @@ class GradingSupervisor:
             failure_kind=final_kind.value,
             attempts=len(attempts),
             attempt_outcomes=outcome_kinds,
+            schedule_seed=failing_seed,
+            elapsed=time.monotonic() - self._epoch,
         )
         return SubmissionOutcome(
             student=task.student,
@@ -425,6 +529,7 @@ class GradingSupervisor:
             failure_kind=final_kind,
             attempts=len(attempts),
             attempt_outcomes=outcome_kinds,
+            schedule_trace=task.failing_trace,
         )
 
     def _infra_outcome(
@@ -438,6 +543,7 @@ class GradingSupervisor:
             student=task.student,
             suite=self._suite_name,
             timestamp=time.time(),
+            elapsed=time.monotonic() - self._epoch,
             tests=[
                 TestRecord(
                     test_name="supervisor",
@@ -558,7 +664,9 @@ class GradingSupervisor:
                 self._active.pop(worker, None)
                 restaff = bool(self._queue) and not self._stop
             if restaff:
-                self._spawn_worker(int(time.monotonic() * 1000) % 100000)
+                # Monotonic serial, never the millisecond clock: two
+                # replacements in the same millisecond used to collide.
+                self._spawn_worker(next(self._worker_serial))
 
     def _timeout_outcome(self, task: _TaskState) -> SubmissionOutcome:
         from repro.grading.records import SubmissionRecord, TestRecord
@@ -568,6 +676,7 @@ class GradingSupervisor:
             student=task.student,
             suite=self._suite_name,
             timestamp=time.time(),
+            elapsed=time.monotonic() - self._epoch,
             tests=[
                 TestRecord(
                     test_name="supervisor",

@@ -51,6 +51,21 @@ class TimingResult:
         return len(self.samples)
 
     @property
+    def clean_samples(self) -> List[TimingSample]:
+        """The samples that actually measure the program (``kind == "ok"``).
+
+        A timed-out or crashed run's duration measures the harness's
+        timeout or the crash path, not the program; including it in the
+        totals inflated the low-thread side and handed out speedup credit
+        for broken programs.
+        """
+        return [s for s in self.samples if s.kind == "ok"]
+
+    @property
+    def clean_runs(self) -> int:
+        return len(self.clean_samples)
+
+    @property
     def all_ok(self) -> bool:
         return all(s.ok for s in self.samples)
 
@@ -69,26 +84,34 @@ class TimingResult:
 
     @property
     def total(self) -> float:
-        return sum(s.duration for s in self.samples)
+        """Total duration of the *clean* runs only."""
+        return sum(s.duration for s in self.clean_samples)
 
     @property
     def mean(self) -> float:
-        return self.total / self.runs if self.runs else math.nan
+        clean = self.clean_runs
+        return self.total / clean if clean else math.nan
 
     @property
     def minimum(self) -> float:
-        return min((s.duration for s in self.samples), default=math.nan)
+        return min((s.duration for s in self.clean_samples), default=math.nan)
 
     @property
     def stdev(self) -> float:
-        if self.runs < 2:
+        if self.clean_runs < 2:
             return 0.0
-        return statistics.stdev(s.duration for s in self.samples)
+        return statistics.stdev(s.duration for s in self.clean_samples)
 
     def describe(self) -> str:
+        clean = self.clean_runs
+        runs = (
+            f"{self.runs} runs"
+            if clean == self.runs
+            else f"{clean} clean runs ({self.runs - clean} failed run(s) excluded)"
+        )
         return (
             f"{self.identifier} {self.args}: total {self.total:.4f}s over "
-            f"{self.runs} runs (mean {self.mean:.4f}s, min {self.minimum:.4f}s, "
+            f"{runs} (mean {self.mean:.4f}s, min {self.minimum:.4f}s, "
             f"stdev {self.stdev:.4f}s)"
         )
 
@@ -138,10 +161,16 @@ def time_program(
 def speedup(low_threads: TimingResult, high_threads: TimingResult) -> float:
     """Speedup of the high-thread configuration over the low-thread one.
 
-    Based on total times across all runs, as in the paper.  Returns 0.0
-    when the high-thread total is non-positive (degenerate clock) so the
-    caller deducts points rather than dividing by zero.
+    Based on total times across the *clean* runs of each side, as in the
+    paper (failed runs measure the harness, not the program).  Returns
+    ``math.nan`` when either side has no clean run at all — a distinct
+    "nothing was measured" outcome the caller must report rather than
+    grade — and 0.0 when the high-thread total is non-positive
+    (degenerate clock) so the caller deducts points rather than dividing
+    by zero.
     """
+    if not low_threads.clean_runs or not high_threads.clean_runs:
+        return math.nan
     if high_threads.total <= 0.0:
         return 0.0
     return low_threads.total / high_threads.total

@@ -85,6 +85,15 @@ class Gradebook:
             if (latest := self.latest(student)) is not None and latest.flaky
         ]
 
+    def racy_students(self) -> List[str]:
+        """Students whose latest failure reproduces under a recorded
+        schedule seed — deterministic races an instructor can replay."""
+        return [
+            student
+            for student in self.students()
+            if (latest := self.latest(student)) is not None and latest.racy
+        ]
+
     def failed_students(self) -> List[str]:
         """Students whose latest run ended in a hard failure kind
         (timeout / crash / signal / garbled-trace / infra-error)."""
@@ -124,7 +133,13 @@ class Gradebook:
         for student, percent in sorted(self.class_percentages().items()):
             line = f"  {student:<24} {percent:6.1f}%"
             kind = kinds.get(student, "ok")
+            latest = self.latest(student)
             if kind != "ok":
-                line += f"  [{kind}]"
+                tag = kind
+                if latest is not None and latest.schedule_seed is not None:
+                    tag += f" @seed {latest.schedule_seed}"
+                line += f"  [{tag}]"
+            elif latest is not None and latest.schedule_seed is not None:
+                line += f"  [racy @seed {latest.schedule_seed}]"
             lines.append(line)
         return "\n".join(lines)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.testfw.result import AspectStatus, SuiteResult, TestResult
 
@@ -134,6 +134,14 @@ class SubmissionRecord:
     #: Per-attempt failure kinds, oldest first — the rerun-vote history
     #: that lets a grader tell "deterministically wrong" from "flaky".
     attempt_outcomes: List[str] = field(default_factory=list)
+    #: Seed of the controlled schedule under which the recorded failure
+    #: reproduces (``None`` for free-running grades); an instructor can
+    #: replay the student's race with ``explore --seed <seed>``.
+    schedule_seed: Optional[int] = None
+    #: Monotonic seconds since the grading batch started (``time.time``
+    #: wall timestamps above can jump with clock adjustments; this field
+    #: is what resume-ordering may rely on).
+    elapsed: float = 0.0
 
     @classmethod
     def from_suite_result(
@@ -146,6 +154,8 @@ class SubmissionRecord:
         failure_kind: str = "ok",
         attempts: int = 1,
         attempt_outcomes: List[str] | None = None,
+        schedule_seed: Optional[int] = None,
+        elapsed: float = 0.0,
     ) -> "SubmissionRecord":
         return cls(
             student=student,
@@ -156,6 +166,8 @@ class SubmissionRecord:
             failure_kind=failure_kind,
             attempts=attempts,
             attempt_outcomes=list(attempt_outcomes or []),
+            schedule_seed=schedule_seed,
+            elapsed=elapsed,
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -163,23 +175,28 @@ class SubmissionRecord:
             "student": self.student,
             "suite": self.suite,
             "timestamp": self.timestamp,
+            "elapsed": self.elapsed,
             "kind": self.kind,
             "failure_kind": self.failure_kind,
             "attempts": self.attempts,
             "attempt_outcomes": list(self.attempt_outcomes),
+            "schedule_seed": self.schedule_seed,
             "tests": [t.to_dict() for t in self.tests],
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SubmissionRecord":
+        seed = data.get("schedule_seed")
         return cls(
             student=data["student"],
             suite=data["suite"],
             timestamp=float(data.get("timestamp", 0.0)),
+            elapsed=float(data.get("elapsed", 0.0)),
             kind=data.get("kind", "final"),
             failure_kind=data.get("failure_kind", "ok"),
             attempts=int(data.get("attempts", 1)),
             attempt_outcomes=list(data.get("attempt_outcomes", [])),
+            schedule_seed=None if seed is None else int(seed),
             tests=[TestRecord.from_dict(t) for t in data.get("tests", [])],
         )
 
@@ -196,8 +213,21 @@ class SubmissionRecord:
         return 100.0 * self.score / self.max_score if self.max_score else 0.0
 
     @property
+    def racy(self) -> bool:
+        """True when the failure reproduces under a recorded schedule —
+        deterministic, replayable, and therefore *not* flaky."""
+        return self.schedule_seed is not None
+
+    @property
     def flaky(self) -> bool:
-        """True when attempts disagreed — the grade is schedule-dependent."""
+        """True when attempts disagreed — the grade is schedule-dependent.
+
+        A racy record (failing schedule seed attached) is excluded: its
+        attempts disagreed, but exploration pinned the failure to a
+        deterministic, replayable schedule, so nobody needs to eyeball it.
+        """
+        if self.racy:
+            return False
         return self.failure_kind == "flaky-pass" or (
             len(set(self.attempt_outcomes)) > 1
         )

@@ -61,6 +61,16 @@ class ConcurrencyBackend:
     def charge_root(self, cost: float) -> None:
         """Accrue root-thread (serial section) cost; no-op here."""
 
+    def lock(self):
+        """A mutual-exclusion lock appropriate for this backend.
+
+        Plain ``threading.Lock`` here; the controlled-scheduling backend
+        returns an instrumented lock whose acquire/release are yield
+        points, so lock-protected workloads stay explorable without
+        deadlocking the serialized schedule.
+        """
+        return threading.Lock()
+
 
 class ThreadingBackend(ConcurrencyBackend):
     """The default backend: free-running OS threads.

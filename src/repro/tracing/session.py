@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import sys
 import threading
-from typing import Any, List, Optional
+from typing import Any, Callable, List, Optional
 
 from repro.eventdb.database import EventDatabase
 from repro.tracing.formatting import format_property_line
@@ -95,6 +95,13 @@ class TraceSession:
         self._writer: Optional[RedirectingWriter] = None
         self._print_patch: Optional[PrintPatch] = None
         self._saved_stdout: Optional[Any] = None
+        #: Scheduling hook: called (with no arguments) after every
+        #: recorded event, making each intercepted print — the paper's
+        #: ``printProperty`` interception point — a controlled-scheduler
+        #: yield point.  Set by the runner when a run executes under
+        #: :class:`repro.execution.scheduling.ScheduledBackend`; ``None``
+        #: (the default) costs nothing.
+        self.yield_hook: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------
     # Activation
@@ -173,6 +180,9 @@ class TraceSession:
     def _record(self, name: str, value: Any, line: str, *, explicit: bool) -> None:
         event = self.database.record(name, value, line, explicit=explicit)
         self.observers.announce(event)
+        hook = self.yield_hook
+        if hook is not None:
+            hook()
 
     # ------------------------------------------------------------------
     # Output and helpers

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import math
 import os
-import threading
 import time
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -104,7 +103,9 @@ class SharedCounter:
     """A lock-protected running total for worker results."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        # The ambient backend supplies the lock so that controlled
+        # schedules can treat acquire/release as yield points.
+        self._lock = current_backend().lock()
         self._value = 0
 
     def add(self, amount: int) -> None:

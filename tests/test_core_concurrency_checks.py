@@ -99,6 +99,52 @@ class TestLoadBalance:
         outcome = check_load_balance(trace, total_iterations=7, expected_threads=4)
         assert not outcome.ok
 
+    def test_no_workers_fails_even_with_tolerance(self):
+        # An empty counts dict must never read as "balanced", no matter
+        # how forgiving the tolerance: nobody did any work.
+        trace = trace_of([("R", "Random Numbers", [1])])
+        outcome = check_load_balance(
+            trace, total_iterations=7, expected_threads=4, tolerance=10
+        )
+        assert not outcome.ok
+
+    def test_fewer_iterations_than_threads_allows_idle_threads(self):
+        # 3 iterations over 4 threads: fair range is floor(3/4)=0 to
+        # ceil(3/4)=1, so threads doing 0 or 1 iterations are balanced.
+        trace = trace_of(
+            primes_schedule(worker_slices={"A": [0], "B": [1], "C": [2]})
+        )
+        outcome = check_load_balance(trace, total_iterations=3, expected_threads=4)
+        assert outcome.ok
+
+    def test_fewer_iterations_than_threads_still_catches_hogs(self):
+        # Same 3-over-4 split, but one thread did everything: 3 > ceil(3/4).
+        trace = trace_of(primes_schedule(worker_slices={"A": [0, 1, 2]}))
+        outcome = check_load_balance(trace, total_iterations=3, expected_threads=4)
+        assert not outcome.ok
+
+    def test_tolerance_widens_both_bounds(self):
+        # 7 over 4 gives a fair range of 1..2; a worker with 4 iterations
+        # is 2 over the high bound, so tolerance 1 still fails and
+        # tolerance 2 passes.
+        trace = trace_of(
+            primes_schedule(
+                worker_slices={"A": [0], "B": [1], "C": [2, 3, 4, 5], "D": [6]}
+            )
+        )
+        assert not check_load_balance(
+            trace, total_iterations=7, expected_threads=4, tolerance=1
+        ).ok
+        assert check_load_balance(
+            trace, total_iterations=7, expected_threads=4, tolerance=2
+        ).ok
+
+    def test_negative_threads_rejected(self):
+        with pytest.raises(ValueError):
+            check_load_balance(
+                trace_of(primes_schedule()), total_iterations=7, expected_threads=-1
+            )
+
 
 class TestAggregation:
     def test_all_three_aspects_for_full_specs(self):

@@ -222,3 +222,32 @@ class TestTiming:
         result = TimingResult("prog", ["1"], [TimingSample(1.0, True), TimingSample(2.0, True)])
         text = result.describe()
         assert "total 3.0000s" in text and "2 runs" in text
+
+    def test_failed_samples_excluded_from_aggregates(self):
+        # A timed-out run's duration measures the harness, not the
+        # program — it must not count toward total/mean/min/stdev.
+        result = TimingResult(
+            "x",
+            [],
+            [
+                TimingSample(1.0, True),
+                TimingSample(20.0, False, "timed out", kind="timeout"),
+                TimingSample(3.0, True),
+            ],
+        )
+        assert result.runs == 3 and result.clean_runs == 2
+        assert result.total == pytest.approx(4.0)
+        assert result.mean == pytest.approx(2.0)
+        assert result.minimum == pytest.approx(1.0)
+        assert "2 clean runs (1 failed run(s) excluded)" in result.describe()
+
+    def test_speedup_nan_when_no_clean_run(self):
+        import math
+
+        clean = TimingResult("x", [], [TimingSample(1.0, True)])
+        dirty = TimingResult(
+            "x", [], [TimingSample(20.0, False, "timed out", kind="timeout")]
+        )
+        assert math.isnan(speedup(clean, dirty))
+        assert math.isnan(speedup(dirty, clean))
+        assert math.isnan(speedup(dirty, dirty))

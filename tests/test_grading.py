@@ -47,6 +47,29 @@ class TestRecords:
         record = SubmissionRecord.from_suite_result("bob", make_suite_result(40.0))
         assert record.kind == "final"
 
+    def test_schedule_seed_and_elapsed_round_trip(self):
+        record = SubmissionRecord.from_suite_result(
+            "dana", make_suite_result(20.0), schedule_seed=3, elapsed=1.25
+        )
+        clone = SubmissionRecord.from_dict(record.to_dict())
+        assert clone.schedule_seed == 3
+        assert clone.elapsed == pytest.approx(1.25)
+        assert clone.racy
+
+    def test_racy_record_is_not_flaky(self):
+        # A failure pinned to a recorded schedule is deterministic and
+        # replayable — the opposite of flaky, even over many attempts.
+        record = SubmissionRecord.from_suite_result(
+            "dana", make_suite_result(20.0), attempts=2,
+            attempt_outcomes=["fail", "fail@s2"], schedule_seed=2,
+        )
+        assert record.racy and not record.flaky
+        plain = SubmissionRecord.from_suite_result(
+            "earl", make_suite_result(40.0), attempts=2,
+            attempt_outcomes=["fail", "ok"]
+        )
+        assert plain.flaky and not plain.racy
+
     def test_aspect_record_flags(self):
         failed = AspectRecord("x", "failed", "m", 0, 5)
         passed = AspectRecord("x", "passed", "", 5, 5)

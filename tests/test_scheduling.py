@@ -1,0 +1,270 @@
+"""Tests of the controlled scheduler, exploration, and replay.
+
+The acceptance bar for this layer is the paper's own: a racy submission
+must fail (or be exonerated) *reproducibly*.  The tests here verify it
+twice over — same seed ⇒ byte-identical event sequence, and a saved
+schedule file replayed ⇒ the identical trace — plus the strategy,
+lock-instrumentation, and supervisor-integration behaviour around it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.execution.exploration import ScheduleExplorer
+from repro.execution.runner import ProgramRunner
+from repro.execution.scheduling import (
+    BoundedPreemptionStrategy,
+    RandomWalkStrategy,
+    ReplayStrategy,
+    ScheduleDecision,
+    ScheduleDivergenceError,
+    ScheduleTrace,
+    ScheduledBackend,
+    bounded_preemption_sweep,
+    resolve_schedule_strategy,
+)
+from repro.graders import PrimesFunctionality
+
+RACY = "primes.racy"
+CORRECT = "primes.correct"
+SMALL_ARGS = ["12", "3"]
+
+
+def run_scheduled(identifier, schedule, args=SMALL_ARGS):
+    return ProgramRunner(timeout=20.0).run(identifier, list(args), schedule=schedule)
+
+
+def event_fingerprint(result):
+    """The replay-relevant content of a trace, as comparable bytes."""
+    return json.dumps(
+        [
+            (e.seq, e.thread_id, e.thread_seq, e.name, e.raw_line, e.schedule_id)
+            for e in result.events
+        ]
+    ).encode()
+
+
+def decision_dicts(trace):
+    return [d.to_dict() for d in trace.decisions]
+
+
+class TestStrategies:
+    def test_random_walk_is_seed_deterministic(self):
+        picks_a = [RandomWalkStrategy(5).choose([1, 2, 3], None, "trace", i) for i in range(8)]
+        # A fresh strategy with the same seed reproduces the stream.
+        strategy = RandomWalkStrategy(5)
+        picks_b = [strategy.choose([1, 2, 3], None, "trace", i) for i in range(1)]
+        assert picks_a[0] == picks_b[0]
+        assert RandomWalkStrategy(5).label() == "random-walk:5"
+
+    def test_bounded_preemption_honours_quantum(self):
+        strategy = BoundedPreemptionStrategy(quantum=2, rotation=0)
+        ready = [0, 1, 2]
+        first = strategy.choose(ready, None, "start", 0)
+        assert first == 0
+        # Current keeps the grant for quantum consecutive decisions.
+        assert strategy.choose(ready, first, "trace", 1) == first
+        # Then rotates to the next ready key.
+        assert strategy.choose(ready, first, "trace", 2) == 1
+
+    def test_bounded_preemption_rotation_offsets_first_pick(self):
+        strategy = BoundedPreemptionStrategy(quantum=1, rotation=2)
+        assert strategy.choose([0, 1, 2], None, "start", 0) == 2
+
+    def test_sweep_is_deterministic_and_sized(self):
+        grid_a = [s.label() for s in bounded_preemption_sweep(10, max_quantum=3)]
+        grid_b = [s.label() for s in bounded_preemption_sweep(10, max_quantum=3)]
+        assert grid_a == grid_b
+        assert len(grid_a) == 10
+        assert grid_a[0] == "preemption-bound:q1.r0"
+
+    def test_resolve_accepts_seed_trace_and_strategy(self):
+        assert isinstance(resolve_schedule_strategy(3), RandomWalkStrategy)
+        trace = ScheduleTrace(strategy="random-walk", seed=3)
+        assert isinstance(resolve_schedule_strategy(trace), ReplayStrategy)
+        strategy = BoundedPreemptionStrategy()
+        assert resolve_schedule_strategy(strategy) is strategy
+        with pytest.raises(TypeError):
+            resolve_schedule_strategy("not-a-schedule")
+
+
+class TestControlledRuns:
+    def test_same_seed_is_byte_identical_twice(self):
+        """Acceptance: same seed ⇒ same event sequence, verified twice."""
+        baseline = run_scheduled(RACY, 7)
+        assert baseline.ok and baseline.events
+        assert baseline.schedule_seed == 7
+        for _ in range(2):
+            again = run_scheduled(RACY, 7)
+            assert event_fingerprint(again) == event_fingerprint(baseline)
+            assert decision_dicts(again.schedule) == decision_dicts(baseline.schedule)
+            assert again.output == baseline.output
+
+    def test_different_seeds_differ(self):
+        runs = {event_fingerprint(run_scheduled(RACY, seed)) for seed in range(4)}
+        assert len(runs) > 1, "four seeds produced one interleaving"
+
+    def test_schedule_id_stamped_on_events(self):
+        result = run_scheduled(CORRECT, 3)
+        assert result.events
+        assert all(e.schedule_id == "random-walk:3" for e in result.events)
+
+    def test_correct_program_passes_under_instrumented_locks(self):
+        # primes.correct funnels worker totals through the backend's
+        # lock; the controlled run must neither deadlock nor corrupt it.
+        result = run_scheduled(CORRECT, 11)
+        assert result.ok and not result.schedule.deadlocked
+        totals = [e.value for e in result.events if e.name == "Total Num Primes"]
+        per_thread = [e.value for e in result.events if e.name == "Num Primes"]
+        assert totals and totals[0] == sum(per_thread)
+
+    def test_preemption_sweep_surfaces_the_race(self):
+        lost_update = False
+        for strategy in bounded_preemption_sweep(8, max_quantum=2):
+            result = run_scheduled(RACY, strategy)
+            totals = [e.value for e in result.events if e.name == "Total Num Primes"]
+            per_thread = [e.value for e in result.events if e.name == "Num Primes"]
+            if totals and totals[0] != sum(per_thread):
+                lost_update = True
+                break
+        assert lost_update, "no preemption-bound schedule exposed the lost update"
+
+
+class TestRecordAndReplay:
+    def test_trace_round_trips_through_file(self, tmp_path):
+        recorded = run_scheduled(RACY, 2).schedule
+        path = recorded.save(tmp_path / "race.schedule.json")
+        loaded = ScheduleTrace.load(path)
+        assert loaded.to_dict() == recorded.to_dict()
+        assert loaded.workers == recorded.workers
+        assert loaded.seed == 2
+
+    def test_replay_from_file_reproduces_identical_trace(self, tmp_path):
+        """Acceptance: replaying the saved schedule file reproduces the
+        identical trace."""
+        original = run_scheduled(RACY, 4)
+        path = original.schedule.save(tmp_path / "race.schedule.json")
+        replayed = run_scheduled(RACY, ScheduleTrace.load(path))
+        assert replayed.schedule.divergence == ""
+        assert decision_dicts(replayed.schedule) == decision_dicts(original.schedule)
+        assert replayed.output == original.output
+        # Thread-relative content matches byte for byte (schedule_id
+        # differs by construction: replay:… vs random-walk:…).
+        strip = lambda result: [  # noqa: E731 - local shorthand
+            (e.seq, e.thread_id, e.thread_seq, e.name, e.raw_line)
+            for e in result.events
+        ]
+        assert strip(replayed) == strip(original)
+
+    def test_replay_against_wrong_program_diverges(self):
+        recorded = run_scheduled(RACY, 4, args=["12", "3"]).schedule
+        # Different input ⇒ different yield-point sequence ⇒ divergence,
+        # reported on the trace rather than raised at the caller.
+        replayed = run_scheduled(RACY, ScheduleTrace.from_dict(recorded.to_dict()), args=["16", "4"])
+        assert replayed.schedule.divergence != ""
+
+    def test_replay_strategy_rejects_exhausted_recording(self):
+        trace = ScheduleTrace(decisions=[ScheduleDecision(0, "start", [0, 1], 0)])
+        strategy = ReplayStrategy(trace)
+        assert strategy.choose([0, 1], None, "start", 0) == 0
+        with pytest.raises(ScheduleDivergenceError):
+            strategy.choose([1], 0, "trace", 1)
+
+    def test_replay_strategy_rejects_mismatched_ready_set(self):
+        trace = ScheduleTrace(decisions=[ScheduleDecision(0, "start", [0, 1], 0)])
+        with pytest.raises(ScheduleDivergenceError):
+            ReplayStrategy(trace).choose([0, 1, 2], None, "start", 0)
+
+    def test_newer_format_version_is_rejected(self):
+        data = ScheduleTrace().to_dict()
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            ScheduleTrace.from_dict(data)
+
+
+class TestDeadlockDetection:
+    def test_opposed_lock_order_deadlocks_deterministically(self):
+        from repro.simulation.backend import current_backend
+
+        def main(args):
+            backend = current_backend()
+            lock_a, lock_b = backend.lock(), backend.lock()
+
+            def worker(first, second):
+                def body():
+                    with first:
+                        backend.checkpoint()
+                        with second:
+                            print("reached")
+
+                return body
+
+            threads = [
+                backend.spawn(worker(lock_a, lock_b), name="ab"),
+                backend.spawn(worker(lock_b, lock_a), name="ba"),
+            ]
+            backend.start_all(threads)
+            backend.join_all(threads)
+
+        # Quantum-1 round-robin forces: ab takes A, ba takes B, both
+        # block on the other's lock — the classic ABBA deadlock.
+        # run_callable has no schedule= plumbing; drive the backend
+        # through the runner's ambient pickup instead.
+        from repro.execution.runner import in_process_session_lock
+        from repro.simulation.backend import use_backend
+
+        backend = ScheduledBackend(BoundedPreemptionStrategy(quantum=1))
+        with in_process_session_lock():
+            with use_backend(backend):
+                result = ProgramRunner(timeout=20.0).run_callable(
+                    main, [], identifier="abba"
+                )
+        assert backend.scheduler.deadlocked
+        assert backend.schedule_trace("abba").deadlocked
+        assert "reached" not in result.output
+
+
+class TestExplorer:
+    def factory(self, identifier=RACY):
+        return lambda: PrimesFunctionality(identifier, num_randoms=12, num_threads=3)
+
+    def test_exploration_is_deterministic(self):
+        report_a = ScheduleExplorer(self.factory(), schedules=5, first_seed=0).run()
+        report_b = ScheduleExplorer(self.factory(), schedules=5, first_seed=0).run()
+        assert report_a.bug_found
+        assert [f.strategy_label for f in report_a.findings] == [
+            f.strategy_label for f in report_b.findings
+        ]
+        assert report_a.first_failing_seed == report_b.first_failing_seed
+
+    def test_explorer_replays_its_own_finding(self):
+        explorer = ScheduleExplorer(self.factory(), schedules=5, first_seed=0)
+        report = explorer.run()
+        trace = report.first_failing_trace()
+        result, replayed = explorer.replay(trace)
+        assert replayed.divergence == ""
+        assert result.score < result.max_score
+        assert [d.to_dict() for d in replayed.decisions] == [
+            d.to_dict() for d in trace.decisions
+        ]
+
+    def test_correct_program_is_exonerated(self):
+        report = ScheduleExplorer(self.factory(CORRECT), schedules=4).run()
+        assert not report.bug_found
+        assert "refute" in report.summary()
+
+    def test_preemption_sweep_strategy(self):
+        report = ScheduleExplorer(
+            self.factory(), schedules=6, strategy="preemption-sweep", max_quantum=2
+        ).run()
+        assert report.bug_found
+        assert report.findings[0].strategy_label.startswith("preemption-bound:")
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            ScheduleExplorer(self.factory(), schedules=0)
+        with pytest.raises(ValueError):
+            ScheduleExplorer(self.factory(), strategy="chaos-monkey")

@@ -67,11 +67,12 @@ VARIANTS = {
 
 
 def normalized(book):
-    """Gradebook contents with timestamps zeroed, for equality checks."""
+    """Gradebook contents with timing fields zeroed, for equality checks."""
     snapshot = {}
     for student in book.students():
         data = book.latest(student).to_dict()
         data["timestamp"] = 0.0
+        data["elapsed"] = 0.0
         snapshot[student] = data
     return snapshot
 
@@ -300,6 +301,63 @@ class TestRerunVote:
         assert outcome.attempt_outcomes[1].startswith(("pass", "fail"))
         assert outcome.record.flaky
         assert counter.read_text().splitlines() == ["fail"]
+
+
+class TestScheduleExploration:
+    def test_racy_failure_pinned_to_first_failing_seed(self):
+        # Deterministic partial credit: the free-running attempt fails,
+        # the first explored schedule fails identically, and that
+        # schedule becomes the grade of record — no blind reruns.
+        factory = scripted_factory([scripted(5.0)])
+        report = GradingSupervisor(
+            factory, retries=3, backoff=0.001, explore_schedules=3, explore_seed=5
+        ).grade({"pat": "x"})
+        outcome = report.outcomes["pat"]
+        assert outcome.attempt_outcomes == ["fail(50%)", "fail(50%)@s5"]
+        assert outcome.record.schedule_seed == 5
+        assert outcome.record.racy and not outcome.record.flaky
+        assert outcome.record.percent == pytest.approx(50.0)
+        assert outcome.schedule_trace is not None
+        assert report.gradebook.racy_students() == ["pat"]
+        assert "@seed 5" in report.gradebook.render()
+        assert "racy" in report.summary()
+
+    def test_all_schedules_passing_exonerates_as_flaky_pass(self):
+        factory = scripted_factory([scripted(0.0), scripted(10.0)])
+        report = GradingSupervisor(
+            factory, retries=1, backoff=0.001, explore_schedules=2
+        ).grade({"quin": "x"})
+        outcome = report.outcomes["quin"]
+        assert outcome.failure_kind is FailureKind.FLAKY_PASS
+        assert outcome.attempt_outcomes == ["fail(0%)", "pass@s0", "pass@s1"]
+        assert outcome.record.schedule_seed is None
+        assert outcome.record.flaky and not outcome.record.racy
+        assert outcome.schedule_trace is None
+
+    def test_exploration_off_by_default(self):
+        factory = scripted_factory([scripted(5.0)])
+        report = GradingSupervisor(factory, retries=1, backoff=0.001).grade(
+            {"raj": "x"}
+        )
+        outcome = report.outcomes["raj"]
+        assert all("@s" not in label for label in outcome.attempt_outcomes)
+        assert outcome.record.schedule_seed is None
+
+    def test_record_elapsed_is_monotonic_offset(self):
+        factory = scripted_factory([scripted(10.0)])
+        report = GradingSupervisor(factory).grade({"sam": "x"})
+        record = report.outcomes["sam"].record
+        # Wall timestamps can jump backwards; the monotonic offset cannot.
+        assert record.elapsed >= 0.0
+        assert record.timestamp > 1e9  # still a wall timestamp alongside
+
+    def test_restaffed_worker_serials_never_collide(self):
+        # Replacement workers used to be named from the millisecond
+        # clock; two restaffs in the same millisecond collided.  The
+        # serial counter continues where the initial pool stopped.
+        supervisor = GradingSupervisor(primes_factory, jobs=3)
+        serials = [next(supervisor._worker_serial) for _ in range(3)]
+        assert serials == [3, 4, 5]
 
 
 class TestJournalResume:
