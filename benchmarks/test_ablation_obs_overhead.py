@@ -1,0 +1,97 @@
+"""Ablation — observability stays on by default because it is ~free.
+
+``repro.obs`` instruments every traced run (two spans, one histogram
+observation, one event count read at session teardown) and the claim in
+``docs/observability.md`` is that this costs so little that nobody
+should ever need ``REPRO_OBS=off`` for performance.  This ablation holds
+that claim to a number: on the trace-overhead workload (the same
+trace-heavy ``primes.correct`` configuration as ablation 3), the
+obs-enabled run must be within 5% of the obs-disabled run.
+
+Methodology: the two configurations are timed *interleaved* (on, off,
+on, off, ...) so drift — thermal, cache, a background process — hits
+both equally, and the minimum over all rounds is compared (the minimum
+is the classic low-variance estimator for "how fast can this go"; means
+absorb scheduler noise).
+
+Set ``OBS_OVERHEAD_JSON=<path>`` to also write the measurements as a
+JSON artifact (uploaded by the CI obs-overhead job).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from benchmarks.conftest import emit
+from repro.execution.runner import ProgramRunner
+from repro.obs import ObsRegistry, use_registry
+
+#: Trace-heavy configuration: 400 numbers -> ~1200 iteration prints.
+ARGS = ["400", "4"]
+IDENTIFIER = "primes.correct"
+
+#: Interleaved measurement rounds per configuration.
+ROUNDS = 12
+
+#: Required bound: obs-on within 5% of obs-off on the min-of-N time.
+MAX_RATIO = 1.05
+
+
+def _timed_run(registry: ObsRegistry) -> float:
+    with use_registry(registry):
+        runner = ProgramRunner()
+        started = time.perf_counter()
+        result = runner.run(IDENTIFIER, ARGS)
+        elapsed = time.perf_counter() - started
+    assert result.ok
+    return elapsed
+
+
+def test_ablation_obs_overhead_within_5_percent():
+    enabled = ObsRegistry(enabled=True)
+    disabled = ObsRegistry(enabled=False)
+
+    # Warm-up absorbs import and allocator effects for both paths.
+    for registry in (enabled, disabled):
+        _timed_run(registry)
+
+    on_times = []
+    off_times = []
+    for _ in range(ROUNDS):
+        on_times.append(_timed_run(enabled))
+        off_times.append(_timed_run(disabled))
+
+    best_on = min(on_times)
+    best_off = min(off_times)
+    ratio = best_on / best_off
+
+    # The enabled registry really collected; the disabled one really not.
+    assert enabled.spans() and enabled.histograms()
+    assert not disabled.spans() and not disabled.histograms()
+
+    artifact = {
+        "workload": {"identifier": IDENTIFIER, "args": ARGS},
+        "rounds": ROUNDS,
+        "min_seconds_obs_on": best_on,
+        "min_seconds_obs_off": best_off,
+        "ratio": ratio,
+        "max_ratio": MAX_RATIO,
+    }
+    out = os.environ.get("OBS_OVERHEAD_JSON")
+    if out:
+        with open(out, "w") as handle:
+            json.dump(artifact, handle, indent=2)
+
+    emit(
+        "Ablation — observability overhead on the trace-overhead workload",
+        f"min over {ROUNDS} interleaved rounds: obs-on {best_on * 1e3:.2f}ms, "
+        f"obs-off {best_off * 1e3:.2f}ms, ratio {ratio:.4f} "
+        f"(bound {MAX_RATIO})",
+    )
+    assert ratio <= MAX_RATIO, (
+        f"observability overhead {100 * (ratio - 1):.1f}% exceeds the "
+        f"{100 * (MAX_RATIO - 1):.0f}% budget "
+        f"(on {best_on:.4f}s vs off {best_off:.4f}s)"
+    )

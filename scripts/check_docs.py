@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Docs check: intra-repo links resolve and every CLI flag is documented.
+
+Two gates, both run by the CI docs job:
+
+1. **Link check** — every relative markdown link and image in README.md
+   and docs/*.md must point at an existing file (anchors are stripped;
+   ``http(s)``/``mailto`` links are outside our control and skipped).
+2. **CLI coverage** — every subcommand and option string exposed by
+   ``repro.cli.build_parser()`` must appear somewhere in README.md or
+   docs/*.md, so a flag cannot ship undocumented (the drift this PR's
+   satellite fixed cannot silently come back).
+
+Run from the repository root with the package importable::
+
+    PYTHONPATH=src python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown inline links/images: [text](target) — liberal but skips
+#: fenced code because flags in code blocks still count as documented.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+#: argparse internals we do not require in prose.
+_IGNORED_OPTIONS = {"-h", "--help"}
+
+
+def doc_files() -> list[Path]:
+    files = [ROOT / "README.md"]
+    files.extend(sorted((ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+# ----------------------------------------------------------------------
+# Gate 1: intra-repo links
+# ----------------------------------------------------------------------
+def check_links(files: list[Path]) -> list[str]:
+    failures: list[str] = []
+    for doc in files:
+        for number, line in enumerate(doc.read_text().splitlines(), start=1):
+            for match in _LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                path_part = target.split("#", 1)[0]
+                if not path_part:  # pure in-page anchor
+                    continue
+                resolved = (doc.parent / path_part).resolve()
+                if not resolved.exists():
+                    failures.append(
+                        f"{doc.relative_to(ROOT)}:{number}: broken link "
+                        f"-> {target}"
+                    )
+    return failures
+
+
+# ----------------------------------------------------------------------
+# Gate 2: CLI flag coverage
+# ----------------------------------------------------------------------
+def cli_surface() -> list[str]:
+    """Every subcommand name and option string of the CLI parser."""
+    from repro.cli import build_parser
+
+    import argparse
+
+    surface: list[str] = []
+    parser = build_parser()
+    subactions = [
+        action
+        for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    ]
+    for subaction in subactions:
+        for name, subparser in subaction.choices.items():
+            surface.append(name)
+            for action in subparser._actions:
+                for option in action.option_strings:
+                    if option not in _IGNORED_OPTIONS:
+                        surface.append(option)
+    # unique, stable order
+    seen: dict[str, None] = {}
+    for item in surface:
+        seen.setdefault(item)
+    return list(seen)
+
+
+def check_cli_coverage(files: list[Path]) -> list[str]:
+    corpus = "\n".join(f.read_text() for f in files)
+    failures: list[str] = []
+    for item in cli_surface():
+        if item not in corpus:
+            failures.append(
+                f"CLI surface {item!r} appears in no doc page "
+                f"(README.md, docs/*.md)"
+            )
+    return failures
+
+
+def main() -> int:
+    files = doc_files()
+    failures = check_links(files)
+    failures.extend(check_cli_coverage(files))
+    if failures:
+        print(f"{len(failures)} documentation problem(s):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    names = ", ".join(str(f.relative_to(ROOT)) for f in files)
+    print(f"docs OK: links resolve and the CLI surface is covered ({names})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

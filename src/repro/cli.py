@@ -12,22 +12,28 @@ is that entry point::
         --out book.json --markdown report.md
     forkjoin-test grade primes --submissions primes.correct,primes.racy \
         --jobs 4 --retries 2 --deadline 60 --resume grading.jsonl
+    forkjoin-test grade primes --submissions primes.correct,primes.racy \
+        --jobs 4 --explore 5 --obs-out obs.jsonl --html class.html
     forkjoin-test export primes --submission primes.serialized \
         --out results.json          # Gradescope results.json
     forkjoin-test fuzz primes.racy --schedules 25
     forkjoin-test explore primes.racy --schedules 20 --seed 0 \
         --record failing.schedule.json
     forkjoin-test explore primes.racy --replay failing.schedule.json
+    forkjoin-test timeline obs.jsonl --submission alice
+    forkjoin-test stats obs.jsonl
     forkjoin-test awareness progress.jsonl --suite primes
 
 ``ui`` opens the interactive suite runner (Fig. 5); ``run`` executes a
 suite once and prints the scored report; ``grade`` sweeps submissions
 into a gradebook (``--explore`` switches racy-failure retries to
-deterministic schedule exploration); ``export`` writes a Gradescope
+deterministic schedule exploration, ``--obs-out`` dumps the run's
+observability spans and metrics); ``export`` writes a Gradescope
 document; ``fuzz`` hunts schedule-dependent bugs through the simulation
 backend; ``explore`` hunts them with the controlled scheduler —
-deterministic, recordable, and exactly replayable; ``awareness``
-analyses a progress log.
+deterministic, recordable, and exactly replayable; ``timeline`` and
+``stats`` render an observability dump as per-submission span trees and
+aggregate histograms; ``awareness`` analyses a progress log.
 """
 
 from __future__ import annotations
@@ -153,6 +159,24 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="first seed of the exploration range (default 0)",
     )
+    grade.add_argument(
+        "--obs-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "dump the batch's observability spans and metrics to FILE "
+            "(JSONL); inspect with the timeline and stats commands"
+        ),
+    )
+    grade.add_argument(
+        "--html",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write a self-contained HTML class report; rows link to "
+            "per-submission timing breakdowns when observability is on"
+        ),
+    )
 
     export = commands.add_parser(
         "export", help="grade one submission and write Gradescope results.json"
@@ -234,6 +258,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the first failing schedule to FILE for later --replay",
     )
 
+    timeline = commands.add_parser(
+        "timeline",
+        help=(
+            "render an observability dump (grade --obs-out) as indented "
+            "per-submission span trees with durations"
+        ),
+    )
+    timeline.add_argument("obs", help="observability dump path (JSONL)")
+    timeline.add_argument(
+        "--submission",
+        default=None,
+        metavar="NAME",
+        help="show only the named student/submission",
+    )
+
+    stats = commands.add_parser(
+        "stats",
+        help=(
+            "aggregate an observability dump: histogram p50/p95 run "
+            "times, retry/kill counts, schedules explored"
+        ),
+    )
+    stats.add_argument("obs", help="observability dump path (JSONL)")
+
     awareness = commands.add_parser(
         "awareness", help="analyse a progress log (JSONL) for the instructor"
     )
@@ -299,7 +347,20 @@ def _checker_factory(problem: str, submission: str):
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
-    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # stdout went away mid-print (e.g. `timeline ... | head`); exit
+        # quietly through a throwaway fd so the interpreter's shutdown
+        # flush cannot raise again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Execute the parsed subcommand."""
 
     if args.command == "list":
         print("available suites: " + ", ".join(SUITES))
@@ -358,6 +419,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "batches checkpointable"
                 )
             return 130
+        from repro.obs import dump_jsonl, get_registry, submission_timings
+
+        registry = get_registry()
+        timings = submission_timings(registry) if registry.enabled else {}
         gradebook = report.gradebook
         print(gradebook.render())
         print(report.summary())
@@ -367,8 +432,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.markdown:
             from pathlib import Path
 
-            Path(args.markdown).write_text(gradebook_markdown(gradebook))
+            Path(args.markdown).write_text(
+                gradebook_markdown(gradebook, timings=timings or None)
+            )
             print(f"markdown report written to {args.markdown}")
+        if args.html:
+            from repro.grading import write_gradebook_html
+
+            path = write_gradebook_html(
+                gradebook, args.html, timelines=timings or None
+            )
+            print(f"HTML class report written to {path}")
+        if args.obs_out:
+            path = dump_jsonl(registry, args.obs_out)
+            print(
+                f"observability dump written to {path} "
+                f"(inspect with: forkjoin-test timeline/stats {path})"
+            )
         return 0
 
     if args.command == "export":
@@ -449,6 +529,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             path = report.first_failing_trace().save(args.record)
             print(f"failing schedule written to {path}")
         return 1 if report.bug_found else 0
+
+    if args.command == "timeline":
+        from repro.obs import load_jsonl, render_timeline
+
+        dump = load_jsonl(args.obs)
+        print(render_timeline(dump, submission=args.submission))
+        return 0
+
+    if args.command == "stats":
+        from repro.obs import load_jsonl, render_stats
+
+        dump = load_jsonl(args.obs)
+        print(render_stats(dump))
+        return 0
 
     if args.command == "awareness":
         from repro.grading import ProgressLog, analyze_progress

@@ -42,6 +42,7 @@ class AbstractConcurrencyPerformanceChecker(ScoredTestCase):
     # Parameter methods
     # ------------------------------------------------------------------
     def main_class_identifier(self) -> str:
+        """Registered identifier of the tested program (must override)."""
         raise NotImplementedError(
             f"{type(self).__name__} must override main_class_identifier()"
         )
@@ -92,6 +93,7 @@ class AbstractConcurrencyPerformanceChecker(ScoredTestCase):
         return None
 
     def make_runner(self) -> ProgramRunner:
+        """Runner used for every timed run (override to configure)."""
         return ProgramRunner()
 
     # ------------------------------------------------------------------
@@ -103,6 +105,7 @@ class AbstractConcurrencyPerformanceChecker(ScoredTestCase):
     last_speedup: Optional[float] = None
 
     def run(self) -> TestResult:
+        """Time both configurations and grade the measured speedup."""
         identifier = self.main_class_identifier()
         runner = self.make_runner()
         duration_of = self.duration_source()

@@ -22,6 +22,7 @@ from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.core.checker import AbstractForkJoinChecker
 from repro.execution.runner import in_process_session_lock
+from repro.obs import get_registry as _obs_registry
 from repro.execution.scheduling import (
     RandomWalkStrategy,
     ReplayStrategy,
@@ -69,25 +70,30 @@ class ExplorationReport:
 
     @property
     def bug_found(self) -> bool:
+        """True when at least one explored schedule failed a check."""
         return bool(self.findings)
 
     @property
     def failure_rate(self) -> float:
+        """Fraction of explored schedules that failed (0.0 when none ran)."""
         if not self.schedules_tried:
             return 0.0
         return len(self.findings) / self.schedules_tried
 
     @property
     def first_failing_seed(self) -> Optional[int]:
+        """Seed of the first seeded failing schedule, or ``None``."""
         for finding in self.findings:
             if finding.seed is not None:
                 return finding.seed
         return None
 
     def first_failing_trace(self) -> Optional[ScheduleTrace]:
+        """Recorded trace of the first failing schedule, or ``None``."""
         return self.findings[0].trace if self.findings else None
 
     def summary(self) -> str:
+        """One-line human-readable verdict of the campaign."""
         if not self.bug_found:
             return (
                 f"no failing schedule in {self.schedules_tried} explored "
@@ -121,6 +127,11 @@ class ScheduleExplorer:
         strategy: str = "random-walk",
         max_quantum: int = 4,
     ) -> None:
+        """Configure the campaign; see the class docstring for the knobs.
+
+        ``checker_factory`` must build a *fresh* checker per call — the
+        explorer runs it once per schedule and checkers keep state.
+        """
         if schedules < 1:
             raise ValueError("schedules must be >= 1")
         if strategy not in STRATEGY_CHOICES:
@@ -153,12 +164,23 @@ class ScheduleExplorer:
         the checker picks it up and no other in-process run can
         interleave.
         """
+        obs = _obs_registry()
         backend = ScheduledBackend(strategy)
         checker = self._factory()
-        with in_process_session_lock():
-            with use_backend(backend):
-                result = checker.run_safely()
-        trace = backend.schedule_trace(*self._program_identity(checker))
+        with obs.span(
+            "explore.schedule",
+            strategy=strategy.label(),
+            seed=getattr(strategy, "seed", None),
+        ) as span:
+            with in_process_session_lock():
+                with use_backend(backend):
+                    result = checker.run_safely()
+            trace = backend.schedule_trace(*self._program_identity(checker))
+            span.set(
+                ok=not (result.failed_aspects() or result.fatal),
+                deadlocked=trace.deadlocked or None,
+            )
+        obs.counter("explore.schedules").inc()
         return result, trace
 
     def replay(self, trace: ScheduleTrace) -> Tuple[TestResult, ScheduleTrace]:
@@ -166,15 +188,18 @@ class ScheduleExplorer:
         return self.run_one(ReplayStrategy(trace))
 
     def run(self) -> ExplorationReport:
+        """Run the whole campaign and aggregate the failing schedules."""
         report = ExplorationReport(
             schedules_tried=self.schedules,
             strategy=self.strategy,
             first_seed=self.first_seed,
         )
+        obs = _obs_registry()
         for strategy in self._strategies():
             result, trace = self.run_one(strategy)
             finding = self._failed(result, strategy, trace)
             if finding is not None:
+                obs.counter("explore.failures").inc()
                 report.findings.append(finding)
         return report
 

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Any, List, Optional
 from repro.eventdb.database import EventDatabase
 from repro.eventdb.events import PropertyEvent
 from repro.execution.registry import MainFunction, resolve_main
+from repro.obs import get_registry as _obs_registry
 from repro.tracing.session import TraceSession
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -104,6 +105,7 @@ class ExecutionResult:
         return classify_execution(self)
 
     def failure_reason(self) -> str:
+        """Human-readable cause of a non-ok run (empty when ok)."""
         if self.timed_out:
             return (
                 f"program {self.identifier!r} did not terminate within the "
@@ -125,10 +127,12 @@ class ExecutionResult:
         return ""
 
     def worker_events(self) -> List[PropertyEvent]:
+        """Events produced by the forked worker threads, in trace order."""
         root = self.root_thread
         return [e for e in self.events if e.thread is not root]
 
     def root_events(self) -> List[PropertyEvent]:
+        """Events produced by the root thread, in trace order."""
         root = self.root_thread
         return [e for e in self.events if e.thread is root]
 
@@ -137,6 +141,12 @@ class ProgramRunner:
     """Run registered tested programs under trace sessions."""
 
     def __init__(self, *, timeout: float = DEFAULT_TIMEOUT, echo: bool = False) -> None:
+        """Configure the runner.
+
+        ``timeout`` is the default per-run wall-clock limit in seconds;
+        ``echo`` forwards the tested program's output to the genuine
+        stdout in addition to capturing it.
+        """
         self.timeout = timeout
         self.echo = echo
 
@@ -171,6 +181,39 @@ class ProgramRunner:
         installed one around a whole checker), it is picked up and wired
         the same way without passing ``schedule=``.
         """
+        obs = _obs_registry()
+        with obs.span("runner.run", identifier=identifier) as span:
+            result = self._run_traced(
+                identifier,
+                args,
+                hide_prints=hide_prints,
+                timeout=timeout,
+                stdin_lines=stdin_lines,
+                schedule=schedule,
+            )
+            span.set(
+                events=len(result.events),
+                timed_out=result.timed_out or None,
+                schedule=(
+                    result.schedule.label() if result.schedule is not None else None
+                ),
+            )
+        obs.histogram("runner.run.seconds").observe(result.duration)
+        if result.timed_out:
+            obs.counter("runner.timeouts").inc()
+        return result
+
+    def _run_traced(
+        self,
+        identifier: str,
+        args: Optional[List[str]] = None,
+        *,
+        hide_prints: bool = False,
+        timeout: Optional[float] = None,
+        stdin_lines: Optional[List[str]] = None,
+        schedule: Optional[Any] = None,
+    ) -> ExecutionResult:
+        """The uninstrumented body of :meth:`run`."""
         from repro.execution.stdin_feed import StdinFeed
         from repro.execution.scheduling import (
             ScheduledBackend,

@@ -41,6 +41,7 @@ from repro.execution.child import (
 from repro.execution.registry import UnknownMainError
 from repro.execution.runner import DEFAULT_TIMEOUT, ExecutionResult
 from repro.execution.taxonomy import detect_garbled_lines
+from repro.obs import get_registry as _obs_registry
 from repro.tracing.formatting import parse_property_line
 from repro.util.thread_registry import ThreadRegistry
 
@@ -76,12 +77,14 @@ class _ActiveChildren:
             self._children.pop(threading.current_thread(), None)
 
     def kill_for(self, thread: threading.Thread) -> bool:
+        """Hard-kill the child *thread* is waiting on; False if none."""
         with self._lock:
             entry = self._children.get(thread)
         if entry is None:
             return False
         popen, state = entry
         state["harness_killed"] = True
+        _obs_registry().counter("runner.harness_kills").inc()
         try:
             popen.kill()
         except OSError:  # pragma: no cover - already-reaped race
@@ -124,6 +127,12 @@ class SubprocessRunner:
         timeout: float = DEFAULT_TIMEOUT,
         python: Optional[str] = None,
     ) -> None:
+        """Configure the runner.
+
+        ``timeout`` is the default per-run wall-clock limit in seconds;
+        ``python`` overrides the interpreter used for the child (defaults
+        to the running one).
+        """
         self.timeout = timeout
         self.python = python or sys.executable
 
@@ -136,6 +145,37 @@ class SubprocessRunner:
         hide_prints: bool = False,
         timeout: Optional[float] = None,
     ) -> ExecutionResult:
+        """Run *identifier* in a child interpreter and rebuild its trace.
+
+        Mirrors :meth:`ProgramRunner.run`'s signature and result; the
+        trace is reconstructed from the child's output text.
+        """
+        obs = _obs_registry()
+        with obs.span(
+            "runner.subprocess", identifier=identifier
+        ) as span:
+            result = self._run_child(
+                identifier, args, hide_prints=hide_prints, timeout=timeout
+            )
+            span.set(
+                events=len(result.events),
+                timed_out=result.timed_out or None,
+                signal=result.signal_number,
+            )
+        obs.histogram("runner.subprocess.seconds").observe(result.duration)
+        if result.timed_out:
+            obs.counter("runner.subprocess.timeouts").inc()
+        return result
+
+    def _run_child(
+        self,
+        identifier: str,
+        args: Optional[List[str]] = None,
+        *,
+        hide_prints: bool = False,
+        timeout: Optional[float] = None,
+    ) -> ExecutionResult:
+        """The uninstrumented body of :meth:`run`."""
         args = list(args) if args is not None else []
         limit = self.timeout if timeout is None else timeout
         command = [

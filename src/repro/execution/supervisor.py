@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.execution.subprocess_runner import kill_active_child
 from repro.execution.taxonomy import RETRYABLE_KINDS, FailureKind
+from repro.obs import get_registry as _obs_registry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.execution.scheduling import ScheduleTrace
@@ -243,6 +244,7 @@ class GradingSupervisor:
         explore_schedules: int = 0,
         explore_seed: int = 0,
     ) -> None:
+        """Configure the supervisor; see the class docstring for knobs."""
         self.suite_factory = suite_factory
         self.jobs = max(1, int(jobs))
         self.retries = max(0, int(retries))
@@ -292,9 +294,13 @@ class GradingSupervisor:
             if student not in self._outcomes
         ]
 
+        enqueued_at = time.monotonic()
         with self._lock:
             self._expected = len(self._outcomes) + len(pending)
-            self._queue.extend(pending)
+            self._queue.extend(
+                (student, identifier, enqueued_at)
+                for student, identifier in pending
+            )
             self._stop = False
 
         workers = [self._spawn_worker(i) for i in range(min(self.jobs, len(pending)))]
@@ -381,18 +387,34 @@ class GradingSupervisor:
         return worker
 
     def _worker_loop(self) -> None:
+        obs = _obs_registry()
         while True:
             with self._lock:
                 if self._stop or not self._queue:
                     return
-                student, identifier = self._queue.popleft()
+                student, identifier, enqueued_at = self._queue.popleft()
                 task = _TaskState(student, identifier)
                 task.worker = threading.current_thread()
                 self._active[task.worker] = task
+            queue_wait = time.monotonic() - enqueued_at
+            obs.histogram("supervisor.queue_wait.seconds").observe(queue_wait)
+            span = obs.begin_span(
+                "supervisor.submission",
+                student=student,
+                identifier=identifier,
+                queue_wait=round(queue_wait, 6),
+            )
             try:
                 outcome = self._grade_with_retries(task)
             except BaseException as exc:  # noqa: BLE001 - worker boundary
                 outcome = self._infra_outcome(task, exc)
+            finally:
+                obs.end_span(span)
+            span.set(
+                failure_kind=outcome.failure_kind.value,
+                attempts=outcome.attempts,
+            )
+            obs.histogram("supervisor.submission.seconds").observe(span.duration)
             abandoned = not self._resolve(task, outcome)
             if abandoned:
                 # The watchdog gave up on us and spawned a replacement;
@@ -409,21 +431,29 @@ class GradingSupervisor:
         whole suite run, so a parallel batch cannot interleave another
         submission's run into the installed ambient backend.
         """
-        self._arm(task)
-        try:
-            suite = self.suite_factory(task.identifier)
-            if backend is None:
-                result = suite.run()
-            else:
-                from repro.execution.runner import in_process_session_lock
-                from repro.simulation.backend import use_backend
+        obs = _obs_registry()
+        seed = getattr(getattr(backend, "strategy", None), "seed", None)
+        with obs.span(
+            "supervisor.attempt", identifier=task.identifier, seed=seed
+        ) as span:
+            self._arm(task)
+            try:
+                suite = self.suite_factory(task.identifier)
+                if backend is None:
+                    result = suite.run()
+                else:
+                    from repro.execution.runner import in_process_session_lock
+                    from repro.simulation.backend import use_backend
 
-                with in_process_session_lock():
-                    with use_backend(backend):
-                        result = suite.run()
-        finally:
-            self._disarm(task)
-        return suite_failure_kind(result), result
+                    with in_process_session_lock():
+                        with use_backend(backend):
+                            result = suite.run()
+            finally:
+                self._disarm(task)
+            kind = suite_failure_kind(result)
+            span.set(kind=kind.value, score=result.score)
+        obs.histogram("supervisor.attempt.seconds").observe(span.duration)
+        return kind, result
 
     def _explore_racy(
         self,
@@ -441,18 +471,28 @@ class GradingSupervisor:
         """
         from repro.execution.scheduling import RandomWalkStrategy, ScheduledBackend
 
-        for index in range(self.explore_schedules):
-            seed = self.explore_seed + index
-            backend = ScheduledBackend(RandomWalkStrategy(seed))
-            kind, result = self._run_attempt(task, backend=backend)
-            attempts.append((kind, result))
-            task.attempt_outcomes.append(
-                f"{_attempt_label(kind, result)}@s{seed}"
-            )
-            passed = kind is FailureKind.OK and result.score >= result.max_score
-            if not passed:
-                task.failing_trace = backend.schedule_trace(task.identifier)
-                return seed
+        obs = _obs_registry()
+        with obs.span(
+            "supervisor.explore",
+            identifier=task.identifier,
+            schedules=self.explore_schedules,
+            first_seed=self.explore_seed,
+        ) as span:
+            for index in range(self.explore_schedules):
+                seed = self.explore_seed + index
+                backend = ScheduledBackend(RandomWalkStrategy(seed))
+                kind, result = self._run_attempt(task, backend=backend)
+                obs.counter("explore.schedules").inc()
+                attempts.append((kind, result))
+                task.attempt_outcomes.append(
+                    f"{_attempt_label(kind, result)}@s{seed}"
+                )
+                passed = kind is FailureKind.OK and result.score >= result.max_score
+                if not passed:
+                    task.failing_trace = backend.schedule_trace(task.identifier)
+                    span.set(failing_seed=seed)
+                    return seed
+            span.set(exonerated=True)
         return None
 
     def _grade_with_retries(self, task: _TaskState) -> SubmissionOutcome:
@@ -464,6 +504,7 @@ class GradingSupervisor:
         explored = False
         for attempt in range(self.retries + 1):
             if attempt:
+                _obs_registry().counter("supervisor.retries").inc()
                 delay = self.backoff * (2 ** (attempt - 1))
                 time.sleep(delay * (0.5 + rng.random() / 2))
             kind, result = self._run_attempt(task)
@@ -629,6 +670,7 @@ class GradingSupervisor:
 
     def _enforce_deadline(self, task: _TaskState) -> None:
         """One expired task: kill its child, or abandon its worker."""
+        obs = _obs_registry()
         worker = task.worker
         assert worker is not None
         if not task.killed:
@@ -641,10 +683,12 @@ class GradingSupervisor:
                 task.killed = True
                 task.deadline_at = time.monotonic() + self.KILL_GRACE
             if killed:
+                obs.counter("supervisor.watchdog.kills").inc()
                 return
             # No child to kill: fall through after the grace period.
             return
         if kill_active_child(worker):
+            obs.counter("supervisor.watchdog.kills").inc()
             # The worker moved on to a fresh child (a retry) that is
             # itself past the deadline; kill that one too and keep
             # waiting for the worker to surface.
@@ -658,6 +702,7 @@ class GradingSupervisor:
             if task.resolved:
                 return
             task.abandoned = True
+        obs.counter("supervisor.watchdog.abandoned").inc()
         outcome = self._timeout_outcome(task)
         if self._resolve(task, outcome):
             with self._lock:
@@ -666,6 +711,7 @@ class GradingSupervisor:
             if restaff:
                 # Monotonic serial, never the millisecond clock: two
                 # replacements in the same millisecond used to collide.
+                obs.counter("supervisor.restaffs").inc()
                 self._spawn_worker(next(self._worker_serial))
 
     def _timeout_outcome(self, task: _TaskState) -> SubmissionOutcome:

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.execution.runner import ExecutionResult, ProgramRunner
+from repro.obs import get_registry as _obs_registry
 
 __all__ = ["TimingSample", "TimingResult", "time_program", "speedup"]
 
@@ -48,6 +49,7 @@ class TimingResult:
 
     @property
     def runs(self) -> int:
+        """Number of timed runs, clean or not."""
         return len(self.samples)
 
     @property
@@ -63,13 +65,16 @@ class TimingResult:
 
     @property
     def clean_runs(self) -> int:
+        """Number of clean (``kind == "ok"``) runs."""
         return len(self.clean_samples)
 
     @property
     def all_ok(self) -> bool:
+        """True when every timed run completed cleanly."""
         return all(s.ok for s in self.samples)
 
     def first_failure(self) -> str:
+        """Reason of the first failed run (``""`` when all ok)."""
         for sample in self.samples:
             if not sample.ok:
                 return sample.reason
@@ -89,20 +94,24 @@ class TimingResult:
 
     @property
     def mean(self) -> float:
+        """Mean duration of the clean runs (``nan`` when none)."""
         clean = self.clean_runs
         return self.total / clean if clean else math.nan
 
     @property
     def minimum(self) -> float:
+        """Fastest clean run (``nan`` when none)."""
         return min((s.duration for s in self.clean_samples), default=math.nan)
 
     @property
     def stdev(self) -> float:
+        """Sample standard deviation of the clean runs (0.0 below 2)."""
         if self.clean_runs < 2:
             return 0.0
         return statistics.stdev(s.duration for s in self.clean_samples)
 
     def describe(self) -> str:
+        """One-line summary: totals, mean, min, stdev, excluded runs."""
         clean = self.clean_runs
         runs = (
             f"{self.runs} runs"
@@ -140,21 +149,26 @@ def time_program(
         raise ValueError("runs must be >= 1")
     runner = runner if runner is not None else ProgramRunner()
     result = TimingResult(identifier=identifier, args=list(args))
-    for _ in range(max(0, warmup_runs)):
-        runner.run(identifier, args, hide_prints=True)
-    for _ in range(runs):
-        started = time.perf_counter()
-        execution = runner.run(identifier, args, hide_prints=True)
-        wall = time.perf_counter() - started
-        duration = duration_of(execution) if duration_of is not None else wall
-        result.samples.append(
-            TimingSample(
-                duration=duration,
-                ok=execution.ok,
-                reason=execution.failure_reason(),
-                kind=execution.failure_kind.value,
+    obs = _obs_registry()
+    per_run = obs.histogram("perf.run.seconds")
+    with obs.span("perf.time_program", identifier=identifier, runs=runs) as span:
+        for _ in range(max(0, warmup_runs)):
+            runner.run(identifier, args, hide_prints=True)
+        for _ in range(runs):
+            started = time.perf_counter()
+            execution = runner.run(identifier, args, hide_prints=True)
+            wall = time.perf_counter() - started
+            duration = duration_of(execution) if duration_of is not None else wall
+            per_run.observe(duration)
+            result.samples.append(
+                TimingSample(
+                    duration=duration,
+                    ok=execution.ok,
+                    reason=execution.failure_reason(),
+                    kind=execution.failure_kind.value,
+                )
             )
-        )
+        span.set(clean=result.clean_runs, total=round(result.total, 6))
     return result
 
 

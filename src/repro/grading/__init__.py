@@ -7,13 +7,20 @@ from repro.grading.awareness import (
 )
 from repro.grading.batch import grade_batch, grade_submissions
 from repro.grading.export import (
+    gradebook_csv,
     gradebook_markdown,
     gradescope_document,
     suite_result_markdown,
+    write_gradebook_csv,
     write_gradescope_results,
 )
 from repro.grading.gradebook import Gradebook
-from repro.grading.html_report import suite_result_html, write_html_report
+from repro.grading.html_report import (
+    gradebook_html,
+    suite_result_html,
+    write_gradebook_html,
+    write_html_report,
+)
 from repro.grading.journal import GradingJournal, JournalEntry, JournalError
 from repro.grading.logs import ProgressLog
 from repro.grading.records import AspectRecord, SubmissionRecord, TestRecord
@@ -36,6 +43,10 @@ __all__ = [
     "write_gradescope_results",
     "suite_result_markdown",
     "gradebook_markdown",
+    "gradebook_csv",
+    "write_gradebook_csv",
     "suite_result_html",
     "write_html_report",
+    "gradebook_html",
+    "write_gradebook_html",
 ]

@@ -1,15 +1,18 @@
-"""Exports: Gradescope results and markdown reports.
+"""Exports: Gradescope results, markdown reports, and CSV gradebooks.
 
 The paper's students "can simply submit their solution to Gradescope for
 grading" (§4.1); this module writes the ``results.json`` document the
 Gradescope autograder harness consumes, built from the same scored
 results the interactive UI shows.  A markdown renderer covers the other
 common hand-off: pasting a legible per-student or whole-class report
-into an LMS or email.
+into an LMS or email.  The CSV renderer is the bulk-upload format most
+LMS gradebooks import directly.
 """
 
 from __future__ import annotations
 
+import csv
+import io
 import json
 from pathlib import Path
 from typing import Any, Dict, List, Optional
@@ -23,6 +26,8 @@ __all__ = [
     "write_gradescope_results",
     "suite_result_markdown",
     "gradebook_markdown",
+    "gradebook_csv",
+    "write_gradebook_csv",
 ]
 
 #: Gradescope visibility for per-test entries.
@@ -116,23 +121,96 @@ def suite_result_markdown(result: SuiteResult, *, student: str = "") -> str:
     return "\n".join(lines).rstrip() + "\n"
 
 
-def gradebook_markdown(gradebook: Gradebook) -> str:
-    """A class summary table, best submission per student."""
+def gradebook_markdown(
+    gradebook: Gradebook,
+    *,
+    timings: Optional[Dict[str, Dict[str, Any]]] = None,
+) -> str:
+    """A class summary table, best submission per student.
+
+    ``timings`` (student → ``{"duration": seconds, "attempts": n}``, as
+    produced by :func:`repro.obs.submission_timings` from a grading
+    run's obs dump) adds a grading-time column to each row.
+    """
+    header = "| student | best | latest | submissions |"
+    divider = "|---|---|---|---|"
+    if timings is not None:
+        header += " grading time |"
+        divider += "---|"
     lines = [
         f"## Gradebook — {gradebook.suite}",
         "",
         f"Class mean (best submissions): **{gradebook.mean_percent():.1f}%**",
         "",
-        "| student | best | latest | submissions |",
-        "|---|---|---|---|",
+        header,
+        divider,
     ]
     for student in gradebook.students():
         best = gradebook.best(student)
         latest = gradebook.latest(student)
         history = gradebook.submissions_of(student)
         assert best is not None and latest is not None
-        lines.append(
+        row = (
             f"| {student} | {best.percent:.0f}% | {latest.percent:.0f}% | "
             f"{len(history)} |"
         )
+        if timings is not None:
+            timing = timings.get(student)
+            cell = (
+                f"{timing['duration']:.2f}s" if timing is not None else "—"
+            )
+            row += f" {cell} |"
+        lines.append(row)
     return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# CSV
+# ----------------------------------------------------------------------
+
+def gradebook_csv(gradebook: Gradebook) -> str:
+    """The gradebook as CSV text — the LMS bulk-upload format.
+
+    One row per student: best/latest scores and percentages, submission
+    count, the latest failure-taxonomy kind, and the failing schedule
+    seed when the latest grade is racy (so the CSV alone carries enough
+    to replay the student's race with ``explore --seed``).
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(
+        [
+            "student",
+            "best_score",
+            "max_score",
+            "best_percent",
+            "latest_percent",
+            "submissions",
+            "failure_kind",
+            "schedule_seed",
+        ]
+    )
+    for student in gradebook.students():
+        best = gradebook.best(student)
+        latest = gradebook.latest(student)
+        assert best is not None and latest is not None
+        writer.writerow(
+            [
+                student,
+                f"{best.score:g}",
+                f"{best.max_score:g}",
+                f"{best.percent:.1f}",
+                f"{latest.percent:.1f}",
+                len(gradebook.submissions_of(student)),
+                latest.failure_kind,
+                "" if latest.schedule_seed is None else latest.schedule_seed,
+            ]
+        )
+    return buffer.getvalue()
+
+
+def write_gradebook_csv(gradebook: Gradebook, path: Path | str) -> Path:
+    """Write :func:`gradebook_csv` output; returns the written path."""
+    target = Path(path)
+    target.write_text(gradebook_csv(gradebook))
+    return target

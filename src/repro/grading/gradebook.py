@@ -21,6 +21,7 @@ class Gradebook:
     """Submission store for one assignment (suite)."""
 
     def __init__(self, suite: str) -> None:
+        """Create an empty gradebook for the named assignment suite."""
         self.suite = suite
         self._submissions: Dict[str, List[SubmissionRecord]] = {}
 
@@ -28,6 +29,7 @@ class Gradebook:
     # Recording
     # ------------------------------------------------------------------
     def record(self, submission: SubmissionRecord) -> None:
+        """File one submission; rejects records for another suite."""
         if submission.suite != self.suite:
             raise ValueError(
                 f"submission is for suite {submission.suite!r}, gradebook "
@@ -39,18 +41,22 @@ class Gradebook:
     # Queries
     # ------------------------------------------------------------------
     def students(self) -> List[str]:
+        """All students with at least one submission, sorted."""
         return sorted(self._submissions)
 
     def submissions_of(self, student: str) -> List[SubmissionRecord]:
+        """One student's full submission history (a copy)."""
         return list(self._submissions.get(student, []))
 
     def latest(self, student: str) -> Optional[SubmissionRecord]:
+        """The student's most recent submission, or ``None``."""
         history = self._submissions.get(student)
         if not history:
             return None
         return max(history, key=lambda s: s.timestamp)
 
     def best(self, student: str) -> Optional[SubmissionRecord]:
+        """The student's highest-scoring submission (latest on ties)."""
         history = self._submissions.get(student)
         if not history:
             return None
@@ -65,6 +71,7 @@ class Gradebook:
         }
 
     def mean_percent(self) -> float:
+        """Class mean of the best-submission percentages."""
         percentages = list(self.class_percentages().values())
         return sum(percentages) / len(percentages) if percentages else 0.0
 
@@ -107,6 +114,7 @@ class Gradebook:
     # Persistence
     # ------------------------------------------------------------------
     def save(self, path: Path | str) -> None:
+        """Write the whole gradebook (all histories) as one JSON file."""
         payload = {
             "suite": self.suite,
             "submissions": {
@@ -118,6 +126,7 @@ class Gradebook:
 
     @classmethod
     def load(cls, path: Path | str) -> "Gradebook":
+        """Rebuild a gradebook from a :meth:`save`'d JSON file."""
         payload = json.loads(Path(path).read_text())
         book = cls(payload["suite"])
         for student, history in payload.get("submissions", {}).items():
@@ -128,6 +137,7 @@ class Gradebook:
         return book
 
     def render(self) -> str:
+        """Plain-text class summary with failure-kind / racy tags."""
         lines = [f"Gradebook: {self.suite} (mean {self.mean_percent():.0f}%)"]
         kinds = self.failure_kinds()
         for student, percent in sorted(self.class_percentages().items()):

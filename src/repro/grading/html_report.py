@@ -1,22 +1,30 @@
-"""Self-contained HTML reports for suite runs.
+"""Self-contained HTML reports for suite runs and whole gradebooks.
 
 The terminal UI serves the interactive loop; this renderer produces the
 artifact an instructor attaches to feedback or posts on a course page: a
 single HTML file (inline CSS, no external assets) with the scored
 requirement tables and, when available, the annotated fork-join trace
-with phases colour-coded per thread.
+with phases colour-coded per thread.  The gradebook renderer covers the
+batch view: a class summary table whose rows link to per-submission
+timing breakdowns (span trees from the run's observability dump).
 """
 
 from __future__ import annotations
 
 import html
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.report import ForkJoinCheckReport
+from repro.grading.gradebook import Gradebook
 from repro.testfw.result import AspectStatus, SuiteResult, TestResult
 
-__all__ = ["suite_result_html", "write_html_report"]
+__all__ = [
+    "suite_result_html",
+    "write_html_report",
+    "gradebook_html",
+    "write_gradebook_html",
+]
 
 _CSS = """
 body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
@@ -141,4 +149,92 @@ def write_html_report(
     """Render and write the HTML report; returns the written path."""
     target = Path(path)
     target.write_text(suite_result_html(result, student=student, reports=reports))
+    return target
+
+
+# ----------------------------------------------------------------------
+# Gradebook (batch) report
+# ----------------------------------------------------------------------
+
+def gradebook_html(
+    gradebook: Gradebook,
+    *,
+    timelines: Optional[Dict[str, Dict[str, Any]]] = None,
+) -> str:
+    """Render a whole gradebook as one self-contained HTML page.
+
+    ``timelines`` (student → ``{"duration", "attempts", "tree"}``, as
+    produced by :func:`repro.obs.submission_timings` from the batch's
+    obs dump) adds a grading-time column whose cells link to
+    per-submission span-tree sections at the bottom of the page.
+    """
+    title = f"Gradebook — {gradebook.suite}"
+    parts = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f'<p class="total">Class mean (best submissions): '
+        f"<strong>{gradebook.mean_percent():.1f}%</strong></p>",
+    ]
+    header = "<tr><th>student</th><th>best</th><th>latest</th><th>submissions</th><th>kind</th>"
+    if timelines is not None:
+        header += "<th>grading time</th>"
+    header += "</tr>"
+    parts.append("<table>" + header)
+    kinds = gradebook.failure_kinds()
+    for student in gradebook.students():
+        best = gradebook.best(student)
+        latest = gradebook.latest(student)
+        assert best is not None and latest is not None
+        kind = kinds.get(student, "ok")
+        kind_css = "passed" if kind == "ok" else "failed"
+        row = (
+            "<tr>"
+            f"<td>{html.escape(student)}</td>"
+            f"<td>{best.percent:.0f}%</td>"
+            f"<td>{latest.percent:.0f}%</td>"
+            f"<td>{len(gradebook.submissions_of(student))}</td>"
+            f'<td><span class="status {kind_css}">{html.escape(kind)}</span></td>'
+        )
+        if timelines is not None:
+            timing = timelines.get(student)
+            if timing is not None:
+                anchor = f"timing-{html.escape(student, quote=True)}"
+                row += (
+                    f'<td><a href="#{anchor}">'
+                    f"{timing['duration']:.2f}s</a></td>"
+                )
+            else:
+                row += "<td>&mdash;</td>"
+        row += "</tr>"
+        parts.append(row)
+    parts.append("</table>")
+    if timelines:
+        parts.append("<h2>Timing breakdowns</h2>")
+        for student in sorted(timelines):
+            timing = timelines[student]
+            anchor = f"timing-{html.escape(student, quote=True)}"
+            parts.append(
+                f'<h2 id="{anchor}">{html.escape(student)} — '
+                f"{timing['duration']:.2f}s, "
+                f"{timing['attempts']} attempt(s)</h2>"
+            )
+            parts.append(
+                '<pre class="trace">' + html.escape(timing["tree"]) + "</pre>"
+            )
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_gradebook_html(
+    gradebook: Gradebook,
+    path: Path | str,
+    *,
+    timelines: Optional[Dict[str, Dict[str, Any]]] = None,
+) -> Path:
+    """Render and write the gradebook page; returns the written path."""
+    target = Path(path)
+    target.write_text(gradebook_html(gradebook, timelines=timelines))
     return target

@@ -42,6 +42,7 @@ class JournalEntry:
     record: SubmissionRecord
 
     def to_dict(self) -> dict:
+        """Primitive-dict form for the JSONL line."""
         return {
             "student": self.student,
             "identifier": self.identifier,
@@ -50,6 +51,7 @@ class JournalEntry:
 
     @classmethod
     def from_dict(cls, data: dict) -> "JournalEntry":
+        """Rebuild from a parsed JSONL line (raises on missing keys)."""
         return cls(
             student=data["student"],
             identifier=data.get("identifier", ""),
@@ -61,6 +63,7 @@ class GradingJournal:
     """Append-only JSONL checkpoint of a grading batch."""
 
     def __init__(self, path: Path | str) -> None:
+        """Bind to the journal file at *path* (created on first append)."""
         self.path = Path(path)
 
     # ------------------------------------------------------------------
@@ -97,6 +100,7 @@ class GradingJournal:
         return by_student
 
     def completed_students(self) -> List[str]:
+        """Sorted students already covered by the journal."""
         return sorted(self.completed())
 
     def suite_name(self) -> Optional[str]:

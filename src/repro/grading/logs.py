@@ -10,6 +10,7 @@ awareness module aggregates it into the inferences the paper sketches.
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 from typing import Iterable, List, Optional
 
@@ -27,8 +28,15 @@ class ProgressLog:
     """
 
     def __init__(self, path: Optional[Path | str] = None) -> None:
+        """Open (and load) the log at *path*, or start an in-memory one.
+
+        The construction instant becomes the log's monotonic epoch: every
+        record gets ``elapsed = monotonic-now - epoch`` alongside its wall
+        timestamp, so ordering survives wall-clock adjustments mid-batch.
+        """
         self.path = Path(path) if path is not None else None
         self._entries: List[SubmissionRecord] = []
+        self._epoch = time.monotonic()
         if self.path is not None and self.path.exists():
             for line in self.path.read_text().splitlines():
                 if line.strip():
@@ -41,9 +49,18 @@ class ProgressLog:
         *,
         timestamp: Optional[float] = None,
     ) -> SubmissionRecord:
-        """Record one self-test run of *student*'s in-progress work."""
+        """Record one self-test run of *student*'s in-progress work.
+
+        The record carries both the wall ``timestamp`` (given or
+        ``time.time()``) and the monotonic ``elapsed`` since this log was
+        opened — wall clocks jump under NTP adjustment; elapsed does not.
+        """
         record = SubmissionRecord.from_suite_result(
-            student, result, kind="progress", timestamp=timestamp
+            student,
+            result,
+            kind="progress",
+            timestamp=timestamp,
+            elapsed=time.monotonic() - self._epoch,
         )
         self._entries.append(record)
         if self.path is not None:
@@ -52,12 +69,15 @@ class ProgressLog:
         return record
 
     def entries(self) -> List[SubmissionRecord]:
+        """All records, oldest first (a copy)."""
         return list(self._entries)
 
     def entries_of(self, student: str) -> List[SubmissionRecord]:
+        """The records of one student, oldest first."""
         return [e for e in self._entries if e.student == student]
 
     def students(self) -> List[str]:
+        """Distinct students in first-appearance order."""
         seen: List[str] = []
         for entry in self._entries:
             if entry.student not in seen:
@@ -65,6 +85,7 @@ class ProgressLog:
         return seen
 
     def extend(self, records: Iterable[SubmissionRecord]) -> None:
+        """Append pre-built records (merging logs, importing batches)."""
         for record in records:
             self._entries.append(record)
             if self.path is not None:

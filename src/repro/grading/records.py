@@ -20,6 +20,8 @@ __all__ = ["AspectRecord", "TestRecord", "SubmissionRecord"]
 
 @dataclass
 class AspectRecord:
+    """Serialized shadow of one graded aspect outcome."""
+
     aspect: str
     status: str
     message: str
@@ -27,6 +29,7 @@ class AspectRecord:
     points_possible: float
 
     def to_dict(self) -> Dict[str, Any]:
+        """Primitive-dict form for JSON serialization."""
         return {
             "aspect": self.aspect,
             "status": self.status,
@@ -37,6 +40,7 @@ class AspectRecord:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "AspectRecord":
+        """Rebuild from :meth:`to_dict` output (tolerant of omissions)."""
         return cls(
             aspect=data["aspect"],
             status=data["status"],
@@ -47,15 +51,19 @@ class AspectRecord:
 
     @property
     def failed(self) -> bool:
+        """True when this aspect was checked and failed."""
         return self.status == AspectStatus.FAILED.value
 
     @property
     def passed(self) -> bool:
+        """True when this aspect was checked and passed."""
         return self.status == AspectStatus.PASSED.value
 
 
 @dataclass
 class TestRecord:
+    """Serialized shadow of one test program's result."""
+
     test_name: str
     score: float
     max_score: float
@@ -67,6 +75,7 @@ class TestRecord:
 
     @classmethod
     def from_result(cls, result: TestResult) -> "TestRecord":
+        """Snapshot a live :class:`TestResult` into plain data."""
         return cls(
             test_name=result.test_name,
             score=result.score,
@@ -86,6 +95,7 @@ class TestRecord:
         )
 
     def to_dict(self) -> Dict[str, Any]:
+        """Primitive-dict form for JSON serialization."""
         return {
             "test_name": self.test_name,
             "score": self.score,
@@ -97,6 +107,7 @@ class TestRecord:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "TestRecord":
+        """Rebuild from :meth:`to_dict` output (tolerant of omissions)."""
         return cls(
             test_name=data["test_name"],
             score=float(data["score"]),
@@ -108,9 +119,11 @@ class TestRecord:
 
     @property
     def percent(self) -> float:
+        """Score as a percentage of the maximum (0.0 when unscored)."""
         return 100.0 * self.score / self.max_score if self.max_score else 0.0
 
     def failed_aspects(self) -> List[str]:
+        """Names of the aspects that failed, in check order."""
         return [a.aspect for a in self.aspects if a.failed]
 
 
@@ -157,6 +170,7 @@ class SubmissionRecord:
         schedule_seed: Optional[int] = None,
         elapsed: float = 0.0,
     ) -> "SubmissionRecord":
+        """Snapshot a live :class:`SuiteResult` into plain data."""
         return cls(
             student=student,
             suite=result.suite_name,
@@ -171,6 +185,7 @@ class SubmissionRecord:
         )
 
     def to_dict(self) -> Dict[str, Any]:
+        """Primitive-dict form for JSON serialization."""
         return {
             "student": self.student,
             "suite": self.suite,
@@ -186,6 +201,7 @@ class SubmissionRecord:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SubmissionRecord":
+        """Rebuild from :meth:`to_dict` output (tolerant of omissions)."""
         seed = data.get("schedule_seed")
         return cls(
             student=data["student"],
@@ -202,14 +218,17 @@ class SubmissionRecord:
 
     @property
     def score(self) -> float:
+        """Points earned across all tests of the suite."""
         return sum(t.score for t in self.tests)
 
     @property
     def max_score(self) -> float:
+        """Points possible across all tests of the suite."""
         return sum(t.max_score for t in self.tests)
 
     @property
     def percent(self) -> float:
+        """Score as a percentage of the maximum (0.0 when unscored)."""
         return 100.0 * self.score / self.max_score if self.max_score else 0.0
 
     @property
@@ -233,6 +252,7 @@ class SubmissionRecord:
         )
 
     def failed_aspects(self) -> List[str]:
+        """Names of every failed aspect across the suite, in order."""
         aspects: List[str] = []
         for test in self.tests:
             aspects.extend(test.failed_aspects())

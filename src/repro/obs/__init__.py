@@ -1,0 +1,62 @@
+"""``repro.obs``: zero-dependency observability for the grading stack.
+
+Two primitives, both thread-safe and cheap enough to stay on by default
+(ablation-checked at ≤5% on the trace-overhead workload):
+
+- a **metrics registry** — counters, gauges, and histograms with fixed
+  bucket boundaries (:mod:`repro.obs.metrics`);
+- **spans** — name, attributes, monotonic start/duration, and the
+  enclosing span's id, nested per thread (:mod:`repro.obs.spans`).
+
+The execution stack is instrumented end to end: trace-session ingest,
+both runners, the grading supervisor (queue wait, attempts, retries,
+watchdog kills, restaffs), schedule exploration, and the performance
+checker's timing loop.  One grading run exports one JSONL dump
+(:mod:`repro.obs.export`), which ``repro timeline`` renders as
+per-submission span trees and ``repro stats`` as aggregate quantiles
+(:mod:`repro.obs.views`).
+
+Set ``REPRO_OBS=off`` to disable collection entirely; see
+``docs/observability.md`` for the model, naming conventions, and export
+format.
+"""
+
+from repro.obs.export import ObsDump, dump_jsonl, load_jsonl
+from repro.obs.metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram
+from repro.obs.registry import (
+    OBS_ENV_VAR,
+    ObsRegistry,
+    get_registry,
+    obs_enabled,
+    reset_registry,
+    use_registry,
+)
+from repro.obs.spans import NULL_SPAN, Span
+from repro.obs.views import (
+    render_span_tree,
+    render_stats,
+    render_timeline,
+    submission_timings,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "Span",
+    "NULL_SPAN",
+    "ObsRegistry",
+    "ObsDump",
+    "OBS_ENV_VAR",
+    "get_registry",
+    "reset_registry",
+    "use_registry",
+    "obs_enabled",
+    "dump_jsonl",
+    "load_jsonl",
+    "render_timeline",
+    "render_stats",
+    "render_span_tree",
+    "submission_timings",
+]

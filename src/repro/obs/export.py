@@ -1,0 +1,98 @@
+"""JSONL export of one grading run's spans and metrics.
+
+The dump is one self-describing JSON object per line, ``type``-tagged:
+
+- ``{"type": "meta", "version": 1, "written_at": <wall seconds>}``
+- ``{"type": "span", "id": 7, "parent": 3, "name": "runner.run",
+  "start": 0.12, "duration": 0.05, "thread": "grading-worker-0",
+  "attrs": {...}}``
+- ``{"type": "counter", "name": "supervisor.retries", "value": 2}``
+- ``{"type": "gauge", ...}`` / ``{"type": "histogram", ...}``
+
+``repro timeline`` and ``repro stats`` read this file back; unknown
+``type`` tags are ignored so the format can grow.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List
+
+from repro.obs.metrics import Histogram
+from repro.obs.registry import ObsRegistry
+from repro.obs.spans import Span
+
+__all__ = ["ObsDump", "dump_jsonl", "load_jsonl"]
+
+#: Format version stamped into the meta line.
+DUMP_VERSION = 1
+
+
+@dataclass
+class ObsDump:
+    """A loaded span/metric dump, ready for rendering."""
+
+    spans: List[Span] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
+
+    @property
+    def empty(self) -> bool:
+        """True when the dump holds no spans and no metrics."""
+        return not (self.spans or self.counters or self.gauges or self.histograms)
+
+
+def dump_jsonl(registry: ObsRegistry, path: Path | str) -> Path:
+    """Write *registry*'s spans and metrics to *path*; returns the path.
+
+    The file is written whole (not appended): one dump describes one
+    grading run.
+    """
+    target = Path(path)
+    lines = [
+        json.dumps(
+            {"type": "meta", "version": DUMP_VERSION, "written_at": time.time()}
+        )
+    ]
+    for span in registry.spans():
+        lines.append(json.dumps(span.to_dict(), default=str))
+    for counter in registry.counters().values():
+        lines.append(json.dumps(counter.to_dict()))
+    for gauge in registry.gauges().values():
+        lines.append(json.dumps(gauge.to_dict()))
+    for histogram in registry.histograms().values():
+        lines.append(json.dumps(histogram.to_dict()))
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text("\n".join(lines) + "\n")
+    return target
+
+
+def load_jsonl(path: Path | str) -> ObsDump:
+    """Read a dump written by :func:`dump_jsonl`.
+
+    Blank lines and unknown ``type`` tags are skipped; a syntactically
+    corrupt line raises ``ValueError`` naming the line number.
+    """
+    dump = ObsDump()
+    for index, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: corrupt obs line {index}: {exc}") from exc
+        kind = data.get("type")
+        if kind == "span":
+            dump.spans.append(Span.from_dict(data))
+        elif kind == "counter":
+            dump.counters[data["name"]] = int(data.get("value", 0))
+        elif kind == "gauge":
+            dump.gauges[data["name"]] = float(data.get("value", 0.0))
+        elif kind == "histogram":
+            dump.histograms[data["name"]] = Histogram.from_dict(data)
+        # meta and future tags: ignored
+    return dump

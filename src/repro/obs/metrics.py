@@ -1,0 +1,260 @@
+"""Metric primitives: counters, gauges, and fixed-bucket histograms.
+
+Zero-dependency and thread-safe.  All three types are cheap enough to
+stay on by default: a counter increment is one lock acquisition and one
+integer add; a histogram observation adds one bisection over a small,
+*fixed* boundary tuple.  Boundaries are fixed at construction (never
+rebalanced) so two dumps of the same metric are always mergeable
+bucket-by-bucket, and quantile estimates are reproducible.
+
+Naming convention (enforced socially, documented in
+``docs/observability.md``): dot-separated lowercase
+``<subsystem>.<thing>``; histograms carry a unit suffix
+(``runner.run.seconds``).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "DEFAULT_BUCKETS"]
+
+#: Default histogram boundaries (seconds): spans the few-millisecond
+#: in-process runs through the 30 s default program timeout.  Each
+#: bucket counts observations ``<= boundary``; one overflow bucket
+#: catches the rest.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count (events, retries, kills)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        """Create the counter named *name*, starting at zero."""
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (default 1) to the counter."""
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """The current count."""
+        with self._lock:
+            return self._value
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serializable shadow (one JSONL line of the export format)."""
+        return {"type": "counter", "name": self.name, "value": self.value}
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, live workers)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        """Create the gauge named *name*, starting at zero."""
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Set the gauge to *value*."""
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Adjust the gauge by *delta* (may be negative)."""
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        """The current value."""
+        with self._lock:
+            return self._value
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serializable shadow (one JSONL line of the export format)."""
+        return {"type": "gauge", "name": self.name, "value": self.value}
+
+
+class Histogram:
+    """Fixed-boundary histogram with conservative quantile estimates.
+
+    Bucket ``i`` counts observations ``<= boundaries[i]``; observations
+    above the last boundary land in the overflow bucket.  Quantiles are
+    estimated as the *upper boundary* of the bucket containing the
+    requested rank (the overflow bucket reports the observed maximum),
+    so an estimate never understates the true quantile.
+    """
+
+    __slots__ = (
+        "name",
+        "boundaries",
+        "_counts",
+        "_sum",
+        "_count",
+        "_min",
+        "_max",
+        "_lock",
+    )
+
+    def __init__(
+        self, name: str, boundaries: Optional[Sequence[float]] = None
+    ) -> None:
+        """Create the histogram with *boundaries* (default bucket set)."""
+        self.name = name
+        bounds = tuple(boundaries) if boundaries is not None else DEFAULT_BUCKETS
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram boundaries must be sorted and non-empty")
+        self.boundaries: Tuple[float, ...] = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1 = overflow
+        self._sum = 0.0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = bisect_left(self.boundaries, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        with self._lock:
+            return self._count
+
+    @property
+    def total(self) -> float:
+        """Sum of all observations."""
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (NaN when empty)."""
+        with self._lock:
+            return self._sum / self._count if self._count else math.nan
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation (NaN when empty)."""
+        with self._lock:
+            return self._min if self._count else math.nan
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation (NaN when empty)."""
+        with self._lock:
+            return self._max if self._count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Estimate the *q* quantile (0 < q <= 1) from the buckets.
+
+        Returns the upper boundary of the bucket holding the ``ceil(q *
+        count)``-th observation; the overflow bucket reports the exact
+        observed maximum.  NaN when the histogram is empty.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q must be in (0, 1]")
+        with self._lock:
+            if not self._count:
+                return math.nan
+            rank = math.ceil(q * self._count)
+            cumulative = 0
+            for index, bucket_count in enumerate(self._counts):
+                cumulative += bucket_count
+                if cumulative >= rank:
+                    if index < len(self.boundaries):
+                        return self.boundaries[index]
+                    return self._max
+            return self._max  # pragma: no cover - rank <= count always hits
+
+    @property
+    def p50(self) -> float:
+        """Estimated median."""
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        """Estimated 95th percentile."""
+        return self.quantile(0.95)
+
+    # ------------------------------------------------------------------
+    def bucket_counts(self) -> List[Tuple[Optional[float], int]]:
+        """``(upper_boundary, count)`` pairs; ``None`` = overflow bucket."""
+        with self._lock:
+            pairs: List[Tuple[Optional[float], int]] = [
+                (bound, self._counts[i]) for i, bound in enumerate(self.boundaries)
+            ]
+            pairs.append((None, self._counts[-1]))
+            return pairs
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serializable shadow (one JSONL line of the export format)."""
+        with self._lock:
+            return {
+                "type": "histogram",
+                "name": self.name,
+                "count": self._count,
+                "sum": round(self._sum, 9),
+                "min": None if not self._count else round(self._min, 9),
+                "max": None if not self._count else round(self._max, 9),
+                "boundaries": list(self.boundaries),
+                "counts": list(self._counts),
+            }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Histogram":
+        """Rebuild a histogram from :meth:`to_dict` output (for dumps)."""
+        hist = cls(data["name"], data.get("boundaries") or DEFAULT_BUCKETS)
+        counts = list(data.get("counts", []))
+        if len(counts) != len(hist._counts):
+            raise ValueError(
+                f"histogram {data['name']!r}: {len(counts)} bucket counts "
+                f"for {len(hist._counts)} buckets"
+            )
+        hist._counts = counts
+        hist._count = int(data.get("count", sum(counts)))
+        hist._sum = float(data.get("sum", 0.0))
+        minimum = data.get("min")
+        maximum = data.get("max")
+        hist._min = math.inf if minimum is None else float(minimum)
+        hist._max = -math.inf if maximum is None else float(maximum)
+        return hist

@@ -1,0 +1,90 @@
+"""Lightweight spans: named, nested, monotonic-clocked durations.
+
+A span records *where one stretch of time went*: a name, key/value
+attributes, a start instant on the monotonic clock (relative to the
+owning registry's epoch, so dumps are small and wall-clock jumps cannot
+reorder them), a duration, and the id of the enclosing span on the same
+thread.  Nesting is tracked with a per-thread stack, which matches how
+the execution stack actually nests — a supervisor attempt encloses a
+runner invocation encloses a trace-session ingest, all on one worker
+thread.
+
+Spans are deliberately *not* OpenTelemetry: no sampling, no context
+propagation, no exporters — just enough structure for ``repro
+timeline`` to render an indented tree with durations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["Span", "NULL_SPAN"]
+
+
+@dataclass
+class Span:
+    """One named stretch of time, possibly nested inside another span."""
+
+    span_id: int
+    name: str
+    #: Monotonic seconds since the owning registry's epoch.
+    start: float
+    parent_id: Optional[int] = None
+    duration: float = 0.0
+    thread: str = ""
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def set(self, **attrs: Any) -> None:
+        """Attach (or overwrite) attributes on the span."""
+        self.attrs.update(attrs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serializable shadow (one JSONL line of the export format)."""
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": round(self.start, 6),
+            "duration": round(self.duration, 6),
+            "thread": self.thread,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        """Rebuild a span from :meth:`to_dict` output (for dumps)."""
+        return cls(
+            span_id=int(data["id"]),
+            name=data["name"],
+            start=float(data.get("start", 0.0)),
+            parent_id=None if data.get("parent") is None else int(data["parent"]),
+            duration=float(data.get("duration", 0.0)),
+            thread=data.get("thread", ""),
+            attrs=dict(data.get("attrs", {})),
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out when observability is off.
+
+    Call sites keep a single unconditional code shape — ``sp.set(...)``
+    works either way — and the disabled path allocates nothing.
+    """
+
+    __slots__ = ()
+    span_id = -1
+    parent_id = None
+    name = ""
+    start = 0.0
+    duration = 0.0
+    thread = ""
+    attrs: Dict[str, Any] = {}
+
+    def set(self, **attrs: Any) -> None:
+        """No-op."""
+
+
+#: The singleton disabled span.
+NULL_SPAN = _NullSpan()

@@ -1,0 +1,230 @@
+"""Operator-facing renderings of a span/metric dump.
+
+Two views, matching the two questions an instructor asks after a batch:
+
+- :func:`render_timeline` — *where did this submission's time go?*
+  Spans as an indented tree with durations, grouped per submission
+  (``repro timeline`` on the command line).
+- :func:`render_stats` — *how did the batch behave in aggregate?*
+  Histogram quantiles (p50/p95 run time), retry/kill counters, and
+  schedules explored (``repro stats``).
+
+Both render from either a live :class:`~repro.obs.registry.ObsRegistry`
+or a loaded :class:`~repro.obs.export.ObsDump`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.export import ObsDump
+from repro.obs.metrics import Histogram
+from repro.obs.registry import ObsRegistry
+from repro.obs.spans import Span
+
+__all__ = [
+    "render_timeline",
+    "render_stats",
+    "render_span_tree",
+    "submission_timings",
+]
+
+Source = Union[ObsRegistry, ObsDump]
+
+
+def _spans_of(source: Source) -> List[Span]:
+    if isinstance(source, ObsRegistry):
+        return source.spans()
+    return list(source.spans)
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds < 0.0005:
+        return f"{seconds * 1e6:.0f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.3f}s"
+
+
+def _span_label(span: Span) -> str:
+    shown = {
+        key: value
+        for key, value in span.attrs.items()
+        if value is not None and value != ""
+    }
+    attrs = (
+        "  {" + " ".join(f"{k}={v}" for k, v in sorted(shown.items())) + "}"
+        if shown
+        else ""
+    )
+    return f"{span.name} — {_format_duration(span.duration)}{attrs}"
+
+
+def _tree_index(
+    spans: Sequence[Span],
+) -> Tuple[List[Span], Dict[int, List[Span]]]:
+    """Split spans into roots and a parent-id -> children map.
+
+    A span whose parent never completed (e.g. an abandoned worker's
+    enclosing span) is promoted to a root rather than dropped.
+    """
+    by_id = {span.span_id: span for span in spans}
+    roots: List[Span] = []
+    children: Dict[int, List[Span]] = {}
+    for span in spans:
+        if span.parent_id is not None and span.parent_id in by_id:
+            children.setdefault(span.parent_id, []).append(span)
+        else:
+            roots.append(span)
+    roots.sort(key=lambda s: s.start)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: s.start)
+    return roots, children
+
+
+def render_span_tree(
+    spans: Sequence[Span], *, indent: str = "  "
+) -> str:
+    """Render *spans* as an indented tree with durations."""
+    roots, children = _tree_index(spans)
+    lines: List[str] = []
+
+    def walk(span: Span, depth: int) -> None:
+        lines.append(f"{indent * depth}{_span_label(span)}")
+        for child in children.get(span.span_id, []):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def render_timeline(source: Source, *, submission: Optional[str] = None) -> str:
+    """The per-submission timeline view of a grading run.
+
+    Top-level ``supervisor.submission`` spans become per-submission
+    sections headed by the student name; spans outside any submission
+    (a bare ``run``/``explore`` invocation) are listed under an
+    "ungrouped" section.  *submission* filters to one student or
+    tested-program identifier.
+    """
+    spans = _spans_of(source)
+    if not spans:
+        return "no spans recorded (was the run made with observability on?)"
+    roots, children = _tree_index(spans)
+
+    def subtree(root: Span) -> List[Span]:
+        collected = [root]
+        for child in children.get(root.span_id, []):
+            collected.extend(subtree(child))
+        return collected
+
+    sections: List[str] = []
+    ungrouped: List[Span] = []
+    for root in roots:
+        student = root.attrs.get("student") or root.attrs.get("identifier")
+        if root.name == "supervisor.submission" and student:
+            if submission and submission not in (
+                root.attrs.get("student"),
+                root.attrs.get("identifier"),
+            ):
+                continue
+            body = render_span_tree(subtree(root))
+            sections.append(f"=== {student} ===\n{body}")
+        else:
+            ungrouped.extend(subtree(root))
+    if ungrouped and not submission:
+        sections.append("=== (ungrouped) ===\n" + render_span_tree(ungrouped))
+    if not sections:
+        return f"no spans matched submission {submission!r}"
+    return "\n\n".join(sections)
+
+
+def submission_timings(source: Source) -> Dict[str, Dict[str, object]]:
+    """Per-submission timing summary for gradebook/report integration.
+
+    Maps student name to ``{"duration": seconds, "attempts": n,
+    "tree": rendered span tree}`` built from that student's
+    ``supervisor.submission`` span (the latest one, when retried
+    batches produced several).
+    """
+    spans = _spans_of(source)
+    roots, children = _tree_index(spans)
+
+    def subtree(root: Span) -> List[Span]:
+        collected = [root]
+        for child in children.get(root.span_id, []):
+            collected.extend(subtree(child))
+        return collected
+
+    timings: Dict[str, Dict[str, object]] = {}
+    for root in roots:
+        if root.name != "supervisor.submission":
+            continue
+        student = root.attrs.get("student")
+        if not student:
+            continue
+        timings[str(student)] = {
+            "duration": root.duration,
+            "attempts": root.attrs.get("attempts", 1),
+            "tree": render_span_tree(subtree(root)),
+        }
+    return timings
+
+
+def _histogram_rows(histograms: Dict[str, Histogram]) -> List[str]:
+    rows: List[str] = []
+    name_width = max((len(name) for name in histograms), default=0)
+    name_width = max(name_width, len("histogram"))
+    header = (
+        f"  {'histogram':<{name_width}}  {'count':>6}  {'p50':>10}  "
+        f"{'p95':>10}  {'max':>10}  {'total':>10}"
+    )
+    rows.append(header)
+    for name in sorted(histograms):
+        hist = histograms[name]
+        if not hist.count:
+            continue
+
+        def fmt(value: float) -> str:
+            return "-" if math.isnan(value) else _format_duration(value)
+
+        rows.append(
+            f"  {name:<{name_width}}  {hist.count:>6}  {fmt(hist.p50):>10}  "
+            f"{fmt(hist.p95):>10}  {fmt(hist.maximum):>10}  "
+            f"{fmt(hist.total):>10}"
+        )
+    return rows
+
+
+def render_stats(source: Source) -> str:
+    """Aggregate statistics of a grading run's dump.
+
+    Histogram quantiles first (run times dominate the reading), then
+    counters (retries, watchdog kills, schedules explored), then gauges.
+    """
+    if isinstance(source, ObsRegistry):
+        histograms = source.histograms()
+        counters = {n: c.value for n, c in source.counters().items()}
+        gauges = {n: g.value for n, g in source.gauges().items()}
+    else:
+        histograms = source.histograms
+        counters = source.counters
+        gauges = source.gauges
+    if not histograms and not counters and not gauges:
+        return "no metrics recorded (was the run made with observability on?)"
+    lines: List[str] = []
+    populated = {n: h for n, h in histograms.items() if h.count}
+    if populated:
+        lines.append("histograms (bucket-estimated quantiles):")
+        lines.extend(_histogram_rows(populated))
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name} = {counters[name]}")
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {name} = {gauges[name]:g}")
+    return "\n".join(lines)

@@ -18,6 +18,7 @@ import threading
 from typing import Any, Callable, List, Optional
 
 from repro.eventdb.database import EventDatabase
+from repro.obs import get_registry as _obs_registry
 from repro.tracing.formatting import format_property_line
 from repro.tracing.interceptor import PrintPatch, RedirectingWriter
 from repro.tracing.observable import ObserverRegistry, PrintObserver
@@ -102,6 +103,10 @@ class TraceSession:
         #: :class:`repro.execution.scheduling.ScheduledBackend`; ``None``
         #: (the default) costs nothing.
         self.yield_hook: Optional[Callable[[], None]] = None
+        #: Observability span covering install → uninstall (property-event
+        #: ingestion).  Event counting happens once at teardown from the
+        #: database size, so the per-event hot path carries no obs cost.
+        self._obs_span = None
 
     # ------------------------------------------------------------------
     # Activation
@@ -135,12 +140,21 @@ class TraceSession:
             self._print_patch = PrintPatch(self, self._writer)
             self._print_patch.install()
             _current = self
+            self._obs_span = _obs_registry().begin_span(
+                "session.ingest", hidden=self.hidden or None
+            )
 
     def _uninstall(self) -> None:
         global _current
         with _session_lock:
             if _current is not self:
                 return
+            if self._obs_span is not None:
+                obs = _obs_registry()
+                events = len(self.database)
+                obs.end_span(self._obs_span, events=events)
+                obs.counter("session.events").inc(events)
+                self._obs_span = None
             if self._writer is not None:
                 self._writer.close_line_buffers()
             if self._print_patch is not None:

@@ -1,0 +1,147 @@
+"""Tests of gradebook exports: CSV, markdown timings, HTML class report.
+
+Golden-file style: the CSV and markdown renderers are checked against
+exact expected text (they are hand-off formats — a silent column shuffle
+corrupts an LMS import), the JSON gradebook against a save/load
+round-trip, and the HTML class report against its structural invariants
+(summary rows linking ``#timing-<student>`` anchors to span-tree
+sections).
+"""
+
+from __future__ import annotations
+
+from repro.grading.export import (
+    gradebook_csv,
+    gradebook_markdown,
+    write_gradebook_csv,
+)
+from repro.grading.gradebook import Gradebook
+from repro.grading.html_report import gradebook_html, write_gradebook_html
+from repro.grading.logs import ProgressLog
+from repro.grading.records import SubmissionRecord
+from repro.testfw.result import SuiteResult, TestResult
+
+
+def make_suite_result(score: float) -> SuiteResult:
+    return SuiteResult("primes", [TestResult("Functionality", score, 40.0)])
+
+
+def make_gradebook() -> Gradebook:
+    book = Gradebook("primes")
+    book.record(
+        SubmissionRecord.from_suite_result(
+            "alice", make_suite_result(40.0), timestamp=1
+        )
+    )
+    book.record(
+        SubmissionRecord.from_suite_result(
+            "bob", make_suite_result(20.0), timestamp=1
+        )
+    )
+    book.record(
+        SubmissionRecord.from_suite_result(
+            "bob",
+            make_suite_result(30.0),
+            timestamp=2,
+            failure_kind="timeout",
+            schedule_seed=7,
+        )
+    )
+    return book
+
+
+class TestCsvExport:
+    def test_golden_render(self):
+        expected = (
+            "student,best_score,max_score,best_percent,latest_percent,"
+            "submissions,failure_kind,schedule_seed\n"
+            "alice,40,40,100.0,100.0,1,ok,\n"
+            "bob,30,40,75.0,75.0,2,timeout,7\n"
+        )
+        assert gradebook_csv(make_gradebook()) == expected
+
+    def test_write_and_reparse(self, tmp_path):
+        import csv
+
+        path = write_gradebook_csv(make_gradebook(), tmp_path / "book.csv")
+        rows = list(csv.DictReader(path.read_text().splitlines()))
+        assert [row["student"] for row in rows] == ["alice", "bob"]
+        assert rows[1]["schedule_seed"] == "7"
+
+
+class TestJsonRoundTrip:
+    def test_save_load_preserves_everything(self, tmp_path):
+        book = make_gradebook()
+        path = tmp_path / "book.json"
+        book.save(path)
+        clone = Gradebook.load(path)
+        assert clone.students() == book.students()
+        assert clone.class_percentages() == book.class_percentages()
+        latest = clone.latest("bob")
+        assert latest is not None
+        assert latest.failure_kind == "timeout"
+        assert latest.schedule_seed == 7
+        # the CSV of the reloaded book is byte-identical
+        assert gradebook_csv(clone) == gradebook_csv(book)
+
+
+class TestMarkdownTimings:
+    def test_without_timings_is_unchanged_shape(self):
+        text = gradebook_markdown(make_gradebook())
+        assert "| student | best | latest | submissions |" in text
+        assert "grading time" not in text
+
+    def test_timings_add_a_column(self):
+        timings = {"alice": {"duration": 1.25, "attempts": 1}}
+        text = gradebook_markdown(make_gradebook(), timings=timings)
+        assert "| student | best | latest | submissions | grading time |" in text
+        assert "| alice | 100% | 100% | 1 | 1.25s |" in text
+        assert "| bob | 75% | 75% | 2 | — |" in text
+
+
+class TestGradebookHtml:
+    def test_summary_rows_link_timing_sections(self, tmp_path):
+        timelines = {
+            "alice": {
+                "duration": 2.5,
+                "attempts": 3,
+                "tree": "supervisor.submission — 2.500s\n  runner.run — 1.0ms",
+            }
+        }
+        path = write_gradebook_html(
+            make_gradebook(), tmp_path / "class.html", timelines=timelines
+        )
+        text = path.read_text()
+        assert '<a href="#timing-alice">2.50s</a>' in text
+        assert '<h2 id="timing-alice">' in text
+        assert "3 attempt(s)" in text
+        assert "supervisor.submission" in text  # the span tree section
+        assert "bob" in text  # row rendered even without a timeline
+
+    def test_without_timelines_no_timing_column(self):
+        text = gradebook_html(make_gradebook())
+        assert "grading time" not in text
+        assert "timing-" not in text
+        assert "Class mean" in text
+
+    def test_failure_kind_badges(self):
+        text = gradebook_html(make_gradebook())
+        assert '<span class="status passed">ok</span>' in text
+        assert '<span class="status failed">timeout</span>' in text
+
+
+class TestProgressLogElapsed:
+    def test_log_run_stamps_monotonic_elapsed(self):
+        log = ProgressLog()
+        first = log.log_run("alice", make_suite_result(10.0))
+        second = log.log_run("alice", make_suite_result(20.0))
+        assert first.elapsed > 0.0
+        assert second.elapsed >= first.elapsed
+
+    def test_elapsed_survives_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "progress.jsonl"
+        log = ProgressLog(path)
+        record = log.log_run("bob", make_suite_result(10.0))
+        reloaded = ProgressLog(path).entries()[0]
+        assert reloaded.elapsed == record.elapsed
+        assert reloaded.timestamp == record.timestamp

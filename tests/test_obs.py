@@ -1,0 +1,320 @@
+"""Tests of the observability subsystem: metrics, spans, export, views.
+
+Covers the primitives in isolation (histogram bucketing and conservative
+quantiles, span nesting and per-thread isolation, the disabled null
+path), the JSONL dump round-trip, the operator-facing renderings, and an
+end-to-end supervisor batch whose dump must contain spans from every
+instrumented layer (submission → attempt → runner → session ingest, plus
+schedule exploration).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.execution.supervisor import GradingSupervisor
+from repro.graders import PrimesFunctionality
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    NULL_SPAN,
+    Counter,
+    Gauge,
+    Histogram,
+    ObsRegistry,
+    dump_jsonl,
+    load_jsonl,
+    render_span_tree,
+    render_stats,
+    render_timeline,
+    reset_registry,
+    submission_timings,
+    use_registry,
+)
+from repro.obs.registry import OBS_ENV_VAR, _env_enabled
+from repro.testfw.suite import TestSuite
+
+
+@pytest.fixture
+def registry():
+    """A fresh, enabled registry installed as the process default."""
+    fresh = ObsRegistry(enabled=True)
+    with use_registry(fresh):
+        yield fresh
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.to_dict() == {"type": "counter", "name": "c", "value": 5}
+
+    def test_gauge_set_and_add(self):
+        gauge = Gauge("g")
+        gauge.set(3.0)
+        gauge.add(-1.5)
+        assert gauge.value == 1.5
+
+    def test_histogram_bucketing_boundaries_inclusive(self):
+        hist = Histogram("h", boundaries=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 9.0):
+            hist.observe(value)
+        # bucket i counts observations <= boundaries[i]; last is overflow
+        assert [count for _, count in hist.bucket_counts()] == [2, 2, 2, 1]
+        assert hist.count == 7
+        assert hist.minimum == 0.5
+        assert hist.maximum == 9.0
+        assert hist.total == pytest.approx(21.0)
+
+    def test_histogram_quantile_is_conservative(self):
+        hist = Histogram("h", boundaries=(1.0, 2.0, 4.0))
+        for value in (0.5, 0.6, 0.7, 3.0):
+            hist.observe(value)
+        # ceil(0.5 * 4) = 2nd observation sits in the <=1.0 bucket; the
+        # estimate is that bucket's upper boundary — never understating.
+        assert hist.quantile(0.5) == 1.0
+        assert hist.p95 == 4.0
+
+    def test_histogram_overflow_quantile_reports_observed_max(self):
+        hist = Histogram("h", boundaries=(1.0,))
+        hist.observe(17.5)
+        assert hist.quantile(1.0) == 17.5
+
+    def test_histogram_empty_quantile_is_nan(self):
+        hist = Histogram("h")
+        assert math.isnan(hist.quantile(0.5))
+        assert math.isnan(hist.mean)
+
+    def test_histogram_rejects_unsorted_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram("h", boundaries=(2.0, 1.0))
+
+    def test_histogram_dict_round_trip(self):
+        hist = Histogram("h")
+        for value in (0.002, 0.3, 45.0, 120.0):
+            hist.observe(value)
+        clone = Histogram.from_dict(hist.to_dict())
+        assert clone.boundaries == DEFAULT_BUCKETS
+        assert clone.count == hist.count
+        assert clone.p50 == hist.p50
+        assert clone.maximum == hist.maximum
+
+    def test_registry_metrics_are_get_or_create(self, registry):
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("b") is registry.histogram("b")
+        assert registry.gauge("c") is registry.gauge("c")
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+class TestSpans:
+    def test_nesting_records_parent_ids(self, registry):
+        with registry.span("outer") as outer:
+            with registry.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert outer.duration >= inner.duration >= 0.0
+        # completion order: inner closes first
+        assert [s.name for s in registry.spans()] == ["inner", "outer"]
+
+    def test_span_attrs_set_at_open_and_close(self, registry):
+        span = registry.begin_span("s", a=1)
+        span.set(b=2)
+        registry.end_span(span, c=3)
+        assert registry.spans()[0].attrs == {"a": 1, "b": 2, "c": 3}
+
+    def test_threads_have_independent_stacks(self, registry):
+        ready = threading.Barrier(2)
+        seen = {}
+
+        def worker(name):
+            with registry.span(name):
+                ready.wait(timeout=5)
+                seen[name] = registry._stack()[-1].name
+                ready.wait(timeout=5)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Each thread saw its own span on top — never the sibling's.
+        assert seen == {"t0": "t0", "t1": "t1"}
+        assert all(s.parent_id is None for s in registry.spans())
+
+    def test_end_span_unwinds_leaked_children(self, registry):
+        outer = registry.begin_span("outer")
+        registry.begin_span("leaked")  # never closed (simulated crash)
+        registry.end_span(outer)
+        with registry.span("after") as after:
+            pass
+        # The leaked span must not become "after"'s parent.
+        assert after.parent_id is None
+
+    def test_disabled_registry_hands_out_null_objects(self):
+        registry = ObsRegistry(enabled=False)
+        assert registry.begin_span("s") is NULL_SPAN
+        NULL_SPAN.set(anything=1)  # no-op, no error
+        registry.counter("c").inc()
+        registry.histogram("h").observe(1.0)
+        registry.gauge("g").set(2.0)
+        assert registry.spans() == []
+        assert registry.counters() == {}
+        assert registry.histograms() == {}
+
+    def test_env_gate(self, monkeypatch):
+        for off in ("off", "0", "false", "no", " OFF "):
+            monkeypatch.setenv(OBS_ENV_VAR, off)
+            assert not _env_enabled()
+        monkeypatch.setenv(OBS_ENV_VAR, "on")
+        assert _env_enabled()
+        monkeypatch.delenv(OBS_ENV_VAR)
+        assert _env_enabled()
+
+    def test_reset_registry_replaces_default(self):
+        first = reset_registry(enabled=True)
+        second = reset_registry(enabled=True)
+        assert first is not second
+
+
+# ----------------------------------------------------------------------
+# Export round-trip
+# ----------------------------------------------------------------------
+class TestExport:
+    def test_dump_and_load_round_trip(self, registry, tmp_path):
+        with registry.span("outer", student="alice"):
+            with registry.span("inner"):
+                pass
+        registry.counter("supervisor.retries").inc(2)
+        registry.gauge("workers").set(4)
+        registry.histogram("runner.run.seconds").observe(0.02)
+
+        path = dump_jsonl(registry, tmp_path / "obs.jsonl")
+        dump = load_jsonl(path)
+
+        assert not dump.empty
+        assert [s.name for s in dump.spans] == ["inner", "outer"]
+        assert dump.spans[0].parent_id == dump.spans[1].span_id
+        assert dump.spans[1].attrs == {"student": "alice"}
+        assert dump.counters == {"supervisor.retries": 2}
+        assert dump.gauges == {"workers": 4.0}
+        assert dump.histograms["runner.run.seconds"].count == 1
+
+    def test_load_skips_blank_and_unknown_lines(self, registry, tmp_path):
+        path = dump_jsonl(registry, tmp_path / "obs.jsonl")
+        path.write_text(
+            path.read_text() + '\n{"type": "future-thing", "x": 1}\n\n'
+        )
+        assert load_jsonl(path).empty  # nothing was recorded
+
+    def test_load_raises_on_corrupt_line(self, tmp_path):
+        path = tmp_path / "obs.jsonl"
+        path.write_text('{"type": "meta", "version": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            load_jsonl(path)
+
+
+# ----------------------------------------------------------------------
+# Views
+# ----------------------------------------------------------------------
+class TestViews:
+    def test_render_span_tree_indents_children(self, registry):
+        with registry.span("parent"):
+            with registry.span("child"):
+                pass
+        tree = render_span_tree(registry.spans())
+        lines = tree.splitlines()
+        assert lines[0].startswith("parent")
+        assert lines[1].startswith("  child")
+
+    def test_render_timeline_groups_by_submission(self, registry):
+        with registry.span("supervisor.submission", student="alice"):
+            with registry.span("runner.run"):
+                pass
+        with registry.span("supervisor.submission", student="bob"):
+            pass
+        with registry.span("explore.schedule"):
+            pass
+        text = render_timeline(registry)
+        assert "=== alice ===" in text
+        assert "=== bob ===" in text
+        assert "=== (ungrouped) ===" in text
+        only_alice = render_timeline(registry, submission="alice")
+        assert "alice" in only_alice and "bob" not in only_alice
+
+    def test_render_timeline_empty_message(self, registry):
+        assert "no spans recorded" in render_timeline(registry)
+        assert "no metrics recorded" in render_stats(registry)
+
+    def test_submission_timings(self, registry):
+        with registry.span("supervisor.submission", student="alice", attempts=2):
+            with registry.span("runner.run"):
+                pass
+        timings = submission_timings(registry)
+        assert set(timings) == {"alice"}
+        assert timings["alice"]["attempts"] == 2
+        assert timings["alice"]["duration"] > 0
+        assert "runner.run" in timings["alice"]["tree"]
+
+    def test_render_stats_from_dump(self, registry, tmp_path):
+        registry.counter("supervisor.retries").inc()
+        registry.histogram("runner.run.seconds").observe(0.004)
+        dump = load_jsonl(dump_jsonl(registry, tmp_path / "obs.jsonl"))
+        text = render_stats(dump)
+        assert "supervisor.retries = 1" in text
+        assert "runner.run.seconds" in text
+
+
+# ----------------------------------------------------------------------
+# End-to-end: a supervised batch emits spans from every layer
+# ----------------------------------------------------------------------
+class TestSupervisorIntegration:
+    def test_batch_dump_covers_the_stack(self, registry, tmp_path):
+        factory = lambda ident: TestSuite(  # noqa: E731
+            "primes", [PrimesFunctionality(ident)]
+        )
+        supervisor = GradingSupervisor(
+            factory, jobs=2, explore_schedules=2, explore_seed=0
+        )
+        supervisor.grade(
+            {
+                "primes.correct": "primes.correct",
+                "primes.racy": "primes.racy",
+            }
+        )
+        path = dump_jsonl(registry, tmp_path / "obs.jsonl")
+        dump = load_jsonl(path)
+
+        names = {span.name for span in dump.spans}
+        assert {
+            "supervisor.submission",
+            "supervisor.attempt",
+            "runner.run",
+            "session.ingest",
+        } <= names
+        # primes.racy fails under free-running retries → exploration ran
+        assert "supervisor.explore" in names
+        assert dump.counters.get("explore.schedules", 0) >= 1
+        assert dump.histograms["supervisor.submission.seconds"].count == 2
+
+        # the timeline groups both submissions and nests the stack
+        timeline = render_timeline(dump)
+        assert "=== primes.correct ===" in timeline
+        assert "=== primes.racy ===" in timeline
+
+        timings = submission_timings(dump)
+        assert set(timings) == {"primes.correct", "primes.racy"}
+
+        stats = render_stats(dump)
+        assert "supervisor.submission.seconds" in stats
