@@ -1,21 +1,44 @@
-"""Scale benches: grading throughput and trace-volume scaling.
+"""Scale benches: grading throughput, trace volume, and crash recovery.
 
 Not a paper artifact, but the operational questions an adopting course
 staff asks first: how fast does one functionality check run (can it sit
 behind an interactive UI / a submission hook?), how does checking cost
-grow with trace volume, and how long does sweeping a whole class take.
+grow with trace volume, how long does sweeping a whole class take — and
+does the sharded grading service really come back from a ``kill -9``
+with the exact same gradebook at MOOC scale.
+
+The headline bench grades a 10,000-submission synthetic class through
+``GradingService`` three times: undisturbed, disturbed (one shard worker
+SIGKILLed mid-batch plus a coordinator drain), and resumed.  The
+disturbed + resumed gradebook must be byte-identical (modulo timestamps)
+to the undisturbed one.  Timings and verification results are published
+as ``BENCH_scale_grading.json`` (path override: ``SCALE_GRADING_JSON``;
+class size override: ``SCALE_GRADING_CLASS_SIZE``).
 """
 
 from __future__ import annotations
 
+import json
+import os
+import threading
+import time
+import warnings
+
 import pytest
 
 from benchmarks.conftest import emit
+from repro.execution.faults import ShardFaultProgram
 from repro.execution.runner import ProgramRunner
-from repro.grading import grade_batch
+from repro.grading import GradingService, grade_batch, plan_shards
 from repro.graders import PrimesFunctionality
 from repro.testfw.suite import TestSuite
 from repro.workloads.primes import VARIANTS
+
+#: Synthetic-class size for the sharded crash-recovery bench.
+CLASS_SIZE = int(os.environ.get("SCALE_GRADING_CLASS_SIZE", "10000"))
+
+#: Shards for the crash-recovery bench.
+SHARDS = 4
 
 
 def test_scale_single_check_latency(benchmark, round_robin_backend):
@@ -64,6 +87,111 @@ def test_scale_class_sweep(benchmark, round_robin_backend):
         gradebook.render(),
     )
     assert len(gradebook.students()) == len(VARIANTS)
+
+
+def _normalized(book) -> str:
+    """Canonical gradebook contents with timing fields zeroed."""
+    payload = {}
+    for student in book.students():
+        history = []
+        for record in book.submissions_of(student):
+            data = record.to_dict()
+            data["timestamp"] = 0.0
+            data["elapsed"] = 0.0
+            history.append(data)
+        payload[student] = history
+    return json.dumps(payload, sort_keys=True)
+
+
+def test_scale_sharded_class_crash_recovery(tmp_path):
+    """10,000 submissions, one shard SIGKILLed, a drain, a resume — and
+    the merged gradebook must not be distinguishable from a calm run."""
+    submissions = {
+        f"student-{i:05d}": "hello.correct" for i in range(CLASS_SIZE)
+    }
+    warnings.simplefilter("ignore")
+
+    started = time.perf_counter()
+    calm = GradingService(
+        "hello", workdir=tmp_path / "calm", shards=SHARDS,
+        heartbeat_timeout=60.0,
+    ).grade(dict(submissions))
+    calm_seconds = time.perf_counter() - started
+    assert len(calm.gradebook.students()) == CLASS_SIZE
+    baseline = _normalized(calm.gradebook)
+
+    # Disturbed run: SIGKILL shard 1 halfway through its slice, and
+    # drain the coordinator partway through the batch.  Either, both,
+    # or neither interruption may land before completion depending on
+    # machine speed; the identity assertion must hold regardless.
+    plan = plan_shards(submissions, SHARDS)
+    # Kill early in the shard's slice so the SIGKILL demonstrably lands
+    # (and is recovered from) before the later coordinator drain.
+    fault = ShardFaultProgram(
+        kind="kill-at-index", index=min(10, max(1, len(plan[1]) // 2)),
+        shard=1,
+    )
+    workdir = tmp_path / "disturbed"
+    service = GradingService(
+        "hello", workdir=workdir, shards=SHARDS,
+        heartbeat_timeout=60.0, faults={1: fault},
+    )
+    drain_after = max(1.0, calm_seconds / 2)
+    timer = threading.Timer(drain_after, service.drain)
+    timer.start()
+    started = time.perf_counter()
+    try:
+        disturbed = service.grade(dict(submissions))
+    finally:
+        timer.cancel()
+    disturbed_seconds = time.perf_counter() - started
+    respawns = sum(s.respawns for s in disturbed.shards)
+
+    # Resume on the same work directory finishes whatever the drain cut
+    # off without regrading anything durable.
+    started = time.perf_counter()
+    resumed = GradingService(
+        "hello", workdir=workdir, shards=SHARDS, heartbeat_timeout=60.0
+    ).grade(dict(submissions))
+    resume_seconds = time.perf_counter() - started
+    final = _normalized(resumed.gradebook)
+
+    identical = final == baseline
+    artifact = {
+        "class_size": CLASS_SIZE,
+        "shards": SHARDS,
+        "suite": "hello",
+        "undisturbed_seconds": round(calm_seconds, 3),
+        "disturbed_seconds": round(disturbed_seconds, 3),
+        "resume_seconds": round(resume_seconds, 3),
+        "submissions_per_second_undisturbed": round(
+            CLASS_SIZE / calm_seconds, 1
+        ),
+        "shard_respawns": respawns,
+        "drained": disturbed.drained,
+        "interrupted_at_drain": len(disturbed.interrupted),
+        "resumed_submissions": len(resumed.resumed),
+        "gradebook_identical_modulo_timestamps": identical,
+    }
+    out = os.environ.get("SCALE_GRADING_JSON", "BENCH_scale_grading.json")
+    with open(out, "w") as handle:
+        json.dump(artifact, handle, indent=2)
+
+    emit(
+        "Scale — sharded crash recovery on a synthetic class",
+        f"{CLASS_SIZE} submissions over {SHARDS} shards: "
+        f"calm {calm_seconds:.1f}s "
+        f"({CLASS_SIZE / calm_seconds:.0f} subs/s), disturbed "
+        f"{disturbed_seconds:.1f}s (respawns {respawns}, drained "
+        f"{disturbed.drained}, {len(disturbed.interrupted)} interrupted), "
+        f"resume {resume_seconds:.1f}s "
+        f"({len(resumed.resumed)} resumed); identical: {identical} "
+        f"[artifact: {out}]",
+    )
+    assert identical, (
+        "disturbed+resumed gradebook differs from the undisturbed run"
+    )
+    assert len(resumed.gradebook.students()) == CLASS_SIZE
 
 
 def test_scale_raw_run_baseline(benchmark, round_robin_backend):

@@ -40,6 +40,8 @@ AUDITED = [
     "src/repro/grading/journal.py",
     "src/repro/grading/logs.py",
     "src/repro/grading/records.py",
+    "src/repro/grading/service.py",
+    "src/repro/grading/shard_worker.py",
     "src/repro/obs/__init__.py",
     "src/repro/obs/export.py",
     "src/repro/obs/metrics.py",

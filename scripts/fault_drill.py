@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""End-to-end fault drill: crash the sharded grading service on purpose.
+
+Runs the full crash-recovery scenario matrix against real worker
+processes and verifies that every disturbed batch merges to a gradebook
+identical (modulo timestamps) to an undisturbed run:
+
+* every scripted shard fault in
+  :data:`repro.execution.faults.SHARD_FAULT_SCENARIOS` — worker
+  ``kill -9`` at a chosen submission index, heartbeat stall (worker
+  alive but silent), journal write torn between record and fsync;
+* a coordinator ``SIGTERM`` mid-batch (graceful drain), followed by a
+  resume on the same work directory.
+
+Artifacts (per-shard journals, merged gradebooks, and a machine-readable
+``drill-results.json``) are left under ``--out`` for the CI job to
+upload, so a failed drill can be diagnosed from the journals alone.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/fault_drill.py --out fault-drill
+    PYTHONPATH=src python scripts/fault_drill.py --class-size 200 --shards 4
+
+Exits non-zero when any scenario fails to recover to the undisturbed
+gradebook.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import subprocess
+import sys
+import warnings
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import repro.workloads  # noqa: F401,E402 - registers every tested program
+from repro.execution.faults import SHARD_FAULT_SCENARIOS  # noqa: E402
+from repro.grading import Gradebook, GradingService  # noqa: E402
+
+
+def normalized(book: Gradebook) -> str:
+    """Canonical gradebook contents with timing fields zeroed."""
+    payload = {}
+    for student in book.students():
+        history = []
+        for record in book.submissions_of(student):
+            data = record.to_dict()
+            data["timestamp"] = 0.0
+            data["elapsed"] = 0.0
+            history.append(data)
+        payload[student] = history
+    return json.dumps(payload, sort_keys=True)
+
+
+def run_scenario(name, fault, submissions, outdir, shards):
+    """One disturbed batch; returns (report, identical-ready gradebook)."""
+    workdir = outdir / name
+    service = GradingService(
+        "hello",
+        workdir=workdir,
+        shards=shards,
+        heartbeat_interval=0.2,
+        heartbeat_timeout=3.0,
+        faults={0: fault} if fault is not None else None,
+    )
+    report = service.grade(dict(submissions))
+    report.gradebook.save(workdir / "gradebook.json")
+    return report
+
+
+def run_sigterm_drill(submissions, outdir, shards):
+    """Coordinator SIGTERM mid-batch in a child process, then resume."""
+    workdir = outdir / "coordinator-sigterm"
+    workdir.mkdir(parents=True, exist_ok=True)
+    batch = {student: "primes.correct" for student in submissions}
+    script = (
+        "import sys, json\n"
+        f"sys.path.insert(0, {str(Path('src').resolve())!r})\n"
+        "import repro.workloads\n"
+        "from repro.grading import GradingService\n"
+        f"submissions = json.loads({json.dumps(json.dumps(batch))})\n"
+        f"service = GradingService('primes', workdir={str(workdir)!r}, "
+        f"shards={shards})\n"
+        "report = service.grade(submissions)\n"
+        "sys.exit(3 if report.drained else 0)\n"
+    )
+    proc = subprocess.Popen([sys.executable, "-c", script])
+    try:
+        # Let the batch get going, then interrupt the coordinator.
+        proc.wait(timeout=2.0)
+        finished_early = True
+    except subprocess.TimeoutExpired:
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=60.0)
+        finished_early = False
+    drained = proc.returncode == 3
+    resumed = GradingService(
+        "primes", workdir=workdir, shards=shards
+    ).grade(dict(batch))
+    resumed.gradebook.save(workdir / "gradebook.json")
+    return {
+        "finished_before_signal": finished_early,
+        "drained_on_sigterm": drained,
+        "resumed_submissions": len(resumed.resumed),
+    }, resumed
+
+
+def main(argv=None) -> int:
+    """Run the drill matrix; returns the exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="fault-drill", metavar="DIR",
+                        help="artifact directory (default fault-drill)")
+    parser.add_argument("--class-size", type=int, default=40, metavar="N",
+                        help="synthetic submissions per drill (default 40)")
+    parser.add_argument("--shards", type=int, default=2, metavar="N",
+                        help="shard workers per drill (default 2)")
+    args = parser.parse_args(argv)
+
+    warnings.simplefilter("ignore")
+    outdir = Path(args.out)
+    outdir.mkdir(parents=True, exist_ok=True)
+    submissions = {
+        f"student-{i:03d}": "hello.correct" for i in range(args.class_size)
+    }
+
+    print(f"fault drill: {args.class_size} submissions, {args.shards} shards")
+    calm = run_scenario("undisturbed", None, submissions, outdir, args.shards)
+    baseline = normalized(calm.gradebook)
+    results = {"class_size": args.class_size, "shards": args.shards,
+               "scenarios": {}}
+    failed = False
+
+    for scenario in SHARD_FAULT_SCENARIOS:
+        report = run_scenario(
+            scenario.name, scenario.fault, submissions, outdir, args.shards
+        )
+        identical = normalized(report.gradebook) == baseline
+        respawns = sum(s.respawns for s in report.shards)
+        results["scenarios"][scenario.name] = {
+            "description": scenario.description,
+            "shard_respawns": respawns,
+            "heartbeat_timeouts": sum(
+                s.heartbeat_timeouts for s in report.shards
+            ),
+            "quarantined": report.quarantined,
+            "gradebook_identical": identical,
+        }
+        status = "ok" if identical and respawns >= 1 else "FAILED"
+        if status == "FAILED":
+            failed = True
+        print(f"  {scenario.name}: respawns={respawns} "
+              f"identical={identical} -> {status}")
+
+    sigterm_stats, resumed = run_sigterm_drill(
+        submissions, outdir, args.shards
+    )
+    sigterm_ok = len(resumed.gradebook.students()) == args.class_size
+    sigterm_stats["gradebook_complete_after_resume"] = sigterm_ok
+    results["scenarios"]["coordinator-sigterm"] = sigterm_stats
+    if not sigterm_ok:
+        failed = True
+    print(f"  coordinator-sigterm: drained="
+          f"{sigterm_stats['drained_on_sigterm']} resumed="
+          f"{sigterm_stats['resumed_submissions']} "
+          f"complete={sigterm_ok} -> {'ok' if sigterm_ok else 'FAILED'}")
+
+    results["passed"] = not failed
+    (outdir / "drill-results.json").write_text(json.dumps(results, indent=2))
+    print(f"artifacts under {outdir}/ "
+          f"(per-scenario shard journals + merged gradebooks)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,8 @@ is that entry point::
         --jobs 4 --retries 2 --deadline 60 --resume grading.jsonl
     forkjoin-test grade primes --submissions primes.correct,primes.racy \
         --jobs 4 --explore 5 --obs-out obs.jsonl --html class.html
+    forkjoin-test grade primes --submissions primes.correct,primes.racy \
+        --shards 4 --resume grading.workdir
     forkjoin-test export primes --submission primes.serialized \
         --out results.json          # Gradescope results.json
     forkjoin-test fuzz primes.racy --schedules 25
@@ -160,6 +162,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="first seed of the exploration range (default 0)",
     )
     grade.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "grade through the sharded service: split the batch across N "
+            "independent worker processes with heartbeat supervision; a "
+            "dead or wedged shard is killed and respawned, regrading only "
+            "work not yet durable in its journal (with --shards, --resume "
+            "names the service work directory)"
+        ),
+    )
+    grade.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help=(
+            "sharded mode: silence after which a shard worker is declared "
+            "wedged and respawned (default 10; must exceed the slowest "
+            "single submission)"
+        ),
+    )
+    grade.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=2,
+        metavar="K",
+        help=(
+            "sharded mode: shard-worker deaths attributed to the same "
+            "submission before it is quarantined with a durable crash "
+            "record (default 2)"
+        ),
+    )
+    grade.add_argument(
         "--obs-out",
         default=None,
         metavar="FILE",
@@ -304,28 +341,85 @@ def _apply_subprocess(suite, enabled: bool):
 
 
 def _suite_for(name: str, submission: Optional[str], *, subprocess_mode: bool = False):
-    from repro.graders import (
-        build_hello_suite,
-        build_jacobi_suite,
-        build_odds_suite,
-        build_pi_suite,
-        build_primes_suite,
-    )
+    from repro.graders import build_named_suite
 
-    builders = {
-        "primes": lambda s: build_primes_suite(s or "primes.correct"),
-        "pi": lambda s: build_pi_suite(s or "pi.correct"),
-        "odds": lambda s: build_odds_suite(s or "odds.correct"),
-        "hello": lambda s: build_hello_suite(s or "hello.correct"),
-        "jacobi": lambda s: build_jacobi_suite(s or "jacobi.correct"),
-    }
     try:
-        suite = builders[name](submission)
-    except KeyError:
-        raise SystemExit(
-            f"unknown suite {name!r}; known: {', '.join(sorted(builders))}"
-        ) from None
-    return _apply_subprocess(suite, subprocess_mode)
+        return build_named_suite(name, submission, subprocess_mode=subprocess_mode)
+    except KeyError as exc:
+        # str() of a KeyError reprs its argument; unwrap the message.
+        raise SystemExit(exc.args[0]) from None
+
+
+def _write_grade_artifacts(args: argparse.Namespace, gradebook) -> None:
+    """Write the gradebook/report/obs outputs the grade flags asked for."""
+    from repro.obs import dump_jsonl, get_registry, submission_timings
+
+    registry = get_registry()
+    timings = submission_timings(registry) if registry.enabled else {}
+    if args.out:
+        gradebook.save(args.out)
+        print(f"gradebook written to {args.out}")
+    if args.markdown:
+        from pathlib import Path
+
+        from repro.grading import gradebook_markdown
+
+        Path(args.markdown).write_text(
+            gradebook_markdown(gradebook, timings=timings or None)
+        )
+        print(f"markdown report written to {args.markdown}")
+    if args.html:
+        from repro.grading import write_gradebook_html
+
+        path = write_gradebook_html(gradebook, args.html, timelines=timings or None)
+        print(f"HTML class report written to {path}")
+    if args.obs_out:
+        path = dump_jsonl(registry, args.obs_out)
+        print(
+            f"observability dump written to {path} "
+            f"(inspect with: forkjoin-test timeline/stats {path})"
+        )
+
+
+def _grade_sharded(args: argparse.Namespace, identifiers: List[str]) -> int:
+    """`grade --shards N`: run the batch through the sharded service."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.grading import GradingService
+
+    if args.resume:
+        workdir = Path(args.resume)
+    else:
+        workdir = Path(tempfile.mkdtemp(prefix="forkjoin-grade-"))
+        print(
+            f"sharded work directory: {workdir} "
+            f"(pass --resume {workdir} to resume an interrupted batch)"
+        )
+    service = GradingService(
+        args.suite,
+        workdir=workdir,
+        shards=args.shards,
+        subprocess_mode=args.subprocess,
+        jobs_per_shard=args.jobs,
+        retries=args.retries,
+        deadline=args.deadline,
+        explore_schedules=args.explore,
+        explore_seed=args.explore_seed,
+        heartbeat_timeout=args.heartbeat_timeout,
+        quarantine_after=args.quarantine_after,
+    )
+    report = service.grade({identifier: identifier for identifier in identifiers})
+    print(report.gradebook.render())
+    print(report.summary())
+    _write_grade_artifacts(args, report.gradebook)
+    if report.drained:
+        print(
+            f"\ninterrupted; durable grades are journaled under {workdir} — "
+            f"rerun with --resume {workdir} to finish the batch"
+        )
+        return 130
+    return 0
 
 
 def _checker_factory(problem: str, submission: str):
@@ -387,10 +481,11 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "grade":
         from repro.execution.supervisor import GradingSupervisor
-        from repro.grading import gradebook_markdown
         from repro.grading.journal import GradingJournal
 
         identifiers = [s.strip() for s in args.submissions.split(",") if s.strip()]
+        if args.shards > 0:
+            return _grade_sharded(args, identifiers)
         journal = GradingJournal(args.resume) if args.resume else None
         supervisor = GradingSupervisor(
             lambda ident: _suite_for(
@@ -419,36 +514,10 @@ def _dispatch(args: argparse.Namespace) -> int:
                     "batches checkpointable"
                 )
             return 130
-        from repro.obs import dump_jsonl, get_registry, submission_timings
-
-        registry = get_registry()
-        timings = submission_timings(registry) if registry.enabled else {}
         gradebook = report.gradebook
         print(gradebook.render())
         print(report.summary())
-        if args.out:
-            gradebook.save(args.out)
-            print(f"gradebook written to {args.out}")
-        if args.markdown:
-            from pathlib import Path
-
-            Path(args.markdown).write_text(
-                gradebook_markdown(gradebook, timings=timings or None)
-            )
-            print(f"markdown report written to {args.markdown}")
-        if args.html:
-            from repro.grading import write_gradebook_html
-
-            path = write_gradebook_html(
-                gradebook, args.html, timelines=timings or None
-            )
-            print(f"HTML class report written to {path}")
-        if args.obs_out:
-            path = dump_jsonl(registry, args.obs_out)
-            print(
-                f"observability dump written to {path} "
-                f"(inspect with: forkjoin-test timeline/stats {path})"
-            )
+        _write_grade_artifacts(args, gradebook)
         return 0
 
     if args.command == "export":

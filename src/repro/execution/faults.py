@@ -29,6 +29,15 @@ All of them resolve through the normal registry (imported via
 :mod:`repro.workloads`, so the subprocess child sees them too) and
 print through :func:`repro.tracing.print_property` like any tested
 program — the faults live in the *program*, never in the harness.
+
+Beyond the per-program faults, this module also hosts the
+**process-level** fault programs of the sharded grading service
+(:mod:`repro.grading.service`): a :class:`ShardFaultProgram` scripts one
+way a whole shard worker process dies — ``kill -9`` at a chosen
+submission index, a heartbeat stall (the worker wedges but stays
+alive), or a journal write torn between record and fsync — and
+:data:`SHARD_FAULT_SCENARIOS` is the deterministic drill matrix the
+recovery tests and the CI fault-drill job iterate.
 """
 
 from __future__ import annotations
@@ -37,8 +46,9 @@ import os
 import signal as signal_module
 import sys
 import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import List
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.execution.registry import register_main
 from repro.tracing import print_property
@@ -51,7 +61,12 @@ __all__ = [
     "truncate_main",
     "garble_main",
     "flaky_main",
+    "killer_main",
     "FAULT_IDENTIFIERS",
+    "ShardFaultProgram",
+    "ShardFaultScenario",
+    "SHARD_FAULT_KINDS",
+    "SHARD_FAULT_SCENARIOS",
 ]
 
 #: Identifier -> registered fault main, for sweeps in tests and docs.
@@ -63,6 +78,7 @@ FAULT_IDENTIFIERS = (
     "faults.truncate",
     "faults.garble",
     "faults.flaky",
+    "faults.killer",
 )
 
 
@@ -153,3 +169,154 @@ def flaky_main(args: List[str]) -> None:
             f"injected flaky failure {failures_so_far + 1}/{failures_wanted}"
         )
     print_property("Fault", "flaky-but-recovered")
+
+
+@register_main("faults.killer")
+def killer_main(args: List[str]) -> None:
+    """SIGKILL the *hosting interpreter* — the shard-crasher shape.
+
+    Graded in a subprocess this is just a signal death; graded
+    *in-process* inside a shard worker it takes the whole worker down,
+    every incarnation, which is exactly the repeated-crash submission
+    the service's quarantine policy exists for.
+    """
+    print_property("Fault", "killer")
+    sys.stdout.flush()
+    os.kill(os.getpid(), signal_module.SIGKILL)
+
+
+# ----------------------------------------------------------------------
+# Process-level faults: how a whole shard worker dies
+# ----------------------------------------------------------------------
+
+#: The closed set of shard-level fault kinds a worker can be scripted
+#: to exhibit.  ``none`` is the explicit no-fault program.
+SHARD_FAULT_KINDS = (
+    "none",
+    "kill-at-index",
+    "heartbeat-stall",
+    "torn-journal-write",
+)
+
+
+@dataclass(frozen=True)
+class ShardFaultProgram:
+    """A scripted process-level death for one shard worker.
+
+    The program is carried in the shard manifest and interpreted by the
+    worker at its journal-append hook, so the fault fires at an exact,
+    reproducible point in the shard's submission sequence:
+
+    ``kill-at-index``
+        ``SIGKILL`` the worker immediately *before* appending the
+        record at ``index`` — that submission was graded but is not
+        durable, the canonical requeue-from-journal case.
+    ``heartbeat-stall``
+        After appending the record at ``index``, stop heartbeating and
+        wedge forever — the worker is alive but silent, and only the
+        coordinator's missed-heartbeat watchdog can recover the shard.
+    ``torn-journal-write``
+        Write only a prefix of the record at ``index`` (no newline, no
+        fsync) and ``SIGKILL`` mid-write — the crash-between-record-and-
+        fsync shape that leaves a torn journal tail behind.
+
+    Faults are one-shot: the coordinator clears the program when it
+    respawns the shard, so recovery is observable rather than cyclic.
+    """
+
+    kind: str = "none"
+    #: Zero-based index into the shard's journal-append sequence at
+    #: which the fault fires.
+    index: int = 0
+    #: Which shard of the batch the program applies to.
+    shard: int = 0
+
+    def __post_init__(self) -> None:
+        """Validate the kind against the closed set."""
+        if self.kind not in SHARD_FAULT_KINDS:
+            raise ValueError(
+                f"unknown shard fault kind {self.kind!r}; "
+                f"known: {', '.join(SHARD_FAULT_KINDS)}"
+            )
+
+    @property
+    def is_none(self) -> bool:
+        """True for the explicit no-fault program."""
+        return self.kind == "none"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Primitive-dict form for the shard manifest."""
+        return {"kind": self.kind, "index": self.index, "shard": self.shard}
+
+    @classmethod
+    def from_dict(cls, data: Optional[Dict[str, Any]]) -> "ShardFaultProgram":
+        """Rebuild from a manifest dict (``None`` -> no fault)."""
+        if not data:
+            return cls()
+        return cls(
+            kind=data.get("kind", "none"),
+            index=int(data.get("index", 0)),
+            shard=int(data.get("shard", 0)),
+        )
+
+    # ------------------------------------------------------------------
+    # Worker-side hooks (called by the shard worker's journal wrapper)
+    # ------------------------------------------------------------------
+    def fire_before_append(self, append_index: int) -> None:
+        """``kill-at-index``: die before the record becomes durable."""
+        if self.kind == "kill-at-index" and append_index == self.index:
+            os.kill(os.getpid(), signal_module.SIGKILL)
+
+    def fire_torn_append(
+        self, append_index: int, line: str, handle
+    ) -> None:
+        """``torn-journal-write``: write half the line, then die.
+
+        The partial write is flushed (so the torn bytes actually reach
+        the file) but never fsynced and never newline-terminated — the
+        reader must treat it as a torn tail, not a durable record.
+        """
+        if self.kind == "torn-journal-write" and append_index == self.index:
+            handle.write(line[: max(1, len(line) // 2)])
+            handle.flush()
+            os.kill(os.getpid(), signal_module.SIGKILL)
+
+    def stalls_after(self, append_index: int) -> bool:
+        """``heartbeat-stall``: True when the worker must wedge now."""
+        return self.kind == "heartbeat-stall" and append_index == self.index
+
+
+@dataclass(frozen=True)
+class ShardFaultScenario:
+    """One named entry of the crash-recovery drill matrix."""
+
+    name: str
+    fault: ShardFaultProgram
+    description: str
+
+
+#: The deterministic crash-recovery drill matrix: every scenario is run
+#: by ``tests/test_service.py`` and the CI fault-drill job, and each
+#: must end in a merged gradebook identical (modulo timestamps) to an
+#: undisturbed run's.  Coordinator-level SIGTERM is drilled separately
+#: (``scripts/fault_drill.py``) because it is not a *worker* fault.
+SHARD_FAULT_SCENARIOS: Tuple[ShardFaultScenario, ...] = (
+    ShardFaultScenario(
+        "shard-kill",
+        ShardFaultProgram("kill-at-index", index=1),
+        "worker SIGKILLed before its second record is durable; the "
+        "respawned shard regrades exactly the non-durable submissions",
+    ),
+    ShardFaultScenario(
+        "heartbeat-stall",
+        ShardFaultProgram("heartbeat-stall", index=0),
+        "worker wedges silently after its first record; the missed-"
+        "heartbeat watchdog hard-kills and respawns it",
+    ),
+    ShardFaultScenario(
+        "torn-journal-write",
+        ShardFaultProgram("torn-journal-write", index=1),
+        "worker dies mid-append between record and fsync; the torn "
+        "tail is dropped with a warning and the submission regraded",
+    ),
+)

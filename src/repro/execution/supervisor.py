@@ -132,6 +132,9 @@ class BatchReport:
     live: Dict[str, "SuiteResult"]
     outcomes: Dict[str, SubmissionOutcome]
     resumed: List[str] = field(default_factory=list)
+    #: Students dropped unworked by :meth:`GradingSupervisor.request_stop`
+    #: (a drained batch); absent from ``outcomes`` and the gradebook.
+    dropped: List[str] = field(default_factory=list)
 
     def summary(self) -> str:
         """Operator-facing one-screen account of the batch."""
@@ -272,6 +275,18 @@ class GradingSupervisor:
         self._expected = 0
         self._stop = False
         self._journal_lock = threading.Lock()
+        #: Live workers not yet abandoned by the watchdog.  Restaffing
+        #: compares this against the remaining queue so a total-wedge
+        #: storm cannot spawn (and count) more replacements than there
+        #: is queued work to hand them.
+        self._healthy_workers = 0
+        #: Threads the watchdog abandoned (already decremented from
+        #: ``_healthy_workers``; their eventual exit must not decrement
+        #: again).
+        self._abandoned_workers: set = set()
+        #: (student, identifier) pairs dropped unworked by
+        #: :meth:`request_stop`, in queue order.
+        self._dropped: List[Tuple[str, str]] = []
 
     # ------------------------------------------------------------------
     # Public API
@@ -334,11 +349,15 @@ class GradingSupervisor:
             watchdog.join(timeout=1.0)
 
         # Deterministic merge: submissions order, never completion order.
+        # A drained batch (request_stop) legitimately has no outcome for
+        # the dropped students; they are simply absent from the report.
         book = Gradebook(self._suite_name)
         live: Dict[str, "SuiteResult"] = {}
         ordered: Dict[str, SubmissionOutcome] = {}
         for student in submissions:
-            outcome = self._outcomes[student]
+            outcome = self._outcomes.get(student)
+            if outcome is None:
+                continue
             ordered[student] = outcome
             record = outcome.record
             if not record.suite:
@@ -346,9 +365,38 @@ class GradingSupervisor:
             book.record(record)
             if outcome.result is not None:
                 live[student] = outcome.result
+        with self._lock:
+            dropped = [student for student, _ in self._dropped]
         return BatchReport(
-            gradebook=book, live=live, outcomes=ordered, resumed=resumed
+            gradebook=book,
+            live=live,
+            outcomes=ordered,
+            resumed=resumed,
+            dropped=dropped,
         )
+
+    def request_stop(self) -> List[Tuple[str, str]]:
+        """Drain the batch: finish in-flight work, drop the queue.
+
+        Safe to call from any thread *other than* one currently inside
+        :meth:`grade` (a signal handler should set a flag and delegate
+        to a helper thread).  Queued submissions are dropped unworked
+        and returned as (student, identifier) pairs, in queue order;
+        in-flight attempts run to completion and are journaled as
+        usual, so the interrupted batch is exactly resumable.
+        """
+        with self._lock:
+            self._stop = True
+            dropped = [
+                (student, identifier)
+                for student, identifier, _ in self._queue
+            ]
+            self._queue.clear()
+            self._dropped.extend(dropped)
+            self._expected -= len(dropped)
+        with self._done:
+            self._done.notify_all()
+        return dropped
 
     # ------------------------------------------------------------------
     # Resume
@@ -380,6 +428,8 @@ class GradingSupervisor:
     # Workers
     # ------------------------------------------------------------------
     def _spawn_worker(self, index: int) -> threading.Thread:
+        with self._lock:
+            self._healthy_workers += 1
         worker = threading.Thread(
             target=self._worker_loop, name=f"grading-worker-{index}", daemon=True
         )
@@ -387,6 +437,18 @@ class GradingSupervisor:
         return worker
 
     def _worker_loop(self) -> None:
+        try:
+            self._worker_loop_body()
+        finally:
+            # An abandoned worker was already written off by the
+            # watchdog; everyone else leaves the healthy pool here.
+            with self._lock:
+                if threading.current_thread() in self._abandoned_workers:
+                    self._abandoned_workers.discard(threading.current_thread())
+                else:
+                    self._healthy_workers -= 1
+
+    def _worker_loop_body(self) -> None:
         obs = _obs_registry()
         while True:
             with self._lock:
@@ -702,16 +764,31 @@ class GradingSupervisor:
             if task.resolved:
                 return
             task.abandoned = True
+            # The wedged thread leaves the healthy pool *now*, so a
+            # storm of simultaneous wedges sees the pool shrink step by
+            # step instead of every enforcement believing the others'
+            # workers are still serviceable.
+            self._healthy_workers -= 1
+            self._abandoned_workers.add(worker)
         obs.counter("supervisor.watchdog.abandoned").inc()
         outcome = self._timeout_outcome(task)
         if self._resolve(task, outcome):
             with self._lock:
                 self._active.pop(worker, None)
-                restaff = bool(self._queue) and not self._stop
+                # Restaff only when the surviving healthy workers cannot
+                # cover the queue: under a total-wedge storm with one
+                # queued task this spawns exactly one replacement — not
+                # one per wedged worker — so ``workers_restaffed`` counts
+                # real replacements and idle spawns never busy-loop.
+                restaff = (
+                    bool(self._queue)
+                    and not self._stop
+                    and self._healthy_workers < min(self.jobs, len(self._queue))
+                )
             if restaff:
                 # Monotonic serial, never the millisecond clock: two
                 # replacements in the same millisecond used to collide.
-                obs.counter("supervisor.restaffs").inc()
+                obs.counter("supervisor.workers_restaffed").inc()
                 self._spawn_worker(next(self._worker_serial))
 
     def _timeout_outcome(self, task: _TaskState) -> SubmissionOutcome:

@@ -28,6 +28,7 @@ from repro.graders.primes import (
 from repro.graders.suites import (
     build_hello_suite,
     build_jacobi_suite,
+    build_named_suite,
     build_odds_suite,
     build_pi_suite,
     build_primes_suite,
@@ -47,6 +48,7 @@ __all__ = [
     "OddsPerformance",
     "SimulatedOddsPerformance",
     "build_primes_suite",
+    "build_named_suite",
     "build_pi_suite",
     "build_odds_suite",
     "build_hello_suite",

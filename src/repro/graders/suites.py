@@ -30,6 +30,8 @@ __all__ = [
     "build_odds_suite",
     "build_hello_suite",
     "build_jacobi_suite",
+    "build_named_suite",
+    "NAMED_SUITES",
     "register_all_suites",
 ]
 
@@ -105,6 +107,46 @@ def build_jacobi_suite(
 ) -> TestSuite:
     """The multi-round extension problem (functionality only)."""
     return TestSuite("jacobi", [JacobiFunctionality(functionality_identifier)])
+
+
+#: Suite-name -> builder taking one submission identifier (or ``None``
+#: for the reference variant).  This is the catalogue the CLI and the
+#: sharded grading service resolve suite *names* through, so a shard
+#: worker process can rebuild exactly the suite its coordinator meant.
+NAMED_SUITES = {
+    "primes": lambda s: build_primes_suite(s or "primes.correct"),
+    "pi": lambda s: build_pi_suite(s or "pi.correct"),
+    "odds": lambda s: build_odds_suite(s or "odds.correct"),
+    "hello": lambda s: build_hello_suite(s or "hello.correct"),
+    "jacobi": lambda s: build_jacobi_suite(s or "jacobi.correct"),
+}
+
+
+def build_named_suite(
+    name: str,
+    submission: Optional[str] = None,
+    *,
+    subprocess_mode: bool = False,
+) -> TestSuite:
+    """Build the named problem suite against one submission identifier.
+
+    ``subprocess_mode`` rebinds every checker in the suite to the
+    subprocess runner (isolation from student code); unknown names raise
+    ``KeyError`` listing the catalogue.
+    """
+    try:
+        suite = NAMED_SUITES[name](submission)
+    except KeyError:
+        raise KeyError(
+            f"unknown suite {name!r}; known: {', '.join(sorted(NAMED_SUITES))}"
+        ) from None
+    if subprocess_mode:
+        from repro.execution.subprocess_runner import SubprocessRunner
+
+        for test in suite.tests:
+            if hasattr(test, "make_runner"):
+                test.make_runner = lambda: SubprocessRunner()  # type: ignore[method-assign]
+    return suite
 
 
 def register_all_suites() -> None:

@@ -21,16 +21,38 @@ from repro.grading.html_report import (
     write_gradebook_html,
     write_html_report,
 )
-from repro.grading.journal import GradingJournal, JournalEntry, JournalError
+from repro.grading.journal import (
+    GradingJournal,
+    JournalEntry,
+    JournalError,
+    JournalWarning,
+)
 from repro.grading.logs import ProgressLog
 from repro.grading.records import AspectRecord, SubmissionRecord, TestRecord
+from repro.grading.service import (
+    GradingService,
+    MergeStats,
+    ServiceReport,
+    ShardStatus,
+    merge_shard_journals,
+    plan_shards,
+    shard_of,
+)
 
 __all__ = [
     "Gradebook",
     "GradingJournal",
+    "GradingService",
     "JournalEntry",
     "JournalError",
+    "JournalWarning",
+    "MergeStats",
     "ProgressLog",
+    "ServiceReport",
+    "ShardStatus",
+    "merge_shard_journals",
+    "plan_shards",
+    "shard_of",
     "SubmissionRecord",
     "TestRecord",
     "AspectRecord",

@@ -9,28 +9,37 @@ flushed to disk.  Resuming a batch against the same journal grades only
 the students the journal does not cover, and the merged gradebook is
 identical to the uninterrupted run's.
 
-Crash tolerance is asymmetric by design: a torn *final* line is exactly
-what an interrupted ``append`` leaves behind, so it is dropped silently;
-a corrupt line anywhere *else* means the file was damaged some other
-way, and silently skipping it would silently lose a student's grade —
-that raises :class:`JournalError` instead.
+Crash tolerance is asymmetric by design: a torn or corrupt *final* line
+is exactly what an interrupted ``append`` leaves behind (a shard worker
+``SIGKILL``-ed between record and fsync leaves the same shape), so it is
+dropped — with a :class:`JournalWarning` and an observability counter,
+never silently, so the operator can see that one submission will be
+regraded on resume.  A corrupt line anywhere *else* means the file was
+damaged some other way, and silently skipping it would silently lose a
+student's grade — that raises :class:`JournalError` instead.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.grading.records import SubmissionRecord
+from repro.obs import get_registry as _obs_registry
 
-__all__ = ["GradingJournal", "JournalEntry", "JournalError"]
+__all__ = ["GradingJournal", "JournalEntry", "JournalError", "JournalWarning"]
 
 
 class JournalError(RuntimeError):
     """The journal file is damaged beyond the torn-tail case."""
+
+
+class JournalWarning(UserWarning):
+    """A torn/corrupt trailing journal line was dropped (and warned)."""
 
 
 @dataclass
@@ -72,8 +81,12 @@ class GradingJournal:
     def entries(self) -> List[JournalEntry]:
         """Every durable entry, oldest first.
 
-        Tolerates a torn final line (the interrupted-write case); any
-        other unparseable line raises :class:`JournalError`.
+        A torn or corrupt *final* line (the interrupted-write case) is
+        dropped with a :class:`JournalWarning` — the affected submission
+        is simply regraded by the resume instead of crashing it; the
+        drop is also counted on the ``journal.torn_tail_dropped``
+        observability counter.  Any other unparseable line raises
+        :class:`JournalError`.
         """
         if not self.path.exists():
             return []
@@ -86,7 +99,17 @@ class GradingJournal:
                 entries.append(JournalEntry.from_dict(json.loads(line)))
             except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
                 if index == len(lines) - 1:
-                    break  # torn tail from an interrupted append
+                    # Torn tail from an interrupted append: warn, drop,
+                    # and let the resume regrade that one submission.
+                    _obs_registry().counter("journal.torn_tail_dropped").inc()
+                    warnings.warn(
+                        f"{self.path}: dropping torn/corrupt trailing "
+                        f"journal line {index + 1} ({exc}); the affected "
+                        f"submission will be regraded on resume",
+                        JournalWarning,
+                        stacklevel=2,
+                    )
+                    break
                 raise JournalError(
                     f"{self.path}: corrupt journal line {index + 1}: {exc}"
                 ) from exc
@@ -121,10 +144,91 @@ class GradingJournal:
         written once per *submission*, not per event, so durability wins
         over write batching.  Callers grading in parallel must serialize
         appends (the supervisor holds a lock around this).
+
+        A torn tail left by an interrupted earlier append is
+        :meth:`repair`-ed first — otherwise the new record would be
+        glued onto the half-written line, turning a recoverable torn
+        tail into unrecoverable mid-file corruption.
         """
         line = json.dumps(entry.to_dict(), separators=(",", ":"))
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self._tail_unterminated():
+            self.repair()
         with self.path.open("a") as handle:
             handle.write(line + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+
+    def _tail_unterminated(self) -> bool:
+        """True when the journal's last byte is not a newline (torn tail)."""
+        try:
+            with self.path.open("rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) != b"\n"
+        except (OSError, ValueError):
+            # Missing or empty file: nothing to heal.
+            return False
+
+    def repair(self) -> bool:
+        """Heal a torn trailing line in place; True when bytes changed.
+
+        Exactly mirrors what :meth:`entries` tolerates on read, but
+        makes the file safely *appendable* again:
+
+        * a trailing line that parses but lacks its newline (the append
+          was cut between the JSON and the terminator) gets the newline
+          appended — the record survives;
+        * a trailing line that does not parse (cut mid-JSON) is
+          truncated away with a :class:`JournalWarning` — that one
+          submission is simply regraded on resume.
+
+        Corruption anywhere but the final line is *not* touched (see
+        :class:`JournalError`): silently truncating there would discard
+        good records written after the damage.
+        """
+        if not self.path.exists():
+            return False
+        raw = self.path.read_bytes()
+        lines = raw.split(b"\n")
+        last = None
+        for index in range(len(lines) - 1, -1, -1):
+            if lines[index].strip():
+                last = index
+                break
+        if last is None:
+            return False
+        tail = lines[last]
+        terminated = last < len(lines) - 1
+        try:
+            JournalEntry.from_dict(json.loads(tail.decode("utf-8", "replace")))
+            parses = True
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            parses = False
+        if parses and terminated:
+            return False
+        if parses:
+            # The record is whole; only its newline was lost.
+            with self.path.open("ab") as handle:
+                handle.write(b"\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            return True
+        if terminated:
+            # Newline-terminated garbage cannot come from a torn append
+            # (the newline is the last byte written): leave it for
+            # entries() to classify.
+            return False
+        offset = sum(len(line) + 1 for line in lines[:last])
+        _obs_registry().counter("journal.torn_tail_repaired").inc()
+        warnings.warn(
+            f"{self.path}: truncating torn trailing journal line "
+            f"{last + 1} before append; the affected submission will be "
+            f"regraded on resume",
+            JournalWarning,
+            stacklevel=2,
+        )
+        with self.path.open("r+b") as handle:
+            handle.truncate(offset)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return True

@@ -1,0 +1,246 @@
+"""Shard worker: one OS process grading one slice of a batch.
+
+The sharded grading service (:mod:`repro.grading.service`) splits a
+submission batch across independent worker *processes*; this module is
+the worker's entry point, launched as::
+
+    python -m repro.grading.shard_worker <manifest.json>
+
+The manifest names the problem suite, the ordered (student, identifier)
+slice, the shard's own JSONL journal, the supervisor knobs, and an
+optional :class:`~repro.execution.faults.ShardFaultProgram` for the
+crash drills.  The worker runs its slice under a bounded
+:class:`~repro.execution.supervisor.GradingSupervisor` whose journal is
+the shard journal, so every finished submission is durable the moment it
+is graded and a respawned incarnation resumes from the journal
+automatically.
+
+**Heartbeats.**  The coordinator holds the worker's stdout pipe; the
+worker emits one JSON event line (prefixed ``@shard-event``) per
+heartbeat interval and per graded submission, written straight to a
+duplicated stdout *file descriptor* — the in-process tracing layer
+patches ``sys.stdout`` during runs, and tested-program prints must never
+be able to impersonate (or garble) a heartbeat.  Silence longer than the
+coordinator's timeout means the worker is dead or wedged either way, and
+it is hard-killed and respawned.
+
+**Drain.**  ``SIGTERM``/``SIGINT`` trigger a graceful drain: queued
+submissions are dropped (they stay resumable — the journal simply does
+not cover them), in-flight attempts finish and are journaled, a final
+``drained`` event lists the remainder, and the worker exits 0.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.execution.faults import ShardFaultProgram
+from repro.execution.supervisor import GradingSupervisor
+from repro.grading.journal import GradingJournal, JournalEntry
+
+__all__ = ["main", "EVENT_PREFIX", "ShardManifest"]
+
+#: Sentinel prefix of every worker->coordinator event line.  Anything
+#: else appearing on the worker's stdout (tested-program prints, student
+#: noise) is ignored by the coordinator's reader.
+EVENT_PREFIX = "@shard-event "
+
+
+class ShardManifest:
+    """Parsed form of one shard's JSON manifest."""
+
+    def __init__(self, data: Dict[str, Any]) -> None:
+        """Pick the manifest fields out of the parsed JSON dict."""
+        self.shard: int = int(data["shard"])
+        self.suite: str = data["suite"]
+        self.subprocess_mode: bool = bool(data.get("subprocess", False))
+        self.submissions: List[List[str]] = [
+            [student, identifier]
+            for student, identifier in data["submissions"]
+        ]
+        self.journal: Path = Path(data["journal"])
+        self.supervisor: Dict[str, Any] = dict(data.get("supervisor", {}))
+        self.heartbeat_interval: float = float(
+            data.get("heartbeat_interval", 0.5)
+        )
+        self.fault = ShardFaultProgram.from_dict(data.get("fault"))
+
+    @classmethod
+    def load(cls, path: Path | str) -> "ShardManifest":
+        """Read and parse a manifest file."""
+        return cls(json.loads(Path(path).read_text()))
+
+
+class _EventStream:
+    """Worker->coordinator event lines over a raw, unpatchable fd."""
+
+    def __init__(self) -> None:
+        # Duplicate stdout *now*, before any tracing layer patches
+        # sys.stdout: events must bypass whatever the graded programs
+        # print through.
+        self._fd = os.dup(1)
+        self._lock = threading.Lock()
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Write one prefixed JSON event line, atomically and unbuffered."""
+        payload = {"event": event, **fields}
+        line = EVENT_PREFIX + json.dumps(payload, separators=(",", ":")) + "\n"
+        with self._lock:
+            try:
+                os.write(self._fd, line.encode())
+            except OSError:  # pragma: no cover - coordinator went away
+                pass
+
+
+class _ServiceJournal(GradingJournal):
+    """The shard journal, with fault hooks and per-append events.
+
+    Appends are serialized by the supervisor's journal lock, so the
+    append index is a faithful sequence number for the fault programs
+    and the ``graded`` progress events.
+    """
+
+    def __init__(
+        self,
+        path: Path | str,
+        *,
+        events: _EventStream,
+        fault: ShardFaultProgram,
+        stalled: threading.Event,
+        offset: int = 0,
+    ) -> None:
+        """Wrap the journal at *path* with fault/event instrumentation."""
+        super().__init__(path)
+        self._events = events
+        self._fault = fault
+        self._stalled = stalled
+        self._count = offset
+
+    def append(self, entry: JournalEntry) -> None:
+        """Append one record, firing any scripted process-level fault."""
+        index = self._count
+        self._fault.fire_before_append(index)
+        if self._fault.kind == "torn-journal-write" and index == self._fault.index:
+            line = json.dumps(entry.to_dict(), separators=(",", ":"))
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a") as handle:
+                self._fault.fire_torn_append(index, line, handle)
+            raise AssertionError("torn-journal-write fault must not return")
+        super().append(entry)
+        self._count = index + 1
+        self._events.emit("graded", student=entry.student, graded=self._count)
+        if self._fault.stalls_after(index):
+            # Scripted wedge: heartbeats stop, the worker stays alive
+            # and silent, and only the coordinator's missed-heartbeat
+            # watchdog can end it.
+            self._stalled.set()
+            while True:  # pragma: no cover - only ever exits by SIGKILL
+                time.sleep(3600)
+
+
+def _heartbeat_loop(
+    events: _EventStream,
+    interval: float,
+    stop: threading.Event,
+    stalled: threading.Event,
+) -> None:
+    while not stop.wait(interval):
+        if stalled.is_set():
+            return
+        events.emit("heartbeat", ts=round(time.monotonic(), 3))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run one shard to completion (or drain); returns the exit status."""
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.grading.shard_worker <manifest.json>",
+              file=sys.stderr)
+        return 2
+    manifest = ShardManifest.load(argv[0])
+
+    import repro.workloads  # noqa: F401 - registers every tested program
+
+    from repro.graders import build_named_suite
+
+    events = _EventStream()
+    stalled = threading.Event()
+    journal = _ServiceJournal(
+        manifest.journal,
+        events=events,
+        fault=manifest.fault,
+        stalled=stalled,
+        offset=len(GradingJournal(manifest.journal).completed()),
+    )
+
+    opts = manifest.supervisor
+    supervisor = GradingSupervisor(
+        lambda identifier: build_named_suite(
+            manifest.suite,
+            identifier,
+            subprocess_mode=manifest.subprocess_mode,
+        ),
+        jobs=int(opts.get("jobs", 1)),
+        retries=int(opts.get("retries", 0)),
+        deadline=opts.get("deadline"),
+        journal=journal,
+        explore_schedules=int(opts.get("explore_schedules", 0)),
+        explore_seed=int(opts.get("explore_seed", 0)),
+    )
+
+    drained = threading.Event()
+
+    def _drain(signum: int, frame: Any) -> None:
+        # Never touch supervisor locks from a signal handler: the main
+        # thread may hold them.  A helper thread drains instead.
+        if drained.is_set():
+            return
+        drained.set()
+        threading.Thread(
+            target=supervisor.request_stop, name="shard-drainer", daemon=True
+        ).start()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+
+    stop_heartbeat = threading.Event()
+    heartbeat = threading.Thread(
+        target=_heartbeat_loop,
+        args=(events, manifest.heartbeat_interval, stop_heartbeat, stalled),
+        name="shard-heartbeat",
+        daemon=True,
+    )
+    heartbeat.start()
+    events.emit("hello", shard=manifest.shard, pid=os.getpid(),
+                submissions=len(manifest.submissions))
+
+    try:
+        report = supervisor.grade(
+            {student: identifier for student, identifier in manifest.submissions}
+        )
+    finally:
+        stop_heartbeat.set()
+
+    if drained.is_set():
+        durable = set(journal.completed())
+        remaining = [
+            student
+            for student, _ in manifest.submissions
+            if student not in durable
+        ]
+        events.emit("drained", remaining=remaining,
+                    graded=len(report.outcomes))
+    else:
+        events.emit("done", graded=len(report.outcomes))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised as a process
+    sys.exit(main())

@@ -21,6 +21,7 @@ from repro.execution.supervisor import GradingSupervisor, suite_failure_kind
 from repro.execution.taxonomy import FailureKind
 from repro.grading.journal import GradingJournal
 from repro.graders import PrimesFunctionality
+from repro.obs import ObsRegistry, use_registry
 from repro.testfw.annotations import max_value
 from repro.testfw.case import FunctionTestCase, ScoredTestCase
 from repro.testfw.result import SuiteResult, TestResult
@@ -462,6 +463,65 @@ class TestWatchdog:
         after = report.outcomes["after"]
         assert after.failure_kind is FailureKind.OK
         assert after.record.percent == pytest.approx(100.0)
+
+    def test_wedge_storm_restaffs_once_per_missing_worker(self):
+        # Three of three workers wedge with ONE submission queued.  The
+        # old accounting restaffed per-abandonment whenever the queue
+        # was non-empty — three replacements (and three counter bumps)
+        # for a single queued task.  Staffing must converge to the work
+        # left: one replacement, counted once.
+        def factory(identifier):
+            if identifier == "wedge":
+
+                def body():
+                    time.sleep(20)
+
+            else:
+
+                def body():
+                    return None
+
+            return TestSuite("s", [FunctionTestCase(body, name="T", max_score=5)])
+
+        supervisor = GradingSupervisor(
+            factory, jobs=3, deadline=0.4, watchdog_poll=0.05
+        )
+        supervisor.KILL_GRACE = 0.2
+        registry = ObsRegistry(enabled=True)
+        with use_registry(registry):
+            report = supervisor.grade(
+                {
+                    "stuck-1": "wedge",
+                    "stuck-2": "wedge",
+                    "stuck-3": "wedge",
+                    "after": "fine",
+                }
+            )
+        assert report.outcomes["after"].failure_kind is FailureKind.OK
+        for student in ("stuck-1", "stuck-2", "stuck-3"):
+            assert report.outcomes[student].failure_kind is FailureKind.TIMEOUT
+        assert registry.counter("supervisor.workers_restaffed").value == 1
+
+    def test_request_stop_drains_the_queue_resumably(self):
+        # request_stop() is the graceful-drain entry point: queued work
+        # is dropped (reported, never graded), in-flight work finishes.
+        def factory(identifier):
+            def body():
+                time.sleep(0.3)
+
+            return TestSuite("s", [FunctionTestCase(body, name="T", max_score=5)])
+
+        supervisor = GradingSupervisor(factory, jobs=1)
+        import threading
+
+        threading.Timer(0.35, supervisor.request_stop).start()
+        students = {f"s{i}": "x" for i in range(6)}
+        report = supervisor.grade(dict(students))
+        assert report.dropped, "the stop arrived mid-batch"
+        graded = set(report.outcomes)
+        assert graded, "in-flight work finished"
+        assert graded.isdisjoint(report.dropped)
+        assert graded | set(report.dropped) == set(students)
 
     def test_fast_batch_unbothered_by_deadline(self):
         report = GradingSupervisor(

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import warnings
 
 import pytest
 
@@ -13,7 +14,13 @@ from repro.execution.taxonomy import (
     detect_garbled_lines,
 )
 from repro.grading.gradebook import Gradebook
-from repro.grading.journal import GradingJournal, JournalEntry, JournalError
+from repro.grading.journal import (
+    GradingJournal,
+    JournalEntry,
+    JournalError,
+    JournalWarning,
+)
+from repro.obs import ObsRegistry, use_registry
 from repro.grading.records import SubmissionRecord, TestRecord
 from repro.testfw.result import SuiteResult, TestResult
 
@@ -180,14 +187,69 @@ class TestJournal:
         assert journal.entries() == []
         assert journal.suite_name() is None
 
-    def test_torn_tail_dropped_silently(self, tmp_path):
+    def test_torn_tail_dropped_with_warning(self, tmp_path):
         # An interrupted append leaves a torn final line; the student it
-        # covered is simply regraded on resume.
+        # covered is simply regraded on resume — with a warning, so the
+        # operator can see one submission will be recomputed.
         journal = GradingJournal(tmp_path / "j.jsonl")
         journal.append(self.entry("alice"))
         with journal.path.open("a") as handle:
             handle.write('{"student": "bob", "rec')  # torn mid-write
-        assert GradingJournal(journal.path).completed_students() == ["alice"]
+        with pytest.warns(JournalWarning, match="regraded on resume"):
+            assert GradingJournal(journal.path).completed_students() == ["alice"]
+
+    def test_torn_tail_drop_is_counted(self, tmp_path):
+        journal = GradingJournal(tmp_path / "j.jsonl")
+        journal.append(self.entry("alice"))
+        with journal.path.open("a") as handle:
+            handle.write("garbage{")
+        registry = ObsRegistry(enabled=True)
+        with use_registry(registry):
+            with pytest.warns(JournalWarning):
+                GradingJournal(journal.path).entries()
+        assert registry.counter("journal.torn_tail_dropped").value == 1
+
+    def test_append_after_torn_tail_heals_the_file(self, tmp_path):
+        # Appending past a torn tail must truncate it first — otherwise
+        # the new record is glued onto the half line and the journal is
+        # corrupt mid-file (unrecoverable) instead of torn at the tail
+        # (recoverable).
+        journal = GradingJournal(tmp_path / "j.jsonl")
+        journal.append(self.entry("alice"))
+        with journal.path.open("a") as handle:
+            handle.write('{"student": "bob", "rec')
+        with pytest.warns(JournalWarning, match="truncating"):
+            journal.append(self.entry("carol"))
+        # No warning on the re-read: the file is whole again.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            reloaded = GradingJournal(journal.path).completed_students()
+        assert reloaded == ["alice", "carol"]
+
+    def test_repair_restores_a_lost_newline_without_losing_the_record(
+        self, tmp_path
+    ):
+        # The append can also be cut between the JSON and its newline;
+        # the record itself is whole and must survive the repair.
+        journal = GradingJournal(tmp_path / "j.jsonl")
+        journal.append(self.entry("alice"))
+        whole = json.dumps(self.entry("bob").to_dict(), separators=(",", ":"))
+        with journal.path.open("a") as handle:
+            handle.write(whole)  # no trailing newline
+        assert journal.repair() is True
+        journal.append(self.entry("carol"))
+        assert GradingJournal(journal.path).completed_students() == [
+            "alice",
+            "bob",
+            "carol",
+        ]
+
+    def test_repair_leaves_a_whole_journal_alone(self, tmp_path):
+        journal = GradingJournal(tmp_path / "j.jsonl")
+        journal.append(self.entry("alice"))
+        before = journal.path.read_bytes()
+        assert journal.repair() is False
+        assert journal.path.read_bytes() == before
 
     def test_corrupt_middle_line_raises(self, tmp_path):
         # Damage anywhere else would silently lose a grade: refuse.
