@@ -33,3 +33,29 @@ def emit(title: str, body: str) -> None:
     """Print a labelled reproduction artifact into the benchmark log."""
     bar = "=" * 70
     print(f"\n{bar}\n{title}\n{bar}\n{body}")
+
+
+def merge_json_artifact(env_var: str, section: str, data: dict) -> None:
+    """Merge one benchmark's measurements into a shared JSON artifact.
+
+    When ``env_var`` names a path, read the JSON object there (if any),
+    set ``data`` under the ``section`` key, and write it back — so the
+    hot-path ablations can each contribute a section to one
+    ``BENCH_hot_paths.json`` regardless of execution order.
+    """
+    import json
+    import os
+
+    path = os.environ.get(env_var)
+    if not path:
+        return
+    document = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            document = {}
+    document[section] = data
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2)

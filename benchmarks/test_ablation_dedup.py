@@ -1,0 +1,83 @@
+"""Ablation — content-hash dedup vs grading every duplicate.
+
+Real class batches contain many byte-identical submissions (untouched
+starter files, resubmissions, copies).  With dedup, each distinct
+digest is graded once and the result fans out; this ablation grades a
+roster whose duplicate ratio is ``STUDENTS``:``DISTINCT`` both ways,
+checks the gradebooks agree, and requires the deduped sweep to be at
+least ``MIN_SPEEDUP``× faster.
+
+Set ``HOT_PATHS_JSON=<path>`` to merge the measurements into the shared
+hot-path artifact.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import emit, merge_json_artifact
+from repro.graders import HelloFunctionality
+from repro.grading import grade_submissions
+from repro.testfw.suite import TestSuite
+
+#: 40 students, 4 distinct programs: a 10:1 duplicate ratio.
+STUDENTS = 40
+DISTINCT = ["hello.correct", "hello.no_fork", "hello.correct", "hello.correct"]
+
+#: Deduped grading must beat full grading by at least this factor.
+MIN_SPEEDUP = 3.0
+
+
+def _suite_factory(identifier: str) -> TestSuite:
+    return TestSuite("hello", [HelloFunctionality(identifier)])
+
+
+def _roster() -> dict:
+    return {
+        f"student-{i:03d}": DISTINCT[i % len(DISTINCT)] for i in range(STUDENTS)
+    }
+
+
+def _scores(book) -> dict:
+    return {s: book.latest(s).score for s in book.students()}
+
+
+def test_ablation_dedup_grades_duplicates_once():
+    roster = _roster()
+    grade_submissions(_suite_factory, roster)  # warm-up
+
+    started = time.perf_counter()
+    full_book, _ = grade_submissions(_suite_factory, roster)
+    full_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    deduped_book, _ = grade_submissions(_suite_factory, roster, dedup=True)
+    deduped_seconds = time.perf_counter() - started
+
+    # Fan-out must not change a single grade.
+    assert _scores(deduped_book) == _scores(full_book)
+
+    speedup = full_seconds / deduped_seconds
+    distinct = len(set(roster.values()))
+    merge_json_artifact(
+        "HOT_PATHS_JSON",
+        "dedup",
+        {
+            "students": STUDENTS,
+            "distinct_submissions": distinct,
+            "full_seconds": full_seconds,
+            "deduped_seconds": deduped_seconds,
+            "speedup": speedup,
+            "min_speedup": MIN_SPEEDUP,
+        },
+    )
+    emit(
+        "Ablation — content-hash dedup vs grading every duplicate",
+        f"{STUDENTS} students, {distinct} distinct programs: full "
+        f"{full_seconds:.2f}s, deduped {deduped_seconds:.2f}s -> "
+        f"{speedup:.1f}x (bound {MIN_SPEEDUP}x)",
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"dedup only {speedup:.2f}x faster "
+        f"(full {full_seconds:.2f}s vs deduped {deduped_seconds:.2f}s)"
+    )

@@ -1,0 +1,110 @@
+"""Ablation — indexed event queries vs linear scans at 100k events.
+
+``EventDatabase`` answers ``events_named``/``events_between``/
+``events_of`` from per-name and per-thread indexes plus dense-seq
+slicing; the checkers issue these queries once per requirement per
+submission, and on large traces the old full-log scans dominated
+checking time.  This ablation replays a 100k-event log and requires
+the indexed answers to beat the linear-scan references by at least
+``MIN_SPEEDUP``× on a batch of selective queries.
+
+Set ``HOT_PATHS_JSON=<path>`` to merge the measurements into the shared
+hot-path artifact.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from benchmarks.conftest import emit, merge_json_artifact
+from repro.eventdb.database import EventDatabase
+from repro.util.thread_registry import ThreadRegistry
+
+EVENTS = 100_000
+THREADS = 16
+NAMES = 50
+QUERIES = 200
+
+#: Indexed queries must beat the linear scans by at least this factor.
+MIN_SPEEDUP = 10.0
+
+
+def _build_database() -> EventDatabase:
+    db = EventDatabase(ThreadRegistry(first_id=0))
+    threads = [threading.Thread(name=f"T{i}") for i in range(THREADS)]
+    items = [
+        (
+            f"Name{i % NAMES}",
+            i,
+            f"Thread {i % THREADS}->Name{i % NAMES}:{i}",
+            threads[i % THREADS],
+            True,
+        )
+        for i in range(EVENTS)
+    ]
+    db.record_batch(items)
+    return db
+
+
+def _time(body) -> float:
+    started = time.perf_counter()
+    body()
+    return time.perf_counter() - started
+
+
+def test_ablation_indexed_queries_at_least_10x_faster():
+    db = _build_database()
+    events = db.snapshot()
+    thread_of = {e.thread_id: e.thread for e in events}
+
+    def indexed() -> None:
+        for q in range(QUERIES):
+            db.events_named(f"Name{q % NAMES}")
+            lo = (q * 379) % (EVENTS - 1000)
+            db.events_between(lo, lo + 999)
+            db.events_of(thread_of[q % THREADS])
+
+    def linear() -> None:
+        for q in range(QUERIES):
+            name = f"Name{q % NAMES}"
+            [e for e in events if e.name == name]
+            lo = (q * 379) % (EVENTS - 1000)
+            hi = lo + 999
+            [e for e in events if lo <= e.seq <= hi]
+            thread = thread_of[q % THREADS]
+            [e for e in events if e.thread is thread]
+
+    # Correctness of the comparison: both sides answer identically.
+    assert db.events_named("Name7") == [e for e in events if e.name == "Name7"]
+    assert db.events_between(500, 1499) == events[500:1500]
+
+    indexed()  # warm-up: touch the indexes once outside the timing
+    indexed_seconds = _time(indexed)
+    linear_seconds = _time(linear)
+
+    speedup = linear_seconds / indexed_seconds
+    merge_json_artifact(
+        "HOT_PATHS_JSON",
+        "eventdb_index",
+        {
+            "events": EVENTS,
+            "threads": THREADS,
+            "names": NAMES,
+            "queries": QUERIES * 3,
+            "linear_seconds": linear_seconds,
+            "indexed_seconds": indexed_seconds,
+            "speedup": speedup,
+            "min_speedup": MIN_SPEEDUP,
+        },
+    )
+    emit(
+        "Ablation — indexed event queries vs linear scans",
+        f"{QUERIES * 3} queries over {EVENTS} events: linear "
+        f"{linear_seconds:.3f}s, indexed {indexed_seconds:.3f}s -> "
+        f"{speedup:.0f}x (bound {MIN_SPEEDUP}x)",
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"indexed queries only {speedup:.1f}x faster than linear scans "
+        f"(linear {linear_seconds:.3f}s vs indexed {indexed_seconds:.3f}s)"
+    )

@@ -1,0 +1,86 @@
+"""Ablation — pre-forked worker pool vs cold-start subprocess grading.
+
+Cold subprocess grading pays a full interpreter boot (plus the workload
+registry import) per submission; the worker pool amortizes that over N
+warm interpreters dispatched over a pipe protocol.  This ablation
+grades the same synthetic class both ways and requires the pooled sweep
+to be at least ``MIN_SPEEDUP``× faster end to end — the headline claim
+behind ``grade --pool-size``.
+
+The class is 200 submissions by default (the CI hot-paths job's
+configuration); set ``POOL_BENCH_SUBMISSIONS`` to scale it down for a
+quick local run.  Set ``HOT_PATHS_JSON=<path>`` to merge the
+measurements into the shared hot-path artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from benchmarks.conftest import emit, merge_json_artifact
+from repro.execution.subprocess_runner import SubprocessRunner
+from repro.execution.worker_pool import WorkerPool
+
+#: The cheapest real workload: measured time is dominated by dispatch.
+IDENTIFIER = "hello.correct"
+ARGS = ["1"]
+
+SUBMISSIONS = int(os.environ.get("POOL_BENCH_SUBMISSIONS", "200"))
+JOBS = 4
+
+#: The pooled sweep must beat cold-start by at least this factor.
+MIN_SPEEDUP = 2.0
+
+
+def _sweep(runner: SubprocessRunner, submissions: int) -> float:
+    """Grade the synthetic class with JOBS concurrent workers."""
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=JOBS) as executor:
+        futures = [
+            executor.submit(runner.run, IDENTIFIER, ARGS)
+            for _ in range(submissions)
+        ]
+        for future in futures:
+            assert future.result().ok
+    return time.perf_counter() - started
+
+
+def test_ablation_pooled_grading_at_least_2x_faster_than_cold():
+    cold = SubprocessRunner(timeout=60.0)
+    cold.run(IDENTIFIER, ARGS)  # warm the OS page cache for both paths
+
+    cold_seconds = _sweep(cold, SUBMISSIONS)
+
+    with WorkerPool(JOBS) as pool:
+        pooled = SubprocessRunner(timeout=60.0, pool=pool)
+        pooled.run(IDENTIFIER, ARGS)  # first dispatch per worker is warm-up
+        pooled_seconds = _sweep(pooled, SUBMISSIONS)
+        assert pool.active_workers() == JOBS
+
+    speedup = cold_seconds / pooled_seconds
+    merge_json_artifact(
+        "HOT_PATHS_JSON",
+        "worker_pool",
+        {
+            "workload": {"identifier": IDENTIFIER, "args": ARGS},
+            "submissions": SUBMISSIONS,
+            "jobs": JOBS,
+            "cold_seconds": cold_seconds,
+            "pooled_seconds": pooled_seconds,
+            "speedup": speedup,
+            "min_speedup": MIN_SPEEDUP,
+        },
+    )
+    emit(
+        "Ablation — pre-forked worker pool vs cold-start grading",
+        f"{SUBMISSIONS} submissions x {JOBS} jobs: cold {cold_seconds:.2f}s "
+        f"({cold_seconds / SUBMISSIONS * 1e3:.1f}ms each), pooled "
+        f"{pooled_seconds:.2f}s ({pooled_seconds / SUBMISSIONS * 1e3:.1f}ms "
+        f"each) -> {speedup:.1f}x (bound {MIN_SPEEDUP}x)",
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"pooled grading only {speedup:.2f}x faster than cold-start "
+        f"(cold {cold_seconds:.2f}s vs pooled {pooled_seconds:.2f}s)"
+    )

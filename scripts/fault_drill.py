@@ -56,7 +56,8 @@ def normalized(book: Gradebook) -> str:
     return json.dumps(payload, sort_keys=True)
 
 
-def run_scenario(name, fault, submissions, outdir, shards):
+def run_scenario(name, fault, submissions, outdir, shards,
+                 pool_size=0, dedup=False):
     """One disturbed batch; returns (report, identical-ready gradebook)."""
     workdir = outdir / name
     service = GradingService(
@@ -66,13 +67,15 @@ def run_scenario(name, fault, submissions, outdir, shards):
         heartbeat_interval=0.2,
         heartbeat_timeout=3.0,
         faults={0: fault} if fault is not None else None,
+        pool_size=pool_size,
+        dedup=dedup,
     )
     report = service.grade(dict(submissions))
     report.gradebook.save(workdir / "gradebook.json")
     return report
 
 
-def run_sigterm_drill(submissions, outdir, shards):
+def run_sigterm_drill(submissions, outdir, shards, pool_size=0, dedup=False):
     """Coordinator SIGTERM mid-batch in a child process, then resume."""
     workdir = outdir / "coordinator-sigterm"
     workdir.mkdir(parents=True, exist_ok=True)
@@ -84,7 +87,7 @@ def run_sigterm_drill(submissions, outdir, shards):
         "from repro.grading import GradingService\n"
         f"submissions = json.loads({json.dumps(json.dumps(batch))})\n"
         f"service = GradingService('primes', workdir={str(workdir)!r}, "
-        f"shards={shards})\n"
+        f"shards={shards}, pool_size={pool_size}, dedup={dedup})\n"
         "report = service.grade(submissions)\n"
         "sys.exit(3 if report.drained else 0)\n"
     )
@@ -99,7 +102,8 @@ def run_sigterm_drill(submissions, outdir, shards):
         finished_early = False
     drained = proc.returncode == 3
     resumed = GradingService(
-        "primes", workdir=workdir, shards=shards
+        "primes", workdir=workdir, shards=shards,
+        pool_size=pool_size, dedup=dedup,
     ).grade(dict(batch))
     resumed.gradebook.save(workdir / "gradebook.json")
     return {
@@ -118,6 +122,12 @@ def main(argv=None) -> int:
                         help="synthetic submissions per drill (default 40)")
     parser.add_argument("--shards", type=int, default=2, metavar="N",
                         help="shard workers per drill (default 2)")
+    parser.add_argument("--pool-size", type=int, default=0, metavar="N",
+                        help="warm pooled interpreters per shard worker "
+                             "(default 0: cold-start children)")
+    parser.add_argument("--dedup", action="store_true",
+                        help="drill with content-hash dedup enabled "
+                             "(duplicates fan out from one grading run)")
     args = parser.parse_args(argv)
 
     warnings.simplefilter("ignore")
@@ -127,16 +137,20 @@ def main(argv=None) -> int:
         f"student-{i:03d}": "hello.correct" for i in range(args.class_size)
     }
 
-    print(f"fault drill: {args.class_size} submissions, {args.shards} shards")
-    calm = run_scenario("undisturbed", None, submissions, outdir, args.shards)
+    print(f"fault drill: {args.class_size} submissions, {args.shards} shards, "
+          f"pool-size {args.pool_size}, dedup {args.dedup}")
+    calm = run_scenario("undisturbed", None, submissions, outdir, args.shards,
+                        args.pool_size, args.dedup)
     baseline = normalized(calm.gradebook)
     results = {"class_size": args.class_size, "shards": args.shards,
+               "pool_size": args.pool_size, "dedup": args.dedup,
                "scenarios": {}}
     failed = False
 
     for scenario in SHARD_FAULT_SCENARIOS:
         report = run_scenario(
-            scenario.name, scenario.fault, submissions, outdir, args.shards
+            scenario.name, scenario.fault, submissions, outdir, args.shards,
+            args.pool_size, args.dedup
         )
         identical = normalized(report.gradebook) == baseline
         respawns = sum(s.respawns for s in report.shards)
@@ -156,7 +170,7 @@ def main(argv=None) -> int:
               f"identical={identical} -> {status}")
 
     sigterm_stats, resumed = run_sigterm_drill(
-        submissions, outdir, args.shards
+        submissions, outdir, args.shards, args.pool_size, args.dedup
     )
     sigterm_ok = len(resumed.gradebook.students()) == args.class_size
     sigterm_stats["gradebook_complete_after_resume"] = sigterm_ok

@@ -16,6 +16,8 @@ is that entry point::
         --jobs 4 --explore 5 --obs-out obs.jsonl --html class.html
     forkjoin-test grade primes --submissions primes.correct,primes.racy \
         --shards 4 --resume grading.workdir
+    forkjoin-test grade primes --submissions primes.correct,primes.racy \
+        --jobs 4 --pool-size 4
     forkjoin-test export primes --submission primes.serialized \
         --out results.json          # Gradescope results.json
     forkjoin-test fuzz primes.racy --schedules 25
@@ -194,6 +196,26 @@ def build_parser() -> argparse.ArgumentParser:
             "sharded mode: shard-worker deaths attributed to the same "
             "submission before it is quarantined with a durable crash "
             "record (default 2)"
+        ),
+    )
+    grade.add_argument(
+        "--pool-size",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "keep N pre-forked warm interpreters and dispatch subprocess "
+            "runs to them instead of cold-starting a child per run "
+            "(implies --subprocess; 0 disables pooling)"
+        ),
+    )
+    grade.add_argument(
+        "--no-dedup",
+        action="store_true",
+        help=(
+            "grade byte-identical submissions separately instead of "
+            "grading one representative and fanning the shared result "
+            "out to its duplicates"
         ),
     )
     grade.add_argument(
@@ -400,7 +422,7 @@ def _grade_sharded(args: argparse.Namespace, identifiers: List[str]) -> int:
         args.suite,
         workdir=workdir,
         shards=args.shards,
-        subprocess_mode=args.subprocess,
+        subprocess_mode=args.subprocess or args.pool_size > 0,
         jobs_per_shard=args.jobs,
         retries=args.retries,
         deadline=args.deadline,
@@ -408,6 +430,8 @@ def _grade_sharded(args: argparse.Namespace, identifiers: List[str]) -> int:
         explore_seed=args.explore_seed,
         heartbeat_timeout=args.heartbeat_timeout,
         quarantine_after=args.quarantine_after,
+        pool_size=args.pool_size,
+        dedup=not args.no_dedup,
     )
     report = service.grade({identifier: identifier for identifier in identifiers})
     print(report.gradebook.render())
@@ -480,6 +504,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0 if result.score >= result.max_score else 1
 
     if args.command == "grade":
+        from contextlib import ExitStack
+
+        from repro.core.report import trace_reports
         from repro.execution.supervisor import GradingSupervisor
         from repro.grading.journal import GradingJournal
 
@@ -487,37 +514,51 @@ def _dispatch(args: argparse.Namespace) -> int:
         if args.shards > 0:
             return _grade_sharded(args, identifiers)
         journal = GradingJournal(args.resume) if args.resume else None
-        supervisor = GradingSupervisor(
-            lambda ident: _suite_for(
-                args.suite, ident, subprocess_mode=args.subprocess
-            ),
-            jobs=args.jobs,
-            retries=args.retries,
-            deadline=args.deadline,
-            journal=journal,
-            explore_schedules=args.explore,
-            explore_seed=args.explore_seed,
-        )
-        try:
-            report = supervisor.grade(
-                {identifier: identifier for identifier in identifiers}
+        with ExitStack() as stack:
+            if not (args.markdown or args.html):
+                # Report-less batch: skip trace/execution retention — the
+                # per-submission event logs would never be read.
+                stack.enter_context(trace_reports(False))
+            pool = None
+            if args.pool_size > 0:
+                from repro.execution.worker_pool import WorkerPool
+
+                pool = stack.enter_context(WorkerPool(args.pool_size))
+            supervisor = GradingSupervisor(
+                lambda ident: _suite_for(
+                    args.suite,
+                    ident,
+                    subprocess_mode=args.subprocess or pool is not None,
+                ),
+                jobs=args.jobs,
+                retries=args.retries,
+                deadline=args.deadline,
+                journal=journal,
+                explore_schedules=args.explore,
+                explore_seed=args.explore_seed,
+                pool=pool,
+                dedup=not args.no_dedup,
             )
-        except KeyboardInterrupt:
-            if args.resume:
-                print(
-                    f"\ninterrupted; completed submissions are journaled in "
-                    f"{args.resume} — rerun the same command to resume"
+            try:
+                report = supervisor.grade(
+                    {identifier: identifier for identifier in identifiers}
                 )
-            else:
-                print(
-                    "\ninterrupted; rerun with --resume <journal> to make "
-                    "batches checkpointable"
-                )
-            return 130
-        gradebook = report.gradebook
-        print(gradebook.render())
-        print(report.summary())
-        _write_grade_artifacts(args, gradebook)
+            except KeyboardInterrupt:
+                if args.resume:
+                    print(
+                        f"\ninterrupted; completed submissions are journaled in "
+                        f"{args.resume} — rerun the same command to resume"
+                    )
+                else:
+                    print(
+                        "\ninterrupted; rerun with --resume <journal> to make "
+                        "batches checkpointable"
+                    )
+                return 130
+            gradebook = report.gradebook
+            print(gradebook.render())
+            print(report.summary())
+            _write_grade_artifacts(args, gradebook)
         return 0
 
     if args.command == "export":

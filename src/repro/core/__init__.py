@@ -25,7 +25,12 @@ from repro.core.properties import (
     normalize_specs,
 )
 from repro.core.multiround import AbstractMultiRoundForkJoinChecker
-from repro.core.report import ForkJoinCheckReport
+from repro.core.report import (
+    ForkJoinCheckReport,
+    set_trace_reports,
+    trace_reports,
+    trace_reports_enabled,
+)
 from repro.core.spec_lint import LintFinding, LintLevel, lint_checker
 from repro.core.trace_model import (
     PhasedTrace,
@@ -47,6 +52,9 @@ __all__ = [
     "CreditSchema",
     "DEFAULT_WEIGHTS",
     "ForkJoinCheckReport",
+    "set_trace_reports",
+    "trace_reports",
+    "trace_reports_enabled",
     "LocBreakdown",
     "Messages",
     "Phase",

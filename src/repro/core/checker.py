@@ -34,7 +34,7 @@ from repro.core.dynamic_syntax import check_dynamic_syntax
 from repro.core.messages import Messages
 from repro.core.outcome import Aspect, CheckOutcome, merge_outcomes
 from repro.core.properties import PropertySpec, normalize_specs
-from repro.core.report import ForkJoinCheckReport
+from repro.core.report import ForkJoinCheckReport, make_report
 from repro.core.semantics import run_semantic_checks
 from repro.core.syntax import check_static_syntax
 from repro.core.trace_model import PhaseSpecs, build_phased_trace
@@ -233,7 +233,7 @@ class AbstractForkJoinChecker(ScoredTestCase):
                 fatal=str(exc),
                 failure_kind="infra-error",
             )
-            self.last_report = ForkJoinCheckReport(result=result)
+            self.last_report = make_report(result=result)
             return result
 
         if not execution.ok:
@@ -246,7 +246,7 @@ class AbstractForkJoinChecker(ScoredTestCase):
                 ),
                 failure_kind=execution.failure_kind.value,
             )
-            self.last_report = ForkJoinCheckReport(
+            self.last_report = make_report(
                 result=result, execution=execution
             )
             return result
@@ -308,7 +308,7 @@ class AbstractForkJoinChecker(ScoredTestCase):
             outcomes=report_lines,
             failure_kind=execution.failure_kind.value,
         )
-        self.last_report = ForkJoinCheckReport(
+        self.last_report = make_report(
             result=result, execution=execution, trace=trace
         )
         return result

@@ -34,7 +34,7 @@ from repro.core.credit import CreditSchema, score_outcomes
 from repro.core.messages import Messages
 from repro.core.outcome import Aspect, CheckOutcome, merge_outcomes
 from repro.core.properties import PropertySpec, normalize_specs
-from repro.core.report import ForkJoinCheckReport
+from repro.core.report import ForkJoinCheckReport, make_report
 from repro.core.trace_model import (
     PhaseSpecs,
     PropertyTuple,
@@ -266,7 +266,7 @@ class AbstractMultiRoundForkJoinChecker(AbstractForkJoinChecker):
             result = TestResult(
                 test_name=self.name, score=0.0, max_score=self.max_score, fatal=str(exc)
             )
-            self.last_report = ForkJoinCheckReport(result=result)
+            self.last_report = make_report(result=result)
             return result
         if not execution.ok:
             result = TestResult(
@@ -275,7 +275,7 @@ class AbstractMultiRoundForkJoinChecker(AbstractForkJoinChecker):
                 max_score=self.max_score,
                 fatal=Messages.program_crashed(identifier, execution.failure_reason()),
             )
-            self.last_report = ForkJoinCheckReport(result=result, execution=execution)
+            self.last_report = make_report(result=result, execution=execution)
             return result
 
         worker_specs = self._worker_phase_specs()
@@ -341,7 +341,7 @@ class AbstractMultiRoundForkJoinChecker(AbstractForkJoinChecker):
         result = TestResult(
             test_name=self.name, score=score, max_score=self.max_score, outcomes=lines
         )
-        self.last_report = ForkJoinCheckReport(result=result, execution=execution)
+        self.last_report = make_report(result=result, execution=execution)
         return result
 
     # ------------------------------------------------------------------

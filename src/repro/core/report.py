@@ -9,14 +9,72 @@ the paper-style annotated trace with phase comments.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from repro.core.trace_model import PhasedTrace
 from repro.execution.runner import ExecutionResult
 from repro.testfw.result import TestResult
 
-__all__ = ["ForkJoinCheckReport"]
+__all__ = [
+    "ForkJoinCheckReport",
+    "trace_reports_enabled",
+    "set_trace_reports",
+    "trace_reports",
+    "make_report",
+]
+
+#: Grading fast path: when False, checkers keep only the scored
+#: :class:`~repro.testfw.result.TestResult` in their reports — the
+#: execution and phased trace are dropped instead of retained.  A batch
+#: grading run that renders no report/HTML output never reads them, and
+#: at 10k submissions the retained traces are the dominant memory cost.
+_trace_reports_enabled = True
+
+
+def trace_reports_enabled() -> bool:
+    """Whether check reports retain the execution and phased trace."""
+    return _trace_reports_enabled
+
+
+def set_trace_reports(enabled: bool) -> None:
+    """Enable/disable trace retention in check reports (process-wide).
+
+    Disable for report-less batch grading (the CLI does this for
+    ``grade`` runs without ``--html``/``--markdown``); leave enabled —
+    the default — whenever annotated traces or HTML reports might be
+    rendered.
+    """
+    global _trace_reports_enabled
+    _trace_reports_enabled = bool(enabled)
+
+
+@contextmanager
+def trace_reports(enabled: bool) -> Iterator[None]:
+    """Scoped :func:`set_trace_reports`, restored on exit."""
+    previous = _trace_reports_enabled
+    set_trace_reports(enabled)
+    try:
+        yield
+    finally:
+        set_trace_reports(previous)
+
+
+def make_report(
+    result: TestResult,
+    execution: Optional[ExecutionResult] = None,
+    trace: Optional[PhasedTrace] = None,
+) -> "ForkJoinCheckReport":
+    """Build a check report, honouring the trace-retention fast path.
+
+    With trace reports disabled the execution and trace are dropped at
+    the construction site, so batch grading holds one slim result per
+    submission instead of every submission's full event log.
+    """
+    if not _trace_reports_enabled:
+        return ForkJoinCheckReport(result=result)
+    return ForkJoinCheckReport(result=result, execution=execution, trace=trace)
 
 
 @dataclass

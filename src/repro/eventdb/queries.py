@@ -11,6 +11,7 @@ property-tested in isolation from the interception machinery.
 from __future__ import annotations
 
 import threading
+from bisect import bisect_right
 from collections import OrderedDict
 from typing import Dict, List, Sequence, Tuple
 
@@ -73,20 +74,39 @@ def thread_spans(events: Sequence[PropertyEvent]) -> Dict[int, Tuple[int, int]]:
 def interleaved_thread_pairs(
     events: Sequence[PropertyEvent],
 ) -> List[Tuple[int, int]]:
-    """Pairs of thread ids whose event spans overlap.
+    """Pairs of thread ids whose events genuinely interleave.
 
     Two threads are *interleaved* when at least one event of one falls
-    strictly inside the (first, last) span of the other.  For threads with
-    overlapping spans that is equivalent to span intersection.
+    strictly inside the ``(first, last)`` span of the other — i.e.
+    ``a_first < b_seq < a_last`` for some event of B, or vice versa.  For
+    logs with globally unique sequence numbers (every database-produced
+    log) this is equivalent to closed-interval span intersection, since
+    distinct threads can never share an endpoint seq; for hand-built
+    logs where two threads touch at a boundary seq, the strict test is
+    authoritative: boundary contact alone is still a serialization.
     """
     spans = thread_spans(events)
+    streams = events_by_thread(events)
+    seqs: Dict[int, List[int]] = {
+        tid: sorted(e.seq for e in stream) for tid, stream in streams.items()
+    }
+
+    def strictly_inside(inner: List[int], first: int, last: int) -> bool:
+        # Any seq of `inner` in the open interval (first, last)?
+        idx = bisect_right(inner, first)
+        return idx < len(inner) and inner[idx] < last
+
     ids = sorted(spans)
     pairs: List[Tuple[int, int]] = []
     for i, a in enumerate(ids):
+        a_first, a_last = spans[a]
         for b in ids[i + 1 :]:
-            a_first, a_last = spans[a]
             b_first, b_last = spans[b]
-            if a_first <= b_last and b_first <= a_last:
+            if a_first > b_last or b_first > a_last:
+                continue  # disjoint spans: cheap rejection first
+            if strictly_inside(seqs[b], a_first, a_last) or strictly_inside(
+                seqs[a], b_first, b_last
+            ):
                 pairs.append((a, b))
     return pairs
 
@@ -109,8 +129,8 @@ def is_interleaved(events: Sequence[PropertyEvent]) -> bool:
 def serialization_order(events: Sequence[PropertyEvent]) -> List[int]:
     """If the threads were fully serialized, their execution order.
 
-    Returns the thread ids in span order when no spans overlap; returns an
-    empty list when any pair interleaves (no total serialization order
+    Returns the thread ids in span order when no pair interleaves; returns
+    an empty list when any pair interleaves (no total serialization order
     exists).  Used to phrase the Fig. 10 error message "execution of the
     threads is serialized in the order ...".
     """

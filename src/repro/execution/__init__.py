@@ -73,6 +73,10 @@ def __getattr__(name: str):
         from repro.execution import subprocess_runner
 
         return getattr(subprocess_runner, name)
+    if name in ("WorkerPool", "PoolResult", "PoolError", "pooled_child_env"):
+        from repro.execution import worker_pool
+
+        return getattr(worker_pool, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -89,6 +93,10 @@ __all__ = [
     "SubprocessRunner",
     "kill_active_child",
     "active_child_count",
+    "WorkerPool",
+    "PoolResult",
+    "PoolError",
+    "pooled_child_env",
     "MainFunction",
     "UnknownMainError",
     "register_main",

@@ -24,11 +24,12 @@ Differences from the in-process regime, by construction:
 
 from __future__ import annotations
 
+import os
 import subprocess
 import sys
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.eventdb.database import EventDatabase
 from repro.eventdb.events import PropertyEvent
@@ -45,7 +46,38 @@ from repro.obs import get_registry as _obs_registry
 from repro.tracing.formatting import parse_property_line
 from repro.util.thread_registry import ThreadRegistry
 
-__all__ = ["SubprocessRunner", "kill_active_child", "active_child_count"]
+__all__ = [
+    "SubprocessRunner",
+    "kill_active_child",
+    "active_child_count",
+    "child_environment",
+    "DOCUMENTED_REPRO_VARS",
+]
+
+#: The ``REPRO_*`` environment overrides children are documented to
+#: honour (see docs/writing_tests.md).  Everything else matching
+#: ``REPRO_*`` is stripped from child environments so an operator's
+#: stray variable cannot change grading behaviour nondeterministically.
+DOCUMENTED_REPRO_VARS = (
+    "REPRO_HIDE_PRINTS",
+    "REPRO_OBS",
+    "REPRO_WORKLOAD_SEED",
+)
+
+
+def child_environment(base: Optional[Dict[str, str]] = None) -> Dict[str, str]:
+    """Deterministic child environment from *base* (default ``os.environ``).
+
+    Passes the parent environment through with undocumented ``REPRO_*``
+    variables removed; only :data:`DOCUMENTED_REPRO_VARS` reach the
+    child.  Built once per runner/pool, not per run.
+    """
+    source = os.environ if base is None else base
+    return {
+        key: value
+        for key, value in source.items()
+        if not key.startswith("REPRO_") or key in DOCUMENTED_REPRO_VARS
+    }
 
 
 class _ActiveChildren:
@@ -126,15 +158,29 @@ class SubprocessRunner:
         *,
         timeout: float = DEFAULT_TIMEOUT,
         python: Optional[str] = None,
+        pool: Optional[Any] = None,
     ) -> None:
         """Configure the runner.
 
         ``timeout`` is the default per-run wall-clock limit in seconds;
         ``python`` overrides the interpreter used for the child (defaults
-        to the running one).
+        to the running one); ``pool`` is an optional
+        :class:`~repro.execution.worker_pool.WorkerPool` — when given,
+        runs dispatch to a warm pooled interpreter instead of cold-
+        starting a child per run (the pool's lifetime is the caller's
+        responsibility).
         """
         self.timeout = timeout
         self.python = python or sys.executable
+        self.pool = pool
+        # Hoisted env construction: one snapshot per runner, with the
+        # hidden/shown variants precomputed so the hot loop never copies
+        # a dict per run.
+        base = child_environment()
+        self._env_by_hidden = {
+            False: {**base, "REPRO_HIDE_PRINTS": "0"},
+            True: {**base, "REPRO_HIDE_PRINTS": "1"},
+        }
 
     # ------------------------------------------------------------------
     def run(
@@ -151,10 +197,11 @@ class SubprocessRunner:
         trace is reconstructed from the child's output text.
         """
         obs = _obs_registry()
+        body = self._run_pooled if self.pool is not None else self._run_child
         with obs.span(
-            "runner.subprocess", identifier=identifier
+            "runner.subprocess", identifier=identifier, pooled=self.pool is not None
         ) as span:
-            result = self._run_child(
+            result = body(
                 identifier, args, hide_prints=hide_prints, timeout=timeout
             )
             span.set(
@@ -185,10 +232,7 @@ class SubprocessRunner:
             identifier,
             *args,
         ]
-        import os
-
-        env = dict(os.environ)
-        env["REPRO_HIDE_PRINTS"] = "1" if hide_prints else "0"
+        env = self._env_by_hidden[bool(hide_prints)]
 
         started = time.perf_counter()
         timed_out = False
@@ -220,6 +264,68 @@ class SubprocessRunner:
             # deadline: the cause is the timeout, not the kill signal.
             timed_out = True
 
+        exception, signal_number = self._classify(
+            identifier, returncode, stderr, timed_out
+        )
+
+        return self._reconstruct(
+            identifier=identifier,
+            args=args,
+            stdout=stdout,
+            stderr=stderr,
+            duration=duration,
+            exception=exception,
+            timed_out=timed_out,
+            hidden=hide_prints,
+            signal_number=signal_number,
+        )
+
+    def _run_pooled(
+        self,
+        identifier: str,
+        args: Optional[List[str]] = None,
+        *,
+        hide_prints: bool = False,
+        timeout: Optional[float] = None,
+    ) -> ExecutionResult:
+        """The body of :meth:`run` when dispatching to a warm pool worker.
+
+        The pool's response carries the same stdout/stderr/returncode
+        contract as a cold child, so classification and reconstruction
+        are shared with :meth:`_run_child` verbatim.
+        """
+        args = list(args) if args is not None else []
+        limit = self.timeout if timeout is None else timeout
+        outcome = self.pool.dispatch(
+            identifier, args, hide_prints=hide_prints, timeout=limit
+        )
+        exception, signal_number = self._classify(
+            identifier, outcome.returncode, outcome.stderr, outcome.timed_out
+        )
+        return self._reconstruct(
+            identifier=identifier,
+            args=args,
+            stdout=outcome.stdout,
+            stderr=outcome.stderr,
+            duration=outcome.duration,
+            exception=exception,
+            timed_out=outcome.timed_out,
+            hidden=hide_prints,
+            signal_number=signal_number,
+        )
+
+    @staticmethod
+    def _classify(
+        identifier: str,
+        returncode: int,
+        stderr: str,
+        timed_out: bool,
+    ) -> Tuple[Optional[BaseException], Optional[int]]:
+        """Map a child's exit status to (captured exception, signal).
+
+        Shared between the cold and pooled paths; raises
+        :class:`UnknownMainError` for the unknown-identifier status.
+        """
         if returncode == UNKNOWN_MAIN_EXIT and not timed_out:
             tail = stderr.strip().splitlines()
             raise UnknownMainError(identifier, tail[-1] if tail else "")
@@ -239,18 +345,7 @@ class SubprocessRunner:
             exception = RuntimeError(
                 f"child exited with status {returncode}: {stderr.strip()[:200]}"
             )
-
-        return self._reconstruct(
-            identifier=identifier,
-            args=args,
-            stdout=stdout,
-            stderr=stderr,
-            duration=duration,
-            exception=exception,
-            timed_out=timed_out,
-            hidden=hide_prints,
-            signal_number=signal_number,
-        )
+        return exception, signal_number
 
     @staticmethod
     def _line_attributions(stderr: str) -> Dict[int, int]:

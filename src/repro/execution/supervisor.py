@@ -226,6 +226,24 @@ class GradingSupervisor:
         First seed of the exploration range (seeds
         ``explore_seed .. explore_seed + explore_schedules - 1``); fixed
         seeds make the whole batch's verdicts host-independent.
+    pool:
+        Optional :class:`~repro.execution.worker_pool.WorkerPool`.  When
+        given, every test of every built suite is rebound to a pooled
+        :class:`~repro.execution.subprocess_runner.SubprocessRunner` —
+        i.e. a pool implies subprocess isolation — so submissions
+        dispatch to warm pre-forked interpreters instead of cold-starting
+        one per run.  Watchdog deadline kills and respawn still work:
+        the pooled runner registers its worker process in the same
+        active-children table the cold path uses, and the pool respawns
+        killed workers on check-in.  The pool's lifetime belongs to the
+        caller.
+    dedup:
+        Grade sha256-identical submissions once: duplicates are detected
+        up front (:func:`repro.grading.dedup.group_submissions`), only
+        group representatives are queued, and each resolved
+        representative fans its record out to its clones (distinct
+        student names, shared result).  Clones are journaled
+        individually, so resume behaves as if they had been graded.
     """
 
     #: How long after a hard kill the watchdog waits before concluding
@@ -246,6 +264,8 @@ class GradingSupervisor:
         suite_name: str = "",
         explore_schedules: int = 0,
         explore_seed: int = 0,
+        pool: Optional[object] = None,
+        dedup: bool = False,
     ) -> None:
         """Configure the supervisor; see the class docstring for knobs."""
         self.suite_factory = suite_factory
@@ -259,6 +279,11 @@ class GradingSupervisor:
         self._suite_name = suite_name
         self.explore_schedules = max(0, int(explore_schedules))
         self.explore_seed = int(explore_seed)
+        self.pool = pool
+        self.dedup = bool(dedup)
+        #: representative student -> later (student, identifier) pairs
+        #: whose submissions hash identically; resolved by fan-out.
+        self._clones: Dict[str, List[Tuple[str, str]]] = {}
 
         #: Serial for replacement-worker names; starts past the initial
         #: pool's indices so a replacement can never collide with a live
@@ -309,16 +334,31 @@ class GradingSupervisor:
             if student not in self._outcomes
         ]
 
+        clones: Dict[str, List[Tuple[str, str]]] = {}
+        queueable = pending
+        if self.dedup and pending:
+            from repro.grading.dedup import group_submissions
+
+            queueable, clones = group_submissions(pending)
+            duplicates = len(pending) - len(queueable)
+            if duplicates:
+                obs = _obs_registry()
+                obs.counter("dedup.groups").inc(len(clones))
+                obs.counter("dedup.duplicates_skipped").inc(duplicates)
+
         enqueued_at = time.monotonic()
         with self._lock:
+            self._clones = clones
             self._expected = len(self._outcomes) + len(pending)
             self._queue.extend(
                 (student, identifier, enqueued_at)
-                for student, identifier in pending
+                for student, identifier in queueable
             )
             self._stop = False
 
-        workers = [self._spawn_worker(i) for i in range(min(self.jobs, len(pending)))]
+        workers = [
+            self._spawn_worker(i) for i in range(min(self.jobs, len(queueable)))
+        ]
         stop_watchdog = threading.Event()
         watchdog = None
         if self.deadline is not None and pending:
@@ -387,10 +427,12 @@ class GradingSupervisor:
         """
         with self._lock:
             self._stop = True
-            dropped = [
-                (student, identifier)
-                for student, identifier, _ in self._queue
-            ]
+            dropped = []
+            for student, identifier, _ in self._queue:
+                dropped.append((student, identifier))
+                # A dropped representative takes its unworked clones
+                # with it — they were never queued in their own right.
+                dropped.extend(self._clones.pop(student, []))
             self._queue.clear()
             self._dropped.extend(dropped)
             self._expected -= len(dropped)
@@ -500,7 +542,7 @@ class GradingSupervisor:
         ) as span:
             self._arm(task)
             try:
-                suite = self.suite_factory(task.identifier)
+                suite = self._bind_pool(self.suite_factory(task.identifier))
                 if backend is None:
                     result = suite.run()
                 else:
@@ -516,6 +558,25 @@ class GradingSupervisor:
             span.set(kind=kind.value, score=result.score)
         obs.histogram("supervisor.attempt.seconds").observe(span.duration)
         return kind, result
+
+    def _bind_pool(self, suite: "TestSuite") -> "TestSuite":
+        """Rebind a suite's tests to pooled subprocess runners.
+
+        No-op without a pool.  With one, every test that exposes
+        ``make_runner`` dispatches to the warm pool — the supervisor's
+        ``pool=`` mode implies subprocess isolation for the whole suite.
+        """
+        if self.pool is None:
+            return suite
+        from repro.execution.subprocess_runner import SubprocessRunner
+
+        pool = self.pool
+        for test in suite.tests:
+            if hasattr(test, "make_runner"):
+                test.make_runner = (  # type: ignore[method-assign]
+                    lambda: SubprocessRunner(pool=pool)
+                )
+        return suite
 
     def _explore_racy(
         self,
@@ -681,10 +742,37 @@ class GradingSupervisor:
             self._outcomes[task.student] = outcome
             if task.worker is not None:
                 self._active.pop(task.worker, None)
+            clones = self._clones.pop(task.student, [])
         self._journal_outcome(outcome)
+        # Dedup fan-out: identical bytes get identical grades.  This
+        # covers every resolution path — worker result, infra error, and
+        # watchdog timeout alike — and journals each clone as its own
+        # entry so a resumed batch sees ordinary completed students.
+        for clone_student, clone_identifier in clones:
+            clone = self._clone_outcome(outcome, clone_student, clone_identifier)
+            with self._lock:
+                self._outcomes[clone_student] = clone
+            self._journal_outcome(clone)
         with self._done:
             self._done.notify_all()
         return True
+
+    def _clone_outcome(
+        self, outcome: SubmissionOutcome, student: str, identifier: str
+    ) -> SubmissionOutcome:
+        """The representative's outcome re-attributed to a duplicate."""
+        from repro.grading.dedup import clone_record
+
+        return SubmissionOutcome(
+            student=student,
+            identifier=identifier,
+            record=clone_record(outcome.record, student),
+            result=outcome.result,
+            failure_kind=outcome.failure_kind,
+            attempts=outcome.attempts,
+            attempt_outcomes=list(outcome.attempt_outcomes),
+            schedule_trace=outcome.schedule_trace,
+        )
 
     def _journal_outcome(self, outcome: SubmissionOutcome) -> None:
         if self.journal is None:

@@ -127,12 +127,17 @@ def build_named_suite(
     submission: Optional[str] = None,
     *,
     subprocess_mode: bool = False,
+    pool: Optional[object] = None,
 ) -> TestSuite:
     """Build the named problem suite against one submission identifier.
 
     ``subprocess_mode`` rebinds every checker in the suite to the
-    subprocess runner (isolation from student code); unknown names raise
-    ``KeyError`` listing the catalogue.
+    subprocess runner (isolation from student code); ``pool`` — a
+    :class:`~repro.execution.worker_pool.WorkerPool` — additionally
+    dispatches those runs to warm pre-forked interpreters instead of
+    cold-starting a child per run (only meaningful with
+    ``subprocess_mode``).  Unknown names raise ``KeyError`` listing the
+    catalogue.
     """
     try:
         suite = NAMED_SUITES[name](submission)
@@ -145,7 +150,7 @@ def build_named_suite(
 
         for test in suite.tests:
             if hasattr(test, "make_runner"):
-                test.make_runner = lambda: SubprocessRunner()  # type: ignore[method-assign]
+                test.make_runner = lambda: SubprocessRunner(pool=pool)  # type: ignore[method-assign]
     return suite
 
 

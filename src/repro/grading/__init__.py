@@ -6,6 +6,7 @@ from repro.grading.awareness import (
     analyze_progress,
 )
 from repro.grading.batch import grade_batch, grade_submissions
+from repro.grading.dedup import clone_record, group_submissions, submission_digest
 from repro.grading.export import (
     gradebook_csv,
     gradebook_markdown,
@@ -61,6 +62,9 @@ __all__ = [
     "analyze_progress",
     "grade_batch",
     "grade_submissions",
+    "submission_digest",
+    "group_submissions",
+    "clone_record",
     "gradescope_document",
     "write_gradescope_results",
     "suite_result_markdown",

@@ -25,6 +25,7 @@ def grade_submissions(
     submissions: Dict[str, str],
     *,
     suite_name: str = "",
+    dedup: bool = False,
 ) -> Tuple[Gradebook, Dict[str, SuiteResult]]:
     """Grade every (student -> identifier) submission with a fresh suite.
 
@@ -33,6 +34,12 @@ def grade_submissions(
     score displays isolated, exactly as separate JUnit runs would be.
     Returns the filled gradebook plus the live results for rendering.
 
+    With ``dedup`` enabled, sha256-identical submissions are graded once
+    and the representative's record fans out to the duplicates (distinct
+    student names, shared result — see :mod:`repro.grading.dedup`); the
+    gradebook still carries one record per student, in submissions
+    order.
+
     An empty ``submissions`` dict is a valid state, not an error — a
     resumed batch whose journal already covers every student grades
     nothing — and yields an empty gradebook (named ``suite_name``, since
@@ -40,15 +47,30 @@ def grade_submissions(
     """
     gradebook: Optional[Gradebook] = None
     live: Dict[str, SuiteResult] = {}
-    for student, identifier in submissions.items():
+    records: Dict[str, SubmissionRecord] = {}
+    pending = list(submissions.items())
+    clones: Dict[str, List[Tuple[str, str]]] = {}
+    if dedup and pending:
+        from repro.grading.dedup import group_submissions
+
+        pending, clones = group_submissions(pending)
+    for student, identifier in pending:
         suite = suite_factory(identifier)
         if gradebook is None:
             gradebook = Gradebook(suite.name)
         result = suite.run()
         live[student] = result
-        gradebook.record(SubmissionRecord.from_suite_result(student, result))
+        records[student] = SubmissionRecord.from_suite_result(student, result)
+        for clone_student, _ in clones.get(student, ()):
+            live[clone_student] = result
+            records[clone_student] = SubmissionRecord.from_suite_result(
+                clone_student, result
+            )
     if gradebook is None:
         gradebook = Gradebook(suite_name)
+    for student in submissions:
+        if student in records:
+            gradebook.record(records[student])
     return gradebook, live
 
 

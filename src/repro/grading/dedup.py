@@ -1,0 +1,88 @@
+"""Content-hash deduplication of byte-identical submissions.
+
+At class scale the same program text is graded many times: students
+submit the starter file untouched, copy a classmate, or resubmit the
+same bytes under a new attempt.  "Generating Representative Executions"
+(PAPERS.md) motivates never re-running equivalent work; for grading,
+the cheapest sound equivalence is *byte identity* — two submissions
+with the same sha256 must receive the same grade, so one of them is
+graded as the **representative** and the result fans out to the rest as
+cloned records (distinct submission ids, shared outcome).
+
+The fan-out is journal- and resume-safe: every clone is journaled as
+its own entry the moment the representative resolves, so a resumed
+batch sees clones as ordinary completed students.  Watchdog and
+infra outcomes fan out identically — a deadline kill on the
+representative stamps every copy of those bytes as a timeout, which is
+what grading them individually would have concluded too.
+
+Obs metrics: ``dedup.groups`` counts groups with at least one
+duplicate, ``dedup.duplicates_skipped`` the grading runs avoided.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Dict, List, Tuple
+
+from repro.grading.records import SubmissionRecord
+
+__all__ = ["submission_digest", "group_submissions", "clone_record"]
+
+
+def submission_digest(identifier: str) -> str:
+    """Content hash of one submission identifier.
+
+    A ``.py`` file path (the real-student-file case) hashes the file
+    *bytes*, so renamed copies of the same program collapse into one
+    group.  Any other identifier — a registered workload name or a
+    dotted module path — hashes the identifier string itself: distinct
+    names stay distinct, equal names collapse.  An unreadable file
+    falls back to the string form, so a broken path still grades (and
+    fails) individually per spelling.
+    """
+    if identifier.endswith(".py") and os.path.isfile(identifier):
+        try:
+            with open(identifier, "rb") as handle:
+                return hashlib.sha256(handle.read()).hexdigest()
+        except OSError:
+            pass
+    return hashlib.sha256(("id:" + identifier).encode("utf-8")).hexdigest()
+
+
+def group_submissions(
+    pending: List[Tuple[str, str]],
+) -> Tuple[List[Tuple[str, str]], Dict[str, List[Tuple[str, str]]]]:
+    """Split (student, identifier) pairs into representatives and clones.
+
+    Returns ``(representatives, clones)`` where *representatives*
+    preserves input order with one entry per distinct digest (the first
+    student to submit those bytes), and *clones* maps a representative's
+    student name to the later (student, identifier) pairs sharing its
+    digest, also in input order.
+    """
+    representatives: List[Tuple[str, str]] = []
+    clones: Dict[str, List[Tuple[str, str]]] = {}
+    by_digest: Dict[str, str] = {}
+    for student, identifier in pending:
+        digest = submission_digest(identifier)
+        representative = by_digest.get(digest)
+        if representative is None:
+            by_digest[digest] = student
+            representatives.append((student, identifier))
+        else:
+            clones.setdefault(representative, []).append((student, identifier))
+    return representatives, clones
+
+
+def clone_record(record: SubmissionRecord, student: str) -> SubmissionRecord:
+    """A deep copy of *record* re-attributed to *student*.
+
+    Round-trips through the dict form so the clone shares no mutable
+    state with the representative's record (gradebooks mutate
+    ``record.suite`` in place).
+    """
+    data = record.to_dict()
+    data["student"] = student
+    return SubmissionRecord.from_dict(data)

@@ -283,6 +283,15 @@ class GradingService:
     explore_schedules / explore_seed:
         Forwarded to each shard's inner
         :class:`~repro.execution.supervisor.GradingSupervisor`.
+    pool_size:
+        When > 0, each shard worker keeps this many pre-forked warm
+        interpreters (:class:`~repro.execution.worker_pool.WorkerPool`)
+        and grades on them instead of cold-starting a child per
+        submission; implies subprocess isolation inside the shard.
+    dedup:
+        Forwarded to each shard's supervisor: sha256-identical
+        submissions within a shard grade once and fan the record out
+        (journal- and resume-safe; see :mod:`repro.grading.dedup`).
     heartbeat_interval:
         Worker heartbeat period, seconds.
     heartbeat_timeout:
@@ -320,6 +329,8 @@ class GradingService:
         deadline: Optional[float] = None,
         explore_schedules: int = 0,
         explore_seed: int = 0,
+        pool_size: int = 0,
+        dedup: bool = False,
         heartbeat_interval: float = 0.5,
         heartbeat_timeout: float = 10.0,
         quarantine_after: int = 2,
@@ -339,6 +350,8 @@ class GradingService:
         self.deadline = deadline
         self.explore_schedules = max(0, int(explore_schedules))
         self.explore_seed = int(explore_seed)
+        self.pool_size = max(0, int(pool_size))
+        self.dedup = bool(dedup)
         self.heartbeat_interval = float(heartbeat_interval)
         self.heartbeat_timeout = float(heartbeat_timeout)
         self.quarantine_after = max(1, int(quarantine_after))
@@ -417,6 +430,8 @@ class GradingService:
                 "deadline": self.deadline,
                 "explore_schedules": self.explore_schedules,
                 "explore_seed": self.explore_seed,
+                "pool_size": self.pool_size,
+                "dedup": self.dedup,
             },
             "heartbeat_interval": self.heartbeat_interval,
             "fault": fault.to_dict(),

@@ -181,6 +181,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
 
     opts = manifest.supervisor
+    pool = None
+    pool_size = int(opts.get("pool_size", 0))
+    if pool_size > 0:
+        # The shard reuses the pre-forked worker pool: one set of warm
+        # interpreters per incarnation, shared by all grading jobs.
+        from repro.execution.worker_pool import WorkerPool
+
+        pool = WorkerPool(pool_size)
     supervisor = GradingSupervisor(
         lambda identifier: build_named_suite(
             manifest.suite,
@@ -193,6 +201,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         journal=journal,
         explore_schedules=int(opts.get("explore_schedules", 0)),
         explore_seed=int(opts.get("explore_seed", 0)),
+        pool=pool,
+        dedup=bool(opts.get("dedup", False)),
     )
 
     drained = threading.Event()
@@ -227,6 +237,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     finally:
         stop_heartbeat.set()
+        if pool is not None:
+            pool.shutdown()
 
     if drained.is_set():
         durable = set(journal.completed())

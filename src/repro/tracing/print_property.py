@@ -21,7 +21,12 @@ from repro.tracing.formatting import format_property_line
 from repro.tracing.session import current_session
 from repro.util.thread_registry import ThreadRegistry
 
-__all__ = ["print_property", "set_standalone_hidden", "standalone_hidden"]
+__all__ = [
+    "print_property",
+    "set_standalone_hidden",
+    "standalone_hidden",
+    "reset_standalone_state",
+]
 
 # Fallback registry for standalone (session-less) runs so thread ids in
 # plain console output are still small and stable within a process.
@@ -38,6 +43,19 @@ def set_standalone_hidden(hidden: bool) -> None:
     """Disable/enable ``print_property`` output outside any session."""
     global _standalone_hidden
     _standalone_hidden = bool(hidden)
+
+
+def reset_standalone_state() -> None:
+    """Start a fresh standalone trace: new registry, prints enabled.
+
+    A persistent worker interpreter (``repro.execution.pool_child``) runs
+    many submissions in one process; each run must hand out thread ids
+    from :data:`~repro.util.thread_registry.FIRST_THREAD_ID` again so its
+    trace is indistinguishable from a cold-started child's.
+    """
+    global _standalone_registry, _standalone_hidden
+    _standalone_registry = ThreadRegistry()
+    _standalone_hidden = False
 
 
 def standalone_thread_id(thread: "threading.Thread | None" = None) -> int:

@@ -60,6 +60,18 @@ class ThreadRegistry:
             self._order.append(thread)
             return assigned
 
+    def peek_id(self, thread: Optional[threading.Thread] = None) -> Optional[int]:
+        """Return *thread*'s id without registering it, or ``None``.
+
+        Read-only counterpart of :meth:`id_for` for query paths that must
+        not grow the registry (looking up a thread that never printed
+        should not mint it an id).
+        """
+        if thread is None:
+            thread = threading.current_thread()
+        with self._lock:
+            return self._ids.get(id(thread))
+
     def thread_for(self, thread_id: int) -> threading.Thread:
         """Return the thread object registered under *thread_id*.
 

@@ -116,6 +116,28 @@ class TestSupervisedGrading:
         assert code == 0
         assert "100.0%" in capsys.readouterr().out
 
+    def test_grade_with_worker_pool(self, capsys):
+        # --pool-size implies subprocess isolation; the batch grades
+        # through warm pooled interpreters.
+        code = main(
+            ["grade", "hello", "--submissions", "hello.correct", "--pool-size", "1"]
+        )
+        assert code == 0
+        assert "graded 1 submission(s)" in capsys.readouterr().out
+
+    def test_grade_without_reports_restores_trace_retention(
+        self, capsys, round_robin_backend
+    ):
+        from repro.core.report import trace_reports_enabled
+
+        assert trace_reports_enabled()
+        code = main(
+            ["grade", "hello", "--submissions", "hello.correct", "--no-dedup"]
+        )
+        assert code == 0
+        # The report-less fast path is scoped to the grade run only.
+        assert trace_reports_enabled()
+
 
 class TestSubprocessFlag:
     def test_run_with_subprocess_flag(self, capsys):

@@ -1,0 +1,188 @@
+"""Tests of content-hash deduplication across the grading layers."""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.execution.supervisor import GradingSupervisor
+from repro.graders import PrimesFunctionality
+from repro.grading import grade_submissions
+from repro.grading.dedup import clone_record, group_submissions, submission_digest
+from repro.grading.journal import GradingJournal
+from repro.grading.records import SubmissionRecord
+from repro.testfw.suite import TestSuite
+
+
+def primes_factory(identifier):
+    return TestSuite("primes", [PrimesFunctionality(identifier)])
+
+
+#: A roster where three students submitted byte-identical work.
+ROSTER = {
+    "alice": "primes.correct",
+    "bob": "primes.correct",
+    "carl": "primes.serialized",
+    "dora": "primes.correct",
+}
+
+
+def normalized(book):
+    """Gradebook contents with timing fields zeroed, for equality checks."""
+    snapshot = {}
+    for student in book.students():
+        data = book.latest(student).to_dict()
+        data["timestamp"] = 0.0
+        data["elapsed"] = 0.0
+        snapshot[student] = data
+    return snapshot
+
+
+class TestDigest:
+    def test_equal_file_bytes_collapse_across_names(self, tmp_path):
+        first = tmp_path / "one.py"
+        second = tmp_path / "two.py"
+        first.write_text("def main(args):\n    pass\n")
+        second.write_text("def main(args):\n    pass\n")
+        assert submission_digest(str(first)) == submission_digest(str(second))
+
+    def test_different_file_bytes_stay_distinct(self, tmp_path):
+        first = tmp_path / "one.py"
+        second = tmp_path / "two.py"
+        first.write_text("def main(args):\n    pass\n")
+        second.write_text("def main(args):\n    return 1\n")
+        assert submission_digest(str(first)) != submission_digest(str(second))
+
+    def test_registered_names_hash_as_strings(self):
+        assert submission_digest("primes.correct") == submission_digest(
+            "primes.correct"
+        )
+        assert submission_digest("primes.correct") != submission_digest(
+            "primes.racy"
+        )
+
+    def test_missing_file_falls_back_to_identifier_string(self, tmp_path):
+        ghost = str(tmp_path / "ghost.py")
+        assert submission_digest(ghost) == submission_digest(ghost)
+
+
+class TestGrouping:
+    def test_first_student_per_digest_is_representative(self):
+        reps, clones = group_submissions(list(ROSTER.items()))
+        assert reps == [("alice", "primes.correct"), ("carl", "primes.serialized")]
+        assert clones == {
+            "alice": [("bob", "primes.correct"), ("dora", "primes.correct")]
+        }
+
+    def test_no_duplicates_means_no_clones(self):
+        pending = [("a", "primes.correct"), ("b", "primes.racy")]
+        reps, clones = group_submissions(pending)
+        assert reps == pending
+        assert clones == {}
+
+
+class TestCloneRecord:
+    def test_clone_renames_student_and_shares_scores(self):
+        _, live = grade_submissions(primes_factory, {"alice": "primes.correct"})
+        record = SubmissionRecord.from_suite_result("alice", live["alice"])
+        clone = clone_record(record, "bob")
+        assert clone.student == "bob"
+        original = record.to_dict()
+        copied = clone.to_dict()
+        copied["student"] = original["student"]
+        assert copied == original
+
+
+class TestBatchDedup:
+    def test_deduped_gradebook_matches_full_grading(self):
+        baseline, _ = grade_submissions(primes_factory, ROSTER)
+        deduped, live = grade_submissions(primes_factory, ROSTER, dedup=True)
+        assert normalized(deduped) == normalized(baseline)
+        # Every student still has a live result for rendering.
+        assert set(live) == set(ROSTER)
+
+    def test_duplicates_grade_once(self):
+        calls: List[str] = []
+
+        def counting_factory(identifier):
+            calls.append(identifier)
+            return primes_factory(identifier)
+
+        grade_submissions(counting_factory, ROSTER, dedup=True)
+        assert calls == ["primes.correct", "primes.serialized"]
+
+
+class TestSupervisorDedup:
+    def test_fan_out_yields_identical_gradebook(self):
+        baseline = GradingSupervisor(primes_factory).grade(ROSTER)
+        deduped = GradingSupervisor(primes_factory, dedup=True).grade(ROSTER)
+        assert normalized(deduped.gradebook) == normalized(baseline.gradebook)
+        assert set(deduped.outcomes) == set(ROSTER)
+
+    def test_duplicates_grade_once_under_supervision(self):
+        calls: List[str] = []
+
+        def counting_factory(identifier):
+            calls.append(identifier)
+            return primes_factory(identifier)
+
+        report = GradingSupervisor(counting_factory, dedup=True).grade(ROSTER)
+        assert sorted(calls) == ["primes.correct", "primes.serialized"]
+        assert len(report.outcomes) == len(ROSTER)
+
+    def test_clones_are_journaled_for_resume(self, tmp_path):
+        journal = GradingJournal(tmp_path / "grading.jsonl")
+        GradingSupervisor(primes_factory, journal=journal, dedup=True).grade(ROSTER)
+        assert journal.completed_students() == sorted(ROSTER)
+
+        # A resumed batch regrades nothing: every clone is durable.
+        def exploding_factory(identifier):
+            raise AssertionError(f"regraded {identifier} after dedup fan-out")
+
+        resumed = GradingSupervisor(
+            exploding_factory, journal=journal, dedup=True
+        ).grade(ROSTER)
+        assert resumed.resumed == sorted(ROSTER)
+
+    def test_resume_gradebook_identical_with_and_without_dedup(self, tmp_path):
+        plain_journal = GradingJournal(tmp_path / "plain.jsonl")
+        dedup_journal = GradingJournal(tmp_path / "dedup.jsonl")
+        plain = GradingSupervisor(primes_factory, journal=plain_journal).grade(
+            ROSTER
+        )
+        deduped = GradingSupervisor(
+            primes_factory, journal=dedup_journal, dedup=True
+        ).grade(ROSTER)
+        assert normalized(deduped.gradebook) == normalized(plain.gradebook)
+
+        # Both journals resume to the same gradebook again.
+        plain_resumed = GradingSupervisor(
+            primes_factory, journal=plain_journal
+        ).grade(ROSTER)
+        dedup_resumed = GradingSupervisor(
+            primes_factory, journal=dedup_journal, dedup=True
+        ).grade(ROSTER)
+        assert normalized(plain_resumed.gradebook) == normalized(
+            dedup_resumed.gradebook
+        )
+
+    def test_partial_journal_resumes_clones_individually(self, tmp_path):
+        # Grade only the representative's group, then resume the full
+        # roster: the journaled clones must not be regraded.
+        journal = GradingJournal(tmp_path / "grading.jsonl")
+        first = {s: i for s, i in ROSTER.items() if i == "primes.correct"}
+        GradingSupervisor(primes_factory, journal=journal, dedup=True).grade(first)
+        assert journal.completed_students() == sorted(first)
+
+        calls: List[str] = []
+
+        def counting_factory(identifier):
+            calls.append(identifier)
+            return primes_factory(identifier)
+
+        resumed = GradingSupervisor(
+            counting_factory, journal=journal, dedup=True
+        ).grade(ROSTER)
+        assert calls == ["primes.serialized"]
+        assert sorted(resumed.resumed) == sorted(first)

@@ -1,0 +1,180 @@
+"""Property tests: indexed event queries match the linear-scan reference.
+
+The event database answers ``events_of``/``events_named``/
+``events_between`` from per-thread and per-name indexes plus dense-seq
+slicing.  The definitions, however, are the straightforward linear
+scans; these properties pin the indexed answers to those references on
+randomized logs, and a few regression cases pin the attribution and
+boundary semantics the indexes must preserve.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eventdb.database import EventDatabase
+from repro.eventdb.events import PropertyEvent
+from repro.eventdb.queries import (
+    interleaved_thread_pairs,
+    is_interleaved,
+    serialization_order,
+)
+from repro.util.thread_registry import ThreadRegistry
+
+_SETTINGS = settings(max_examples=60, deadline=None)
+
+#: Random logs: schedule[i] names the thread of event i, names drawn
+#: from a small pool so per-name streams have several members.
+schedules = st.lists(st.integers(min_value=0, max_value=4), max_size=40)
+names = st.lists(
+    st.sampled_from(["Index", "Number", "Total", "str"]), max_size=40
+)
+
+
+def build_log(schedule: List[int], name_choices: List[str]):
+    """Record one synthetic event per schedule slot; return (db, threads)."""
+    registry = ThreadRegistry(first_id=0)
+    db = EventDatabase(registry)
+    threads: Dict[int, threading.Thread] = {}
+    for index, key in enumerate(schedule):
+        thread = threads.setdefault(key, threading.Thread(name=f"T{key}"))
+        name = name_choices[index % len(name_choices)] if name_choices else "X"
+        db.record(name, index, f"Thread {key}->{name}:{index}", thread=thread)
+    return db, threads
+
+
+@_SETTINGS
+@given(schedules, names)
+def test_events_of_matches_identity_scan(schedule, name_choices):
+    db, threads = build_log(schedule, name_choices)
+    events = db.snapshot()
+    for thread in threads.values():
+        reference = [e for e in events if e.thread is thread]
+        assert db.events_of(thread) == reference
+
+
+@_SETTINGS
+@given(schedules, names)
+def test_events_named_matches_linear_scan(schedule, name_choices):
+    db, _ = build_log(schedule, name_choices)
+    events = db.snapshot()
+    for name in {e.name for e in events} | {"never-recorded"}:
+        reference = [e for e in events if e.name == name]
+        assert db.events_named(name) == reference
+
+
+@_SETTINGS
+@given(schedules, names, st.integers(-3, 45), st.integers(-3, 45))
+def test_events_between_matches_linear_scan(schedule, name_choices, lo, hi):
+    db, _ = build_log(schedule, name_choices)
+    events = db.snapshot()
+    reference = [e for e in events if lo <= e.seq <= hi]
+    assert db.events_between(lo, hi) == reference
+
+
+@_SETTINGS
+@given(schedules, names)
+def test_batched_recording_equals_sequential(schedule, name_choices):
+    sequential_db, _ = build_log(schedule, name_choices)
+    registry = ThreadRegistry(first_id=0)
+    batched_db = EventDatabase(registry)
+    threads: Dict[int, threading.Thread] = {}
+    items = []
+    for index, key in enumerate(schedule):
+        thread = threads.setdefault(key, threading.Thread(name=f"T{key}"))
+        name = name_choices[index % len(name_choices)] if name_choices else "X"
+        items.append((name, index, f"Thread {key}->{name}:{index}", thread, True))
+    batched_db.record_batch(items)
+
+    strip = lambda e: (e.seq, e.thread_id, e.name, e.value, e.thread_seq)
+    assert [strip(e) for e in batched_db.snapshot()] == [
+        strip(e) for e in sequential_db.snapshot()
+    ]
+    assert batched_db.thread_ids() == sequential_db.thread_ids()
+
+
+class TestEventsOfAttribution:
+    """Regressions for the identity-based ``events_of`` bug."""
+
+    def test_unregistered_thread_has_no_events(self):
+        db = EventDatabase()
+        db.record("A", 1, "a")
+        stranger = threading.Thread()
+        assert db.events_of(stranger) == []
+        # The lookup must not have registered the stranger as a side
+        # effect — its next recorded event should get a fresh id, and
+        # the registry must not have grown.
+        assert db.registry.peek_id(stranger) is None
+
+    def test_two_threads_never_share_attribution(self):
+        db = EventDatabase()
+        one, two = threading.Thread(), threading.Thread()
+        db.record("A", 1, "a", thread=one)
+        db.record("B", 2, "b", thread=two)
+        db.record("C", 3, "c", thread=one)
+        assert [e.name for e in db.events_of(one)] == ["A", "C"]
+        assert [e.name for e in db.events_of(two)] == ["B"]
+
+    def test_events_survive_thread_object_reuse(self):
+        # After clear(), a brand-new thread object may reuse the old
+        # object's memory address; lookups key on registry ids, so the
+        # new thread must start with no attributed events.
+        db = EventDatabase()
+        db.record("A", 1, "a")
+        db.clear()
+        assert db.events_of(threading.current_thread()) == []
+
+
+class TestBoundarySemantics:
+    """``interleaved_thread_pairs`` is strict about span boundaries."""
+
+    @staticmethod
+    def _event(seq: int, thread_id: int) -> PropertyEvent:
+        return PropertyEvent(
+            seq=seq,
+            thread=threading.current_thread(),
+            thread_id=thread_id,
+            name="X",
+            value=seq,
+            raw_line=f"Thread {thread_id}->X:{seq}",
+        )
+
+    def test_boundary_touching_spans_are_not_interleaved(self):
+        # A spans seqs {0, 2}, B spans {2, 4}: the shared boundary seq 2
+        # is contact, not interleaving — no B event lies strictly inside
+        # A's span (or vice versa), so the threads serialize as [A, B].
+        events = [
+            self._event(0, 7),
+            self._event(2, 7),
+            self._event(2, 8),
+            self._event(4, 8),
+        ]
+        assert interleaved_thread_pairs(events) == []
+        assert not is_interleaved(events)
+        assert serialization_order(events) == [7, 8]
+
+    def test_one_event_past_the_boundary_interleaves(self):
+        events = [
+            self._event(0, 7),
+            self._event(1, 8),
+            self._event(2, 7),
+            self._event(4, 8),
+        ]
+        assert interleaved_thread_pairs(events) == [(7, 8)]
+        assert is_interleaved(events)
+        assert serialization_order(events) == []
+
+    def test_nested_span_with_no_inner_event_still_interleaves(self):
+        # B's span sits entirely inside A's: B's events are strictly
+        # inside A's span even though no A event is inside B's.
+        events = [
+            self._event(0, 7),
+            self._event(1, 8),
+            self._event(2, 8),
+            self._event(5, 7),
+        ]
+        assert interleaved_thread_pairs(events) == [(7, 8)]

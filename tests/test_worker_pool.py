@@ -1,0 +1,189 @@
+"""Tests of the pre-forked worker pool and pooled subprocess execution."""
+
+from __future__ import annotations
+
+import io
+import threading
+
+import pytest
+
+from repro.execution.pool_child import read_frame, write_frame
+from repro.execution.registry import UnknownMainError
+from repro.execution.subprocess_runner import (
+    DOCUMENTED_REPRO_VARS,
+    SubprocessRunner,
+    child_environment,
+    kill_active_child,
+)
+from repro.execution.taxonomy import FailureKind
+from repro.execution.worker_pool import PoolError, WorkerPool
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with WorkerPool(2) as shared:
+        yield shared
+
+
+@pytest.fixture(scope="module")
+def runner(pool):
+    return SubprocessRunner(timeout=60.0, pool=pool)
+
+
+class TestFrameProtocol:
+    def test_round_trip(self):
+        buffer = io.BytesIO()
+        write_frame(buffer, {"id": 7, "identifier": "primes.correct"})
+        buffer.seek(0)
+        assert read_frame(buffer) == {"id": 7, "identifier": "primes.correct"}
+
+    def test_multiple_frames_in_sequence(self):
+        buffer = io.BytesIO()
+        for index in range(3):
+            write_frame(buffer, {"n": index})
+        buffer.seek(0)
+        assert [read_frame(buffer)["n"] for _ in range(3)] == [0, 1, 2]
+
+    def test_clean_eof_is_none(self):
+        assert read_frame(io.BytesIO()) is None
+
+    def test_torn_header_raises(self):
+        with pytest.raises(ValueError):
+            read_frame(io.BytesIO(b"\x00\x00"))
+
+    def test_torn_payload_raises(self):
+        buffer = io.BytesIO()
+        write_frame(buffer, {"x": 1})
+        truncated = buffer.getvalue()[:-2]
+        with pytest.raises(ValueError):
+            read_frame(io.BytesIO(truncated))
+
+    def test_implausible_length_raises(self):
+        with pytest.raises(ValueError):
+            read_frame(io.BytesIO(b"\xff\xff\xff\xff"))
+
+
+class TestEnvironmentHoisting:
+    def test_undocumented_repro_vars_stripped(self):
+        base = {
+            "PATH": "/usr/bin",
+            "REPRO_HIDE_PRINTS": "1",
+            "REPRO_SECRET_KNOB": "boom",
+        }
+        env = child_environment(base)
+        assert env["PATH"] == "/usr/bin"
+        assert env["REPRO_HIDE_PRINTS"] == "1"
+        assert "REPRO_SECRET_KNOB" not in env
+
+    def test_documented_vars_all_pass_through(self):
+        base = {name: "x" for name in DOCUMENTED_REPRO_VARS}
+        assert child_environment(base) == base
+
+    def test_runner_precomputes_both_hidden_variants(self):
+        runner = SubprocessRunner(timeout=5.0)
+        assert runner._env_by_hidden[False]["REPRO_HIDE_PRINTS"] == "0"
+        assert runner._env_by_hidden[True]["REPRO_HIDE_PRINTS"] == "1"
+
+
+class TestPooledExecution:
+    def test_pooled_trace_matches_cold_start(self, runner):
+        cold = SubprocessRunner(timeout=60.0).run("primes.correct", ["7", "4"])
+        pooled = runner.run("primes.correct", ["7", "4"])
+        assert pooled.ok
+        assert pooled.root_thread_id == cold.root_thread_id == 23
+        assert len(pooled.worker_threads) == len(cold.worker_threads) == 4
+        assert sorted(e.raw_line for e in pooled.events) == sorted(
+            e.raw_line for e in cold.events
+        )
+
+    def test_worker_state_does_not_leak_between_runs(self, runner):
+        first = runner.run("primes.correct", ["5", "2"])
+        second = runner.run("primes.correct", ["5", "2"])
+        # Thread ids restart from the registry's base on every request:
+        # a pooled trace is indistinguishable from a fresh interpreter's.
+        assert sorted(e.thread_id for e in first.events) == sorted(
+            e.thread_id for e in second.events
+        )
+        assert first.root_thread_id == second.root_thread_id == 23
+
+    def test_hidden_run_produces_nothing(self, runner):
+        result = runner.run("primes.correct", ["5", "2"], hide_prints=True)
+        assert result.ok
+        assert result.events == []
+        assert result.output == ""
+
+    def test_unknown_identifier_raises(self, runner):
+        with pytest.raises(UnknownMainError):
+            runner.run("totally.unknown.program")
+
+    def test_crash_carries_child_error_text(self, runner):
+        result = runner.run("faults.crash")
+        assert not result.ok
+        assert result.failure_kind is FailureKind.CRASH
+        assert "injected crash" in result.failure_reason()
+
+    def test_pool_survives_many_dispatches(self, pool, runner):
+        for _ in range(4):
+            assert runner.run("hello.correct", ["2"]).ok
+        assert pool.active_workers() == pool.size
+
+
+class TestFaultTolerance:
+    def test_deadline_kill_and_respawn(self, pool, runner):
+        result = runner.run("faults.hang", timeout=2.0)
+        assert result.timed_out
+        assert not result.ok
+        assert result.failure_kind is FailureKind.TIMEOUT
+        assert pool.active_workers() == pool.size
+        assert runner.run("primes.correct", ["4", "2"]).ok
+
+    def test_submission_killing_its_interpreter_is_a_signal_death(
+        self, pool, runner
+    ):
+        result = runner.run("faults.signal", ["9"])
+        assert not result.timed_out
+        assert result.signal_number == 9
+        assert result.failure_kind is FailureKind.SIGNAL
+        assert pool.active_workers() == pool.size
+
+    def test_watchdog_kill_is_reported_as_timeout(self, pool, runner):
+        outcomes = {}
+
+        def grade():
+            outcomes["result"] = runner.run("faults.hang", timeout=30.0)
+
+        worker = threading.Thread(target=grade)
+        worker.start()
+        deadline = 10.0
+        import time
+
+        started = time.monotonic()
+        while not kill_active_child(worker):
+            if time.monotonic() - started > deadline:  # pragma: no cover
+                pytest.fail("pooled child never registered with the watchdog")
+            time.sleep(0.05)
+        worker.join(timeout=30.0)
+        assert not worker.is_alive()
+        result = outcomes["result"]
+        assert result.timed_out
+        assert result.signal_number is None
+        assert pool.active_workers() == pool.size
+
+
+class TestLifecycle:
+    def test_dispatch_after_shutdown_raises(self):
+        pool = WorkerPool(1)
+        pool.shutdown()
+        with pytest.raises(PoolError):
+            pool.dispatch("primes.correct", ["4", "2"])
+
+    def test_shutdown_ends_every_worker(self):
+        pool = WorkerPool(2)
+        procs = [worker.proc for worker in pool._workers]
+        pool.shutdown()
+        assert all(proc.poll() is not None for proc in procs)
+        assert pool.active_workers() == 0
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
