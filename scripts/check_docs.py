@@ -6,10 +6,12 @@ Two gates, both run by the CI docs job:
 1. **Link check** — every relative markdown link and image in README.md
    and docs/*.md must point at an existing file (anchors are stripped;
    ``http(s)``/``mailto`` links are outside our control and skipped).
-2. **CLI coverage** — every subcommand and option string exposed by
+2. **CLI coverage** — every subcommand, option string, *and enumerated
+   choice value* (e.g. each ``--strategy`` family) exposed by
    ``repro.cli.build_parser()`` must appear somewhere in README.md or
-   docs/*.md, so a flag cannot ship undocumented (the drift this PR's
-   satellite fixed cannot silently come back).
+   docs/*.md, so neither a flag nor a new strategy name can ship
+   undocumented (the drift this PR's satellite fixed cannot silently
+   come back).
 
 Run from the repository root with the package importable::
 
@@ -84,6 +86,13 @@ def cli_surface() -> list[str]:
                 for option in action.option_strings:
                     if option not in _IGNORED_OPTIONS:
                         surface.append(option)
+                # Enumerated choice values (strategy families, problem
+                # names, ...) are user-facing vocabulary too: a
+                # ``--strategy`` family nobody documented is as
+                # undiscoverable as an undocumented flag.
+                for choice in action.choices or ():
+                    if isinstance(choice, str):
+                        surface.append(choice)
     # unique, stable order
     seen: dict[str, None] = {}
     for item in surface:

@@ -23,6 +23,9 @@ is that entry point::
     forkjoin-test fuzz primes.racy --schedules 25
     forkjoin-test explore primes.racy --schedules 20 --seed 0 \
         --record failing.schedule.json
+    forkjoin-test explore primes.racy --strategy pct --depth 3
+    forkjoin-test explore synclab.lost_update --problem synclab \
+        --strategy exhaustive --depth 2
     forkjoin-test explore primes.racy --replay failing.schedule.json
     forkjoin-test timeline obs.jsonl --submission alice
     forkjoin-test stats obs.jsonl
@@ -35,7 +38,9 @@ deterministic schedule exploration, ``--obs-out`` dumps the run's
 observability spans and metrics); ``export`` writes a Gradescope
 document; ``fuzz`` hunts schedule-dependent bugs through the simulation
 backend; ``explore`` hunts them with the controlled scheduler —
-deterministic, recordable, and exactly replayable; ``timeline`` and
+deterministic, recordable, and exactly replayable, with ``--strategy``
+selecting random walks, the preemption sweep, PCT, or exhaustive
+small-state enumeration (see docs/exploring_schedules.md); ``timeline`` and
 ``stats`` render an observability dump as per-submission span trees and
 aggregate histograms; ``awareness`` analyses a progress log.
 """
@@ -48,7 +53,11 @@ from typing import List, Optional
 
 __all__ = ["main", "build_parser"]
 
-SUITES = ("primes", "pi", "odds", "hello", "jacobi")
+SUITES = ("primes", "pi", "odds", "hello", "jacobi", "synclab")
+
+#: Problems whose functionality checker the fuzz/explore commands can
+#: rebuild standalone (the checker-factory catalogue below).
+EXPLORABLE_PROBLEMS = ("primes", "pi", "odds", "jacobi", "synclab")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -164,6 +173,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="first seed of the exploration range (default 0)",
     )
     grade.add_argument(
+        "--explore-strategy",
+        default="random-walk",
+        choices=["random-walk", "pct", "exhaustive"],
+        help=(
+            "schedule family for --explore: seeded random walks, PCT "
+            "priority schedules (better odds on low-depth ordering "
+            "bugs), or exhaustive small-state enumeration whose verdict "
+            "reports 'N of M distinct interleavings fail'"
+        ),
+    )
+    grade.add_argument(
+        "--explore-depth",
+        type=int,
+        default=3,
+        metavar="D",
+        help=(
+            "PCT depth / exhaustive preemption bound for "
+            "--explore-strategy (default 3)"
+        ),
+    )
+    grade.add_argument(
         "--shards",
         type=int,
         default=0,
@@ -275,7 +305,7 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument(
         "--problem",
         default="primes",
-        choices=["primes", "pi", "odds", "jacobi"],
+        choices=list(EXPLORABLE_PROBLEMS),
         help="which problem's functionality checker to run under exploration",
     )
     explore.add_argument(
@@ -295,10 +325,43 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument(
         "--strategy",
         default="random-walk",
-        choices=["random-walk", "preemption-sweep"],
+        choices=["random-walk", "preemption-sweep", "pct", "exhaustive"],
         help=(
-            "schedule family: seeded random walks, or the deterministic "
-            "bounded (quantum, rotation) preemption sweep"
+            "schedule family: seeded random walks; the deterministic "
+            "bounded (quantum, rotation) preemption sweep; PCT "
+            "randomized-priority schedules with depth-bounded change "
+            "points; or exhaustive enumeration of every distinct "
+            "interleaving within the --depth preemption bound"
+        ),
+    )
+    explore.add_argument(
+        "--depth",
+        type=int,
+        default=3,
+        metavar="D",
+        help=(
+            "pct: number of priority-change points + 1 (the PCT depth "
+            "d); exhaustive: the preemption bound (default 3)"
+        ),
+    )
+    explore.add_argument(
+        "--max-schedules",
+        type=int,
+        default=256,
+        metavar="N",
+        help=(
+            "exhaustive: execution budget — enumeration past this many "
+            "executed runs is reported as budget-capped rather than "
+            "complete (default 256)"
+        ),
+    )
+    explore.add_argument(
+        "--no-dedup",
+        action="store_true",
+        help=(
+            "execute every candidate schedule even when its "
+            "happens-before key matches an already-graded one "
+            "(disables the schedule-equivalence oracle)"
         ),
     )
     explore.add_argument(
@@ -428,6 +491,8 @@ def _grade_sharded(args: argparse.Namespace, identifiers: List[str]) -> int:
         deadline=args.deadline,
         explore_schedules=args.explore,
         explore_seed=args.explore_seed,
+        explore_strategy=args.explore_strategy,
+        explore_depth=args.explore_depth,
         heartbeat_timeout=args.heartbeat_timeout,
         quarantine_after=args.quarantine_after,
         pool_size=args.pool_size,
@@ -452,13 +517,21 @@ def _checker_factory(problem: str, submission: str):
         OddsFunctionality,
         PiFunctionality,
         PrimesFunctionality,
+        SyncLabCounterFunctionality,
+        SyncLabStragglerFunctionality,
     )
+
+    def synclab():
+        if "straggler" in submission:
+            return SyncLabStragglerFunctionality(submission)
+        return SyncLabCounterFunctionality(submission)
 
     factories = {
         "primes": lambda: PrimesFunctionality(submission),
         "pi": lambda: PiFunctionality(submission),
         "odds": lambda: OddsFunctionality(submission),
         "jacobi": lambda: JacobiFunctionality(submission),
+        "synclab": synclab,
     }
     return factories[problem]
 
@@ -536,6 +609,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                 journal=journal,
                 explore_schedules=args.explore,
                 explore_seed=args.explore_seed,
+                explore_strategy=args.explore_strategy,
+                explore_depth=args.explore_depth,
                 pool=pool,
                 dedup=not args.no_dedup,
             )
@@ -616,6 +691,9 @@ def _dispatch(args: argparse.Namespace) -> int:
             schedules=args.schedules,
             first_seed=args.seed,
             strategy=args.strategy,
+            depth=args.depth,
+            max_schedules=args.max_schedules,
+            dedup=not args.no_dedup,
         )
         if args.replay:
             trace = ScheduleTrace.load(args.replay)

@@ -14,9 +14,17 @@ from repro.execution.runner import (
     ProgramRunner,
     in_process_session_lock,
 )
+from repro.execution.equivalence import (
+    ScheduleOracle,
+    SimulatedRun,
+    canonical_form,
+    happens_before_key,
+)
 from repro.execution.scheduling import (
     BoundedPreemptionStrategy,
     ControlledScheduler,
+    ExhaustiveStrategy,
+    PCTStrategy,
     RandomWalkStrategy,
     ReplayStrategy,
     ScheduleAbort,
@@ -57,6 +65,9 @@ _LAZY_EXPLORATION = {
     "ScheduleExplorer",
     "ExplorationReport",
     "ExplorationFinding",
+    "ExhaustiveSearch",
+    "ExhaustiveResult",
+    "STRATEGY_CHOICES",
 }
 
 
@@ -113,12 +124,21 @@ __all__ = [
     "ScheduleDivergenceError",
     "RandomWalkStrategy",
     "BoundedPreemptionStrategy",
+    "PCTStrategy",
+    "ExhaustiveStrategy",
     "ReplayStrategy",
     "bounded_preemption_sweep",
     "resolve_schedule_strategy",
     "ScheduleExplorer",
     "ExplorationReport",
     "ExplorationFinding",
+    "ExhaustiveSearch",
+    "ExhaustiveResult",
+    "STRATEGY_CHOICES",
+    "ScheduleOracle",
+    "SimulatedRun",
+    "canonical_form",
+    "happens_before_key",
     "DEFAULT_TIMEOUT",
     "DEFAULT_TIMED_RUNS",
     "TimingResult",

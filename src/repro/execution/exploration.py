@@ -3,27 +3,50 @@
 The :mod:`repro.simulation` fuzzer varies interleavings through the
 virtual-time backend; this module is its controlled-scheduler successor.
 A :class:`ScheduleExplorer` reruns the *same* functionality checker under
-N deterministic schedules produced by
-:mod:`repro.execution.scheduling` strategies — a seeded random walk, or
-a bounded preemption sweep — and reports every schedule whose trace
-failed a check, keeping the full recorded :class:`ScheduleTrace` so the
-exact interleaving can be saved to a file and replayed.
+deterministic schedules produced by :mod:`repro.execution.scheduling`
+strategies and reports every schedule whose trace failed a check,
+keeping the full recorded :class:`ScheduleTrace` so the exact
+interleaving can be saved to a file and replayed.
 
-Unlike rerun-vote retries, the verdict is a pure function of the seed:
-the same seed explores the same interleavings and reaches the same
-verdict on every host, which is what makes racy-submission grading
-CI-friendly.
+Four strategy families:
+
+* ``random-walk`` — seeded uniform walks, seeds ``first_seed ..
+  first_seed + schedules - 1``;
+* ``preemption-sweep`` — the deterministic (quantum, rotation) grid of
+  :func:`~repro.execution.scheduling.bounded_preemption_sweep`;
+* ``pct`` — :class:`~repro.execution.scheduling.PCTStrategy` runs, one
+  seed per schedule, carrying PCT's depth-*d* bug-finding guarantee;
+* ``exhaustive`` — :class:`ExhaustiveSearch` enumerates **all** distinct
+  interleavings up to a preemption bound (small-state model checking),
+  so the report can say "N of M distinct interleavings fail" and, when
+  the enumeration completed, that is a *proof within the bound*.
+
+Happens-before dedup (:mod:`repro.execution.equivalence`) is on by
+default: the first executed schedule seeds a :class:`ScheduleOracle`,
+every later candidate is simulated offline first, and candidates whose
+canonical key was already graded are skipped without executing —
+reported as ``deduped``.  Predictions are verified against every
+executed run; one misprediction fails open (dedup disables itself and
+every remaining schedule executes).
+
+Unlike rerun-vote retries, the verdict is a pure function of the
+configuration: the same seeds explore the same interleavings and reach
+the same verdict on every host, which is what makes racy-submission
+grading CI-friendly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.checker import AbstractForkJoinChecker
+from repro.execution.equivalence import ScheduleOracle, happens_before_key
 from repro.execution.runner import in_process_session_lock
 from repro.obs import get_registry as _obs_registry
 from repro.execution.scheduling import (
+    ExhaustiveStrategy,
+    PCTStrategy,
     RandomWalkStrategy,
     ReplayStrategy,
     ScheduleStrategy,
@@ -37,12 +60,14 @@ from repro.testfw.result import TestResult
 __all__ = [
     "ExplorationFinding",
     "ExplorationReport",
+    "ExhaustiveSearch",
+    "ExhaustiveResult",
     "ScheduleExplorer",
     "STRATEGY_CHOICES",
 ]
 
 #: CLI-facing strategy family names.
-STRATEGY_CHOICES = ("random-walk", "preemption-sweep")
+STRATEGY_CHOICES = ("random-walk", "preemption-sweep", "pct", "exhaustive")
 
 
 @dataclass
@@ -67,6 +92,24 @@ class ExplorationReport:
     strategy: str
     first_seed: int
     findings: List[ExplorationFinding] = field(default_factory=list)
+    #: Schedules actually run (``schedules_tried`` minus dedup skips).
+    executed: int = 0
+    #: Candidates skipped because their happens-before key was already
+    #: graded — never executed.
+    deduped: int = 0
+    #: Distinct happens-before keys among the executed schedules.
+    distinct: int = 0
+    #: Oracle predictions contradicted by a real run (dedup failed open).
+    mispredicted: int = 0
+    #: PCT depth / exhaustive preemption bound (``None`` for the others).
+    depth: Optional[int] = None
+    #: Exhaustive mode: distinct interleavings enumerated (M).
+    enumerated: Optional[int] = None
+    #: Exhaustive mode: enumerated interleavings that fail (N).
+    failing_interleavings: Optional[int] = None
+    #: Exhaustive mode: the enumeration covered *every* interleaving
+    #: within the bound (``False`` when the execution budget capped it).
+    complete: Optional[bool] = None
 
     @property
     def bug_found(self) -> bool:
@@ -75,10 +118,17 @@ class ExplorationReport:
 
     @property
     def failure_rate(self) -> float:
-        """Fraction of explored schedules that failed (0.0 when none ran)."""
-        if not self.schedules_tried:
+        """Fraction of *executed* schedules that failed.
+
+        Deduped skips are excluded from the denominator: they were never
+        run, and counting them would understate how often the bug bites
+        per distinct interleaving actually graded.  (Reports predating
+        the dedup fields fall back to ``schedules_tried``.)
+        """
+        denominator = self.executed or self.schedules_tried
+        if not denominator:
             return 0.0
-        return len(self.findings) / self.schedules_tried
+        return len(self.findings) / denominator
 
     @property
     def first_failing_seed(self) -> Optional[int]:
@@ -92,30 +142,261 @@ class ExplorationReport:
         """Recorded trace of the first failing schedule, or ``None``."""
         return self.findings[0].trace if self.findings else None
 
+    def coverage_statement(self) -> Optional[str]:
+        """Exhaustive-mode coverage in words, or ``None`` otherwise."""
+        if self.enumerated is None:
+            return None
+        failing = self.failing_interleavings or 0
+        scope = (
+            f"all {self.enumerated} distinct interleavings within "
+            f"preemption bound {self.depth}"
+            if self.complete
+            else f"{self.enumerated} distinct interleavings enumerated "
+            f"within preemption bound {self.depth} (budget-capped, "
+            f"coverage partial)"
+        )
+        return f"{failing} of {self.enumerated} distinct interleavings fail; {scope}"
+
+    def _dedup_clause(self) -> str:
+        if not self.deduped:
+            return ""
+        return (
+            f" ({self.executed} executed, {self.deduped} deduped as "
+            f"happens-before equivalent)"
+        )
+
     def summary(self) -> str:
         """One-line human-readable verdict of the campaign."""
+        if self.enumerated is not None:
+            bound = (
+                f"preemption bound {self.depth}, "
+                + ("complete" if self.complete else "budget-capped")
+            )
+            if not self.bug_found:
+                tail = (
+                    "a proof of schedule-independence within the bound, "
+                    "not beyond it"
+                    if self.complete
+                    else "exploration can only refute, not prove, "
+                    "synchronization correctness"
+                )
+                return (
+                    f"no failing interleaving among {self.enumerated} "
+                    f"distinct interleavings ({bound})"
+                    + self._dedup_clause()
+                    + f"; {tail}"
+                )
+            first = self.findings[0]
+            return (
+                f"racy: {self.failing_interleavings} of {self.enumerated} "
+                f"distinct interleavings fail ({bound})"
+                + self._dedup_clause()
+                + f"; first failing schedule {first.strategy_label}: "
+                + "; ".join(first.messages[:2])
+            )
         if not self.bug_found:
             return (
                 f"no failing schedule in {self.schedules_tried} explored "
-                f"({self.strategy}); exploration can only refute, not "
-                f"prove, synchronization correctness"
+                f"({self.strategy})"
+                + self._dedup_clause()
+                + "; exploration can only refute, not "
+                "prove, synchronization correctness"
             )
         first = self.findings[0]
         return (
-            f"{len(self.findings)}/{self.schedules_tried} schedules failed; "
-            f"first failing schedule {first.strategy_label}: "
+            f"{len(self.findings)}/{self.executed or self.schedules_tried} "
+            f"executed schedules failed"
+            + self._dedup_clause()
+            + f"; first failing schedule {first.strategy_label}: "
             + "; ".join(first.messages[:2])
         )
+
+
+# ----------------------------------------------------------------------
+# Exhaustive DFS driver
+# ----------------------------------------------------------------------
+@dataclass
+class ExhaustiveResult:
+    """What :class:`ExhaustiveSearch` learned about the schedule space."""
+
+    #: Distinct complete interleavings enumerated (M) — executed runs
+    #: plus dedup-inherited equivalents.
+    enumerated: int = 0
+    executed: int = 0
+    deduped: int = 0
+    mispredicted: int = 0
+    #: Enumerated interleavings that fail (N); dedup-inherited verdicts
+    #: count, since equivalent schedules grade identically.
+    failing: int = 0
+    #: Every interleaving within the bound was covered.
+    complete: bool = True
+    #: Payloads returned by ``run_schedule`` for failing executed runs.
+    failing_payloads: List[Any] = field(default_factory=list)
+
+
+class ExhaustiveSearch:
+    """Enumerate all interleavings up to a preemption bound (DFS).
+
+    Stateless-model-checking over the controlled scheduler's decision
+    tree: run the empty-prefix schedule, then for every decision of the
+    realized run and every alternative ready worker at that decision,
+    branch into a forced prefix that diverges there — skipping branches
+    whose preemption count would exceed ``depth``.  The
+    :class:`~repro.execution.scheduling.ExhaustiveStrategy` default
+    continuation is non-preemptive, so a run's preemption count is
+    exactly its prefix's, and branching where the previous worker is no
+    longer ready costs nothing against the bound.  Every enumerated
+    prefix realizes a distinct complete interleaving, each exactly once.
+
+    With ``dedup`` on, the first executed run seeds a
+    :class:`ScheduleOracle`; branches whose predicted happens-before key
+    was already graded are *simulated instead of executed* — they still
+    count toward the enumeration (and inherit the verdict of their
+    equivalence class), and their children are expanded from the
+    simulated decisions, so dedup prunes executions without shrinking
+    coverage.
+
+    ``run_schedule(strategy) -> (failed, trace, payload)`` runs one
+    schedule; ``max_schedules`` caps *executions* (exhausting it marks
+    the result incomplete), ``max_interleavings`` backstops the total
+    enumeration.
+    """
+
+    def __init__(
+        self,
+        run_schedule: Callable[
+            [ExhaustiveStrategy], Tuple[bool, ScheduleTrace, Any]
+        ],
+        *,
+        depth: int = 2,
+        max_schedules: int = 256,
+        dedup: bool = True,
+        max_interleavings: int = 4096,
+    ) -> None:
+        """Configure the search; the class docstring explains the knobs."""
+        if depth < 0:
+            raise ValueError("depth (preemption bound) must be >= 0")
+        if max_schedules < 1:
+            raise ValueError("max_schedules must be >= 1")
+        self.run_schedule = run_schedule
+        self.depth = depth
+        self.max_schedules = max_schedules
+        self.dedup = dedup
+        self.max_interleavings = max_interleavings
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _preemption_profile(trace: ScheduleTrace) -> List[int]:
+        """``profile[i]`` = preemptions among decisions ``0 .. i-1``."""
+        profile = [0]
+        count = 0
+        decisions = trace.decisions
+        for index, decision in enumerate(decisions):
+            if index > 0:
+                current = decisions[index - 1].chosen
+                if current in decision.ready and decision.chosen != current:
+                    count += 1
+            profile.append(count)
+        return profile
+
+    def run(self) -> ExhaustiveResult:
+        """Drive the DFS to completion (or budget) and tally the census."""
+        obs = _obs_registry()
+        out = ExhaustiveResult()
+        oracle: Optional[ScheduleOracle] = None
+        oracle_usable = self.dedup
+        seen: Dict[str, bool] = {}
+        stack: List[List[int]] = [[]]
+        while stack:
+            if out.enumerated >= self.max_interleavings:
+                out.complete = False
+                break
+            prefix = stack.pop()
+            strategy = ExhaustiveStrategy(prefix)
+            trace: Optional[ScheduleTrace] = None
+            failed = False
+            predicted = None
+            if oracle is not None and oracle_usable:
+                predicted = oracle.simulate(strategy.clone())
+                if predicted.complete and predicted.key in seen:
+                    failed = seen[predicted.key]
+                    trace = predicted.trace
+                    out.deduped += 1
+                    obs.counter("explore.deduped").inc()
+            if trace is None:
+                if out.executed >= self.max_schedules:
+                    out.complete = False
+                    break
+                failed, real_trace, payload = self.run_schedule(strategy)
+                out.executed += 1
+                if real_trace.divergence:
+                    # The forced prefix came from a realized run; a
+                    # divergence means the program is nondeterministic
+                    # beyond its scheduling.  Count the run, stop
+                    # trusting the enumeration.
+                    out.complete = False
+                    out.enumerated += 1
+                    if failed:
+                        out.failing += 1
+                        out.failing_payloads.append(payload)
+                    continue
+                key = happens_before_key(real_trace)
+                if (
+                    predicted is not None
+                    and predicted.complete
+                    and predicted.key is not None
+                    and predicted.key != key
+                ):
+                    out.mispredicted += 1
+                    obs.counter("explore.mispredicted").inc()
+                    oracle_usable = False  # fail open: execute everything
+                if oracle is None and oracle_usable:
+                    oracle = ScheduleOracle.from_trace(real_trace)
+                    if oracle is None:
+                        oracle_usable = False
+                seen.setdefault(key, failed)
+                trace = real_trace
+                if failed:
+                    out.failing_payloads.append(payload)
+            else:
+                payload = None
+            out.enumerated += 1
+            if failed:
+                out.failing += 1
+            # Branch: at every post-prefix decision, try every ready
+            # alternative that keeps the preemption count within bound.
+            decisions = trace.decisions
+            profile = self._preemption_profile(trace)
+            realized = [d.chosen for d in decisions]
+            for index in range(len(prefix), len(decisions)):
+                decision = decisions[index]
+                current = realized[index - 1] if index > 0 else None
+                for alt in decision.ready:
+                    if alt == decision.chosen:
+                        continue
+                    extra = (
+                        1
+                        if current is not None
+                        and current in decision.ready
+                        and alt != current
+                        else 0
+                    )
+                    if profile[index] + extra > self.depth:
+                        continue
+                    stack.append(realized[:index] + [alt])
+        if stack:
+            out.complete = False
+        obs.counter("explore.coverage").inc(out.enumerated)
+        return out
 
 
 class ScheduleExplorer:
     """Rerun a functionality checker under N controlled schedules.
 
-    ``strategy`` selects the schedule family: ``"random-walk"`` runs
-    seeds ``first_seed .. first_seed + schedules - 1``;
-    ``"preemption-sweep"`` enumerates the deterministic
-    (quantum, rotation) grid of
-    :func:`~repro.execution.scheduling.bounded_preemption_sweep`.
+    ``strategy`` selects the schedule family (:data:`STRATEGY_CHOICES`);
+    ``depth`` is the PCT depth or the exhaustive preemption bound;
+    ``max_schedules`` caps exhaustive-mode *executions* (defaulting to
+    ``schedules``); ``dedup`` toggles happens-before deduplication.
     """
 
     def __init__(
@@ -126,6 +407,9 @@ class ScheduleExplorer:
         first_seed: int = 0,
         strategy: str = "random-walk",
         max_quantum: int = 4,
+        depth: int = 3,
+        max_schedules: Optional[int] = None,
+        dedup: bool = True,
     ) -> None:
         """Configure the campaign; see the class docstring for the knobs.
 
@@ -138,17 +422,25 @@ class ScheduleExplorer:
             raise ValueError(
                 f"strategy must be one of {STRATEGY_CHOICES}, got {strategy!r}"
             )
+        if depth < 0:
+            raise ValueError("depth must be >= 0")
         self._factory = checker_factory
         self.schedules = schedules
         self.first_seed = first_seed
         self.strategy = strategy
         self.max_quantum = max_quantum
+        self.depth = depth
+        self.max_schedules = max_schedules
+        self.dedup = dedup
 
     # ------------------------------------------------------------------
     def _strategies(self) -> Iterator[ScheduleStrategy]:
         if self.strategy == "random-walk":
             for seed in range(self.first_seed, self.first_seed + self.schedules):
                 yield RandomWalkStrategy(seed)
+        elif self.strategy == "pct":
+            for seed in range(self.first_seed, self.first_seed + self.schedules):
+                yield PCTStrategy(seed, depth=max(1, self.depth))
         else:
             yield from bounded_preemption_sweep(
                 self.schedules, max_quantum=self.max_quantum
@@ -189,19 +481,80 @@ class ScheduleExplorer:
 
     def run(self) -> ExplorationReport:
         """Run the whole campaign and aggregate the failing schedules."""
+        if self.strategy == "exhaustive":
+            return self._run_exhaustive()
         report = ExplorationReport(
-            schedules_tried=self.schedules,
+            schedules_tried=0,
             strategy=self.strategy,
             first_seed=self.first_seed,
+            depth=self.depth if self.strategy == "pct" else None,
         )
         obs = _obs_registry()
+        oracle: Optional[ScheduleOracle] = None
+        oracle_usable = self.dedup
+        seen: Dict[str, bool] = {}
         for strategy in self._strategies():
+            report.schedules_tried += 1
+            predicted_key: Optional[str] = None
+            if oracle is not None and oracle_usable:
+                predicted_key = oracle.predict_key(strategy.clone())
+                if predicted_key is not None and predicted_key in seen:
+                    report.deduped += 1
+                    obs.counter("explore.deduped").inc()
+                    continue
             result, trace = self.run_one(strategy)
+            report.executed += 1
+            key = happens_before_key(trace)
+            if predicted_key is not None and predicted_key != key:
+                report.mispredicted += 1
+                obs.counter("explore.mispredicted").inc()
+                oracle_usable = False  # fail open: execute everything
+            if oracle is None and oracle_usable:
+                oracle = ScheduleOracle.from_trace(trace)
+                if oracle is None:
+                    oracle_usable = False
             finding = self._failed(result, strategy, trace)
+            seen.setdefault(key, finding is not None)
             if finding is not None:
                 obs.counter("explore.failures").inc()
                 report.findings.append(finding)
+        report.distinct = len(seen)
+        obs.counter("explore.coverage").inc(report.executed + report.deduped)
         return report
+
+    def _run_exhaustive(self) -> ExplorationReport:
+        budget = self.max_schedules or self.schedules
+
+        def run_schedule(
+            strategy: ExhaustiveStrategy,
+        ) -> Tuple[bool, ScheduleTrace, Optional[ExplorationFinding]]:
+            result, trace = self.run_one(strategy)
+            finding = self._failed(result, strategy, trace)
+            if finding is not None:
+                _obs_registry().counter("explore.failures").inc()
+            return finding is not None, trace, finding
+
+        search = ExhaustiveSearch(
+            run_schedule,
+            depth=self.depth,
+            max_schedules=budget,
+            dedup=self.dedup,
+        )
+        out = search.run()
+        return ExplorationReport(
+            schedules_tried=out.enumerated,
+            strategy="exhaustive",
+            first_seed=self.first_seed,
+            findings=[p for p in out.failing_payloads if p is not None],
+            executed=out.executed,
+            deduped=out.deduped,
+            distinct=out.enumerated - out.deduped,
+            mispredicted=out.mispredicted,
+            depth=self.depth,
+            enumerated=out.enumerated,
+            failing_interleavings=out.failing,
+            complete=out.complete,
+        )
 
     # ------------------------------------------------------------------
     def _program_identity(

@@ -31,9 +31,23 @@ Three strategy families ship here:
   and starting rotation; :func:`bounded_preemption_sweep` enumerates the
   (quantum, rotation) grid deterministically, a small-preemption-bound
   sweep in the CHESS tradition;
+* :class:`PCTStrategy` — probabilistic concurrency testing in the style
+  of Fray/PCT: random per-worker priorities plus ``depth - 1`` seeded
+  priority-change points, which finds any depth-*d* ordering bug with
+  probability at least ``1 / (n * k**(d-1))`` per run (n workers, k
+  total yield points);
+* :class:`ExhaustiveStrategy` — a forced decision prefix with a
+  non-preemptive default continuation; the DFS driver in
+  :mod:`repro.execution.exploration` uses it to enumerate *all*
+  interleavings up to a preemption bound;
 * :class:`ReplayStrategy` — replays a recorded :class:`ScheduleTrace`
   decision for decision, raising :class:`ScheduleDivergenceError` the
   moment the live run disagrees with the recording.
+
+Strategies expose ``clone()`` returning a pristine instance with the
+same configuration: the equivalence oracle consumes a clone's internal
+state (RNG draws, quantum counters) in offline simulation exactly as a
+live run would, leaving the original untouched.
 
 Only worker threads participate; the root thread runs free (it is
 blocked in ``join`` for the whole fork phase of a correct program) and
@@ -57,6 +71,8 @@ __all__ = [
     "RandomWalkStrategy",
     "BoundedPreemptionStrategy",
     "bounded_preemption_sweep",
+    "PCTStrategy",
+    "ExhaustiveStrategy",
     "ReplayStrategy",
     "ScheduleDecision",
     "ScheduleTrace",
@@ -125,6 +141,9 @@ class RandomWalkStrategy:
     def label(self) -> str:
         return f"{self.name}:{self.seed}"
 
+    def clone(self) -> "RandomWalkStrategy":
+        return RandomWalkStrategy(self.seed)
+
 
 class BoundedPreemptionStrategy:
     """Round-robin with a fixed quantum and starting rotation.
@@ -162,6 +181,11 @@ class BoundedPreemptionStrategy:
     def label(self) -> str:
         return f"{self.name}:q{self.quantum}.r{self.rotation}"
 
+    def clone(self) -> "BoundedPreemptionStrategy":
+        return BoundedPreemptionStrategy(
+            quantum=self.quantum, rotation=self.rotation
+        )
+
 
 def bounded_preemption_sweep(
     schedules: int, *, max_quantum: int = 4
@@ -180,6 +204,116 @@ def bounded_preemption_sweep(
                     return
                 yield BoundedPreemptionStrategy(quantum=quantum, rotation=rotation)
                 produced += 1
+
+
+class PCTStrategy:
+    """Probabilistic concurrency testing: priorities + change points.
+
+    The PCT discipline (Burckhardt et al., adopted by Fray): every
+    worker gets a random base priority when first seen; at each decision
+    the highest-priority ready worker runs.  ``depth - 1`` *change
+    points* are sampled from ``range(1, expected_length)``; when the
+    global decision index hits one, the running worker's priority drops
+    below every other priority handed out so far.  A bug that needs
+    ``d`` specific ordering constraints ("depth d") is found with
+    probability at least ``1 / (n * k**(d-1))`` per run — a guarantee a
+    uniform random walk lacks, because the walk re-decides every step
+    and the probability of keeping one worker behind for a long stretch
+    decays exponentially.
+
+    Everything is derived from ``seed``: same seed, same priorities and
+    change points, same recorded schedule — so PCT schedules serialize
+    into :class:`ScheduleTrace` files and replay like any other family.
+    """
+
+    name = "pct"
+
+    def __init__(
+        self, seed: int = 0, *, depth: int = 3, expected_length: int = 64
+    ) -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.seed = int(seed)
+        self.depth = int(depth)
+        self.expected_length = max(2, int(expected_length))
+        self._rng = random.Random(self.seed)
+        #: Decision indices at which the running worker is demoted;
+        #: sampled up front so priority draws cannot shift them.
+        population = range(1, self.expected_length)
+        self._change_points = set(
+            self._rng.sample(population, min(self.depth - 1, len(population)))
+        )
+        self._priorities: Dict[int, float] = {}
+        self._demotions = 0
+
+    def choose(
+        self, ready: List[int], current: Optional[int], point: str, step: int
+    ) -> int:
+        for key in ready:  # ready is ascending: draws are deterministic
+            if key not in self._priorities:
+                self._priorities[key] = self._rng.random()
+        if step in self._change_points:
+            self._change_points.discard(step)
+            self._demotions += 1
+            victim = (
+                current
+                if current is not None
+                else max(ready, key=lambda k: (self._priorities[k], -k))
+            )
+            self._priorities[victim] = -float(self._demotions)
+        return max(ready, key=lambda k: (self._priorities[k], -k))
+
+    def label(self) -> str:
+        return f"{self.name}:{self.seed}.d{self.depth}"
+
+    def clone(self) -> "PCTStrategy":
+        return PCTStrategy(
+            self.seed, depth=self.depth, expected_length=self.expected_length
+        )
+
+
+class ExhaustiveStrategy:
+    """A forced decision prefix, then a non-preemptive continuation.
+
+    The DFS driver (:class:`repro.execution.exploration.ExhaustiveSearch`)
+    enumerates interleavings by replaying ever-longer prefixes of chosen
+    workers; past the prefix the default rule — keep the current worker
+    while it is ready, else the lowest ready key — adds **zero**
+    preemptions, so the preemption count of a run is decided entirely by
+    its prefix and the bound is exact.
+    """
+
+    name = "exhaustive"
+    seed: Optional[int] = None
+
+    def __init__(self, prefix: Optional[List[int]] = None) -> None:
+        self.prefix: List[int] = list(prefix or [])
+
+    def choose(
+        self, ready: List[int], current: Optional[int], point: str, step: int
+    ) -> int:
+        if step < len(self.prefix):
+            want = self.prefix[step]
+            if want not in ready:
+                raise ScheduleDivergenceError(
+                    f"exhaustive prefix wants worker {want} at decision "
+                    f"{step} but ready is {ready}"
+                )
+            return want
+        if current is not None and current in ready:
+            return current
+        return ready[0]
+
+    def label(self) -> str:
+        if len(self.prefix) <= 12:
+            body = ",".join(str(k) for k in self.prefix)
+        else:
+            head = ",".join(str(k) for k in self.prefix[:12])
+            body = f"{head},+{len(self.prefix) - 12}"
+        return f"{self.name}:[{body}]"
+
+    def clone(self) -> "ExhaustiveStrategy":
+        return ExhaustiveStrategy(self.prefix)
 
 
 class ReplayStrategy:
@@ -211,6 +345,9 @@ class ReplayStrategy:
 
     def label(self) -> str:
         return f"{self.name}:{self.trace.label()}"
+
+    def clone(self) -> "ReplayStrategy":
+        return ReplayStrategy(self.trace)
 
 
 def resolve_schedule_strategy(

@@ -106,6 +106,24 @@ def suite_failure_kind(result: "SuiteResult") -> FailureKind:
 
 
 @dataclass
+class _ExploreVerdict:
+    """What schedule exploration concluded about one submission.
+
+    Linear strategies (random-walk, pct) pin a failure to a seed;
+    exhaustive mode instead reports coverage: ``failing`` of
+    ``enumerated`` distinct interleavings fail, with ``complete`` saying
+    whether the enumeration covered the whole bound or hit the
+    execution budget.
+    """
+
+    found: bool = False
+    failing_seed: Optional[int] = None
+    failing: Optional[int] = None
+    enumerated: Optional[int] = None
+    complete: Optional[bool] = None
+
+
+@dataclass
 class SubmissionOutcome:
     """Everything the supervisor learned about one submission."""
 
@@ -153,15 +171,22 @@ class BatchReport:
             lines.append(
                 "schedule-dependent (rerun-vote disagreed): " + ", ".join(sorted(flaky))
             )
-        racy = {
-            s: o.record.schedule_seed
-            for s, o in self.outcomes.items()
-            if o.record.racy
-        }
-        if racy:
+        racy_bits = []
+        for s in sorted(self.outcomes):
+            record = self.outcomes[s].record
+            if not record.racy:
+                continue
+            if record.schedule_seed is not None:
+                racy_bits.append(f"{s} @seed {record.schedule_seed}")
+            else:
+                racy_bits.append(
+                    f"{s} ({record.interleavings_failing} of "
+                    f"{record.interleavings_total} interleavings fail)"
+                )
+        if racy_bits:
             lines.append(
                 "racy (failure reproduces under a recorded schedule): "
-                + ", ".join(f"{s} @seed {seed}" for s, seed in sorted(racy.items()))
+                + ", ".join(racy_bits)
             )
         return "\n".join(lines)
 
@@ -226,6 +251,19 @@ class GradingSupervisor:
         First seed of the exploration range (seeds
         ``explore_seed .. explore_seed + explore_schedules - 1``); fixed
         seeds make the whole batch's verdicts host-independent.
+    explore_strategy:
+        Which schedule family exploration draws from: ``"random-walk"``
+        (the default), ``"pct"`` (probabilistic concurrency testing —
+        randomized priorities with ``explore_depth - 1`` priority-change
+        points, far more likely to hit low-depth ordering bugs), or
+        ``"exhaustive"`` (enumerate *all* distinct interleavings up to
+        ``explore_depth`` preemptions, budgeted by
+        ``explore_schedules`` executions).  Exhaustive verdicts carry
+        coverage — "N of M distinct interleavings fail" — into the
+        record's ``interleavings_*`` fields instead of a seed.
+    explore_depth:
+        PCT depth *d* / exhaustive preemption bound (ignored by
+        random-walk).
     pool:
         Optional :class:`~repro.execution.worker_pool.WorkerPool`.  When
         given, every test of every built suite is rebound to a pooled
@@ -264,6 +302,8 @@ class GradingSupervisor:
         suite_name: str = "",
         explore_schedules: int = 0,
         explore_seed: int = 0,
+        explore_strategy: str = "random-walk",
+        explore_depth: int = 3,
         pool: Optional[object] = None,
         dedup: bool = False,
     ) -> None:
@@ -279,6 +319,13 @@ class GradingSupervisor:
         self._suite_name = suite_name
         self.explore_schedules = max(0, int(explore_schedules))
         self.explore_seed = int(explore_seed)
+        if explore_strategy not in ("random-walk", "pct", "exhaustive"):
+            raise ValueError(
+                f"unknown explore_strategy {explore_strategy!r}: "
+                "expected 'random-walk', 'pct', or 'exhaustive'"
+            )
+        self.explore_strategy = explore_strategy
+        self.explore_depth = max(0, int(explore_depth))
         self.pool = pool
         self.dedup = bool(dedup)
         #: representative student -> later (student, identifier) pairs
@@ -582,17 +629,24 @@ class GradingSupervisor:
         self,
         task: _TaskState,
         attempts: List[Tuple[FailureKind, "SuiteResult"]],
-    ) -> Optional[int]:
-        """N-schedule exploration after a retryable first failure.
+    ) -> _ExploreVerdict:
+        """Schedule exploration after a retryable first failure.
 
-        Re-grades under ``explore_schedules`` seeded controlled
-        schedules; appends each controlled attempt (labelled ``@s<seed>``
-        in the rerun-vote history).  Returns the first failing seed —
-        whose attempt, now last in *attempts*, is the deterministic grade
-        of record — or ``None`` when every schedule exonerated the
-        submission.
+        Linear strategies (``random-walk``, ``pct``) re-grade under
+        ``explore_schedules`` seeded controlled schedules, appending
+        each controlled attempt (labelled ``@s<seed>`` in the
+        rerun-vote history) and stopping at the first failing seed —
+        whose attempt, now last in *attempts*, is the deterministic
+        grade of record.  ``exhaustive`` instead enumerates every
+        distinct interleaving within the preemption bound and reports
+        coverage.  Either way the returned verdict says whether a
+        failing schedule was pinned or the submission was exonerated.
         """
-        from repro.execution.scheduling import RandomWalkStrategy, ScheduledBackend
+        from repro.execution.scheduling import (
+            PCTStrategy,
+            RandomWalkStrategy,
+            ScheduledBackend,
+        )
 
         obs = _obs_registry()
         with obs.span(
@@ -600,10 +654,17 @@ class GradingSupervisor:
             identifier=task.identifier,
             schedules=self.explore_schedules,
             first_seed=self.explore_seed,
+            strategy=self.explore_strategy,
         ) as span:
+            if self.explore_strategy == "exhaustive":
+                return self._explore_exhaustive(task, attempts, span)
             for index in range(self.explore_schedules):
                 seed = self.explore_seed + index
-                backend = ScheduledBackend(RandomWalkStrategy(seed))
+                if self.explore_strategy == "pct":
+                    strategy = PCTStrategy(seed, depth=max(1, self.explore_depth))
+                else:
+                    strategy = RandomWalkStrategy(seed)
+                backend = ScheduledBackend(strategy)
                 kind, result = self._run_attempt(task, backend=backend)
                 obs.counter("explore.schedules").inc()
                 attempts.append((kind, result))
@@ -614,16 +675,82 @@ class GradingSupervisor:
                 if not passed:
                     task.failing_trace = backend.schedule_trace(task.identifier)
                     span.set(failing_seed=seed)
-                    return seed
+                    return _ExploreVerdict(found=True, failing_seed=seed)
             span.set(exonerated=True)
-        return None
+        return _ExploreVerdict()
+
+    def _explore_exhaustive(
+        self,
+        task: _TaskState,
+        attempts: List[Tuple[FailureKind, "SuiteResult"]],
+        span,
+    ) -> _ExploreVerdict:
+        """Exhaustive small-state exploration of one failing submission.
+
+        Enumerates all distinct interleavings within the
+        ``explore_depth`` preemption bound (``explore_schedules`` caps
+        *executions*; happens-before dedup stretches that budget).  The
+        rerun-vote history gets one summarizing ``exhaustive:NofM``
+        entry rather than one per run, and only the grade of record —
+        the first failing run, or the last passing one when exonerated —
+        is appended to *attempts*, so a 40-interleaving sweep does not
+        balloon the record.
+        """
+        from repro.execution.exploration import ExhaustiveSearch
+        from repro.execution.scheduling import ScheduledBackend
+
+        obs = _obs_registry()
+        last_passing: List[Tuple[FailureKind, "SuiteResult"]] = []
+
+        def run_schedule(strategy):
+            backend = ScheduledBackend(strategy)
+            kind, result = self._run_attempt(task, backend=backend)
+            obs.counter("explore.schedules").inc()
+            passed = kind is FailureKind.OK and result.score >= result.max_score
+            trace = backend.schedule_trace(task.identifier)
+            if passed:
+                last_passing[:] = [(kind, result)]
+            return not passed, trace, (kind, result, trace)
+
+        search = ExhaustiveSearch(
+            run_schedule,
+            depth=self.explore_depth,
+            max_schedules=max(1, self.explore_schedules),
+        )
+        out = search.run()
+        task.attempt_outcomes.append(
+            f"exhaustive:{out.failing}of{out.enumerated}"
+            + ("" if out.complete else "+")
+        )
+        span.set(
+            enumerated=out.enumerated,
+            failing=out.failing,
+            executed=out.executed,
+            deduped=out.deduped,
+            complete=out.complete,
+        )
+        verdict = _ExploreVerdict(
+            failing=out.failing,
+            enumerated=out.enumerated,
+            complete=out.complete,
+        )
+        if out.failing_payloads:
+            kind, result, trace = out.failing_payloads[0]
+            attempts.append((kind, result))
+            task.failing_trace = trace
+            verdict.found = True
+            return verdict
+        if last_passing:
+            attempts.append(last_passing[0])
+        span.set(exonerated=True)
+        return verdict
 
     def _grade_with_retries(self, task: _TaskState) -> SubmissionOutcome:
         from repro.grading.records import SubmissionRecord
 
         rng = random.Random(f"{self.jitter_seed}:{task.student}")
         attempts: List[Tuple[FailureKind, "SuiteResult"]] = []
-        failing_seed: Optional[int] = None
+        verdict = _ExploreVerdict()
         explored = False
         for attempt in range(self.retries + 1):
             if attempt:
@@ -645,7 +772,7 @@ class GradingSupervisor:
             if self.explore_schedules > 0:
                 # Deterministic exploration replaces blind reruns: the
                 # verdict depends on the seed range, not scheduler luck.
-                failing_seed = self._explore_racy(task, attempts)
+                verdict = self._explore_racy(task, attempts)
                 explored = True
                 break
 
@@ -655,7 +782,7 @@ class GradingSupervisor:
             final_kind is FailureKind.OK
             and final_result.score >= final_result.max_score
         )
-        if failing_seed is not None:
+        if verdict.found:
             # The failing controlled attempt (last) is the grade of
             # record: deterministic and replayable, so never flaky and
             # never traded for a better-scoring free-running attempt.
@@ -682,7 +809,11 @@ class GradingSupervisor:
             failure_kind=final_kind.value,
             attempts=len(attempts),
             attempt_outcomes=outcome_kinds,
-            schedule_seed=failing_seed,
+            schedule_seed=verdict.failing_seed,
+            schedule_strategy=self.explore_strategy if explored else "",
+            interleavings_failing=verdict.failing,
+            interleavings_total=verdict.enumerated,
+            interleavings_complete=bool(verdict.complete),
             elapsed=time.monotonic() - self._epoch,
         )
         return SubmissionOutcome(

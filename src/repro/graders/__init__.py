@@ -25,6 +25,10 @@ from repro.graders.primes import (
     PrimesPerformance,
     SimulatedPrimesPerformance,
 )
+from repro.graders.synclab import (
+    SyncLabCounterFunctionality,
+    SyncLabStragglerFunctionality,
+)
 from repro.graders.suites import (
     build_hello_suite,
     build_jacobi_suite,
@@ -32,6 +36,7 @@ from repro.graders.suites import (
     build_odds_suite,
     build_pi_suite,
     build_primes_suite,
+    build_synclab_suite,
     register_all_suites,
 )
 
@@ -47,11 +52,14 @@ __all__ = [
     "OddsFunctionality",
     "OddsPerformance",
     "SimulatedOddsPerformance",
+    "SyncLabCounterFunctionality",
+    "SyncLabStragglerFunctionality",
     "build_primes_suite",
     "build_named_suite",
     "build_pi_suite",
     "build_odds_suite",
     "build_hello_suite",
     "build_jacobi_suite",
+    "build_synclab_suite",
     "register_all_suites",
 ]

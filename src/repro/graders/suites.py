@@ -22,6 +22,10 @@ from repro.graders.primes import (
     PrimesPerformance,
     SimulatedPrimesPerformance,
 )
+from repro.graders.synclab import (
+    SyncLabCounterFunctionality,
+    SyncLabStragglerFunctionality,
+)
 from repro.testfw.suite import TestSuite, register_suite
 
 __all__ = [
@@ -30,6 +34,7 @@ __all__ = [
     "build_odds_suite",
     "build_hello_suite",
     "build_jacobi_suite",
+    "build_synclab_suite",
     "build_named_suite",
     "NAMED_SUITES",
     "register_all_suites",
@@ -109,6 +114,25 @@ def build_jacobi_suite(
     return TestSuite("jacobi", [JacobiFunctionality(functionality_identifier)])
 
 
+def build_synclab_suite(
+    functionality_identifier: str = "synclab.lost_update",
+) -> TestSuite:
+    """The synchronization-lab suite: one concurrency-bug checker.
+
+    The straggler variant gets the straggler checker (an ordering bug);
+    everything else gets the shared-counter checker (a lost update).
+    These single-checker suites are the calibration workloads for
+    schedule exploration — the ``ScheduleOracle`` can predict their
+    single-program traces exactly, so happens-before dedup is maximally
+    effective.
+    """
+    if "straggler" in functionality_identifier:
+        checker = SyncLabStragglerFunctionality(functionality_identifier)
+    else:
+        checker = SyncLabCounterFunctionality(functionality_identifier)
+    return TestSuite("synclab", [checker])
+
+
 #: Suite-name -> builder taking one submission identifier (or ``None``
 #: for the reference variant).  This is the catalogue the CLI and the
 #: sharded grading service resolve suite *names* through, so a shard
@@ -119,6 +143,7 @@ NAMED_SUITES = {
     "odds": lambda s: build_odds_suite(s or "odds.correct"),
     "hello": lambda s: build_hello_suite(s or "hello.correct"),
     "jacobi": lambda s: build_jacobi_suite(s or "jacobi.correct"),
+    "synclab": lambda s: build_synclab_suite(s or "synclab.lost_update"),
 }
 
 
@@ -161,3 +186,4 @@ def register_all_suites() -> None:
     register_suite(build_odds_suite())
     register_suite(build_hello_suite())
     register_suite(build_jacobi_suite())
+    register_suite(build_synclab_suite())

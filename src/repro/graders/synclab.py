@@ -1,0 +1,109 @@
+"""Test programs for the synclab schedule-search workloads.
+
+Concurrency-only checkers in the Hello World mould (no worker property
+specs, so no interleaving/load-balance aspects) plus one post-join
+semantic check each: a schedule fails **iff the seeded synchronization
+bug actually fired** under that schedule, which is what makes these the
+calibration workloads for PCT-vs-random benchmarks and the exhaustive
+"N of M interleavings fail" counts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Optional
+
+import threading
+
+from repro.core.checker import AbstractForkJoinChecker
+from repro.core.properties import BOOLEAN, NUMBER
+from repro.testfw.annotations import max_value
+from repro.workloads.synclab.spec import (
+    COUNTER,
+    DEFAULT_ROUNDS,
+    DEFAULT_WORKERS,
+    STRAGGLER_SEEN,
+)
+
+__all__ = ["SyncLabCounterFunctionality", "SyncLabStragglerFunctionality"]
+
+
+@max_value(10)
+class SyncLabCounterFunctionality(AbstractForkJoinChecker):
+    """Grades ``synclab.lost_update`` / ``synclab.guarded``: the final
+    counter must equal one increment per worker per round."""
+
+    def __init__(
+        self,
+        identifier: str = "synclab.lost_update",
+        *,
+        workers: int = DEFAULT_WORKERS,
+        rounds: int = DEFAULT_ROUNDS,
+    ) -> None:
+        self._identifier = identifier
+        self._workers = workers
+        self._rounds = rounds
+
+    def main_class_identifier(self) -> str:
+        return self._identifier
+
+    def args(self) -> List[str]:
+        return [str(self._workers), str(self._rounds)]
+
+    def num_expected_forked_threads(self) -> int:
+        return self._workers
+
+    def post_join_property_names_and_types(self):
+        return ((COUNTER, NUMBER),)
+
+    def post_join_events_message(
+        self, thread: threading.Thread, values: Mapping[str, Any]
+    ) -> Optional[str]:
+        expected = self._workers * self._rounds
+        actual = values[COUNTER]
+        if actual != expected:
+            return (
+                f"final counter {actual} != {expected} "
+                f"({self._workers} workers x {self._rounds} rounds): "
+                f"an increment was lost to an unsynchronized "
+                f"read-modify-write"
+            )
+        return None
+
+
+@max_value(10)
+class SyncLabStragglerFunctionality(AbstractForkJoinChecker):
+    """Grades ``synclab.straggler``: some watcher must see the flag."""
+
+    def __init__(
+        self,
+        identifier: str = "synclab.straggler",
+        *,
+        workers: int = 4,
+        rounds: int = 6,
+    ) -> None:
+        self._identifier = identifier
+        self._workers = workers
+        self._rounds = rounds
+
+    def main_class_identifier(self) -> str:
+        return self._identifier
+
+    def args(self) -> List[str]:
+        return [str(self._workers), str(self._rounds)]
+
+    def num_expected_forked_threads(self) -> int:
+        return self._workers
+
+    def post_join_property_names_and_types(self):
+        return ((STRAGGLER_SEEN, BOOLEAN),)
+
+    def post_join_events_message(
+        self, thread: threading.Thread, values: Mapping[str, Any]
+    ) -> Optional[str]:
+        if not values[STRAGGLER_SEEN]:
+            return (
+                "no watcher observed the published flag: the publishing "
+                "worker was scheduled after every watcher finished "
+                "(a depth-1 ordering bug)"
+            )
+        return None

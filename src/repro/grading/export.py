@@ -188,6 +188,8 @@ def gradebook_csv(gradebook: Gradebook) -> str:
             "submissions",
             "failure_kind",
             "schedule_seed",
+            "interleavings_failing",
+            "interleavings_total",
         ]
     )
     for student in gradebook.students():
@@ -204,6 +206,12 @@ def gradebook_csv(gradebook: Gradebook) -> str:
                 len(gradebook.submissions_of(student)),
                 latest.failure_kind,
                 "" if latest.schedule_seed is None else latest.schedule_seed,
+                ""
+                if latest.interleavings_failing is None
+                else latest.interleavings_failing,
+                ""
+                if latest.interleavings_total is None
+                else latest.interleavings_total,
             ]
         )
     return buffer.getvalue()

@@ -144,12 +144,13 @@ class Gradebook:
             line = f"  {student:<24} {percent:6.1f}%"
             kind = kinds.get(student, "ok")
             latest = self.latest(student)
+            schedule = latest.schedule_tag() if latest is not None else ""
             if kind != "ok":
                 tag = kind
-                if latest is not None and latest.schedule_seed is not None:
-                    tag += f" @seed {latest.schedule_seed}"
+                if schedule:
+                    tag += f" {schedule}"
                 line += f"  [{tag}]"
-            elif latest is not None and latest.schedule_seed is not None:
-                line += f"  [racy @seed {latest.schedule_seed}]"
+            elif schedule:
+                line += f"  [racy {schedule}]"
             lines.append(line)
         return "\n".join(lines)

@@ -178,7 +178,10 @@ def gradebook_html(
         f'<p class="total">Class mean (best submissions): '
         f"<strong>{gradebook.mean_percent():.1f}%</strong></p>",
     ]
-    header = "<tr><th>student</th><th>best</th><th>latest</th><th>submissions</th><th>kind</th>"
+    header = (
+        "<tr><th>student</th><th>best</th><th>latest</th>"
+        "<th>submissions</th><th>kind</th><th>schedules</th>"
+    )
     if timelines is not None:
         header += "<th>grading time</th>"
     header += "</tr>"
@@ -198,6 +201,12 @@ def gradebook_html(
             f"<td>{len(gradebook.submissions_of(student))}</td>"
             f'<td><span class="status {kind_css}">{html.escape(kind)}</span></td>'
         )
+        schedule = latest.schedule_tag()
+        if schedule:
+            label = schedule if latest.schedule_seed is not None else f"racy: {schedule}"
+            row += f'<td><span class="status failed">{html.escape(label)}</span></td>'
+        else:
+            row += "<td>&mdash;</td>"
         if timelines is not None:
             timing = timelines.get(student)
             if timing is not None:

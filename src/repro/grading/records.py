@@ -151,6 +151,19 @@ class SubmissionRecord:
     #: reproduces (``None`` for free-running grades); an instructor can
     #: replay the student's race with ``explore --seed <seed>``.
     schedule_seed: Optional[int] = None
+    #: Which schedule family exploration used (``"random-walk"``,
+    #: ``"pct"``, ``"exhaustive"``; empty when the grade never explored).
+    schedule_strategy: str = ""
+    #: Exhaustive exploration coverage: how many of the
+    #: ``interleavings_total`` distinct interleavings failed (N of M).
+    #: ``None`` for seeded strategies, which sample instead of counting.
+    interleavings_failing: Optional[int] = None
+    #: Exhaustive exploration coverage: distinct interleavings
+    #: enumerated within the preemption bound (M).
+    interleavings_total: Optional[int] = None
+    #: The exhaustive enumeration covered the whole bound (``False``
+    #: when the execution budget capped it, so M is a lower bound).
+    interleavings_complete: bool = False
     #: Monotonic seconds since the grading batch started (``time.time``
     #: wall timestamps above can jump with clock adjustments; this field
     #: is what resume-ordering may rely on).
@@ -168,6 +181,10 @@ class SubmissionRecord:
         attempts: int = 1,
         attempt_outcomes: List[str] | None = None,
         schedule_seed: Optional[int] = None,
+        schedule_strategy: str = "",
+        interleavings_failing: Optional[int] = None,
+        interleavings_total: Optional[int] = None,
+        interleavings_complete: bool = False,
         elapsed: float = 0.0,
     ) -> "SubmissionRecord":
         """Snapshot a live :class:`SuiteResult` into plain data."""
@@ -181,6 +198,10 @@ class SubmissionRecord:
             attempts=attempts,
             attempt_outcomes=list(attempt_outcomes or []),
             schedule_seed=schedule_seed,
+            schedule_strategy=schedule_strategy,
+            interleavings_failing=interleavings_failing,
+            interleavings_total=interleavings_total,
+            interleavings_complete=interleavings_complete,
             elapsed=elapsed,
         )
 
@@ -196,6 +217,10 @@ class SubmissionRecord:
             "attempts": self.attempts,
             "attempt_outcomes": list(self.attempt_outcomes),
             "schedule_seed": self.schedule_seed,
+            "schedule_strategy": self.schedule_strategy,
+            "interleavings_failing": self.interleavings_failing,
+            "interleavings_total": self.interleavings_total,
+            "interleavings_complete": self.interleavings_complete,
             "tests": [t.to_dict() for t in self.tests],
         }
 
@@ -203,6 +228,8 @@ class SubmissionRecord:
     def from_dict(cls, data: Dict[str, Any]) -> "SubmissionRecord":
         """Rebuild from :meth:`to_dict` output (tolerant of omissions)."""
         seed = data.get("schedule_seed")
+        failing = data.get("interleavings_failing")
+        total = data.get("interleavings_total")
         return cls(
             student=data["student"],
             suite=data["suite"],
@@ -213,6 +240,10 @@ class SubmissionRecord:
             attempts=int(data.get("attempts", 1)),
             attempt_outcomes=list(data.get("attempt_outcomes", [])),
             schedule_seed=None if seed is None else int(seed),
+            schedule_strategy=data.get("schedule_strategy", ""),
+            interleavings_failing=None if failing is None else int(failing),
+            interleavings_total=None if total is None else int(total),
+            interleavings_complete=bool(data.get("interleavings_complete", False)),
             tests=[TestRecord.from_dict(t) for t in data.get("tests", [])],
         )
 
@@ -234,8 +265,13 @@ class SubmissionRecord:
     @property
     def racy(self) -> bool:
         """True when the failure reproduces under a recorded schedule —
-        deterministic, replayable, and therefore *not* flaky."""
-        return self.schedule_seed is not None
+        deterministic, replayable, and therefore *not* flaky.
+
+        Seeded exploration pins a failing seed; exhaustive exploration
+        instead counts failing interleavings, and any nonzero count is
+        just as replayable (the first failing trace is recorded).
+        """
+        return self.schedule_seed is not None or bool(self.interleavings_failing)
 
     @property
     def flaky(self) -> bool:
@@ -250,6 +286,23 @@ class SubmissionRecord:
         return self.failure_kind == "flaky-pass" or (
             len(set(self.attempt_outcomes)) > 1
         )
+
+    def schedule_tag(self) -> str:
+        """Short racy-provenance label for gradebooks, ``""`` when none.
+
+        ``@seed 7`` for a seeded strategy's pinned failing schedule;
+        ``3 of 26 interleavings fail`` for an exhaustive verdict (a
+        trailing ``+`` marks a budget-capped, hence partial, count).
+        """
+        if self.interleavings_total is not None and self.interleavings_failing:
+            cap = "" if self.interleavings_complete else "+"
+            return (
+                f"{self.interleavings_failing} of "
+                f"{self.interleavings_total}{cap} interleavings fail"
+            )
+        if self.schedule_seed is not None:
+            return f"@seed {self.schedule_seed}"
+        return ""
 
     def failed_aspects(self) -> List[str]:
         """Names of every failed aspect across the suite, in order."""

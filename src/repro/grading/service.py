@@ -280,7 +280,7 @@ class GradingService:
     shards:
         Number of independent worker processes.
     subprocess_mode / jobs_per_shard / retries / deadline /
-    explore_schedules / explore_seed:
+    explore_schedules / explore_seed / explore_strategy / explore_depth:
         Forwarded to each shard's inner
         :class:`~repro.execution.supervisor.GradingSupervisor`.
     pool_size:
@@ -329,6 +329,8 @@ class GradingService:
         deadline: Optional[float] = None,
         explore_schedules: int = 0,
         explore_seed: int = 0,
+        explore_strategy: str = "random-walk",
+        explore_depth: int = 3,
         pool_size: int = 0,
         dedup: bool = False,
         heartbeat_interval: float = 0.5,
@@ -350,6 +352,8 @@ class GradingService:
         self.deadline = deadline
         self.explore_schedules = max(0, int(explore_schedules))
         self.explore_seed = int(explore_seed)
+        self.explore_strategy = explore_strategy
+        self.explore_depth = max(0, int(explore_depth))
         self.pool_size = max(0, int(pool_size))
         self.dedup = bool(dedup)
         self.heartbeat_interval = float(heartbeat_interval)
@@ -430,6 +434,8 @@ class GradingService:
                 "deadline": self.deadline,
                 "explore_schedules": self.explore_schedules,
                 "explore_seed": self.explore_seed,
+                "explore_strategy": self.explore_strategy,
+                "explore_depth": self.explore_depth,
                 "pool_size": self.pool_size,
                 "dedup": self.dedup,
             },

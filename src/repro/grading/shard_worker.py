@@ -201,6 +201,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         journal=journal,
         explore_schedules=int(opts.get("explore_schedules", 0)),
         explore_seed=int(opts.get("explore_seed", 0)),
+        explore_strategy=str(opts.get("explore_strategy", "random-walk")),
+        explore_depth=int(opts.get("explore_depth", 3)),
         pool=pool,
         dedup=bool(opts.get("dedup", False)),
     )

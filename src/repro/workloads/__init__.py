@@ -5,7 +5,14 @@ registry; importing this package registers everything.
 """
 
 from repro.execution import faults  # noqa: F401 - registers the fault programs
-from repro.workloads import hello, jacobi, odds, pi_montecarlo, primes  # noqa: F401
+from repro.workloads import (  # noqa: F401
+    hello,
+    jacobi,
+    odds,
+    pi_montecarlo,
+    primes,
+    synclab,
+)
 
 #: identifier lists per problem, for sweeps and batch grading.
 ALL_VARIANTS = {
@@ -14,6 +21,15 @@ ALL_VARIANTS = {
     "pi": pi_montecarlo.VARIANTS,
     "odds": odds.VARIANTS,
     "jacobi": jacobi.VARIANTS,
+    "synclab": synclab.VARIANTS,
 }
 
-__all__ = ["ALL_VARIANTS", "hello", "primes", "pi_montecarlo", "odds", "jacobi"]
+__all__ = [
+    "ALL_VARIANTS",
+    "hello",
+    "primes",
+    "pi_montecarlo",
+    "odds",
+    "jacobi",
+    "synclab",
+]

@@ -1,0 +1,65 @@
+"""The synchronization laboratory: schedule-search evaluation workloads.
+
+The paper's four problems exercise the *grading* pipeline; these tiny
+programs exercise the *schedule search* itself.  Each variant is a
+minimal fork-join program with one precisely placed synchronization bug
+(or none), built so the interesting failure triggers under a known class
+of interleavings:
+
+=========================  ===========================================
+identifier                 behaviour
+=========================  ===========================================
+``synclab.lost_update``    ``workers`` threads each add 1 to a shared
+                           cell via an unsynchronized read -
+                           checkpoint - write; fails exactly when two
+                           read-modify-write windows overlap.  Small
+                           state: the whole interleaving space fits an
+                           exhaustive enumeration.
+``synclab.guarded``        the same read-modify-write under a backend
+                           lock — correct under every schedule.
+``synclab.straggler``      worker 0 publishes a flag; the other
+                           ``workers - 1`` threads each run ``rounds``
+                           checkpointed busy iterations and then record
+                           whether the flag was up.  Fails only when
+                           worker 0 runs *after every other worker
+                           finished* — a depth-1 ordering bug that a
+                           uniform random walk hits with exponentially
+                           small probability but PCT hits with
+                           probability ~1/n per run.
+=========================  ===========================================
+
+Arguments: ``main([workers, rounds])``.  Shared accesses sit in
+checkpoint- or retire-delimited segments (never in segments ended by a
+trace print), which is the contract the happens-before equivalence
+layer's dependence relation relies on — see
+:mod:`repro.execution.equivalence`.
+
+The graders live in :mod:`repro.graders.synclab`; they declare no
+worker property specs (each worker prints one plain line so the
+thread-count check sees it), so no interleaving/balance aspect muddies
+the verdict: a failing schedule means the *bug* fired.
+"""
+
+from repro.workloads.synclab import (  # noqa: F401 - imported for registration
+    programs,
+)
+from repro.workloads.synclab.spec import (
+    COUNTER,
+    DEFAULT_ROUNDS,
+    DEFAULT_WORKERS,
+    STRAGGLER_SEEN,
+)
+
+__all__ = [
+    "COUNTER",
+    "STRAGGLER_SEEN",
+    "DEFAULT_WORKERS",
+    "DEFAULT_ROUNDS",
+    "VARIANTS",
+]
+
+VARIANTS = [
+    "synclab.lost_update",
+    "synclab.guarded",
+    "synclab.straggler",
+]

@@ -1,0 +1,118 @@
+"""The synclab tested programs (see the package docstring).
+
+Segment discipline: every shared-state access in these programs is
+followed by a ``backend.checkpoint()`` (or sits in a lock-delimited
+region) *before* the worker's next trace print or retirement, so the
+access is ordered by a conflicting event in the happens-before
+canonical form.  Worker identity prints happen before any shared
+access — a plain ``print`` is a commuting trace event and must not
+terminate a segment that touched shared state.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.execution.registry import register_main
+from repro.simulation.backend import current_backend
+from repro.tracing import print_property
+from repro.workloads.common import fork_and_join, int_arg
+from repro.workloads.synclab.spec import (
+    COUNTER,
+    DEFAULT_ROUNDS,
+    DEFAULT_WORKERS,
+    STRAGGLER_SEEN,
+)
+
+
+@register_main("synclab.lost_update")
+def lost_update(args: List[str]) -> None:
+    """Unsynchronized read-modify-write: the canonical lost update.
+
+    Each worker, each round: read the cell, yield at a checkpoint (the
+    race window), write back the incremented snapshot, yield again.
+    Final value falls short of ``workers * rounds`` exactly when two
+    windows overlapped.
+    """
+    workers = int_arg(args, 0, DEFAULT_WORKERS)
+    rounds = int_arg(args, 1, DEFAULT_ROUNDS)
+    backend = current_backend()
+    cell = {"value": 0}
+
+    def worker(index: int):
+        def body() -> None:
+            print(f"synclab worker {index} up")
+            for _ in range(rounds):
+                snapshot = cell["value"]
+                backend.checkpoint()  # race window: snapshot goes stale
+                cell["value"] = snapshot + 1
+                backend.checkpoint()  # orders the write before retirement
+
+        return body
+
+    fork_and_join([worker(i) for i in range(workers)], backend=backend)
+    print_property(COUNTER, cell["value"])
+
+
+@register_main("synclab.guarded")
+def guarded(args: List[str]) -> None:
+    """The same read-modify-write, correctly guarded by a lock."""
+    workers = int_arg(args, 0, DEFAULT_WORKERS)
+    rounds = int_arg(args, 1, DEFAULT_ROUNDS)
+    backend = current_backend()
+    cell = {"value": 0}
+    lock = backend.lock()
+
+    def worker(index: int):
+        def body() -> None:
+            print(f"synclab worker {index} up")
+            for _ in range(rounds):
+                with lock:
+                    snapshot = cell["value"]
+                    backend.checkpoint()
+                    cell["value"] = snapshot + 1
+
+        return body
+
+    fork_and_join([worker(i) for i in range(workers)], backend=backend)
+    print_property(COUNTER, cell["value"])
+
+
+@register_main("synclab.straggler")
+def straggler(args: List[str]) -> None:
+    """A depth-1 ordering bug: the flag must beat every watcher.
+
+    Worker 0 raises a flag (its only work).  Every other worker runs
+    ``rounds`` checkpointed iterations and then records whether the flag
+    was up.  The program fails only when *no* watcher saw the flag —
+    i.e. worker 0 was scheduled after every watcher's last read.  A
+    uniform random walk keeps worker 0 starved for the whole run with
+    probability roughly ``(1 - 1/n)**k`` (k = total decisions) —
+    vanishing — while PCT parks worker 0 behind everyone whenever it
+    draws the lowest priority: probability ~1/n per run.
+    """
+    workers = max(2, int_arg(args, 0, 4))
+    rounds = int_arg(args, 1, 6)
+    backend = current_backend()
+    flag = {"up": False}
+    seen = [False] * workers
+
+    def straggler_body() -> None:
+        print("synclab worker 0 up")
+        backend.checkpoint()  # a window for watchers to get ahead
+        flag["up"] = True
+        backend.checkpoint()  # orders the publish before retirement
+
+    def watcher(index: int):
+        def body() -> None:
+            print(f"synclab worker {index} up")
+            for _ in range(rounds):
+                backend.checkpoint()
+            seen[index] = flag["up"]
+            backend.checkpoint()  # orders the read before retirement
+
+        return body
+
+    bodies = [straggler_body] + [watcher(i) for i in range(1, workers)]
+    fork_and_join(bodies, backend=backend)
+    print_property(STRAGGLER_SEEN, any(seen[1:]))

@@ -1,0 +1,21 @@
+"""The synclab assignment statement: property names and defaults."""
+
+from __future__ import annotations
+
+__all__ = [
+    "COUNTER",
+    "STRAGGLER_SEEN",
+    "DEFAULT_WORKERS",
+    "DEFAULT_ROUNDS",
+]
+
+#: Post-join property of the lost-update/guarded variants: the final
+#: shared-counter value (one increment per worker per round expected).
+COUNTER = "Counter"
+
+#: Post-join property of the straggler variant: did any watcher observe
+#: worker 0's flag?
+STRAGGLER_SEEN = "Straggler Seen"
+
+DEFAULT_WORKERS = 2
+DEFAULT_ROUNDS = 1

@@ -1,0 +1,216 @@
+"""Happens-before canonicalization and the schedule oracle.
+
+The load-bearing properties of ``repro.execution.equivalence``:
+
+* the canonical key is invariant under swapping adjacent *commuting*
+  events (different workers, at least one ``trace``) and changed by
+  swapping adjacent *conflicting* ones — the Mazurkiewicz invariant
+  dedup leans on;
+* the oracle's offline simulation predicts the exact happens-before key
+  of real executed runs, across strategies and seeds, for the programs
+  the explorer dedups.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.execution.equivalence import (
+    COMMUTING_KINDS,
+    ScheduleEvent,
+    ScheduleOracle,
+    canonical_form,
+    events_conflict,
+    executed_events,
+    happens_before_key,
+)
+from repro.execution.runner import ProgramRunner, in_process_session_lock
+from repro.execution.scheduling import (
+    PCTStrategy,
+    RandomWalkStrategy,
+    ScheduleDecision,
+    ScheduleTrace,
+    ScheduledBackend,
+)
+from repro.simulation.backend import use_backend
+
+import repro.workloads  # noqa: F401 - registers the tested programs
+
+
+# ----------------------------------------------------------------------
+# Synthetic traces: the event-model round trip
+# ----------------------------------------------------------------------
+def trace_from_events(events, deadlocked=False):
+    """Build a trace whose ``executed_events`` equal *events*.
+
+    Decision *i*'s point is event *i - 1*'s kind (the yield that ended
+    the previous segment); the last event's kind is implied by the
+    trace ending, so callers must give it kind ``retire`` (or ``block``
+    with ``deadlocked=True``) for the round trip to hold.
+    """
+    workers = sorted({e.worker for e in events})
+    decisions = [
+        ScheduleDecision(
+            step=i,
+            point="start" if i == 0 else events[i - 1].kind,
+            ready=list(workers),
+            chosen=e.worker,
+        )
+        for i, e in enumerate(events)
+    ]
+    return ScheduleTrace(
+        identifier="synthetic",
+        strategy="synthetic",
+        workers={k: f"worker-{k}" for k in workers},
+        decisions=decisions,
+        deadlocked=deadlocked,
+    )
+
+
+#: Event bodies for the property tests: 2-3 workers, the two kinds that
+#: matter for commutation (``trace`` commutes, ``checkpoint`` conflicts).
+_events = st.lists(
+    st.builds(
+        ScheduleEvent,
+        worker=st.integers(min_value=0, max_value=2),
+        kind=st.sampled_from(["trace", "checkpoint"]),
+    ),
+    min_size=2,
+    max_size=12,
+)
+
+
+def _close(events):
+    """Append the implied final segment so the round trip holds."""
+    return events + [ScheduleEvent(worker=events[-1].worker, kind="retire")]
+
+
+class TestEventModel:
+    def test_round_trip(self):
+        events = _close(
+            [ScheduleEvent(0, "trace"), ScheduleEvent(1, "checkpoint")]
+        )
+        assert executed_events(trace_from_events(events)) == events
+
+    def test_deadlocked_run_ends_in_block(self):
+        events = [ScheduleEvent(0, "lock-acquire"), ScheduleEvent(1, "block")]
+        trace = trace_from_events(events, deadlocked=True)
+        assert executed_events(trace)[-1].kind == "block"
+
+    def test_conflict_relation(self):
+        assert events_conflict(ScheduleEvent(0, "trace"), ScheduleEvent(0, "trace"))
+        assert not events_conflict(
+            ScheduleEvent(0, "trace"), ScheduleEvent(1, "trace")
+        )
+        assert not events_conflict(
+            ScheduleEvent(0, "trace"), ScheduleEvent(1, "checkpoint")
+        )
+        assert events_conflict(
+            ScheduleEvent(0, "checkpoint"), ScheduleEvent(1, "checkpoint")
+        )
+        assert events_conflict(
+            ScheduleEvent(0, "retire"), ScheduleEvent(1, "checkpoint")
+        )
+
+    def test_only_trace_commutes(self):
+        # The soundness argument in the module docstring depends on the
+        # dependence relation staying exactly this tight: a wider
+        # commuting set would merge schedules that grade differently.
+        assert COMMUTING_KINDS == frozenset({"trace"})
+
+
+class TestCanonicalKeyProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(_events, st.integers(min_value=0))
+    def test_key_invariant_under_commuting_swaps(self, body, index):
+        events = _close(body)
+        # Swap strictly inside the body (the final retire is implied by
+        # trace shape, not by a recorded decision, so it stays put).
+        i = index % (len(events) - 2) if len(events) > 2 else 0
+        a, b = events[i], events[i + 1]
+        if events_conflict(a, b):
+            return  # only commuting swaps are claimed invariant
+        swapped = list(events)
+        swapped[i], swapped[i + 1] = b, a
+        assert happens_before_key(trace_from_events(events)) == happens_before_key(
+            trace_from_events(swapped)
+        )
+
+    @settings(max_examples=200, deadline=None)
+    @given(_events, st.integers(min_value=0))
+    def test_key_changed_by_conflicting_swaps(self, body, index):
+        events = _close(body)
+        i = index % (len(events) - 2) if len(events) > 2 else 0
+        a, b = events[i], events[i + 1]
+        if a.worker == b.worker or not events_conflict(a, b):
+            return  # same-worker swaps reorder program order: not a schedule
+        swapped = list(events)
+        swapped[i], swapped[i + 1] = b, a
+        assert happens_before_key(trace_from_events(events)) != happens_before_key(
+            trace_from_events(swapped)
+        )
+
+    def test_deadlock_verdict_is_part_of_the_key(self):
+        events = [ScheduleEvent(0, "checkpoint"), ScheduleEvent(0, "retire")]
+        alive = trace_from_events(events)
+        dead = trace_from_events(
+            [ScheduleEvent(0, "checkpoint"), ScheduleEvent(0, "block")],
+            deadlocked=True,
+        )
+        assert happens_before_key(alive) != happens_before_key(dead)
+
+    def test_canonical_form_shape(self):
+        events = _close([ScheduleEvent(0, "trace"), ScheduleEvent(1, "checkpoint")])
+        form = canonical_form(trace_from_events(events))
+        assert form["program_order"] == {"0": ["trace"], "1": ["checkpoint", "retire"]}
+        assert form["conflict_order"] == [[1, "checkpoint"], [1, "retire"]]
+        assert form["deadlocked"] is False
+
+
+# ----------------------------------------------------------------------
+# The oracle against real executions
+# ----------------------------------------------------------------------
+def run_controlled(identifier, strategy, args=()):
+    backend = ScheduledBackend(strategy)
+    with in_process_session_lock():
+        with use_backend(backend):
+            ProgramRunner(timeout=30.0).run(identifier, list(args))
+    return backend.schedule_trace(identifier)
+
+
+@pytest.mark.parametrize(
+    "identifier",
+    ["synclab.lost_update", "synclab.guarded", "primes.racy", "primes.correct"],
+)
+def test_oracle_predicts_real_keys_exactly(identifier):
+    base = run_controlled(identifier, RandomWalkStrategy(0))
+    oracle = ScheduleOracle.from_trace(base)
+    assert oracle is not None, f"oracle refused a clean trace of {identifier}"
+    for seed in range(1, 6):
+        strategy = RandomWalkStrategy(seed)
+        predicted = oracle.predict_key(strategy.clone())
+        actual = happens_before_key(run_controlled(identifier, strategy))
+        assert predicted == actual, f"{identifier} seed {seed}"
+
+
+def test_oracle_predicts_pct_schedules():
+    base = run_controlled("synclab.lost_update", RandomWalkStrategy(0))
+    oracle = ScheduleOracle.from_trace(base)
+    assert oracle is not None
+    for seed in range(4):
+        strategy = PCTStrategy(seed, depth=2)
+        predicted = oracle.predict_key(strategy.clone())
+        actual = happens_before_key(
+            run_controlled("synclab.lost_update", strategy)
+        )
+        assert predicted == actual, f"pct seed {seed}"
+
+
+def test_oracle_refuses_unsupported_traces():
+    assert ScheduleOracle.from_trace(ScheduleTrace()) is None
+    dead = ScheduleTrace(
+        decisions=[ScheduleDecision(0, "start", [0], 0)], deadlocked=True
+    )
+    assert ScheduleOracle.from_trace(dead) is None

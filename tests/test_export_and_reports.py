@@ -54,9 +54,10 @@ class TestCsvExport:
     def test_golden_render(self):
         expected = (
             "student,best_score,max_score,best_percent,latest_percent,"
-            "submissions,failure_kind,schedule_seed\n"
-            "alice,40,40,100.0,100.0,1,ok,\n"
-            "bob,30,40,75.0,75.0,2,timeout,7\n"
+            "submissions,failure_kind,schedule_seed,"
+            "interleavings_failing,interleavings_total\n"
+            "alice,40,40,100.0,100.0,1,ok,,,\n"
+            "bob,30,40,75.0,75.0,2,timeout,7,,\n"
         )
         assert gradebook_csv(make_gradebook()) == expected
 

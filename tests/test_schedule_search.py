@@ -1,0 +1,324 @@
+"""Schedule-search strategies: PCT, happens-before dedup, exhaustive.
+
+Pins the behaviour the verdicts stand on:
+
+* PCT campaigns are deterministic and their findings replay;
+* dedup never executes a schedule whose happens-before key was already
+  graded (and without it every candidate runs);
+* the exhaustive census for the small synclab workloads is *exact* —
+  ``8 of 26`` for the lost update, ``0 of 40`` for the guarded variant —
+  and identical across runs;
+* ``failure_rate`` divides by executed schedules, not enumerated ones;
+* the supervisor, gradebook, HTML report, CSV export, and CLI all carry
+  the ``N of M interleavings fail`` verdict through unchanged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser
+from repro.execution.equivalence import happens_before_key
+from repro.execution.exploration import (
+    STRATEGY_CHOICES,
+    ExplorationReport,
+    ScheduleExplorer,
+)
+from repro.execution.supervisor import GradingSupervisor
+from repro.grading.export import gradebook_csv
+from repro.grading.html_report import gradebook_html
+from repro.grading.records import SubmissionRecord
+from repro.graders import PrimesFunctionality
+from repro.graders.suites import build_synclab_suite
+from repro.graders.synclab import SyncLabCounterFunctionality
+from repro.testfw.result import SuiteResult, TestResult
+
+
+def lost_update_factory():
+    return lambda: SyncLabCounterFunctionality(
+        "synclab.lost_update", workers=2, rounds=1
+    )
+
+def guarded_factory():
+    return lambda: SyncLabCounterFunctionality(
+        "synclab.guarded", workers=2, rounds=1
+    )
+
+def primes_factory(identifier="primes.racy"):
+    return lambda: PrimesFunctionality(identifier, num_randoms=12, num_threads=3)
+
+
+class KeyLoggingExplorer(ScheduleExplorer):
+    """Explorer that records the happens-before key of every *executed*
+    run — the dedup guarantee is exactly "this list has no repeats"."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.executed_keys = []
+
+    def run_one(self, strategy):
+        result, trace = super().run_one(strategy)
+        self.executed_keys.append(happens_before_key(trace))
+        return result, trace
+
+
+# ----------------------------------------------------------------------
+# PCT
+# ----------------------------------------------------------------------
+class TestPCTExploration:
+    def test_finds_the_racy_bug_and_is_deterministic(self):
+        def campaign():
+            return ScheduleExplorer(
+                primes_factory(), schedules=6, first_seed=0, strategy="pct", depth=3
+            ).run()
+
+        report_a, report_b = campaign(), campaign()
+        assert report_a.bug_found
+        assert report_a.depth == 3
+        assert report_a.findings[0].strategy_label.startswith("pct:")
+        assert [f.strategy_label for f in report_a.findings] == [
+            f.strategy_label for f in report_b.findings
+        ]
+        assert report_a.first_failing_seed == report_b.first_failing_seed
+
+    def test_pct_finding_replays_decision_for_decision(self):
+        explorer = ScheduleExplorer(
+            primes_factory(), schedules=6, first_seed=0, strategy="pct", depth=3
+        )
+        report = explorer.run()
+        trace = report.first_failing_trace()
+        assert trace is not None
+        result, replayed = explorer.replay(trace)
+        assert replayed.divergence == ""
+        assert result.score < result.max_score
+        assert [d.to_dict() for d in replayed.decisions] == [
+            d.to_dict() for d in trace.decisions
+        ]
+
+
+# ----------------------------------------------------------------------
+# Happens-before dedup
+# ----------------------------------------------------------------------
+class TestDedup:
+    def test_never_reexecutes_a_seen_key(self):
+        explorer = KeyLoggingExplorer(
+            lost_update_factory(), schedules=20, first_seed=0
+        )
+        report = explorer.run()
+        assert report.mispredicted == 0
+        assert report.deduped > 0
+        assert report.executed + report.deduped == report.schedules_tried
+        assert len(set(explorer.executed_keys)) == len(explorer.executed_keys)
+        assert report.distinct == len(explorer.executed_keys)
+
+    def test_dedup_off_executes_every_candidate(self):
+        report = ScheduleExplorer(
+            lost_update_factory(), schedules=20, first_seed=0, dedup=False
+        ).run()
+        assert report.executed == report.schedules_tried == 20
+        assert report.deduped == 0
+
+    def test_dedup_preserves_the_verdict(self):
+        on = ScheduleExplorer(lost_update_factory(), schedules=20).run()
+        off = ScheduleExplorer(
+            lost_update_factory(), schedules=20, dedup=False
+        ).run()
+        assert on.bug_found == off.bug_found
+        # Same seeds, same schedules — the first failing seed agrees.
+        assert on.first_failing_seed == off.first_failing_seed
+
+
+# ----------------------------------------------------------------------
+# Exhaustive enumeration: exact, stable censuses
+# ----------------------------------------------------------------------
+class TestExhaustive:
+    def run_exhaustive(self, factory, **kwargs):
+        kwargs.setdefault("depth", 2)
+        kwargs.setdefault("max_schedules", 256)
+        return ScheduleExplorer(factory, strategy="exhaustive", **kwargs).run()
+
+    def test_lost_update_census_is_exactly_8_of_26(self):
+        report = self.run_exhaustive(lost_update_factory())
+        assert report.enumerated == 26
+        assert report.failing_interleavings == 8
+        assert report.complete is True
+        assert "racy: 8 of 26 distinct interleavings fail" in report.summary()
+
+    def test_census_is_identical_across_runs(self):
+        first = self.run_exhaustive(lost_update_factory())
+        second = self.run_exhaustive(lost_update_factory())
+        assert (first.enumerated, first.failing_interleavings, first.complete) == (
+            second.enumerated,
+            second.failing_interleavings,
+            second.complete,
+        )
+
+    def test_guarded_census_is_0_of_40(self):
+        report = self.run_exhaustive(guarded_factory())
+        assert report.enumerated == 40
+        assert report.failing_interleavings == 0
+        assert report.complete is True
+        assert not report.bug_found
+        assert "schedule-independence within the bound" in report.summary()
+
+    def test_dedup_shrinks_executions_but_not_the_census(self):
+        on = self.run_exhaustive(lost_update_factory())
+        off = self.run_exhaustive(lost_update_factory(), dedup=False)
+        assert (on.executed, on.deduped) == (14, 12)
+        assert (off.executed, off.deduped) == (26, 0)
+        assert on.enumerated == off.enumerated == 26
+        assert on.failing_interleavings == off.failing_interleavings == 8
+
+    def test_budget_cap_marks_coverage_partial(self):
+        report = self.run_exhaustive(lost_update_factory(), max_schedules=5)
+        assert report.executed <= 5
+        assert report.complete is False
+        assert "budget-capped" in report.summary()
+        assert "coverage partial" in (report.coverage_statement() or "")
+
+
+# ----------------------------------------------------------------------
+# failure_rate regression (previously divided by enumerated schedules)
+# ----------------------------------------------------------------------
+class TestFailureRate:
+    def finding(self):
+        from repro.execution.exploration import ExplorationFinding
+        from repro.execution.scheduling import ScheduleTrace
+
+        return ExplorationFinding(
+            strategy_label="random-walk:0",
+            seed=0,
+            score=0.0,
+            max_score=10.0,
+            failed_aspects=["semantics"],
+            messages=["boom"],
+            trace=ScheduleTrace(),
+        )
+
+    def test_denominator_is_executed_not_tried(self):
+        report = ExplorationReport(
+            schedules_tried=10,
+            strategy="random-walk",
+            first_seed=0,
+            findings=[self.finding()],
+            executed=5,
+            deduped=5,
+        )
+        assert report.failure_rate == pytest.approx(0.2)
+
+    def test_legacy_reports_fall_back_to_tried(self):
+        report = ExplorationReport(
+            schedules_tried=10,
+            strategy="random-walk",
+            first_seed=0,
+            findings=[self.finding()],
+        )
+        assert report.failure_rate == pytest.approx(0.1)
+
+    def test_empty_campaign_is_zero(self):
+        report = ExplorationReport(
+            schedules_tried=0, strategy="random-walk", first_seed=0
+        )
+        assert report.failure_rate == 0.0
+
+
+# ----------------------------------------------------------------------
+# Supervisor + report surfaces carry the census through
+# ----------------------------------------------------------------------
+class TestSupervisorExhaustive:
+    @pytest.fixture(scope="class")
+    def report(self):
+        supervisor = GradingSupervisor(
+            build_synclab_suite,
+            explore_schedules=64,
+            explore_strategy="exhaustive",
+            explore_depth=2,
+        )
+        return supervisor.grade(
+            {"alice": "synclab.lost_update", "bob": "synclab.guarded"}
+        )
+
+    def test_record_carries_the_census(self, report):
+        alice = report.gradebook.latest("alice")
+        assert alice.racy
+        assert alice.schedule_seed is None
+        assert alice.schedule_strategy == "exhaustive"
+        assert alice.interleavings_failing == 8
+        assert alice.interleavings_total == 26
+        assert alice.interleavings_complete is True
+        assert alice.schedule_tag() == "8 of 26 interleavings fail"
+        assert "exhaustive:8of26" in alice.attempt_outcomes
+
+    def test_guarded_submission_is_clean(self, report):
+        bob = report.gradebook.latest("bob")
+        assert not bob.racy
+        assert bob.interleavings_total is None
+        assert bob.schedule_tag() == ""
+
+    def test_census_survives_a_dict_round_trip(self, report):
+        alice = report.gradebook.latest("alice")
+        clone = SubmissionRecord.from_dict(alice.to_dict())
+        assert clone.interleavings_failing == 8
+        assert clone.interleavings_total == 26
+        assert clone.interleavings_complete is True
+        assert clone.schedule_tag() == alice.schedule_tag()
+
+    def test_batch_summary_quotes_the_census(self, report):
+        assert "alice (8 of 26 interleavings fail)" in report.summary()
+
+    def test_gradebook_render_tags_the_racy_row(self, report):
+        assert "[racy 8 of 26 interleavings fail]" in report.gradebook.render()
+
+    def test_html_report_has_a_schedules_column(self, report):
+        html = gradebook_html(report.gradebook)
+        assert "<th>schedules</th>" in html
+        assert "racy: 8 of 26 interleavings fail" in html
+
+    def test_csv_export_has_the_census_columns(self, report):
+        csv_text = gradebook_csv(report.gradebook)
+        header, *rows = csv_text.splitlines()
+        assert header.endswith("interleavings_failing,interleavings_total")
+        alice_row = next(r for r in rows if r.startswith("alice,"))
+        assert alice_row.endswith(",8,26")
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            GradingSupervisor(build_synclab_suite, explore_strategy="chaos")
+
+
+class TestSeededTagStillWorks:
+    def test_schedule_tag_prefers_census_over_seed(self):
+        record = SubmissionRecord.from_suite_result(
+            "s",
+            SuiteResult("synclab", [TestResult("T", 0.0, 10.0)]),
+            schedule_seed=3,
+        )
+        assert record.schedule_tag() == "@seed 3"
+        record.interleavings_failing = 2
+        record.interleavings_total = 9
+        assert record.schedule_tag() == "2 of 9+ interleavings fail"
+        record.interleavings_complete = True
+        assert record.schedule_tag() == "2 of 9 interleavings fail"
+
+
+# ----------------------------------------------------------------------
+# CLI vocabulary stays in lockstep with the strategy registry
+# ----------------------------------------------------------------------
+class TestCliStrategyChoices:
+    def _action(self, command, flag):
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions if hasattr(a, "choices") and a.choices
+        )
+        sub = subparsers.choices[command]
+        return next(a for a in sub._actions if flag in a.option_strings)
+
+    def test_explore_strategy_choices_match_registry(self):
+        action = self._action("explore", "--strategy")
+        assert tuple(action.choices) == STRATEGY_CHOICES
+
+    def test_grade_exploration_strategies_are_a_registry_subset(self):
+        action = self._action("grade", "--explore-strategy")
+        choices = tuple(action.choices)
+        assert choices == ("random-walk", "pct", "exhaustive")
+        assert set(choices) <= set(STRATEGY_CHOICES)
