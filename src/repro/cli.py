@@ -194,6 +194,26 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     grade.add_argument(
+        "--race-detect",
+        action="store_true",
+        help=(
+            "run lockset/happens-before race analysis over every "
+            "explored controlled schedule and record a three-way "
+            "concurrency verdict (correct / racy-lucky / wrong); with "
+            "--explore N, passing submissions are swept too, so a racy "
+            "program that got lucky is still flagged"
+        ),
+    )
+    grade.add_argument(
+        "--race-credit",
+        action="store_true",
+        help=(
+            "race-aware partial credit (implies --race-detect): a "
+            "racy-lucky full score is capped, and a race-only bug is "
+            "floored at a fraction of its passing attempt's score"
+        ),
+    )
+    grade.add_argument(
         "--shards",
         type=int,
         default=0,
@@ -365,6 +385,24 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     explore.add_argument(
+        "--races",
+        action="store_true",
+        help=(
+            "run lockset/happens-before race analysis over every "
+            "executed schedule; the summary reports the racing pairs "
+            "(and 'racy-lucky' when every schedule passed regardless)"
+        ),
+    )
+    explore.add_argument(
+        "--race-report",
+        default=None,
+        metavar="FILE",
+        help=(
+            "with --races: write the merged RaceReport as JSON to FILE "
+            "(the artifact CI uploads for race-calibration runs)"
+        ),
+    )
+    explore.add_argument(
         "--replay",
         default=None,
         metavar="FILE",
@@ -497,6 +535,8 @@ def _grade_sharded(args: argparse.Namespace, identifiers: List[str]) -> int:
         quarantine_after=args.quarantine_after,
         pool_size=args.pool_size,
         dedup=not args.no_dedup,
+        race_detect=args.race_detect,
+        race_credit=args.race_credit,
     )
     report = service.grade({identifier: identifier for identifier in identifiers})
     print(report.gradebook.render())
@@ -613,6 +653,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                 explore_depth=args.explore_depth,
                 pool=pool,
                 dedup=not args.no_dedup,
+                race_detect=args.race_detect,
+                race_credit=args.race_credit,
             )
             try:
                 report = supervisor.grade(
@@ -694,6 +736,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             depth=args.depth,
             max_schedules=args.max_schedules,
             dedup=not args.no_dedup,
+            races=args.races,
         )
         if args.replay:
             trace = ScheduleTrace.load(args.replay)
@@ -716,6 +759,13 @@ def _dispatch(args: argparse.Namespace) -> int:
         if report.bug_found and args.record:
             path = report.first_failing_trace().save(args.record)
             print(f"failing schedule written to {path}")
+        if args.race_report and report.race_report is not None:
+            from pathlib import Path
+
+            target = Path(args.race_report)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(report.race_report.to_json())
+            print(f"race report written to {target}")
         return 1 if report.bug_found else 0
 
     if args.command == "timeline":

@@ -23,7 +23,13 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 from repro.core.outcome import Aspect, CheckOutcome
 from repro.testfw.result import AspectOutcome, AspectStatus
 
-__all__ = ["CreditSchema", "DEFAULT_WEIGHTS", "score_outcomes"]
+__all__ = [
+    "CreditSchema",
+    "DEFAULT_WEIGHTS",
+    "RACE_CREDIT_FRACTION",
+    "race_partial_credit",
+    "score_outcomes",
+]
 
 #: Default relative weights (they read as percentages when all apply).
 DEFAULT_WEIGHTS: Dict[str, float] = {
@@ -71,6 +77,58 @@ class CreditSchema:
             share = max_score / len(aspects)
             return {a: share for a in aspects}
         return {a: max_score * self.weight_of(a) / total for a in aspects}
+
+
+#: Fraction of credit a race-only bug retains under ``--race-credit``:
+#: the algorithm is right, one lock is missing.
+RACE_CREDIT_FRACTION = 0.7
+
+
+def race_partial_credit(
+    score: float,
+    max_score: float,
+    *,
+    verdict: str,
+    race_count: int = 0,
+    best_passing_score: Optional[float] = None,
+    fraction: float = RACE_CREDIT_FRACTION,
+) -> Tuple[float, str]:
+    """Race-aware score adjustment; returns ``(score, note)``.
+
+    Two directions, both only when race evidence exists:
+
+    * ``racy-lucky`` — every explored schedule passed, so the raw score
+      is full marks, but the race is a real bug: the score is *capped*
+      at ``fraction * max_score``.
+    * ``wrong`` with a passing attempt on record — the algorithm scores
+      ``best_passing_score`` whenever the race does not bite, so the
+      bug is race-only and the failing-schedule grade of record is
+      *floored* at ``fraction * best_passing_score`` (partial credit
+      for a correct algorithm missing one lock).
+
+    Any other combination — no races, a deterministically wrong
+    algorithm with no passing attempt — returns the score unchanged
+    with an empty note.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("race-credit fraction must be within [0, 1]")
+    if verdict == "racy-lucky" and race_count:
+        capped = min(score, round(fraction * max_score, 6))
+        if capped < score:
+            return capped, (
+                f"racy-lucky: capped at {fraction:.0%} of max "
+                f"({race_count} race(s) detected despite passing schedules)"
+            )
+        return score, ""
+    if verdict == "wrong" and race_count and best_passing_score is not None:
+        floor = round(fraction * best_passing_score, 6)
+        if score < floor:
+            return floor, (
+                f"race-only bug: floored at {fraction:.0%} of the passing "
+                f"attempt's {best_passing_score:g} points"
+            )
+        return score, ""
+    return score, ""
 
 
 def score_outcomes(

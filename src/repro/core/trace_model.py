@@ -285,9 +285,22 @@ def build_phased_trace(result: ExecutionResult, specs: PhaseSpecs) -> PhasedTrac
     root = result.root_thread
     events = result.events
 
-    worker_seqs = [e.seq for e in events if e.thread is not root]
-    first_worker = min(worker_seqs) if worker_seqs else None
-    last_worker = max(worker_seqs) if worker_seqs else None
+    # When the log is exactly the event database's (the in-process
+    # runner snapshots it; the subprocess reconstructor's database is
+    # empty), the fork-phase boundaries come from the database's
+    # per-thread index — O(#threads) — instead of a full worker-seq
+    # scan.  The dense seqs then make the root phases plain slices.
+    database = result.database
+    first_worker: Optional[int] = None
+    last_worker: Optional[int] = None
+    if database is not None and events and len(events) == len(database):
+        bounds = database.phase_bounds(root)
+        if bounds is not None:
+            first_worker, last_worker = bounds
+    else:
+        worker_seqs = [e.seq for e in events if e.thread is not root]
+        first_worker = min(worker_seqs) if worker_seqs else None
+        last_worker = max(worker_seqs) if worker_seqs else None
 
     for event in events:
         if event.thread is root:

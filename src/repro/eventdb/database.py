@@ -234,6 +234,89 @@ class EventDatabase:
         with self._lock:
             return list(self._by_name.get(name, ()))
 
+    # ------------------------------------------------------------------
+    # Phase-scoped queries
+    # ------------------------------------------------------------------
+    #: The fork-join phases :meth:`events_in_phase` understands.
+    PHASES = ("pre-fork", "fork", "post-join")
+
+    def _root_id_locked(self, root: threading.Thread,
+                        peeked: Optional[int]) -> Optional[int]:
+        if peeked is not None:
+            return peeked
+        return self._identity_ids.get(id(root))
+
+    def _phase_bounds_locked(
+        self, root_id: Optional[int]
+    ) -> Optional[Tuple[int, int]]:
+        """(first, last) worker seq from the per-thread index; lock held.
+
+        ``_thread_order`` is first-output order, so the first non-root
+        entry owns the minimal worker seq; the maximal one is the tail
+        of some non-root sub-stream.  Cost is O(#threads), independent
+        of the event count — no log scan.
+        """
+        first: Optional[int] = None
+        last: Optional[int] = None
+        for tid in self._thread_order:
+            if tid == root_id:
+                continue
+            stream = self._by_thread[tid]
+            if first is None:
+                first = stream[0].seq
+            seq = stream[-1].seq
+            if last is None or seq > last:
+                last = seq
+        if first is None or last is None:
+            return None
+        return first, last
+
+    def phase_bounds(
+        self, root: threading.Thread
+    ) -> Optional[Tuple[int, int]]:
+        """Global seq bounds of the fork phase: (first worker event seq,
+        last worker event seq), or ``None`` when no thread other than
+        *root* has produced an event.
+
+        These are exactly the boundaries :func:`~repro.core.trace_model.
+        build_phased_trace` derives by scanning the whole log; here they
+        come from the per-thread index, so phase-scoped callers can
+        slice with :meth:`events_between` instead of filtering.
+        """
+        peeked = self.registry.peek_id(root)
+        with self._lock:
+            return self._phase_bounds_locked(self._root_id_locked(root, peeked))
+
+    def events_in_phase(
+        self, root: threading.Thread, phase: str
+    ) -> List[PropertyEvent]:
+        """Events of one fork-join phase, as a dense-seq array slice.
+
+        *phase* is ``"pre-fork"`` (everything before the first worker
+        event — root-only by construction), ``"fork"`` (first worker
+        event through last worker event, including any structure-
+        violating mid-fork root output), or ``"post-join"`` (everything
+        after the last worker event).  A run with no worker events is
+        entirely pre-fork.
+        """
+        if phase not in self.PHASES:
+            raise ValueError(
+                f"unknown phase {phase!r}: expected one of {self.PHASES}"
+            )
+        peeked = self.registry.peek_id(root)
+        with self._lock:
+            bounds = self._phase_bounds_locked(
+                self._root_id_locked(root, peeked)
+            )
+            if bounds is None:
+                return list(self._events) if phase == "pre-fork" else []
+            first, last = bounds
+            if phase == "pre-fork":
+                return self._events[:first]
+            if phase == "fork":
+                return self._events[first : last + 1]
+            return self._events[last + 1 :]
+
     def thread_ids(self) -> List[int]:
         """Ids of every thread that has produced at least one event, in
         first-output order."""

@@ -221,6 +221,11 @@ class ScheduleOracle:
         for event in executed_events(trace):
             if event.worker not in skeletons:
                 return None
+            if event.kind == "lock-tryacquire":
+                # A try-acquire's outcome is schedule-dependent and the
+                # program may branch on it, so the worker's yield-kind
+                # sequence is not a schedule-independent skeleton.
+                return None
             if event.kind == "block":
                 # Lock contention, a schedule-dependent consequence the
                 # simulation re-derives from lock state; not a skeleton

@@ -42,7 +42,9 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.checker import AbstractForkJoinChecker
 from repro.execution.equivalence import ScheduleOracle, happens_before_key
+from repro.execution.races import RaceReport, analyze_trace, merge_reports
 from repro.execution.runner import in_process_session_lock
+from repro.execution.taxonomy import ConcurrencyVerdict
 from repro.obs import get_registry as _obs_registry
 from repro.execution.scheduling import (
     ExhaustiveStrategy,
@@ -110,6 +112,25 @@ class ExplorationReport:
     #: Exhaustive mode: the enumeration covered *every* interleaving
     #: within the bound (``False`` when the execution budget capped it).
     complete: Optional[bool] = None
+    #: Lockset/happens-before evidence merged across every executed
+    #: schedule (``None`` when race analysis was off).
+    race_report: Optional[RaceReport] = None
+
+    @property
+    def concurrency_verdict(self) -> Optional[ConcurrencyVerdict]:
+        """Three-way race-aware verdict, or ``None`` without analysis.
+
+        ``wrong`` when any explored schedule failed; ``racy-lucky`` when
+        every schedule passed but the race analysis found racing pairs —
+        the answer was right by scheduling luck; ``correct`` otherwise.
+        """
+        if self.race_report is None:
+            return ConcurrencyVerdict.WRONG if self.bug_found else None
+        if self.bug_found:
+            return ConcurrencyVerdict.WRONG
+        if self.race_report.has_races:
+            return ConcurrencyVerdict.RACY_LUCKY
+        return ConcurrencyVerdict.CORRECT
 
     @property
     def bug_found(self) -> bool:
@@ -165,6 +186,19 @@ class ExplorationReport:
             f"happens-before equivalent)"
         )
 
+    def _race_clause(self) -> str:
+        if self.race_report is None:
+            return ""
+        if not self.race_report.has_races:
+            return "; race analysis: " + self.race_report.summary()
+        verdict = self.concurrency_verdict
+        prefix = (
+            "racy-lucky (every schedule passed, but a race is present)"
+            if verdict is ConcurrencyVerdict.RACY_LUCKY
+            else "race analysis"
+        )
+        return f"; {prefix}: {self.race_report.summary()}"
+
     def summary(self) -> str:
         """One-line human-readable verdict of the campaign."""
         if self.enumerated is not None:
@@ -185,6 +219,7 @@ class ExplorationReport:
                     f"distinct interleavings ({bound})"
                     + self._dedup_clause()
                     + f"; {tail}"
+                    + self._race_clause()
                 )
             first = self.findings[0]
             return (
@@ -193,6 +228,7 @@ class ExplorationReport:
                 + self._dedup_clause()
                 + f"; first failing schedule {first.strategy_label}: "
                 + "; ".join(first.messages[:2])
+                + self._race_clause()
             )
         if not self.bug_found:
             return (
@@ -201,6 +237,7 @@ class ExplorationReport:
                 + self._dedup_clause()
                 + "; exploration can only refute, not "
                 "prove, synchronization correctness"
+                + self._race_clause()
             )
         first = self.findings[0]
         return (
@@ -209,6 +246,7 @@ class ExplorationReport:
             + self._dedup_clause()
             + f"; first failing schedule {first.strategy_label}: "
             + "; ".join(first.messages[:2])
+            + self._race_clause()
         )
 
 
@@ -396,7 +434,11 @@ class ScheduleExplorer:
     ``strategy`` selects the schedule family (:data:`STRATEGY_CHOICES`);
     ``depth`` is the PCT depth or the exhaustive preemption bound;
     ``max_schedules`` caps exhaustive-mode *executions* (defaulting to
-    ``schedules``); ``dedup`` toggles happens-before deduplication.
+    ``schedules``); ``dedup`` toggles happens-before deduplication;
+    ``races`` runs lockset/happens-before analysis
+    (:mod:`repro.execution.races`) over every executed schedule and
+    merges the evidence into the report — which is what lets the report
+    flag ``racy-lucky`` even when every explored schedule passes.
     """
 
     def __init__(
@@ -410,6 +452,7 @@ class ScheduleExplorer:
         depth: int = 3,
         max_schedules: Optional[int] = None,
         dedup: bool = True,
+        races: bool = False,
     ) -> None:
         """Configure the campaign; see the class docstring for the knobs.
 
@@ -432,8 +475,21 @@ class ScheduleExplorer:
         self.depth = depth
         self.max_schedules = max_schedules
         self.dedup = dedup
+        self.races = races
 
     # ------------------------------------------------------------------
+    def _analyze_races(self, trace: ScheduleTrace) -> Optional[RaceReport]:
+        """Per-schedule race analysis (when enabled), with obs counters."""
+        if not self.races:
+            return None
+        obs = _obs_registry()
+        report = analyze_trace(trace)
+        obs.counter("races.analyzed").inc()
+        if report.has_races:
+            obs.counter("races.detected").inc()
+            obs.counter("races.pairs").inc(report.race_count)
+        return report
+
     def _strategies(self) -> Iterator[ScheduleStrategy]:
         if self.strategy == "random-walk":
             for seed in range(self.first_seed, self.first_seed + self.schedules):
@@ -493,6 +549,7 @@ class ScheduleExplorer:
         oracle: Optional[ScheduleOracle] = None
         oracle_usable = self.dedup
         seen: Dict[str, bool] = {}
+        race_reports: List[RaceReport] = []
         for strategy in self._strategies():
             report.schedules_tried += 1
             predicted_key: Optional[str] = None
@@ -513,22 +570,31 @@ class ScheduleExplorer:
                 oracle = ScheduleOracle.from_trace(trace)
                 if oracle is None:
                     oracle_usable = False
+            race_report = self._analyze_races(trace)
+            if race_report is not None:
+                race_reports.append(race_report)
             finding = self._failed(result, strategy, trace)
             seen.setdefault(key, finding is not None)
             if finding is not None:
                 obs.counter("explore.failures").inc()
                 report.findings.append(finding)
         report.distinct = len(seen)
+        if self.races:
+            report.race_report = merge_reports(race_reports)
         obs.counter("explore.coverage").inc(report.executed + report.deduped)
         return report
 
     def _run_exhaustive(self) -> ExplorationReport:
         budget = self.max_schedules or self.schedules
+        race_reports: List[RaceReport] = []
 
         def run_schedule(
             strategy: ExhaustiveStrategy,
         ) -> Tuple[bool, ScheduleTrace, Optional[ExplorationFinding]]:
             result, trace = self.run_one(strategy)
+            race_report = self._analyze_races(trace)
+            if race_report is not None:
+                race_reports.append(race_report)
             finding = self._failed(result, strategy, trace)
             if finding is not None:
                 _obs_registry().counter("explore.failures").inc()
@@ -554,6 +620,7 @@ class ScheduleExplorer:
             enumerated=out.enumerated,
             failing_interleavings=out.failing,
             complete=out.complete,
+            race_report=merge_reports(race_reports) if self.races else None,
         )
 
     # ------------------------------------------------------------------

@@ -21,6 +21,9 @@ Yield points, in the fork-join vocabulary of the paper:
 * ``lock-acquire`` / ``lock-release`` / ``block`` — operations on locks
   handed out by :meth:`ScheduledBackend.lock`; a worker that finds its
   lock held leaves the ready set until the holder releases;
+* ``lock-tryacquire`` — a non-blocking (or timed) acquire attempt; the
+  attempt itself is a decision point, the raw probe never parks the
+  worker, and the probe's outcome is decided by the schedule;
 * ``retire`` — a worker finished; the scheduler picks a survivor.
 
 Three strategy families ship here:
@@ -375,28 +378,43 @@ def resolve_schedule_strategy(
 # ----------------------------------------------------------------------
 @dataclass
 class ScheduleDecision:
-    """One scheduling decision: who ran next, and why we were asked."""
+    """One scheduling decision: who ran next, and why we were asked.
+
+    ``lock`` identifies which :class:`InstrumentedLock` a lock-flavoured
+    point (``lock-acquire`` / ``lock-tryacquire`` / ``lock-release`` /
+    ``block``) refers to, by per-scheduler creation order.  It is
+    advisory metadata for race analysis: replay compares only ``ready``
+    and ``point``, and the happens-before canonical form ignores it, so
+    schedule files recorded before the field existed stay loadable and
+    equivalent.
+    """
 
     step: int
     point: str
     ready: List[int]
     chosen: int
+    lock: Optional[int] = None
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "step": self.step,
             "point": self.point,
             "ready": list(self.ready),
             "chosen": self.chosen,
         }
+        if self.lock is not None:
+            data["lock"] = self.lock
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "ScheduleDecision":
+        lock = data.get("lock")
         return cls(
             step=int(data["step"]),
             point=str(data["point"]),
             ready=[int(k) for k in data["ready"]],
             chosen=int(data["chosen"]),
+            lock=None if lock is None else int(lock),
         )
 
 
@@ -500,12 +518,20 @@ class ControlledScheduler:
         self.decisions: List[ScheduleDecision] = []
         #: Every worker ever spawned under this scheduler: key -> name.
         self.workers: Dict[int, str] = {}
+        self._next_lock_id = 0
 
     # -- root / backend side -------------------------------------------
     def register(self, key: int, name: str) -> None:
         """Pre-assign *key* (spawn order) to a worker named *name*."""
         with self._cv:
             self.workers[key] = name
+
+    def register_lock(self) -> int:
+        """Assign the next lock id (creation order) to a new lock."""
+        with self._cv:
+            lock_id = self._next_lock_id
+            self._next_lock_id += 1
+            return lock_id
 
     def start(self, expected_total: int) -> None:
         """Open the gate once *expected_total* workers have ever enrolled
@@ -587,16 +613,47 @@ class ControlledScheduler:
                 raise RuntimeError("acquire_lock called by unenrolled thread")
             state = self._states[key]
             if self._started:
-                self._grant_next(current=key, point="lock-acquire")
+                self._grant_next(
+                    current=key, point="lock-acquire", lock=lock.lock_id
+                )
                 self._wait_for_grant(key)
             while not lock.raw.acquire(blocking=False):
                 state.blocked_on = lock
-                self._grant_next(current=key, point="block")
+                self._grant_next(current=key, point="block", lock=lock.lock_id)
                 self._cv.wait_for(
                     lambda: self._aborted
                     or (state.blocked_on is None and self._granted == key)
                 )
                 self._check_abort()
+            lock.holder = key
+
+    def try_acquire_lock(self, lock: "InstrumentedLock") -> bool:
+        """Enrolled-worker non-blocking acquire: a ``lock-tryacquire``
+        decision point followed by a raw probe that never parks.
+
+        The probe's outcome is a pure function of the schedule (whoever
+        holds the lock when the worker is re-granted), so try-acquire
+        loops are recorded, replayed, and visible to race analysis
+        instead of bypassing the scheduler.  Timed acquires take this
+        path too: under a one-granted-worker schedule the holder cannot
+        release while the caller sleeps, so a timed wait is equivalent
+        to (and recorded as) a single probe.
+        """
+        with self._cv:
+            key = self._by_thread.get(threading.get_ident())
+            if key is None:
+                raise RuntimeError(
+                    "try_acquire_lock called by unenrolled thread"
+                )
+            if self._started:
+                self._grant_next(
+                    current=key, point="lock-tryacquire", lock=lock.lock_id
+                )
+                self._wait_for_grant(key)
+            acquired = lock.raw.acquire(blocking=False)
+            if acquired:
+                lock.holder = key
+            return acquired
 
     def release_lock(self, lock: "InstrumentedLock") -> None:
         """Release *lock* and wake any workers parked on it.
@@ -605,6 +662,7 @@ class ControlledScheduler:
         threads such as the root (waiters are unparked, no yield).
         """
         with self._cv:
+            lock.holder = None
             lock.raw.release()
             woken = False
             for state in self._states.values():
@@ -616,12 +674,16 @@ class ControlledScheduler:
                 return
             key = self._by_thread.get(threading.get_ident())
             if key is not None and self._started:
-                self._grant_next(current=key, point="lock-release")
+                self._grant_next(
+                    current=key, point="lock-release", lock=lock.lock_id
+                )
                 self._wait_for_grant(key)
             elif woken and self._granted is None and self._started:
                 # A free-running thread released the lock every live
                 # worker was parked on; restart granting.
-                self._grant_next(current=None, point="lock-release")
+                self._grant_next(
+                    current=None, point="lock-release", lock=lock.lock_id
+                )
 
     # -- internals (hold self._cv) --------------------------------------
     def _check_abort(self) -> None:
@@ -648,13 +710,27 @@ class ControlledScheduler:
             key for key, state in self._states.items() if state.blocked_on is None
         )
 
-    def _grant_next(self, current: Optional[int], point: str) -> None:
+    def _grant_next(
+        self,
+        current: Optional[int],
+        point: str,
+        lock: Optional[int] = None,
+    ) -> None:
         ready = self._ready()
         if not ready:
-            if self._states:
-                # Live workers remain but every one is parked on a lock:
-                # a genuine deadlock.  Abort deterministically; the
-                # workers unwind and the trace records the verdict.
+            if self._states and all(
+                state.blocked_on is not None
+                and state.blocked_on.holder is not None
+                for state in self._states.values()
+            ):
+                # Live workers remain and every one is parked on a lock
+                # held by an enrolled worker: a genuine deadlock.  Abort
+                # deterministically; the workers unwind and the trace
+                # records the verdict.  A lock held by a *free-running*
+                # thread (holder None — e.g. the root pre-acquired it)
+                # is not a deadlock: that thread is outside the one-
+                # granted-worker gate and can still release, at which
+                # point release_lock restarts granting.
                 self.deadlocked = True
                 self._aborted = True
             self._granted = None
@@ -676,7 +752,13 @@ class ControlledScheduler:
                 f"outside ready set {ready}"
             )
         self.decisions.append(
-            ScheduleDecision(step=self._step, point=point, ready=ready, chosen=chosen)
+            ScheduleDecision(
+                step=self._step,
+                point=point,
+                ready=ready,
+                chosen=chosen,
+                lock=lock,
+            )
         )
         self._step += 1
         self._granted = chosen
@@ -688,20 +770,32 @@ class InstrumentedLock:
 
     Handed out by :meth:`ScheduledBackend.lock`.  Enrolled workers go
     through the scheduler (yield on acquire, park while held, yield on
-    release); any other thread — the root after ``join``, harness code —
-    falls back to the raw lock, with waiter wake-up still routed through
-    the scheduler so parked workers are not stranded.
+    release; non-blocking and timed acquires yield at
+    ``lock-tryacquire`` and probe without parking); any other thread —
+    the root after ``join``, harness code — falls back to the raw lock,
+    with waiter wake-up still routed through the scheduler so parked
+    workers are not stranded.
     """
 
     def __init__(self, scheduler: ControlledScheduler) -> None:
         self._scheduler = scheduler
         self.raw = threading.Lock()
+        #: Per-scheduler creation order; stamped onto lock-flavoured
+        #: :class:`ScheduleDecision` records for race analysis.
+        self.lock_id = scheduler.register_lock()
+        #: Key of the enrolled worker currently holding the lock, or
+        #: ``None`` — which covers both "unheld" and "held by a
+        #: free-running thread" (the distinction the deadlock detector
+        #: needs: only worker-held locks can form a deadlock cycle).
+        self.holder: Optional[int] = None
 
     def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
         scheduler = self._scheduler
-        if blocking and timeout == -1 and scheduler.participating():
-            scheduler.acquire_lock(self)
-            return True
+        if scheduler.participating():
+            if blocking and timeout == -1:
+                scheduler.acquire_lock(self)
+                return True
+            return scheduler.try_acquire_lock(self)
         return self.raw.acquire(blocking, timeout)
 
     def release(self) -> None:

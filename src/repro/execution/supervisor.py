@@ -42,6 +42,7 @@ from repro.execution.taxonomy import RETRYABLE_KINDS, FailureKind
 from repro.obs import get_registry as _obs_registry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.execution.races import RaceReport
     from repro.execution.scheduling import ScheduleTrace
     from repro.grading.gradebook import Gradebook
     from repro.grading.journal import GradingJournal
@@ -121,6 +122,9 @@ class _ExploreVerdict:
     failing: Optional[int] = None
     enumerated: Optional[int] = None
     complete: Optional[bool] = None
+    #: Merged lockset/happens-before evidence across every explored
+    #: schedule (``None`` when race detection was off).
+    race_report: Optional["RaceReport"] = None
 
 
 @dataclass
@@ -177,16 +181,29 @@ class BatchReport:
             if not record.racy:
                 continue
             if record.schedule_seed is not None:
-                racy_bits.append(f"{s} @seed {record.schedule_seed}")
+                bit = f"{s} @seed {record.schedule_seed}"
             else:
-                racy_bits.append(
+                bit = (
                     f"{s} ({record.interleavings_failing} of "
                     f"{record.interleavings_total} interleavings fail)"
                 )
+            if record.race_count:
+                bit += f" [{record.race_tag()}]"
+            racy_bits.append(bit)
         if racy_bits:
             lines.append(
                 "racy (failure reproduces under a recorded schedule): "
                 + ", ".join(racy_bits)
+            )
+        lucky_bits = [
+            f"{s} ({self.outcomes[s].record.race_tag()})"
+            for s in sorted(self.outcomes)
+            if self.outcomes[s].record.racy_lucky
+        ]
+        if lucky_bits:
+            lines.append(
+                "racy-lucky (every explored schedule passed, but a race "
+                "was detected): " + ", ".join(lucky_bits)
             )
         return "\n".join(lines)
 
@@ -275,6 +292,22 @@ class GradingSupervisor:
         active-children table the cold path uses, and the pool respawns
         killed workers on check-in.  The pool's lifetime belongs to the
         caller.
+    race_detect:
+        Run lockset/happens-before race analysis
+        (:mod:`repro.execution.races`) over every controlled schedule
+        exploration records, and grade with a three-way *concurrency
+        verdict*: ``correct`` / ``racy-lucky`` (every explored schedule
+        passed but a race exists — the answer was right by scheduling
+        luck) / ``wrong``.  With this flag a submission whose free
+        running attempt passes outright is still swept through schedule
+        exploration (when ``explore_schedules`` > 0), so a lucky racy
+        program cannot dodge analysis by passing first try.
+    race_credit:
+        Apply :func:`repro.core.credit.race_partial_credit` to the
+        grade of record: a ``racy-lucky`` full-marks score is capped,
+        and a race-only bug (wrong under one schedule, passing under
+        another) is floored at a fraction of its passing attempt.
+        Implies ``race_detect``.
     dedup:
         Grade sha256-identical submissions once: duplicates are detected
         up front (:func:`repro.grading.dedup.group_submissions`), only
@@ -306,6 +339,8 @@ class GradingSupervisor:
         explore_depth: int = 3,
         pool: Optional[object] = None,
         dedup: bool = False,
+        race_detect: bool = False,
+        race_credit: bool = False,
     ) -> None:
         """Configure the supervisor; see the class docstring for knobs."""
         self.suite_factory = suite_factory
@@ -328,6 +363,8 @@ class GradingSupervisor:
         self.explore_depth = max(0, int(explore_depth))
         self.pool = pool
         self.dedup = bool(dedup)
+        self.race_credit = bool(race_credit)
+        self.race_detect = bool(race_detect) or self.race_credit
         #: representative student -> later (student, identifier) pairs
         #: whose submissions hash identically; resolved by fan-out.
         self._clones: Dict[str, List[Tuple[str, str]]] = {}
@@ -649,6 +686,7 @@ class GradingSupervisor:
         )
 
         obs = _obs_registry()
+        race_reports: List["RaceReport"] = []
         with obs.span(
             "supervisor.explore",
             identifier=task.identifier,
@@ -671,13 +709,42 @@ class GradingSupervisor:
                 task.attempt_outcomes.append(
                     f"{_attempt_label(kind, result)}@s{seed}"
                 )
+                trace = backend.schedule_trace(task.identifier)
+                if self.race_detect:
+                    race_reports.append(self._analyze_trace_races(trace))
                 passed = kind is FailureKind.OK and result.score >= result.max_score
                 if not passed:
-                    task.failing_trace = backend.schedule_trace(task.identifier)
+                    task.failing_trace = trace
                     span.set(failing_seed=seed)
-                    return _ExploreVerdict(found=True, failing_seed=seed)
+                    return _ExploreVerdict(
+                        found=True,
+                        failing_seed=seed,
+                        race_report=self._merge_races(race_reports),
+                    )
             span.set(exonerated=True)
-        return _ExploreVerdict()
+        return _ExploreVerdict(race_report=self._merge_races(race_reports))
+
+    def _analyze_trace_races(self, trace) -> "RaceReport":
+        """Lockset/happens-before analysis of one recorded schedule."""
+        from repro.execution.races import analyze_trace
+
+        obs = _obs_registry()
+        report = analyze_trace(trace)
+        obs.counter("races.analyzed").inc()
+        if report.has_races:
+            obs.counter("races.detected").inc()
+            obs.counter("races.pairs").inc(report.race_count)
+        return report
+
+    def _merge_races(
+        self, reports: List["RaceReport"]
+    ) -> Optional["RaceReport"]:
+        """Fold per-schedule reports into one verdict-ready report."""
+        if not self.race_detect:
+            return None
+        from repro.execution.races import merge_reports
+
+        return merge_reports(reports)
 
     def _explore_exhaustive(
         self,
@@ -701,6 +768,7 @@ class GradingSupervisor:
 
         obs = _obs_registry()
         last_passing: List[Tuple[FailureKind, "SuiteResult"]] = []
+        race_reports: List["RaceReport"] = []
 
         def run_schedule(strategy):
             backend = ScheduledBackend(strategy)
@@ -708,6 +776,8 @@ class GradingSupervisor:
             obs.counter("explore.schedules").inc()
             passed = kind is FailureKind.OK and result.score >= result.max_score
             trace = backend.schedule_trace(task.identifier)
+            if self.race_detect:
+                race_reports.append(self._analyze_trace_races(trace))
             if passed:
                 last_passing[:] = [(kind, result)]
             return not passed, trace, (kind, result, trace)
@@ -733,6 +803,7 @@ class GradingSupervisor:
             failing=out.failing,
             enumerated=out.enumerated,
             complete=out.complete,
+            race_report=self._merge_races(race_reports),
         )
         if out.failing_payloads:
             kind, result, trace = out.failing_payloads[0]
@@ -768,6 +839,18 @@ class GradingSupervisor:
                 kind is FailureKind.OK and not passed
             )
             if passed or not retryable:
+                if (
+                    passed
+                    and self.race_detect
+                    and self.explore_schedules > 0
+                    and not explored
+                ):
+                    # Race sweep: a passing free-running attempt still
+                    # gets explored under controlled schedules, so a
+                    # lucky racy program is analyzed (and a failing
+                    # schedule, if one exists, becomes the grade).
+                    verdict = self._explore_racy(task, attempts)
+                    explored = True
                 break
             if self.explore_schedules > 0:
                 # Deterministic exploration replaces blind reruns: the
@@ -782,15 +865,20 @@ class GradingSupervisor:
             final_kind is FailureKind.OK
             and final_result.score >= final_result.max_score
         )
+        any_failed = any(
+            not (kind is FailureKind.OK and result.score >= result.max_score)
+            for kind, result in attempts
+        )
         if verdict.found:
             # The failing controlled attempt (last) is the grade of
             # record: deterministic and replayable, so never flaky and
             # never traded for a better-scoring free-running attempt.
             pass
-        elif final_passed and len(attempts) > 1:
+        elif final_passed and any_failed:
             # Rerun-vote (or full exoneration by exploration): failed
             # under at least one schedule, passed under another / all
-            # explored ones — flaky, not correct-with-confidence.
+            # explored ones — flaky, not correct-with-confidence.  (A
+            # race sweep whose every attempt passed stays ``ok``.)
             final_kind = FailureKind.FLAKY_PASS
         elif not final_passed and not explored:
             # Keep the best-scoring attempt as the grade of record.
@@ -798,6 +886,20 @@ class GradingSupervisor:
                 attempts, key=lambda pair: pair[1].score
             )
             final_kind, final_result = best_kind, best_result
+
+        race_report = verdict.race_report
+        cv = ""
+        race_count = 0
+        race_pairs: List[str] = []
+        if race_report is not None:
+            from repro.execution.taxonomy import concurrency_verdict
+
+            race_count = race_report.race_count
+            race_pairs = race_report.pair_labels()
+            cv = concurrency_verdict(
+                passed=final_passed and not verdict.found,
+                races=race_report.has_races,
+            ).value
 
         if not self._suite_name:
             with self._lock:
@@ -814,8 +916,13 @@ class GradingSupervisor:
             interleavings_failing=verdict.failing,
             interleavings_total=verdict.enumerated,
             interleavings_complete=bool(verdict.complete),
+            concurrency_verdict=cv,
+            race_count=race_count,
+            race_pairs=race_pairs,
             elapsed=time.monotonic() - self._epoch,
         )
+        if self.race_credit and race_count:
+            self._apply_race_credit(task, record, attempts)
         return SubmissionOutcome(
             student=task.student,
             identifier=task.identifier,
@@ -826,6 +933,44 @@ class GradingSupervisor:
             attempt_outcomes=outcome_kinds,
             schedule_trace=task.failing_trace,
         )
+
+    def _apply_race_credit(
+        self,
+        task: _TaskState,
+        record: "SubmissionRecord",
+        attempts: List[Tuple[FailureKind, "SuiteResult"]],
+    ) -> None:
+        """Race-aware score adjustment of one grade of record.
+
+        Per-test scores are rescaled proportionally so the suite total
+        equals the adjusted score; the human-readable reason lands in
+        ``record.race_note`` for gradebooks and reports.
+        """
+        from repro.core.credit import race_partial_credit
+
+        passing = [
+            result.score
+            for kind, result in attempts
+            if kind is FailureKind.OK and result.score >= result.max_score
+        ]
+        adjusted, note = race_partial_credit(
+            record.score,
+            record.max_score,
+            verdict=record.concurrency_verdict,
+            race_count=record.race_count,
+            best_passing_score=max(passing) if passing else None,
+        )
+        if not note:
+            return
+        total = record.score
+        if total > 0:
+            scale = adjusted / total
+            for test in record.tests:
+                test.score = round(test.score * scale, 6)
+        elif record.tests:
+            record.tests[0].score = adjusted
+        record.race_note = note
+        _obs_registry().counter("races.credit_adjusted").inc()
 
     def _infra_outcome(
         self, task: _TaskState, exc: BaseException

@@ -22,9 +22,11 @@ from typing import List, Optional
 
 __all__ = [
     "FailureKind",
+    "ConcurrencyVerdict",
     "RETRYABLE_KINDS",
     "classify_returncode",
     "classify_execution",
+    "concurrency_verdict",
     "detect_garbled_lines",
 ]
 
@@ -61,6 +63,36 @@ class FailureKind(str, enum.Enum):
     @property
     def is_failure(self) -> bool:
         return self not in (FailureKind.OK, FailureKind.FLAKY_PASS)
+
+
+class ConcurrencyVerdict(str, enum.Enum):
+    """Three-way race-aware refinement of the pass/fail verdict.
+
+    The single ``racy`` marker conflates a student whose only bug is a
+    missing lock with one whose algorithm is wrong; race analysis
+    (:mod:`repro.execution.races`) splits the axis.  Values are stable
+    strings (gradebook JSON, journal lines, CSV).
+    """
+
+    #: No failing schedule found and no race detected.
+    CORRECT = "correct"
+    #: Every explored schedule passed, but lockset/happens-before
+    #: analysis found a race — the answer was right by scheduling luck.
+    RACY_LUCKY = "racy-lucky"
+    #: A failing schedule (or a plain failure) exists.
+    WRONG = "wrong"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def concurrency_verdict(*, passed: bool, races: bool) -> ConcurrencyVerdict:
+    """Fold a grading outcome and race evidence into one verdict."""
+    if not passed:
+        return ConcurrencyVerdict.WRONG
+    if races:
+        return ConcurrencyVerdict.RACY_LUCKY
+    return ConcurrencyVerdict.CORRECT
 
 
 #: Kinds worth rerunning: the outcome may differ under another schedule.

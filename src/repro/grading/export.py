@@ -174,7 +174,9 @@ def gradebook_csv(gradebook: Gradebook) -> str:
     One row per student: best/latest scores and percentages, submission
     count, the latest failure-taxonomy kind, and the failing schedule
     seed when the latest grade is racy (so the CSV alone carries enough
-    to replay the student's race with ``explore --seed``).
+    to replay the student's race with ``explore --seed``).  Race-aware
+    grades add their three-way ``concurrency_verdict``, the distinct
+    race count, and the racing pair labels.
     """
     buffer = io.StringIO()
     writer = csv.writer(buffer, lineterminator="\n")
@@ -190,6 +192,9 @@ def gradebook_csv(gradebook: Gradebook) -> str:
             "schedule_seed",
             "interleavings_failing",
             "interleavings_total",
+            "concurrency_verdict",
+            "race_count",
+            "race_pairs",
         ]
     )
     for student in gradebook.students():
@@ -212,6 +217,9 @@ def gradebook_csv(gradebook: Gradebook) -> str:
                 ""
                 if latest.interleavings_total is None
                 else latest.interleavings_total,
+                latest.concurrency_verdict,
+                latest.race_count if latest.race_count else "",
+                "; ".join(latest.race_pairs),
             ]
         )
     return buffer.getvalue()

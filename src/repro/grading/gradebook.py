@@ -101,6 +101,16 @@ class Gradebook:
             if (latest := self.latest(student)) is not None and latest.racy
         ]
 
+    def racy_lucky_students(self) -> List[str]:
+        """Students whose latest grade passed every explored schedule
+        but carries race evidence — right answers by scheduling luck."""
+        return [
+            student
+            for student in self.students()
+            if (latest := self.latest(student)) is not None
+            and latest.racy_lucky
+        ]
+
     def failed_students(self) -> List[str]:
         """Students whose latest run ended in a hard failure kind
         (timeout / crash / signal / garbled-trace / infra-error)."""
@@ -145,6 +155,7 @@ class Gradebook:
             kind = kinds.get(student, "ok")
             latest = self.latest(student)
             schedule = latest.schedule_tag() if latest is not None else ""
+            race = latest.race_tag() if latest is not None else ""
             if kind != "ok":
                 tag = kind
                 if schedule:
@@ -152,5 +163,14 @@ class Gradebook:
                 line += f"  [{tag}]"
             elif schedule:
                 line += f"  [racy {schedule}]"
+            # Racy-lucky stands on its own: it can coincide with a
+            # flaky-pass kind (free run failed, every schedule passed).
+            if latest is not None and latest.racy_lucky:
+                line += f"  [racy-lucky {race}]"
+                race = ""
+            if race:
+                line += f"  [{race}]"
+            if latest is not None and latest.race_note:
+                line += f"  ({latest.race_note})"
             lines.append(line)
         return "\n".join(lines)

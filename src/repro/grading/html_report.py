@@ -181,6 +181,7 @@ def gradebook_html(
     header = (
         "<tr><th>student</th><th>best</th><th>latest</th>"
         "<th>submissions</th><th>kind</th><th>schedules</th>"
+        "<th>races</th>"
     )
     if timelines is not None:
         header += "<th>grading time</th>"
@@ -205,6 +206,25 @@ def gradebook_html(
         if schedule:
             label = schedule if latest.schedule_seed is not None else f"racy: {schedule}"
             row += f'<td><span class="status failed">{html.escape(label)}</span></td>'
+        else:
+            row += "<td>&mdash;</td>"
+        # Race evidence: the racing pair is named right next to the
+        # ``racy @seed N`` marker so an instructor sees *which* property
+        # writes collide, not just that a failing schedule exists.
+        race = latest.race_tag()
+        if race:
+            verdict = latest.concurrency_verdict or (
+                "wrong" if latest.racy else ""
+            )
+            race_css = "skipped" if latest.racy_lucky else "failed"
+            cell = f"{verdict}: {race}" if verdict else race
+            row += (
+                f'<td><span class="status {race_css}">'
+                f"{html.escape(cell)}</span>"
+            )
+            if latest.race_note:
+                row += f"<br><small>{html.escape(latest.race_note)}</small>"
+            row += "</td>"
         else:
             row += "<td>&mdash;</td>"
         if timelines is not None:

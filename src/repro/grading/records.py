@@ -164,6 +164,17 @@ class SubmissionRecord:
     #: The exhaustive enumeration covered the whole bound (``False``
     #: when the execution budget capped it, so M is a lower bound).
     interleavings_complete: bool = False
+    #: Three-way race-aware verdict (``"correct"`` / ``"racy-lucky"`` /
+    #: ``"wrong"``); empty when race detection was off for this grade.
+    concurrency_verdict: str = ""
+    #: Distinct racing pairs found by lockset/happens-before analysis.
+    race_count: int = 0
+    #: Human-facing labels of the racing pairs (capped upstream), e.g.
+    #: ``worker-0@3(checkpoint,unlocked) × worker-1@7(checkpoint,unlocked)``.
+    race_pairs: List[str] = field(default_factory=list)
+    #: Why (and how) race-aware credit adjusted this record's score —
+    #: empty when ``--race-credit`` was off or no adjustment applied.
+    race_note: str = ""
     #: Monotonic seconds since the grading batch started (``time.time``
     #: wall timestamps above can jump with clock adjustments; this field
     #: is what resume-ordering may rely on).
@@ -185,6 +196,10 @@ class SubmissionRecord:
         interleavings_failing: Optional[int] = None,
         interleavings_total: Optional[int] = None,
         interleavings_complete: bool = False,
+        concurrency_verdict: str = "",
+        race_count: int = 0,
+        race_pairs: List[str] | None = None,
+        race_note: str = "",
         elapsed: float = 0.0,
     ) -> "SubmissionRecord":
         """Snapshot a live :class:`SuiteResult` into plain data."""
@@ -202,6 +217,10 @@ class SubmissionRecord:
             interleavings_failing=interleavings_failing,
             interleavings_total=interleavings_total,
             interleavings_complete=interleavings_complete,
+            concurrency_verdict=concurrency_verdict,
+            race_count=race_count,
+            race_pairs=list(race_pairs or []),
+            race_note=race_note,
             elapsed=elapsed,
         )
 
@@ -221,6 +240,10 @@ class SubmissionRecord:
             "interleavings_failing": self.interleavings_failing,
             "interleavings_total": self.interleavings_total,
             "interleavings_complete": self.interleavings_complete,
+            "concurrency_verdict": self.concurrency_verdict,
+            "race_count": self.race_count,
+            "race_pairs": list(self.race_pairs),
+            "race_note": self.race_note,
             "tests": [t.to_dict() for t in self.tests],
         }
 
@@ -244,6 +267,10 @@ class SubmissionRecord:
             interleavings_failing=None if failing is None else int(failing),
             interleavings_total=None if total is None else int(total),
             interleavings_complete=bool(data.get("interleavings_complete", False)),
+            concurrency_verdict=data.get("concurrency_verdict", ""),
+            race_count=int(data.get("race_count", 0)),
+            race_pairs=[str(p) for p in data.get("race_pairs", [])],
+            race_note=data.get("race_note", ""),
             tests=[TestRecord.from_dict(t) for t in data.get("tests", [])],
         )
 
@@ -283,9 +310,13 @@ class SubmissionRecord:
         """
         if self.racy:
             return False
-        return self.failure_kind == "flaky-pass" or (
-            len(set(self.attempt_outcomes)) > 1
-        )
+        if self.failure_kind == "flaky-pass":
+            return True
+        # The ``@s<seed>`` suffix marks *which* controlled schedule an
+        # attempt ran under, not a different outcome: a race sweep whose
+        # every schedule passed must not read as disagreement.
+        outcomes = {o.split("@s", 1)[0] for o in self.attempt_outcomes}
+        return len(outcomes) > 1
 
     def schedule_tag(self) -> str:
         """Short racy-provenance label for gradebooks, ``""`` when none.
@@ -303,6 +334,25 @@ class SubmissionRecord:
         if self.schedule_seed is not None:
             return f"@seed {self.schedule_seed}"
         return ""
+
+    @property
+    def racy_lucky(self) -> bool:
+        """True when every explored schedule passed but race analysis
+        found a race — the answer was right by scheduling luck."""
+        return self.concurrency_verdict == "racy-lucky"
+
+    def race_tag(self) -> str:
+        """Short race-evidence label for gradebooks, ``""`` when none.
+
+        Names the first racing pair so reports can point at the exact
+        property-write pair, e.g. ``2 races: worker-0@3(checkpoint,
+        unlocked) × worker-1@7(checkpoint,unlocked)``.
+        """
+        if not self.race_count:
+            return ""
+        first = self.race_pairs[0] if self.race_pairs else ""
+        label = f"{self.race_count} race" + ("s" if self.race_count != 1 else "")
+        return f"{label}: {first}" if first else label
 
     def failed_aspects(self) -> List[str]:
         """Names of every failed aspect across the suite, in order."""

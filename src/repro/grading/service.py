@@ -280,9 +280,12 @@ class GradingService:
     shards:
         Number of independent worker processes.
     subprocess_mode / jobs_per_shard / retries / deadline /
-    explore_schedules / explore_seed / explore_strategy / explore_depth:
+    explore_schedules / explore_seed / explore_strategy / explore_depth /
+    race_detect / race_credit:
         Forwarded to each shard's inner
-        :class:`~repro.execution.supervisor.GradingSupervisor`.
+        :class:`~repro.execution.supervisor.GradingSupervisor` (the race
+        flags travel in the shard manifest's ``supervisor`` dict, so a
+        respawned incarnation grades with the same race policy).
     pool_size:
         When > 0, each shard worker keeps this many pre-forked warm
         interpreters (:class:`~repro.execution.worker_pool.WorkerPool`)
@@ -333,6 +336,8 @@ class GradingService:
         explore_depth: int = 3,
         pool_size: int = 0,
         dedup: bool = False,
+        race_detect: bool = False,
+        race_credit: bool = False,
         heartbeat_interval: float = 0.5,
         heartbeat_timeout: float = 10.0,
         quarantine_after: int = 2,
@@ -356,6 +361,8 @@ class GradingService:
         self.explore_depth = max(0, int(explore_depth))
         self.pool_size = max(0, int(pool_size))
         self.dedup = bool(dedup)
+        self.race_credit = bool(race_credit)
+        self.race_detect = bool(race_detect) or self.race_credit
         self.heartbeat_interval = float(heartbeat_interval)
         self.heartbeat_timeout = float(heartbeat_timeout)
         self.quarantine_after = max(1, int(quarantine_after))
@@ -438,6 +445,8 @@ class GradingService:
                 "explore_depth": self.explore_depth,
                 "pool_size": self.pool_size,
                 "dedup": self.dedup,
+                "race_detect": self.race_detect,
+                "race_credit": self.race_credit,
             },
             "heartbeat_interval": self.heartbeat_interval,
             "fault": fault.to_dict(),

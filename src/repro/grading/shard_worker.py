@@ -205,6 +205,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         explore_depth=int(opts.get("explore_depth", 3)),
         pool=pool,
         dedup=bool(opts.get("dedup", False)),
+        race_detect=bool(opts.get("race_detect", False)),
+        race_credit=bool(opts.get("race_credit", False)),
     )
 
     drained = threading.Event()

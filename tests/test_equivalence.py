@@ -214,3 +214,17 @@ def test_oracle_refuses_unsupported_traces():
         decisions=[ScheduleDecision(0, "start", [0], 0)], deadlocked=True
     )
     assert ScheduleOracle.from_trace(dead) is None
+
+
+def test_oracle_refuses_tryacquire_traces():
+    # A lock-tryacquire probe's outcome depends on who holds the lock at
+    # re-grant time, which the offline simulation does not model; the
+    # oracle must refuse such traces rather than mispredict keys.
+    trace = ScheduleTrace(
+        decisions=[
+            ScheduleDecision(0, "start", [0, 1], 0),
+            ScheduleDecision(1, "lock-tryacquire", [0, 1], 1, lock=0),
+            ScheduleDecision(2, "retire", [1], 1),
+        ]
+    )
+    assert ScheduleOracle.from_trace(trace) is None

@@ -97,6 +97,94 @@ def test_batched_recording_equals_sequential(schedule, name_choices):
     assert batched_db.thread_ids() == sequential_db.thread_ids()
 
 
+@_SETTINGS
+@given(schedules, names)
+def test_phase_bounds_matches_linear_scan(schedule, name_choices):
+    # Thread key 0 plays the root; the reference is the full worker-seq
+    # scan build_phased_trace used to do.
+    db, threads = build_log(schedule, name_choices)
+    root = threads.get(0) or threading.Thread(name="unrecorded-root")
+    events = db.snapshot()
+    worker_seqs = [e.seq for e in events if e.thread is not root]
+    reference = (min(worker_seqs), max(worker_seqs)) if worker_seqs else None
+    assert db.phase_bounds(root) == reference
+
+
+@_SETTINGS
+@given(schedules, names)
+def test_events_in_phase_partitions_the_log(schedule, name_choices):
+    db, threads = build_log(schedule, name_choices)
+    root = threads.get(0) or threading.Thread(name="unrecorded-root")
+    events = db.snapshot()
+    worker_seqs = [e.seq for e in events if e.thread is not root]
+    if worker_seqs:
+        first, last = min(worker_seqs), max(worker_seqs)
+        pre = [e for e in events if e.seq < first]
+        fork = [e for e in events if first <= e.seq <= last]
+        post = [e for e in events if e.seq > last]
+    else:
+        pre, fork, post = list(events), [], []
+    assert db.events_in_phase(root, "pre-fork") == pre
+    assert db.events_in_phase(root, "fork") == fork
+    assert db.events_in_phase(root, "post-join") == post
+    # The three phases partition the log in order.
+    assert pre + fork + post == events
+
+
+class TestPhaseIndex:
+    """Regressions for the per-phase boundary index."""
+
+    def _log(self):
+        db = EventDatabase(ThreadRegistry(first_id=0))
+        root = threading.Thread(name="root")
+        worker = threading.Thread(name="worker")
+        db.record("Pre", 0, "pre", thread=root)
+        db.record("Index", 1, "w1", thread=worker)
+        db.record("Mid", 2, "mid-fork root", thread=root)
+        db.record("Index", 3, "w2", thread=worker)
+        db.record("Post", 4, "post", thread=root)
+        return db, root
+
+    def test_mid_fork_root_output_lands_in_the_fork_phase(self):
+        db, root = self._log()
+        assert db.phase_bounds(root) == (1, 3)
+        assert [e.name for e in db.events_in_phase(root, "pre-fork")] == ["Pre"]
+        assert [e.name for e in db.events_in_phase(root, "fork")] == [
+            "Index", "Mid", "Index",
+        ]
+        assert [e.name for e in db.events_in_phase(root, "post-join")] == ["Post"]
+
+    def test_events_between_on_phase_bounds_is_the_fork_slice(self):
+        db, root = self._log()
+        first, last = db.phase_bounds(root)
+        assert db.events_between(first, last) == db.events_in_phase(root, "fork")
+
+    def test_root_only_log_is_entirely_pre_fork(self):
+        db = EventDatabase(ThreadRegistry(first_id=0))
+        root = threading.Thread(name="root")
+        db.record("A", 1, "a", thread=root)
+        db.record("B", 2, "b", thread=root)
+        assert db.phase_bounds(root) is None
+        assert len(db.events_in_phase(root, "pre-fork")) == 2
+        assert db.events_in_phase(root, "fork") == []
+        assert db.events_in_phase(root, "post-join") == []
+
+    def test_unknown_phase_rejected(self):
+        db, root = self._log()
+        try:
+            db.events_in_phase(root, "join")
+        except ValueError as err:
+            assert "pre-fork" in str(err)
+        else:  # pragma: no cover - the assertion is the except branch
+            raise AssertionError("expected ValueError for unknown phase")
+
+    def test_clear_resets_the_phase_index(self):
+        db, root = self._log()
+        db.clear()
+        assert db.phase_bounds(root) is None
+        assert db.events_in_phase(root, "pre-fork") == []
+
+
 class TestEventsOfAttribution:
     """Regressions for the identity-based ``events_of`` bug."""
 

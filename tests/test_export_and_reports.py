@@ -55,9 +55,10 @@ class TestCsvExport:
         expected = (
             "student,best_score,max_score,best_percent,latest_percent,"
             "submissions,failure_kind,schedule_seed,"
-            "interleavings_failing,interleavings_total\n"
-            "alice,40,40,100.0,100.0,1,ok,,,\n"
-            "bob,30,40,75.0,75.0,2,timeout,7,,\n"
+            "interleavings_failing,interleavings_total,"
+            "concurrency_verdict,race_count,race_pairs\n"
+            "alice,40,40,100.0,100.0,1,ok,,,,,,\n"
+            "bob,30,40,75.0,75.0,2,timeout,7,,,,,\n"
         )
         assert gradebook_csv(make_gradebook()) == expected
 

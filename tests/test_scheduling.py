@@ -227,6 +227,252 @@ class TestDeadlockDetection:
         assert "reached" not in result.output
 
 
+class TestTryAcquireDecisions:
+    """Non-blocking and timed acquires are scheduling decisions.
+
+    ``acquire(blocking=False)`` (and any timed acquire) from an
+    enrolled worker used to probe the raw lock directly — invisible to
+    recording, replay, and race analysis.  It now routes through the
+    ``lock-tryacquire`` decision point: recorded with the lock id,
+    deterministic per schedule, and replayable.
+    """
+
+    @staticmethod
+    def _drive(strategy, main, identifier):
+        from repro.execution.runner import in_process_session_lock
+        from repro.simulation.backend import use_backend
+
+        backend = ScheduledBackend(strategy)
+        with in_process_session_lock():
+            with use_backend(backend):
+                result = ProgramRunner(timeout=20.0).run_callable(
+                    main, [], identifier=identifier
+                )
+        return result, backend.schedule_trace(identifier)
+
+    @staticmethod
+    def _program(timeout=None):
+        from repro.simulation.backend import current_backend
+
+        def main(args):
+            backend = current_backend()
+            lock = backend.lock()
+
+            def holder():
+                with lock:
+                    backend.checkpoint()
+                    backend.checkpoint()
+
+            def poller():
+                probes = 1
+                if timeout is None:
+                    got = lock.acquire(blocking=False)
+                else:
+                    got = lock.acquire(timeout=timeout)
+                while not got:
+                    backend.checkpoint()
+                    probes += 1
+                    if timeout is None:
+                        got = lock.acquire(blocking=False)
+                    else:
+                        got = lock.acquire(timeout=timeout)
+                lock.release()
+                print(f"probes {probes}")
+
+            threads = [
+                backend.spawn(holder, name="holder"),
+                backend.spawn(poller, name="poller"),
+            ]
+            backend.start_all(threads)
+            backend.join_all(threads)
+
+        return main
+
+    def test_nonblocking_acquire_is_a_recorded_decision(self):
+        result, trace = self._drive(
+            BoundedPreemptionStrategy(quantum=1), self._program(), "tryacquire"
+        )
+        assert result.ok, result.exception
+        probes = [d for d in trace.decisions if d.point == "lock-tryacquire"]
+        assert probes, "no lock-tryacquire decision was recorded"
+        assert all(d.lock == 0 for d in probes)
+        assert "probes" in result.output
+
+    def test_timed_acquire_takes_the_tryacquire_path(self):
+        # Under a one-granted-worker schedule the holder cannot release
+        # while the caller sleeps, so a timed wait is recorded as a
+        # single probe — same decision point, no wall-clock parking.
+        result, trace = self._drive(
+            BoundedPreemptionStrategy(quantum=1),
+            self._program(timeout=0.01),
+            "timed-tryacquire",
+        )
+        assert result.ok, result.exception
+        assert any(d.point == "lock-tryacquire" for d in trace.decisions)
+
+    def test_tryacquire_runs_are_seed_deterministic(self):
+        runs = [
+            self._drive(RandomWalkStrategy(9), self._program(), "tryacquire-det")
+            for _ in range(2)
+        ]
+        (res_a, trace_a), (res_b, trace_b) = runs
+        assert res_a.ok and res_b.ok
+        assert decision_dicts(trace_a) == decision_dicts(trace_b)
+        assert res_a.output == res_b.output
+
+    def test_tryacquire_trace_replays_identically(self):
+        _, recorded = self._drive(
+            RandomWalkStrategy(9), self._program(), "tryacquire-replay"
+        )
+        assert any(d.point == "lock-tryacquire" for d in recorded.decisions)
+        replay = resolve_schedule_strategy(
+            ScheduleTrace.from_dict(recorded.to_dict())
+        )
+        result, replayed = self._drive(
+            replay, self._program(), "tryacquire-replay"
+        )
+        assert result.ok, result.exception
+        assert replayed.divergence == ""
+        assert decision_dicts(replayed) == decision_dicts(recorded)
+
+
+class TestFreeRunningRelease:
+    """A non-enrolled thread releasing a lock workers are parked on.
+
+    The root sits outside the one-granted-worker gate, so a lock it
+    holds is not part of any deadlock cycle: workers parking on it must
+    simply stall granting (not abort), and the root's release must
+    restart granting exactly once — a second grant would put two
+    workers inside the gate at the same time.
+    """
+
+    def _drive(self, main):
+        from repro.execution.runner import in_process_session_lock
+        from repro.simulation.backend import use_backend
+
+        backend = ScheduledBackend(BoundedPreemptionStrategy(quantum=1))
+        scheduler = backend.scheduler
+        restarts = []
+        original = scheduler._grant_next
+
+        def spy(current, point, lock=None):
+            if current is None and point == "lock-release":
+                restarts.append(lock)
+            return original(current, point, lock=lock)
+
+        scheduler._grant_next = spy
+        with in_process_session_lock():
+            with use_backend(backend):
+                result = ProgramRunner(timeout=20.0).run_callable(
+                    main, [], identifier="free-running-release"
+                )
+        return backend, result, restarts
+
+    @staticmethod
+    def _wait_all_parked(scheduler, count, timeout=10.0):
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with scheduler._cv:
+                if (
+                    scheduler._granted is None
+                    and len(scheduler._states) == count
+                    and all(
+                        s.blocked_on is not None
+                        for s in scheduler._states.values()
+                    )
+                ):
+                    return True
+            time.sleep(0.002)
+        return False
+
+    def test_root_release_restarts_granting_exactly_once(self):
+        from repro.simulation.backend import current_backend
+
+        outer = self
+
+        def main(args):
+            backend = current_backend()
+            lock = backend.lock()
+            lock.acquire()  # free-running root: the raw, ungated path
+
+            def body():
+                with lock:
+                    backend.checkpoint()
+                    print("crossed")
+
+            threads = [backend.spawn(body, name=f"w{i}") for i in range(3)]
+            backend.start_all(threads)
+            scheduler = backend.scheduler
+            assert outer._wait_all_parked(scheduler, 3), (
+                "workers never all parked on the root-held lock"
+            )
+            # Parked-on-a-root-held-lock is a stall, not a deadlock.
+            assert not scheduler.deadlocked
+            lock.release()
+            backend.join_all(threads)
+
+        backend, result, restarts = self._drive(main)
+        assert result.ok, result.exception
+        assert not backend.scheduler.deadlocked
+        assert result.output.count("crossed") == 3
+        assert len(restarts) == 1, (
+            f"expected exactly one granting restart, saw {len(restarts)}"
+        )
+
+    def test_root_release_with_a_granted_worker_does_not_regrant(self):
+        import threading as _threading
+
+        from repro.simulation.backend import current_backend
+
+        def main(args):
+            backend = current_backend()
+            lock = backend.lock()
+            lock.acquire()
+            released = _threading.Event()
+
+            def blocker():
+                with lock:
+                    print("crossed")
+
+            def spinner():
+                while not released.is_set():
+                    backend.checkpoint()
+
+            threads = [
+                backend.spawn(blocker, name="blocker"),
+                backend.spawn(spinner, name="spinner"),
+            ]
+            backend.start_all(threads)
+            scheduler = backend.scheduler
+            # Wait until the blocker is parked; the spinner keeps the
+            # grant, so _granted is never None here.
+            import time
+
+            deadline = time.monotonic() + 10.0
+            parked = False
+            while time.monotonic() < deadline:
+                with scheduler._cv:
+                    state = scheduler._states.get(0)
+                    parked = state is not None and state.blocked_on is not None
+                if parked:
+                    break
+                time.sleep(0.002)
+            assert parked, "blocker never parked on the root-held lock"
+            lock.release()
+            released.set()
+            backend.join_all(threads)
+
+        backend, result, restarts = self._drive(main)
+        assert result.ok, result.exception
+        assert not backend.scheduler.deadlocked
+        assert result.output.count("crossed") == 1
+        # The spinner held the grant throughout the release: restarting
+        # granting here would hand a second worker the token.
+        assert restarts == []
+
+
 class TestExplorer:
     def factory(self, identifier=RACY):
         return lambda: PrimesFunctionality(identifier, num_randoms=12, num_threads=3)
