@@ -1,0 +1,120 @@
+"""Ablation — fleet telemetry rides within the observability budget.
+
+PR 6 layers the fleet-telemetry plumbing on top of the base registry: a
+:class:`~repro.obs.export.SidecarWriter` span sink streaming every ended
+span to a crash-safe JSONL sidecar, and an installed
+:class:`~repro.obs.context.TraceContext` stamping process identity on
+each span.  That is the configuration every shard worker runs under, so
+the 5% overhead bound from ``docs/observability.md`` must hold for it
+too — not just for an in-memory registry.  This ablation times the same
+trace-heavy ``primes.correct`` workload with the full fleet path
+(enabled registry + sidecar sink + trace context) against a disabled
+registry and requires the min-of-N ratio to stay within 5%.
+
+Methodology matches the obs-overhead ablation: the two configurations
+are timed *interleaved* (fleet, off, fleet, off, ...) so environmental
+drift hits both equally, and the minimum over all rounds is compared.
+
+Set ``OBS_FLEET_JSON=<path>`` to also write the measurements as a JSON
+artifact (uploaded by the CI job as ``BENCH_obs_fleet.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from benchmarks.conftest import emit
+from repro.execution.runner import ProgramRunner
+from repro.obs import (
+    ObsRegistry,
+    SidecarWriter,
+    TraceContext,
+    load_jsonl,
+    use_context,
+    use_registry,
+)
+
+#: Trace-heavy configuration: 400 numbers -> ~1200 iteration prints.
+ARGS = ["400", "4"]
+IDENTIFIER = "primes.correct"
+
+#: Interleaved measurement rounds per configuration.
+ROUNDS = 12
+
+#: Required bound: fleet path within 5% of obs-off on the min-of-N time.
+MAX_RATIO = 1.05
+
+
+def _timed_run(registry: ObsRegistry) -> float:
+    with use_registry(registry):
+        runner = ProgramRunner()
+        started = time.perf_counter()
+        result = runner.run(IDENTIFIER, ARGS)
+        elapsed = time.perf_counter() - started
+    assert result.ok
+    return elapsed
+
+
+def test_ablation_fleet_telemetry_within_5_percent(tmp_path):
+    context = TraceContext(
+        run_id="bench", role="shard", shard=0, incarnation=0
+    )
+    enabled = ObsRegistry(enabled=True)
+    writer = SidecarWriter(
+        tmp_path / "obs-shard-00.inc00.jsonl",
+        registry=enabled,
+        context=context,
+    )
+    enabled.add_span_sink(writer.on_span)
+    disabled = ObsRegistry(enabled=False)
+
+    # Warm-up absorbs import and allocator effects for both paths.
+    for registry in (enabled, disabled):
+        _timed_run(registry)
+
+    fleet_times = []
+    off_times = []
+    with use_context(context):
+        for _ in range(ROUNDS):
+            fleet_times.append(_timed_run(enabled))
+            off_times.append(_timed_run(disabled))
+
+    best_fleet = min(fleet_times)
+    best_off = min(off_times)
+    ratio = best_fleet / best_off
+
+    # The fleet path really streamed: every ended span is already on
+    # disk, process-stamped, before any clean shutdown.
+    sidecar = load_jsonl(writer.path, tolerant=True)
+    assert len(sidecar.spans) == len(enabled.spans())
+    assert all(s.process == "shard-00#0" for s in sidecar.spans)
+    writer.close()
+    assert not disabled.spans() and not disabled.histograms()
+
+    artifact = {
+        "workload": {"identifier": IDENTIFIER, "args": ARGS},
+        "rounds": ROUNDS,
+        "min_seconds_fleet": best_fleet,
+        "min_seconds_obs_off": best_off,
+        "ratio": ratio,
+        "max_ratio": MAX_RATIO,
+        "sidecar_spans": len(sidecar.spans),
+    }
+    out = os.environ.get("OBS_FLEET_JSON")
+    if out:
+        with open(out, "w") as handle:
+            json.dump(artifact, handle, indent=2)
+
+    emit(
+        "Ablation — fleet telemetry (sidecar + context) overhead",
+        f"min over {ROUNDS} interleaved rounds: fleet {best_fleet * 1e3:.2f}ms, "
+        f"obs-off {best_off * 1e3:.2f}ms, ratio {ratio:.4f} "
+        f"(bound {MAX_RATIO})",
+    )
+    assert ratio <= MAX_RATIO, (
+        f"fleet telemetry overhead {100 * (ratio - 1):.1f}% exceeds the "
+        f"{100 * (MAX_RATIO - 1):.0f}% budget "
+        f"(fleet {best_fleet:.4f}s vs off {best_off:.4f}s)"
+    )

@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""End-to-end telemetry drill: kill a shard, demand a complete trace.
+
+Runs a sharded grade with warm pool children under a scripted
+``kill -9`` fault (shard 0 dies at its second submission) with fleet
+telemetry on, then verifies the observability claims the docs make:
+
+* the per-process sidecars merge into ONE service-wide dump in which
+  **every shard incarnation** — including the killed worker's partial
+  first life — contributed spans (crash-safe sidecars mean a dead
+  worker's finished spans survive it);
+* every span in the merged dump climbs to the coordinator's single
+  ``service.batch`` root (cross-process stitching is complete);
+* the live progress stream brackets the batch (``batch-start`` first,
+  ``batch-end`` last) and records the shard death and respawn;
+* the Prometheus rendering of the merged dump carries per-role labels.
+
+Artifacts (merged ``obs.jsonl``, ``metrics.prom``, the raw sidecars,
+``progress.jsonl``, and a machine-readable ``telemetry-results.json``)
+are left under ``--out`` for the CI job to upload.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/telemetry_drill.py --out telemetry-drill
+    PYTHONPATH=src python scripts/telemetry_drill.py --class-size 24 --shards 4
+
+Exits non-zero when any telemetry invariant fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import warnings
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import repro.workloads  # noqa: F401,E402 - registers every tested program
+from repro.execution.faults import ShardFaultProgram  # noqa: E402
+from repro.grading import GradingService  # noqa: E402
+from repro.obs import (  # noqa: E402
+    FleetState,
+    ObsRegistry,
+    ProgressStream,
+    read_events,
+    render_prom,
+    save_dump,
+    use_registry,
+)
+
+
+def climbs_to_root(dump, span, root_id) -> bool:
+    """True when *span*'s parent chain reaches *root_id* without a cycle."""
+    by_id = {s.span_id: s for s in dump.spans}
+    seen = set()
+    current = span
+    while current is not None:
+        if current.span_id in seen:
+            return False
+        seen.add(current.span_id)
+        if current.span_id == root_id:
+            return True
+        current = by_id.get(current.parent_id)
+    return False
+
+
+def main(argv=None) -> int:
+    """Run the drill; returns the exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="telemetry-drill", metavar="DIR",
+                        help="artifact directory (default telemetry-drill)")
+    parser.add_argument("--class-size", type=int, default=16, metavar="N",
+                        help="synthetic submissions (default 16)")
+    parser.add_argument("--shards", type=int, default=2, metavar="N",
+                        help="shard workers (default 2)")
+    parser.add_argument("--pool-size", type=int, default=2, metavar="N",
+                        help="warm pooled interpreters per shard worker "
+                             "(default 2)")
+    args = parser.parse_args(argv)
+
+    warnings.simplefilter("ignore")
+    outdir = Path(args.out)
+    outdir.mkdir(parents=True, exist_ok=True)
+    # A reused work directory would resume the previous drill's journal
+    # instead of exercising the fault; the drill always starts cold.
+    workdir = outdir / "workdir"
+    shutil.rmtree(workdir, ignore_errors=True)
+    submissions = {
+        f"student-{i:03d}": "hello.correct" for i in range(args.class_size)
+    }
+
+    print(f"telemetry drill: {args.class_size} submissions, "
+          f"{args.shards} shards, pool-size {args.pool_size}, "
+          f"kill-at-index fault on shard 0")
+
+    registry = ObsRegistry(enabled=True)
+    with use_registry(registry), \
+            ProgressStream(workdir / "progress.jsonl") as progress:
+        service = GradingService(
+            "hello",
+            workdir=workdir,
+            shards=args.shards,
+            pool_size=args.pool_size,
+            heartbeat_interval=0.2,
+            heartbeat_timeout=3.0,
+            faults={0: ShardFaultProgram("kill-at-index", index=1)},
+            progress_stream=progress,
+        )
+        report = service.grade(dict(submissions))
+        merged = service.merged_dump()
+
+    results = {"class_size": args.class_size, "shards": args.shards,
+               "pool_size": args.pool_size, "checks": {}}
+    failed = False
+
+    def check(name: str, ok: bool, detail: str) -> None:
+        nonlocal failed
+        results["checks"][name] = {"ok": bool(ok), "detail": detail}
+        if not ok:
+            failed = True
+        print(f"  {name}: {detail} -> {'ok' if ok else 'FAILED'}")
+
+    respawns = sum(s.respawns for s in report.shards)
+    check("fault_fired", respawns >= 1, f"shard respawns={respawns}")
+    check("gradebook_complete",
+          len(report.gradebook.students()) == args.class_size,
+          f"{len(report.gradebook.students())}/{args.class_size} graded")
+
+    # Every incarnation of every shard left spans in the merged trace —
+    # the killed first life of shard 0 included.
+    incarnations = {
+        (meta.get("shard"), meta.get("incarnation"))
+        for meta in merged.meta.get("processes", [])
+        if meta.get("role") == "shard"
+    }
+    span_processes = {s.process for s in merged.spans}
+    expected = {(shard.shard, life)
+                for shard in report.shards
+                for life in range(shard.respawns + 1)}
+    missing = sorted(expected - incarnations)
+    check("every_incarnation_present", not missing,
+          f"incarnations {sorted(incarnations)} (missing: {missing})")
+    unspanned = [f"shard-{s:02d}#{i}" for s, i in sorted(incarnations)
+                 if f"shard-{s:02d}#{i}" not in span_processes]
+    check("every_incarnation_has_spans", not unspanned,
+          f"{len(span_processes)} span processes (missing: {unspanned})")
+
+    roots = [s for s in merged.spans
+             if s.parent_id is None and s.name == "service.batch"]
+    stitched = (
+        len(roots) == 1
+        and all(climbs_to_root(merged, s, roots[0].span_id)
+                for s in merged.spans)
+    )
+    check("single_causal_root", stitched,
+          f"{len(roots)} service.batch root(s), {len(merged.spans)} spans")
+
+    events, _ = read_events(workdir / "progress.jsonl", 0)
+    kinds = [e.get("event") for e in events]
+    state = FleetState()
+    for event in events:
+        state.apply(event)
+    check("progress_stream_brackets",
+          bool(kinds) and kinds[0] == "batch-start"
+          and kinds[-1] == "batch-end",
+          f"{len(events)} events ({kinds[0] if kinds else '-'} ... "
+          f"{kinds[-1] if kinds else '-'})")
+    check("progress_stream_saw_death",
+          "shard-death" in kinds and "shard-spawn" in kinds,
+          f"kinds={sorted(set(kinds))}")
+
+    prom = render_prom(merged)
+    check("prom_role_labels",
+          'role="coordinator"' in prom and 'role="shard"' in prom,
+          f"{len(prom.splitlines())} exposition lines")
+
+    save_dump(merged, outdir / "obs.jsonl")
+    (outdir / "metrics.prom").write_text(prom)
+    results["passed"] = not failed
+    (outdir / "telemetry-results.json").write_text(
+        json.dumps(results, indent=2)
+    )
+    print(f"artifacts under {outdir}/ (merged obs.jsonl, metrics.prom, "
+          f"progress.jsonl, shard sidecars)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

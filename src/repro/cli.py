@@ -27,8 +27,13 @@ is that entry point::
     forkjoin-test explore synclab.lost_update --problem synclab \
         --strategy exhaustive --depth 2
     forkjoin-test explore primes.racy --replay failing.schedule.json
+    forkjoin-test grade primes --submissions primes.correct,primes.racy \
+        --shards 4 --obs-out obs.jsonl --metrics-out metrics.prom
+    forkjoin-test watch grading.workdir
     forkjoin-test timeline obs.jsonl --submission alice
+    forkjoin-test timeline obs.jsonl --json
     forkjoin-test stats obs.jsonl
+    forkjoin-test stats obs.jsonl --prom
     forkjoin-test awareness progress.jsonl --suite primes
 
 ``ui`` opens the interactive suite runner (Fig. 5); ``run`` executes a
@@ -42,7 +47,10 @@ deterministic, recordable, and exactly replayable, with ``--strategy``
 selecting random walks, the preemption sweep, PCT, or exhaustive
 small-state enumeration (see docs/exploring_schedules.md); ``timeline`` and
 ``stats`` render an observability dump as per-submission span trees and
-aggregate histograms; ``awareness`` analyses a progress log.
+aggregate histograms (``--json`` for machine-readable output, ``stats
+--prom`` for Prometheus text exposition); ``watch`` tails a batch's
+``--progress-stream`` file into a live fleet view; ``awareness``
+analyses a progress log.
 """
 
 from __future__ import annotations
@@ -286,6 +294,27 @@ def build_parser() -> argparse.ArgumentParser:
             "per-submission timing breakdowns when observability is on"
         ),
     )
+    grade.add_argument(
+        "--progress-stream",
+        default=None,
+        metavar="FILE",
+        help=(
+            "append one JSON event line per batch/shard/submission "
+            "milestone to FILE as it happens; tail it live with the "
+            "watch command (sharded mode streams to "
+            "WORKDIR/progress.jsonl by default)"
+        ),
+    )
+    grade.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write the batch's metrics in Prometheus text exposition "
+            "format (counters/gauges/histograms, labelled by process "
+            "role in sharded mode)"
+        ),
+    )
 
     export = commands.add_parser(
         "export", help="grade one submission and write Gradescope results.json"
@@ -432,6 +461,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="show only the named student/submission",
     )
+    timeline.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the span tree as JSON instead of the indented text view",
+    )
 
     stats = commands.add_parser(
         "stats",
@@ -441,6 +475,45 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     stats.add_argument("obs", help="observability dump path (JSONL)")
+    stats_format = stats.add_mutually_exclusive_group()
+    stats_format.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the aggregates as JSON instead of the text view",
+    )
+    stats_format.add_argument(
+        "--prom",
+        action="store_true",
+        help="emit the metrics in Prometheus text exposition format",
+    )
+
+    watch = commands.add_parser(
+        "watch",
+        help=(
+            "tail a grade batch's progress stream (grade "
+            "--progress-stream) as a refreshing live fleet view with "
+            "per-shard rates and straggler flags"
+        ),
+    )
+    watch.add_argument(
+        "workdir",
+        help=(
+            "sharded service work directory (its progress.jsonl is "
+            "tailed) or a progress stream file path"
+        ),
+    )
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="refresh period (default 1.0)",
+    )
+    watch.add_argument(
+        "--once",
+        action="store_true",
+        help="render the current fleet state once and exit",
+    )
 
     awareness = commands.add_parser(
         "awareness", help="analyse a progress log (JSONL) for the instructor"
@@ -473,12 +546,27 @@ def _suite_for(name: str, submission: Optional[str], *, subprocess_mode: bool = 
         raise SystemExit(exc.args[0]) from None
 
 
-def _write_grade_artifacts(args: argparse.Namespace, gradebook) -> None:
-    """Write the gradebook/report/obs outputs the grade flags asked for."""
-    from repro.obs import dump_jsonl, get_registry, submission_timings
+def _write_grade_artifacts(
+    args: argparse.Namespace, gradebook, *, obs_dump=None
+) -> None:
+    """Write the gradebook/report/obs outputs the grade flags asked for.
+
+    *obs_dump* is the merged service-wide dump of a sharded batch; when
+    given, it (not the coordinator's registry) feeds the timing
+    breakdowns, the ``--obs-out`` file, and the ``--metrics-out``
+    export, so shard-worker and pool-child telemetry is included.
+    """
+    from repro.obs import (
+        dump_jsonl,
+        get_registry,
+        render_prom,
+        save_dump,
+        submission_timings,
+    )
 
     registry = get_registry()
-    timings = submission_timings(registry) if registry.enabled else {}
+    source = obs_dump if obs_dump is not None else registry
+    timings = submission_timings(source) if registry.enabled else {}
     if args.out:
         gradebook.save(args.out)
         print(f"gradebook written to {args.out}")
@@ -497,11 +585,21 @@ def _write_grade_artifacts(args: argparse.Namespace, gradebook) -> None:
         path = write_gradebook_html(gradebook, args.html, timelines=timings or None)
         print(f"HTML class report written to {path}")
     if args.obs_out:
-        path = dump_jsonl(registry, args.obs_out)
+        if obs_dump is not None:
+            path = save_dump(obs_dump, args.obs_out)
+        else:
+            path = dump_jsonl(registry, args.obs_out)
         print(
             f"observability dump written to {path} "
             f"(inspect with: forkjoin-test timeline/stats {path})"
         )
+    if args.metrics_out:
+        from pathlib import Path
+
+        target = Path(args.metrics_out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(render_prom(source))
+        print(f"Prometheus metrics written to {target}")
 
 
 def _grade_sharded(args: argparse.Namespace, identifiers: List[str]) -> int:
@@ -510,6 +608,7 @@ def _grade_sharded(args: argparse.Namespace, identifiers: List[str]) -> int:
     from pathlib import Path
 
     from repro.grading import GradingService
+    from repro.obs import ProgressStream, get_registry
 
     if args.resume:
         workdir = Path(args.resume)
@@ -519,29 +618,37 @@ def _grade_sharded(args: argparse.Namespace, identifiers: List[str]) -> int:
             f"sharded work directory: {workdir} "
             f"(pass --resume {workdir} to resume an interrupted batch)"
         )
-    service = GradingService(
-        args.suite,
-        workdir=workdir,
-        shards=args.shards,
-        subprocess_mode=args.subprocess or args.pool_size > 0,
-        jobs_per_shard=args.jobs,
-        retries=args.retries,
-        deadline=args.deadline,
-        explore_schedules=args.explore,
-        explore_seed=args.explore_seed,
-        explore_strategy=args.explore_strategy,
-        explore_depth=args.explore_depth,
-        heartbeat_timeout=args.heartbeat_timeout,
-        quarantine_after=args.quarantine_after,
-        pool_size=args.pool_size,
-        dedup=not args.no_dedup,
-        race_detect=args.race_detect,
-        race_credit=args.race_credit,
-    )
-    report = service.grade({identifier: identifier for identifier in identifiers})
+    # Sharded batches always stream progress: the workdir is the natural
+    # rendezvous, and `forkjoin-test watch WORKDIR` tails it live.
+    stream_path = Path(args.progress_stream or workdir / "progress.jsonl")
+    with ProgressStream(stream_path) as progress:
+        service = GradingService(
+            args.suite,
+            workdir=workdir,
+            shards=args.shards,
+            subprocess_mode=args.subprocess or args.pool_size > 0,
+            jobs_per_shard=args.jobs,
+            retries=args.retries,
+            deadline=args.deadline,
+            explore_schedules=args.explore,
+            explore_seed=args.explore_seed,
+            explore_strategy=args.explore_strategy,
+            explore_depth=args.explore_depth,
+            heartbeat_timeout=args.heartbeat_timeout,
+            quarantine_after=args.quarantine_after,
+            pool_size=args.pool_size,
+            dedup=not args.no_dedup,
+            race_detect=args.race_detect,
+            race_credit=args.race_credit,
+            progress_stream=progress,
+        )
+        report = service.grade(
+            {identifier: identifier for identifier in identifiers}
+        )
     print(report.gradebook.render())
     print(report.summary())
-    _write_grade_artifacts(args, report.gradebook)
+    obs_dump = service.merged_dump() if get_registry().enabled else None
+    _write_grade_artifacts(args, report.gradebook, obs_dump=obs_dump)
     if report.drained:
         print(
             f"\ninterrupted; durable grades are journaled under {workdir} — "
@@ -549,6 +656,39 @@ def _grade_sharded(args: argparse.Namespace, identifiers: List[str]) -> int:
         )
         return 130
     return 0
+
+
+def _watch(args: argparse.Namespace) -> int:
+    """`watch`: tail a progress stream into a refreshing fleet view."""
+    import time
+    from pathlib import Path
+
+    from repro.obs import FleetState, read_events, render_fleet
+
+    target = Path(args.workdir)
+    path = target / "progress.jsonl" if target.is_dir() else target
+    state = FleetState()
+    offset = 0
+    try:
+        while True:
+            events, offset = read_events(path, offset)
+            for event in events:
+                state.apply(event)
+            now = time.time()
+            if args.once:
+                print(render_fleet(state, now))
+                return 0
+            # Full-screen refresh: clear, home, render the fleet.
+            sys.stdout.write("\x1b[2J\x1b[H")
+            sys.stdout.write(f"watching {path} — ctrl-c to stop\n\n")
+            sys.stdout.write(render_fleet(state, now) + "\n")
+            sys.stdout.flush()
+            if state.ended:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 130
 
 
 def _checker_factory(problem: str, submission: str):
@@ -637,6 +777,41 @@ def _dispatch(args: argparse.Namespace) -> int:
                 from repro.execution.worker_pool import WorkerPool
 
                 pool = stack.enter_context(WorkerPool(args.pool_size))
+            progress = None
+            on_outcome = None
+            if args.progress_stream:
+                from repro.obs import ProgressStream, new_run_id
+
+                progress = stack.enter_context(
+                    ProgressStream(args.progress_stream)
+                )
+                progress.emit(
+                    "batch-start",
+                    suite=args.suite,
+                    shards=0,
+                    submissions=len(identifiers),
+                    run_id=new_run_id(),
+                )
+                total = len(identifiers)
+                counted = {"graded": 0}
+
+                def on_outcome(outcome, _progress=progress):
+                    counted["graded"] += 1
+                    _progress.emit(
+                        "graded",
+                        student=outcome.student,
+                        failure_kind=outcome.record.failure_kind,
+                        score=outcome.record.score,
+                        max_score=outcome.record.max_score,
+                        graded=counted["graded"],
+                    )
+                    _progress.emit(
+                        "queue-depth",
+                        graded=counted["graded"],
+                        remaining=max(0, total - counted["graded"]),
+                        total=total,
+                    )
+
             supervisor = GradingSupervisor(
                 lambda ident: _suite_for(
                     args.suite,
@@ -655,6 +830,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 dedup=not args.no_dedup,
                 race_detect=args.race_detect,
                 race_credit=args.race_credit,
+                on_outcome=on_outcome,
             )
             try:
                 report = supervisor.grade(
@@ -673,6 +849,13 @@ def _dispatch(args: argparse.Namespace) -> int:
                     )
                 return 130
             gradebook = report.gradebook
+            if progress is not None:
+                progress.emit(
+                    "batch-end",
+                    graded=len(gradebook.students()),
+                    drained=False,
+                    interrupted=0,
+                )
             print(gradebook.render())
             print(report.summary())
             _write_grade_artifacts(args, gradebook)
@@ -769,18 +952,33 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 1 if report.bug_found else 0
 
     if args.command == "timeline":
-        from repro.obs import load_jsonl, render_timeline
+        from repro.obs import load_jsonl, render_timeline, timeline_json
 
         dump = load_jsonl(args.obs)
-        print(render_timeline(dump, submission=args.submission))
+        if args.json:
+            import json
+
+            print(json.dumps(timeline_json(dump), indent=2))
+        else:
+            print(render_timeline(dump, submission=args.submission))
         return 0
 
     if args.command == "stats":
-        from repro.obs import load_jsonl, render_stats
+        from repro.obs import load_jsonl, render_prom, render_stats, stats_json
 
         dump = load_jsonl(args.obs)
-        print(render_stats(dump))
+        if args.prom:
+            sys.stdout.write(render_prom(dump))
+        elif args.json:
+            import json
+
+            print(json.dumps(stats_json(dump), indent=2))
+        else:
+            print(render_stats(dump))
         return 0
+
+    if args.command == "watch":
+        return _watch(args)
 
     if args.command == "awareness":
         from repro.grading import ProgressLog, analyze_progress

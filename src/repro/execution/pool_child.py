@@ -17,6 +17,10 @@ many bytes of UTF-8 JSON):
   and reads exactly one response frame per request
   ``{"id": n, "returncode": int, "stdout": str, "stderr": str,
   "duration": float}``;
+* a request may carry an ``{"obs": {"enabled": true, "run_id": str}}``
+  block — the run then executes under a per-request ``pool.serve`` span
+  in a fresh registry, and the response gains an ``obs`` payload (spans
+  plus metrics) for the parent to adopt into its own trace;
 * ``{"op": "exit"}`` ends the serve loop (exit status 0).
 
 The response mimics a cold child run byte-for-byte: ``stdout`` is the
@@ -148,6 +152,42 @@ def _serve_one(identifier: str, args: list, hide_prints: bool) -> Dict[str, Any]
     }
 
 
+def _serve_request(request: Dict[str, Any]) -> Dict[str, Any]:
+    """Serve one request frame, with per-request telemetry when asked.
+
+    When the parent's dispatch frame carries an enabled ``obs`` block,
+    the run happens inside a fresh registry under a ``pool.serve`` span,
+    and the resulting spans/metrics ride back on the response frame for
+    the parent to adopt (:meth:`repro.obs.registry.ObsRegistry.adopt`).
+    """
+    identifier = str(request.get("identifier", ""))
+    args = list(request.get("args", ()))
+    hide_prints = bool(request.get("hide_prints", False))
+    obs_cfg = request.get("obs")
+    if not (isinstance(obs_cfg, dict) and obs_cfg.get("enabled")):
+        return _serve_one(identifier, args, hide_prints)
+
+    from repro.obs.context import TraceContext
+    from repro.obs.export import registry_payload
+    from repro.obs.registry import ObsRegistry, use_registry
+
+    context = TraceContext(run_id=str(obs_cfg.get("run_id", "")), role="pool")
+    registry = ObsRegistry(enabled=True)
+    # A fresh registry per request keeps the payload exactly this run's
+    # spans; use_registry installs it so any obs-instrumented code the
+    # submission reaches reports here, not into a stale default.
+    with use_registry(registry):
+        span = registry.begin_span(
+            "pool.serve", identifier=identifier, pid=os.getpid()
+        )
+        try:
+            response = _serve_one(identifier, args, hide_prints)
+        finally:
+            registry.end_span(span)
+    response["obs"] = registry_payload(registry, context=context)
+    return response
+
+
 def main() -> int:
     """Serve submissions over stdin/stdout until EOF or an exit frame."""
     inbound = sys.stdin.buffer
@@ -169,11 +209,7 @@ def main() -> int:
             return 2
         if request is None or request.get("op") == "exit":
             return 0
-        response = _serve_one(
-            str(request.get("identifier", "")),
-            list(request.get("args", ())),
-            bool(request.get("hide_prints", False)),
-        )
+        response = _serve_request(request)
         response["id"] = request.get("id")
         write_frame(outbound, response)
 

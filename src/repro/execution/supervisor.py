@@ -35,7 +35,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.execution.subprocess_runner import kill_active_child
 from repro.execution.taxonomy import RETRYABLE_KINDS, FailureKind
@@ -341,8 +341,15 @@ class GradingSupervisor:
         dedup: bool = False,
         race_detect: bool = False,
         race_credit: bool = False,
+        on_outcome: Optional[Callable[[SubmissionOutcome], None]] = None,
     ) -> None:
-        """Configure the supervisor; see the class docstring for knobs."""
+        """Configure the supervisor; see the class docstring for knobs.
+
+        *on_outcome* is called once per resolved submission (clones from
+        dedup fan-out included), after the outcome is journaled — the
+        hook live progress streaming attaches to.  Exceptions it raises
+        are swallowed: telemetry must never fail a grade.
+        """
         self.suite_factory = suite_factory
         self.jobs = max(1, int(jobs))
         self.retries = max(0, int(retries))
@@ -362,6 +369,7 @@ class GradingSupervisor:
         self.explore_strategy = explore_strategy
         self.explore_depth = max(0, int(explore_depth))
         self.pool = pool
+        self.on_outcome = on_outcome
         self.dedup = bool(dedup)
         self.race_credit = bool(race_credit)
         self.race_detect = bool(race_detect) or self.race_credit
@@ -891,11 +899,13 @@ class GradingSupervisor:
         cv = ""
         race_count = 0
         race_pairs: List[str] = []
+        race_contention: List[Dict[str, Any]] = []
         if race_report is not None:
             from repro.execution.taxonomy import concurrency_verdict
 
             race_count = race_report.race_count
             race_pairs = race_report.pair_labels()
+            race_contention = [c.to_dict() for c in race_report.contention]
             cv = concurrency_verdict(
                 passed=final_passed and not verdict.found,
                 races=race_report.has_races,
@@ -919,6 +929,7 @@ class GradingSupervisor:
             concurrency_verdict=cv,
             race_count=race_count,
             race_pairs=race_pairs,
+            race_contention=race_contention,
             elapsed=time.monotonic() - self._epoch,
         )
         if self.race_credit and race_count:
@@ -1020,6 +1031,7 @@ class GradingSupervisor:
                 self._active.pop(task.worker, None)
             clones = self._clones.pop(task.student, [])
         self._journal_outcome(outcome)
+        self._notify_outcome(outcome)
         # Dedup fan-out: identical bytes get identical grades.  This
         # covers every resolution path — worker result, infra error, and
         # watchdog timeout alike — and journals each clone as its own
@@ -1029,9 +1041,19 @@ class GradingSupervisor:
             with self._lock:
                 self._outcomes[clone_student] = clone
             self._journal_outcome(clone)
+            self._notify_outcome(clone)
         with self._done:
             self._done.notify_all()
         return True
+
+    def _notify_outcome(self, outcome: SubmissionOutcome) -> None:
+        """Fire the ``on_outcome`` hook; its failures never fail a grade."""
+        if self.on_outcome is None:
+            return
+        try:
+            self.on_outcome(outcome)
+        except Exception:  # noqa: BLE001 - telemetry is best-effort
+            pass
 
     def _clone_outcome(
         self, outcome: SubmissionOutcome, student: str, identifier: str

@@ -24,6 +24,13 @@ Obs metrics: ``pool.dispatches``, ``pool.timeouts``, ``pool.respawns``
 counters, a ``pool.workers`` gauge, and a ``pool.dispatch.seconds``
 histogram.  See ``benchmarks/test_ablation_worker_pool.py`` for the
 pooled-vs-cold ablation.
+
+Fleet telemetry: when observability is enabled, each request frame
+carries the trace run id; the child answers with its own spans and
+metrics (a ``pool.serve`` span per request), which :meth:`dispatch`
+adopts into this process's registry under the dispatching span — so a
+pooled run's merged timeline shows child-side work causally parented
+under the submission that triggered it.
 """
 
 from __future__ import annotations
@@ -270,6 +277,7 @@ class WorkerPool:
         if self._closed:
             raise PoolError("dispatch on a closed pool")
         from repro.execution.subprocess_runner import _active_children
+        from repro.obs.context import current_context
 
         obs = _obs_registry()
         obs.counter("pool.dispatches").inc()
@@ -279,17 +287,26 @@ class WorkerPool:
         timed_out = False
         returncode = 0
         stdout = stderr = ""
+        obs_payload: Optional[Dict[str, Any]] = None
+        # The span the caller has open for this dispatch (the runner's
+        # subprocess span): adopted child spans are stitched under it.
+        parent_span = obs.current_span()
         try:
             deadline = time.monotonic() + timeout
             try:
-                worker._write_frame(
-                    {
-                        "id": worker.pid,
-                        "identifier": identifier,
-                        "args": list(args) if args is not None else [],
-                        "hide_prints": bool(hide_prints),
+                request: Dict[str, Any] = {
+                    "id": worker.pid,
+                    "identifier": identifier,
+                    "args": list(args) if args is not None else [],
+                    "hide_prints": bool(hide_prints),
+                }
+                if obs.enabled:
+                    context = current_context()
+                    request["obs"] = {
+                        "enabled": True,
+                        "run_id": context.run_id if context else "",
                     }
-                )
+                worker._write_frame(request)
                 response = worker._read_frame(deadline)
             except _DispatchTimeout:
                 # The worker blew its deadline: end it, as the cold path
@@ -307,11 +324,22 @@ class WorkerPool:
                 returncode = int(response.get("returncode", 0))
                 stdout = str(response.get("stdout", ""))
                 stderr = str(response.get("stderr", ""))
+                payload = response.get("obs")
+                if isinstance(payload, dict):
+                    obs_payload = payload
         finally:
             _active_children.unregister()
             if state["harness_killed"]:
                 timed_out = True
             self._checkin(worker)
+        if obs_payload is not None:
+            # Fold the worker's spans/metrics into this process under
+            # the dispatching span, so a pooled run's timeline shows the
+            # child-side `pool.serve` work exactly where it happened.
+            obs.adopt(
+                obs_payload,
+                parent_id=parent_span.span_id if parent_span is not None else None,
+            )
         duration = time.perf_counter() - started
         obs.histogram("pool.dispatch.seconds").observe(duration)
         return PoolResult(

@@ -240,6 +240,36 @@ def gradebook_html(
         row += "</tr>"
         parts.append(row)
     parts.append("</table>")
+    contended = [
+        (student, latest)
+        for student in gradebook.students()
+        for latest in [gradebook.latest(student)]
+        if latest is not None and latest.race_contention
+    ]
+    if contended:
+        # Per-lock traffic from the race analysis: which locks the
+        # submission actually fought over, next to the race verdicts
+        # above — blocks and failed try-acquires are the contention
+        # signal, raw acquisitions the baseline.
+        parts.append("<h2>Lock contention</h2>")
+        parts.append(
+            "<table><tr><th>student</th><th>lock</th>"
+            "<th class='points'>acquisitions</th>"
+            "<th class='points'>blocks</th>"
+            "<th class='points'>try-failures</th></tr>"
+        )
+        for student, latest in contended:
+            for stat in latest.race_contention:
+                parts.append(
+                    "<tr>"
+                    f"<td>{html.escape(student)}</td>"
+                    f"<td>lock-{int(stat.get('lock', 0))}</td>"
+                    f"<td class='points'>{int(stat.get('acquisitions', 0))}</td>"
+                    f"<td class='points'>{int(stat.get('blocks', 0))}</td>"
+                    f"<td class='points'>{int(stat.get('try_failures', 0))}</td>"
+                    "</tr>"
+                )
+        parts.append("</table>")
     if timelines:
         parts.append("<h2>Timing breakdowns</h2>")
         for student in sorted(timelines):

@@ -175,6 +175,10 @@ class SubmissionRecord:
     #: Why (and how) race-aware credit adjusted this record's score —
     #: empty when ``--race-credit`` was off or no adjustment applied.
     race_note: str = ""
+    #: Per-lock traffic dicts (``lock``/``acquisitions``/``blocks``/
+    #: ``try_failures``) summed across the analyzed schedules — the
+    #: contention table the HTML timing report renders.
+    race_contention: List[Dict[str, Any]] = field(default_factory=list)
     #: Monotonic seconds since the grading batch started (``time.time``
     #: wall timestamps above can jump with clock adjustments; this field
     #: is what resume-ordering may rely on).
@@ -200,6 +204,7 @@ class SubmissionRecord:
         race_count: int = 0,
         race_pairs: List[str] | None = None,
         race_note: str = "",
+        race_contention: List[Dict[str, Any]] | None = None,
         elapsed: float = 0.0,
     ) -> "SubmissionRecord":
         """Snapshot a live :class:`SuiteResult` into plain data."""
@@ -221,6 +226,7 @@ class SubmissionRecord:
             race_count=race_count,
             race_pairs=list(race_pairs or []),
             race_note=race_note,
+            race_contention=[dict(c) for c in race_contention or []],
             elapsed=elapsed,
         )
 
@@ -244,6 +250,7 @@ class SubmissionRecord:
             "race_count": self.race_count,
             "race_pairs": list(self.race_pairs),
             "race_note": self.race_note,
+            "race_contention": [dict(c) for c in self.race_contention],
             "tests": [t.to_dict() for t in self.tests],
         }
 
@@ -271,6 +278,7 @@ class SubmissionRecord:
             race_count=int(data.get("race_count", 0)),
             race_pairs=[str(p) for p in data.get("race_pairs", [])],
             race_note=data.get("race_note", ""),
+            race_contention=[dict(c) for c in data.get("race_contention", [])],
             tests=[TestRecord.from_dict(t) for t in data.get("tests", [])],
         )
 

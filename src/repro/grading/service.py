@@ -33,7 +33,12 @@ process boundaries:
 
 Shard lifecycle is observable end to end: ``service.shard`` spans per
 incarnation, counters for respawns / missed heartbeats / requeues /
-quarantines, and a ``service.shards_alive`` gauge.
+quarantines, and a ``service.shards_alive`` gauge.  Fleet telemetry
+goes further: each manifest carries a trace context (run id + the
+``service.shard`` span id opened pre-spawn), every worker writes a
+crash-safe sidecar dump, :meth:`GradingService.merged_dump` stitches
+them into ONE causal service-wide trace, and an optional progress
+stream feeds the live ``watch`` fleet view.
 """
 
 from __future__ import annotations
@@ -57,6 +62,10 @@ from repro.grading.journal import GradingJournal, JournalEntry
 from repro.grading.records import SubmissionRecord, TestRecord
 from repro.grading.shard_worker import EVENT_PREFIX
 from repro.obs import get_registry as _obs_registry
+from repro.obs.context import TraceContext, new_run_id
+from repro.obs.export import ObsDump
+from repro.obs.merge import merge_workdir
+from repro.obs.stream import ProgressStream
 
 __all__ = [
     "GradingService",
@@ -257,6 +266,10 @@ class _ShardState:
         self.last_beat = 0.0
         self.incarnation = 0
         self.done = False
+        #: The current incarnation's ``service.shard`` span (opened by
+        #: the coordinator pre-spawn so its id can ride the manifest).
+        self.span = None
+        self.sidecar: Optional[Path] = None
         #: Suspect -> deaths observed with that suspect first-pending.
         self.crashes: Dict[str, int] = {}
 
@@ -313,6 +326,11 @@ class GradingService:
         the deterministic crash drills.  One-shot: cleared on respawn.
     python:
         Interpreter for the workers (defaults to ``sys.executable``).
+    progress_stream:
+        Optional :class:`~repro.obs.stream.ProgressStream`; when given,
+        the coordinator emits one flushed JSONL event per fleet state
+        change (spawn/death/graded/quarantine/...) that ``forkjoin-test
+        watch`` tails into a live fleet view.
     """
 
     #: Monitor poll period, seconds.
@@ -344,6 +362,7 @@ class GradingService:
         max_respawns_per_shard: Optional[int] = None,
         faults: Optional[Mapping[int, ShardFaultProgram]] = None,
         python: Optional[str] = None,
+        progress_stream: Optional[ProgressStream] = None,
     ) -> None:
         """Configure the service; see the class docstring for knobs."""
         if shards < 1:
@@ -369,7 +388,17 @@ class GradingService:
         self.max_respawns_per_shard = max_respawns_per_shard
         self.faults = dict(faults or {})
         self.python = python or sys.executable
+        self.progress = progress_stream
+        #: Fleet-wide id shared by every process of one batch (fresh per
+        #: :meth:`grade` call; sidecar files are stamped and filtered
+        #: by it, so reused work directories never merge stale traces).
+        self.run_id = ""
         self._drain = threading.Event()
+        self._batch_span = None
+        self._progress_lock = threading.Lock()
+        self._expected = 0
+        self._progress_graded = 0
+        self._progress_quarantined = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -377,6 +406,37 @@ class GradingService:
     def drain(self) -> None:
         """Request a graceful drain (what SIGINT/SIGTERM do)."""
         self._drain.set()
+
+    def _emit(self, event: str, **fields: Any) -> None:
+        """Progress-stream an event; telemetry must never fail grading."""
+        if self.progress is None:
+            return
+        try:
+            self.progress.emit(event, **fields)
+        except Exception:  # pragma: no cover - full disk etc.
+            pass
+
+    def _emit_queue_depth(self) -> None:
+        with self._progress_lock:
+            graded = self._progress_graded
+            settled = graded + self._progress_quarantined
+        self._emit(
+            "queue-depth",
+            graded=graded,
+            remaining=max(0, self._expected - settled),
+            total=self._expected,
+        )
+
+    def merged_dump(self) -> ObsDump:
+        """ONE service-wide dump: coordinator registry + shard sidecars.
+
+        Every shard-worker and pool-child span is causally parented
+        under this batch's ``service.batch`` root; sidecars from other
+        runs in a reused work directory are filtered out by run id.
+        """
+        return merge_workdir(
+            self.workdir, registry=_obs_registry(), run_id=self.run_id
+        )
 
     def grade(self, submissions: Dict[str, str]) -> ServiceReport:
         """Grade the batch across the shards; returns the merged report.
@@ -387,12 +447,23 @@ class GradingService:
         """
         obs = _obs_registry()
         self._drain.clear()
+        self.run_id = new_run_id()
         self.workdir.mkdir(parents=True, exist_ok=True)
         plan = plan_shards(submissions, self.shards)
         states = [
             _ShardState(i, shard_journal_path(self.workdir, i), assigned)
             for i, assigned in enumerate(plan)
         ]
+        self._expected = len(submissions)
+        self._progress_graded = 0
+        self._progress_quarantined = 0
+        self._emit(
+            "batch-start",
+            suite=self.suite,
+            shards=self.shards,
+            submissions=len(submissions),
+            run_id=self.run_id,
+        )
 
         batch_span = obs.begin_span(
             "service.batch",
@@ -400,6 +471,7 @@ class GradingService:
             shards=self.shards,
             submissions=len(submissions),
         )
+        self._batch_span = batch_span
         resumed: List[str] = []
         try:
             for state in states:
@@ -407,8 +479,16 @@ class GradingService:
                 already = [s for s, _ in state.assigned if s in durable]
                 state.status.resumed = already
                 resumed.extend(already)
+                if already:
+                    with self._progress_lock:
+                        self._progress_graded += len(already)
+                    self._emit(
+                        "shard-resumed", shard=state.shard,
+                        resumed=len(already),
+                    )
                 if len(already) == len(state.assigned):
                     state.done = True
+                    self._emit("shard-done", shard=state.shard)
                 else:
                     self._spawn(state)
             restore = self._install_signal_handlers()
@@ -418,8 +498,16 @@ class GradingService:
                 restore()
         finally:
             obs.end_span(batch_span)
+            self._batch_span = None
 
-        return self._finalize(submissions, states, sorted(resumed))
+        report = self._finalize(submissions, states, sorted(resumed))
+        self._emit(
+            "batch-end",
+            graded=len(report.gradebook.students()),
+            drained=report.drained,
+            interrupted=len(report.interrupted),
+        )
+        return report
 
     # ------------------------------------------------------------------
     # Spawning and events
@@ -450,6 +538,18 @@ class GradingService:
             },
             "heartbeat_interval": self.heartbeat_interval,
             "fault": fault.to_dict(),
+            "obs": {
+                "enabled": _obs_registry().enabled,
+                "run_id": self.run_id,
+                "incarnation": state.incarnation,
+                "parent_process": "coordinator",
+                "parent_span_id": (
+                    state.span.span_id
+                    if state.span is not None and state.span.span_id > 0
+                    else None
+                ),
+                "sidecar": str(state.sidecar) if state.sidecar else None,
+            },
         }
         path = self._manifest_path(state.shard)
         path.write_text(json.dumps(manifest, indent=2))
@@ -476,6 +576,27 @@ class GradingService:
             # Faults are one-shot drills: a respawned incarnation runs
             # clean, so recovery is observable rather than cyclic.
             fault = ShardFaultProgram()
+        # The incarnation's `service.shard` span opens *before* the
+        # worker exists: its id must ride the manifest so the worker's
+        # own root spans stitch under it at merge time.  Detached — the
+        # coordinator thread opens overlapping shard lifetimes; the
+        # incarnation's reader thread closes it.
+        state.span = obs.begin_span(
+            "service.shard",
+            parent_id=(
+                self._batch_span.span_id
+                if self._batch_span is not None
+                and self._batch_span.span_id > 0
+                else None
+            ),
+            detached=True,
+            shard=state.shard,
+            incarnation=state.incarnation,
+            assigned=len(state.status.assigned),
+        )
+        state.sidecar = self.workdir / (
+            f"obs-shard-{state.shard:02d}.inc{state.incarnation:02d}.jsonl"
+        )
         manifest = self._write_manifest(state, fault)
         state.proc = subprocess.Popen(
             [self.python, "-m", "repro.grading.shard_worker", str(manifest)],
@@ -487,32 +608,30 @@ class GradingService:
         state.last_beat = time.monotonic()
         state.reader = threading.Thread(
             target=self._reader_loop,
-            args=(state, state.proc.stdout, state.incarnation),
+            args=(state, state.proc.stdout, state.span),
             name=f"shard-{state.shard}-reader",
             daemon=True,
         )
         state.reader.start()
+        self._emit(
+            "shard-spawn",
+            shard=state.shard,
+            incarnation=state.incarnation,
+            assigned=len(state.status.assigned),
+        )
         state.incarnation += 1
         obs.counter("service.shards_spawned").inc()
         obs.gauge("service.shards_alive").add(1)
 
-    def _reader_loop(self, state: _ShardState, stream,
-                     incarnation: int) -> None:
+    def _reader_loop(self, state: _ShardState, stream, span) -> None:
         """Drain one worker's stdout; every event line is a heartbeat.
 
         One reader thread lives exactly as long as one worker
-        incarnation, so it also carries that incarnation's
-        ``service.shard`` span (spans are per-thread; the coordinator
-        thread juggling overlapping shard lifetimes could not nest them
-        correctly).
+        incarnation, so it closes that incarnation's ``service.shard``
+        *span* (opened, detached, by :meth:`_spawn` so its id could
+        travel in the manifest).
         """
         obs = _obs_registry()
-        span = obs.begin_span(
-            "service.shard",
-            shard=state.shard,
-            incarnation=incarnation,
-            assigned=len(state.status.assigned),
-        )
         try:
             for line in stream:
                 if not line.startswith(EVENT_PREFIX):
@@ -526,6 +645,18 @@ class GradingService:
                     student = event.get("student")
                     if student and student not in state.status.graded:
                         state.status.graded.append(student)
+                        with self._progress_lock:
+                            self._progress_graded += 1
+                        self._emit(
+                            "graded",
+                            shard=state.shard,
+                            student=student,
+                            failure_kind=event.get("failure_kind"),
+                            score=event.get("score"),
+                            max_score=event.get("max_score"),
+                            graded=len(state.status.graded),
+                        )
+                        self._emit_queue_depth()
         except (OSError, ValueError):  # pragma: no cover - pipe torn down
             pass
         finally:
@@ -581,6 +712,11 @@ class GradingService:
                     # kill recovers the shard.
                     obs.counter("service.heartbeat_timeouts").inc()
                     state.status.heartbeat_timeouts += 1
+                    self._emit(
+                        "shard-health",
+                        shard=state.shard,
+                        status="heartbeat-timeout",
+                    )
                     self._kill(state)
                     self._handle_death(state)
             time.sleep(self.POLL)
@@ -624,6 +760,7 @@ class GradingService:
             # Every assigned submission is durable (a clean exit — or a
             # crash precisely after the last record): the shard is done.
             state.done = True
+            self._emit("shard-done", shard=state.shard)
             return
 
         # The shard died with work left.  Blame the first pending
@@ -632,11 +769,18 @@ class GradingService:
         suspect = remaining[0][0]
         state.crashes[suspect] = state.crashes.get(suspect, 0) + 1
         obs.counter("service.shard_deaths").inc()
+        self._emit(
+            "shard-death",
+            shard=state.shard,
+            returncode=returncode,
+            remaining=len(remaining),
+        )
         if state.crashes[suspect] >= self.quarantine_after:
             self._quarantine(state, remaining[0], state.crashes[suspect])
             remaining = remaining[1:]
             if not remaining:
                 state.done = True
+                self._emit("shard-done", shard=state.shard)
                 return
 
         ceiling = self.max_respawns_per_shard
@@ -684,6 +828,10 @@ class GradingService:
             JournalEntry(student=student, identifier=identifier, record=record)
         )
         state.status.quarantined.append(student)
+        with self._progress_lock:
+            self._progress_quarantined += 1
+        self._emit("quarantine", shard=state.shard, student=student)
+        self._emit_queue_depth()
 
     def _record_infra_error(self, state: _ShardState, pair: Tuple[str, str],
                             returncode: Optional[int]) -> None:

@@ -24,6 +24,15 @@ be able to impersonate (or garble) a heartbeat.  Silence longer than the
 coordinator's timeout means the worker is dead or wedged either way, and
 it is hard-killed and respawned.
 
+**Telemetry.**  The manifest's ``obs`` block carries the fleet trace
+context (run id, this incarnation's ``service.shard`` span id in the
+coordinator, a sidecar path).  The worker installs it as its
+:class:`~repro.obs.context.TraceContext` and appends every completed
+span to the crash-safe sidecar JSONL file as it finishes — so even a
+``kill -9`` mid-batch leaves the finished spans on disk for
+:func:`repro.obs.merge.merge_workdir` to stitch under the
+coordinator's trace.
+
 **Drain.**  ``SIGTERM``/``SIGINT`` trigger a graceful drain: queued
 submissions are dropped (they stay resumable — the journal simply does
 not cover them), in-flight attempts finish and are journaled, a final
@@ -71,6 +80,8 @@ class ShardManifest:
             data.get("heartbeat_interval", 0.5)
         )
         self.fault = ShardFaultProgram.from_dict(data.get("fault"))
+        #: Fleet trace context: run id, parent span, sidecar path.
+        self.obs: Dict[str, Any] = dict(data.get("obs", {}))
 
     @classmethod
     def load(cls, path: Path | str) -> "ShardManifest":
@@ -135,7 +146,14 @@ class _ServiceJournal(GradingJournal):
             raise AssertionError("torn-journal-write fault must not return")
         super().append(entry)
         self._count = index + 1
-        self._events.emit("graded", student=entry.student, graded=self._count)
+        self._events.emit(
+            "graded",
+            student=entry.student,
+            graded=self._count,
+            failure_kind=entry.record.failure_kind,
+            score=entry.record.score,
+            max_score=entry.record.max_score,
+        )
         if self._fault.stalls_after(index):
             # Scripted wedge: heartbeats stop, the worker stays alive
             # and silent, and only the coordinator's missed-heartbeat
@@ -169,6 +187,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     import repro.workloads  # noqa: F401 - registers every tested program
 
     from repro.graders import build_named_suite
+    from repro.obs import get_registry
+    from repro.obs.context import TraceContext, set_context
+    from repro.obs.export import SidecarWriter
+
+    # Install this worker's fleet identity before any span is opened:
+    # the sidecar meta line and every exported span carry it, and the
+    # merge layer stitches this process's roots under the coordinator's
+    # `service.shard` span named here.
+    obs_cfg = manifest.obs
+    context = TraceContext(
+        run_id=str(obs_cfg.get("run_id", "")),
+        role="shard",
+        shard=manifest.shard,
+        incarnation=int(obs_cfg.get("incarnation", 0) or 0),
+        parent_process=str(obs_cfg.get("parent_process", "coordinator")),
+        parent_span_id=obs_cfg.get("parent_span_id"),
+    )
+    set_context(context)
+    registry = get_registry()
+    sidecar = None
+    if obs_cfg.get("enabled") and obs_cfg.get("sidecar") and registry.enabled:
+        sidecar = SidecarWriter(
+            obs_cfg["sidecar"], registry=registry, context=context
+        )
+        registry.add_span_sink(sidecar.on_span)
 
     events = _EventStream()
     stalled = threading.Event()
@@ -243,6 +286,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         stop_heartbeat.set()
         if pool is not None:
             pool.shutdown()
+        if sidecar is not None:
+            # Clean shutdown: metric aggregates join the spans already
+            # flushed line-by-line (a kill -9 keeps the spans only).
+            sidecar.flush_metrics()
+            sidecar.close()
 
     if drained.is_set():
         durable = set(journal.completed())

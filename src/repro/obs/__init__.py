@@ -16,13 +16,41 @@ checker's timing loop.  One grading run exports one JSONL dump
 per-submission span trees and ``repro stats`` as aggregate quantiles
 (:mod:`repro.obs.views`).
 
+**Fleet telemetry** extends all of that across process boundaries: a
+:class:`~repro.obs.context.TraceContext` propagated into shard workers
+(via the manifest) and pool children (via the dispatch frame) lets
+every process stamp its spans and dump meta with who it is; crash-safe
+per-process sidecar files (:class:`~repro.obs.export.SidecarWriter`)
+merge deterministically into one causally-stitched service-wide dump
+(:mod:`repro.obs.merge`); a live progress stream feeds the ``watch``
+fleet view (:mod:`repro.obs.stream`); and every metric renders in
+Prometheus text exposition format (:mod:`repro.obs.prom`).
+
 Set ``REPRO_OBS=off`` to disable collection entirely; see
 ``docs/observability.md`` for the model, naming conventions, and export
 format.
 """
 
-from repro.obs.export import ObsDump, dump_jsonl, load_jsonl
+from repro.obs.context import (
+    TraceContext,
+    current_context,
+    new_run_id,
+    set_context,
+    use_context,
+)
+from repro.obs.export import (
+    ObsDump,
+    ObsDumpWarning,
+    SidecarWriter,
+    dump_jsonl,
+    load_jsonl,
+    registry_payload,
+    save_dump,
+    snapshot_dump,
+)
+from repro.obs.merge import load_sidecars, merge_dumps, merge_workdir
 from repro.obs.metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram
+from repro.obs.prom import render_prom
 from repro.obs.registry import (
     OBS_ENV_VAR,
     ObsRegistry,
@@ -32,11 +60,21 @@ from repro.obs.registry import (
     use_registry,
 )
 from repro.obs.spans import NULL_SPAN, Span
+from repro.obs.stream import (
+    FleetState,
+    ProgressStream,
+    ShardView,
+    read_events,
+    render_fleet,
+)
 from repro.obs.views import (
+    render_fleet_timeline,
     render_span_tree,
     render_stats,
     render_timeline,
+    stats_json,
     submission_timings,
+    timeline_json,
 )
 
 __all__ = [
@@ -48,15 +86,37 @@ __all__ = [
     "NULL_SPAN",
     "ObsRegistry",
     "ObsDump",
+    "ObsDumpWarning",
     "OBS_ENV_VAR",
+    "TraceContext",
+    "new_run_id",
+    "current_context",
+    "set_context",
+    "use_context",
     "get_registry",
     "reset_registry",
     "use_registry",
     "obs_enabled",
     "dump_jsonl",
     "load_jsonl",
+    "save_dump",
+    "snapshot_dump",
+    "registry_payload",
+    "SidecarWriter",
+    "merge_dumps",
+    "merge_workdir",
+    "load_sidecars",
+    "render_prom",
+    "ProgressStream",
+    "FleetState",
+    "ShardView",
+    "read_events",
+    "render_fleet",
     "render_timeline",
+    "render_fleet_timeline",
     "render_stats",
     "render_span_tree",
     "submission_timings",
+    "timeline_json",
+    "stats_json",
 ]

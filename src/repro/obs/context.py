@@ -1,0 +1,137 @@
+"""Cross-process trace context: who this process is inside a fleet.
+
+One sharded grading run spans many OS processes — the coordinator, N
+shard workers (each possibly respawned into several *incarnations*),
+and the pre-forked pool children each shard dispatches to.  For their
+telemetry to merge into one causal trace, every process must know three
+things:
+
+- the **run id** shared by the whole fleet (so stale sidecar files from
+  an earlier batch in a reused work directory are never merged in);
+- its **role** in the fleet (``coordinator`` / ``shard`` / ``pool``)
+  plus the shard number and incarnation when applicable;
+- the **parent span**: the id of the span in the *parent process* under
+  which this process's root spans should be stitched at merge time.
+
+The coordinator passes a serialized :class:`TraceContext` to shard
+workers inside the shard manifest and shard workers pass one to pool
+children inside the dispatch frame.  The receiving process installs it
+with :func:`set_context`; the sidecar writer and dump exporter stamp it
+into the meta line so even a single file is self-describing.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = [
+    "TraceContext",
+    "new_run_id",
+    "current_context",
+    "set_context",
+    "use_context",
+]
+
+
+def new_run_id() -> str:
+    """A fresh, collision-resistant id for one service-wide grading run."""
+    return uuid.uuid4().hex[:12]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Identity and parentage of one process inside a grading fleet."""
+
+    run_id: str = ""
+    #: ``coordinator`` | ``shard`` | ``pool``.
+    role: str = "coordinator"
+    shard: Optional[int] = None
+    incarnation: Optional[int] = None
+    pid: int = field(default_factory=os.getpid)
+    #: Process key of the parent process (``""`` for the coordinator).
+    parent_process: str = ""
+    #: Span id *in the parent process* to stitch this process's root
+    #: spans under at merge time.
+    parent_span_id: Optional[int] = None
+
+    @property
+    def process_key(self) -> str:
+        """Stable, human-readable key naming this process in a merge.
+
+        ``coordinator``, ``shard-03#1`` (shard 3, second incarnation),
+        or ``pool-<pid>``.
+        """
+        if self.role == "shard" and self.shard is not None:
+            return f"shard-{self.shard:02d}#{self.incarnation or 0}"
+        if self.role == "pool":
+            return f"pool-{self.pid}"
+        return self.role or "coordinator"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serializable shadow (manifest ``obs`` block / dump meta)."""
+        return {
+            "run_id": self.run_id,
+            "role": self.role,
+            "shard": self.shard,
+            "incarnation": self.incarnation,
+            "pid": self.pid,
+            "parent_process": self.parent_process,
+            "parent_span_id": self.parent_span_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TraceContext":
+        """Rebuild a context from :meth:`to_dict` output."""
+        return cls(
+            run_id=str(data.get("run_id", "")),
+            role=str(data.get("role", "coordinator")),
+            shard=None if data.get("shard") is None else int(data["shard"]),
+            incarnation=(
+                None
+                if data.get("incarnation") is None
+                else int(data["incarnation"])
+            ),
+            pid=int(data.get("pid", 0)) or os.getpid(),
+            parent_process=str(data.get("parent_process", "")),
+            parent_span_id=(
+                None
+                if data.get("parent_span_id") is None
+                else int(data["parent_span_id"])
+            ),
+        )
+
+
+_lock = threading.Lock()
+_context: Optional[TraceContext] = None
+
+
+def current_context() -> Optional[TraceContext]:
+    """The process-wide trace context, or ``None`` outside a fleet."""
+    with _lock:
+        return _context
+
+
+def set_context(context: Optional[TraceContext]) -> None:
+    """Install *context* as the process-wide trace context."""
+    global _context
+    with _lock:
+        _context = context
+
+
+@contextlib.contextmanager
+def use_context(context: Optional[TraceContext]) -> Iterator[None]:
+    """Temporarily install *context* (tests and in-process embedders)."""
+    global _context
+    with _lock:
+        previous = _context
+        _context = context
+    try:
+        yield
+    finally:
+        with _lock:
+            _context = previous

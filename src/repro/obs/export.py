@@ -2,97 +2,433 @@
 
 The dump is one self-describing JSON object per line, ``type``-tagged:
 
-- ``{"type": "meta", "version": 1, "written_at": <wall seconds>}``
+- ``{"type": "meta", "version": 2, "written_at": <wall seconds>,
+  "run_id": ..., "process": "shard-00#1", "role": "shard", "shard": 0,
+  "incarnation": 1, "pid": 4242, "epoch": <monotonic seconds>}``
 - ``{"type": "span", "id": 7, "parent": 3, "name": "runner.run",
   "start": 0.12, "duration": 0.05, "thread": "grading-worker-0",
-  "attrs": {...}}``
+  "process": "shard-00#1", "attrs": {...}}``
 - ``{"type": "counter", "name": "supervisor.retries", "value": 2}``
 - ``{"type": "gauge", ...}`` / ``{"type": "histogram", ...}``
 
+Version 2 adds the fleet-telemetry fields: the meta line carries the
+process's :class:`~repro.obs.context.TraceContext` (so a single file is
+self-describing about *which* process of *which* run produced it), and
+spans carry a ``process`` key.  A **merged** dump (see
+:mod:`repro.obs.merge`) sets ``"merged": true`` in its meta line, lists
+every constituent process under ``"processes"``, and tags each metric
+line with its originating process so per-role breakdowns survive the
+round trip.
+
 ``repro timeline`` and ``repro stats`` read this file back; unknown
-``type`` tags are ignored so the format can grow.
+``type`` tags are ignored so the format can grow.  Version 1 dumps load
+unchanged.
+
+Two writers exist:
+
+- :func:`dump_jsonl` / :func:`save_dump` write the file whole at the
+  end of a run (one dump describes one grading run);
+- :class:`SidecarWriter` appends one flushed line per *completed* span,
+  so a shard worker killed with ``kill -9`` mid-batch still leaves
+  every finished span on disk — at worst the final line is torn, which
+  :func:`load_jsonl` drops (with a warning and the
+  ``obs.torn_tail_dropped`` counter) when loaded with
+  ``tolerant=True``, mirroring the grading journal's torn-tail
+  self-healing.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List
+from typing import Any, Dict, List, Optional
 
+from repro.obs.context import TraceContext, current_context
 from repro.obs.metrics import Histogram
-from repro.obs.registry import ObsRegistry
+from repro.obs.registry import ObsRegistry, get_registry
 from repro.obs.spans import Span
 
-__all__ = ["ObsDump", "dump_jsonl", "load_jsonl"]
+__all__ = [
+    "ObsDump",
+    "ObsDumpWarning",
+    "SidecarWriter",
+    "dump_jsonl",
+    "load_jsonl",
+    "save_dump",
+    "snapshot_dump",
+    "registry_payload",
+]
 
 #: Format version stamped into the meta line.
-DUMP_VERSION = 1
+DUMP_VERSION = 2
+
+
+class ObsDumpWarning(UserWarning):
+    """A recoverable defect in a dump file (torn trailing line)."""
 
 
 @dataclass
 class ObsDump:
-    """A loaded span/metric dump, ready for rendering."""
+    """A loaded span/metric dump, ready for rendering.
+
+    ``meta`` is the dump's meta line (identity of the producing process,
+    or ``{"merged": True, "processes": [...]}`` for a service-wide
+    merge).  A merged dump also carries its constituent per-process
+    dumps in ``parts``; single-process dumps have an empty ``parts``.
+    """
 
     spans: List[Span] = field(default_factory=list)
     counters: Dict[str, int] = field(default_factory=dict)
     gauges: Dict[str, float] = field(default_factory=dict)
     histograms: Dict[str, Histogram] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+    parts: List["ObsDump"] = field(default_factory=list)
 
     @property
     def empty(self) -> bool:
         """True when the dump holds no spans and no metrics."""
         return not (self.spans or self.counters or self.gauges or self.histograms)
 
+    @property
+    def process(self) -> str:
+        """Process key of the producing process (``""`` when unknown)."""
+        return str(self.meta.get("process", ""))
 
-def dump_jsonl(registry: ObsRegistry, path: Path | str) -> Path:
+    @property
+    def role(self) -> str:
+        """Fleet role of the producing process (``""`` when unknown)."""
+        return str(self.meta.get("role", ""))
+
+    @property
+    def merged(self) -> bool:
+        """True for a service-wide merge of several per-process dumps."""
+        return bool(self.meta.get("merged"))
+
+
+def _context_meta(
+    registry: ObsRegistry, context: Optional[TraceContext]
+) -> Dict[str, Any]:
+    """Meta-line fields describing the producing process."""
+    context = context or current_context() or TraceContext()
+    meta = context.to_dict()
+    meta["process"] = context.process_key
+    meta["epoch"] = registry.epoch
+    return meta
+
+
+def snapshot_dump(
+    registry: ObsRegistry, *, context: Optional[TraceContext] = None
+) -> ObsDump:
+    """An :class:`ObsDump` copy of *registry*'s current contents.
+
+    Spans are stamped with the process key from *context* (default: the
+    installed :func:`~repro.obs.context.current_context`), so the
+    snapshot is self-describing even before it reaches a file.
+    """
+    meta = _context_meta(registry, context)
+    process = str(meta.get("process", ""))
+    spans = []
+    for span in registry.spans():
+        copy = Span.from_dict(span.to_dict())
+        if not copy.process:
+            copy.process = process
+        spans.append(copy)
+    return ObsDump(
+        spans=spans,
+        counters={n: c.value for n, c in registry.counters().items()},
+        gauges={n: g.value for n, g in registry.gauges().items()},
+        histograms={
+            n: Histogram.from_dict(h.to_dict())
+            for n, h in registry.histograms().items()
+        },
+        meta=meta,
+    )
+
+
+def registry_payload(
+    registry: ObsRegistry, *, context: Optional[TraceContext] = None
+) -> Dict[str, Any]:
+    """Wire-shaped snapshot for shipping over a pool response frame.
+
+    The receiving side folds it in with
+    :meth:`~repro.obs.registry.ObsRegistry.adopt`; ``epoch`` lets the
+    adopter rebase span starts onto its own timeline.  Spans are
+    stamped with the producing process's key so they keep their
+    identity after adoption into the dispatcher's registry.
+    """
+    context = context or current_context()
+    process = context.process_key if context else ""
+    spans = []
+    for span in registry.spans():
+        data = span.to_dict()
+        if "process" not in data and process:
+            data["process"] = process
+        spans.append(data)
+    return {
+        "epoch": registry.epoch,
+        "spans": spans,
+        "counters": {n: c.value for n, c in registry.counters().items()},
+        "histograms": [h.to_dict() for h in registry.histograms().values()],
+    }
+
+
+def _dump_lines(dump: ObsDump) -> List[str]:
+    meta = {"type": "meta", "version": DUMP_VERSION, "written_at": time.time()}
+    meta.update(dump.meta)
+    if dump.parts:
+        meta["merged"] = True
+        meta["processes"] = [dict(part.meta) for part in dump.parts]
+    lines = [json.dumps(meta, default=str)]
+    process = dump.process
+    for span in dump.spans:
+        data = span.to_dict()
+        if "process" not in data and process:
+            data["process"] = process
+        lines.append(json.dumps(data, default=str))
+    if dump.parts:
+        # Per-part metric lines keep the per-role breakdown; the flat
+        # aggregates are recomputed on load.
+        for part in dump.parts:
+            part_key = part.process
+            for name, value in part.counters.items():
+                lines.append(
+                    json.dumps(
+                        {
+                            "type": "counter",
+                            "name": name,
+                            "value": value,
+                            "process": part_key,
+                        }
+                    )
+                )
+            for name, value in part.gauges.items():
+                lines.append(
+                    json.dumps(
+                        {
+                            "type": "gauge",
+                            "name": name,
+                            "value": value,
+                            "process": part_key,
+                        }
+                    )
+                )
+            for histogram in part.histograms.values():
+                data = histogram.to_dict()
+                data["process"] = part_key
+                lines.append(json.dumps(data))
+    else:
+        for name, value in dump.counters.items():
+            lines.append(
+                json.dumps({"type": "counter", "name": name, "value": value})
+            )
+        for name, value in dump.gauges.items():
+            lines.append(
+                json.dumps({"type": "gauge", "name": name, "value": value})
+            )
+        for histogram in dump.histograms.values():
+            lines.append(json.dumps(histogram.to_dict()))
+    return lines
+
+
+def save_dump(dump: ObsDump, path: Path | str) -> Path:
+    """Write *dump* (single-process or merged) to *path* as JSONL."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text("\n".join(_dump_lines(dump)) + "\n")
+    return target
+
+
+def dump_jsonl(
+    registry: ObsRegistry,
+    path: Path | str,
+    *,
+    context: Optional[TraceContext] = None,
+) -> Path:
     """Write *registry*'s spans and metrics to *path*; returns the path.
 
     The file is written whole (not appended): one dump describes one
     grading run.
     """
-    target = Path(path)
-    lines = [
-        json.dumps(
-            {"type": "meta", "version": DUMP_VERSION, "written_at": time.time()}
-        )
-    ]
-    for span in registry.spans():
-        lines.append(json.dumps(span.to_dict(), default=str))
-    for counter in registry.counters().values():
-        lines.append(json.dumps(counter.to_dict()))
-    for gauge in registry.gauges().values():
-        lines.append(json.dumps(gauge.to_dict()))
-    for histogram in registry.histograms().values():
-        lines.append(json.dumps(histogram.to_dict()))
-    target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text("\n".join(lines) + "\n")
-    return target
+    return save_dump(snapshot_dump(registry, context=context), path)
 
 
-def load_jsonl(path: Path | str) -> ObsDump:
-    """Read a dump written by :func:`dump_jsonl`.
+def _rebuild_parts(dump: ObsDump) -> None:
+    """Reconstruct ``parts`` of a merged dump from process-tagged lines."""
+    part_metas = {
+        str(meta.get("process", "")): dict(meta)
+        for meta in dump.meta.get("processes", [])
+    }
+    keys: List[str] = []
+    parts: Dict[str, ObsDump] = {}
+
+    def part_for(key: str) -> ObsDump:
+        if key not in parts:
+            keys.append(key)
+            parts[key] = ObsDump(meta=part_metas.get(key, {"process": key}))
+        return parts[key]
+
+    # Honour the saved process order even for processes with no metrics.
+    for key in part_metas:
+        part_for(key)
+    for span in dump.spans:
+        part_for(span.process).spans.append(span)
+    for (name, key), value in dump.counters.items():  # type: ignore[misc]
+        part = part_for(key)
+        part.counters[name] = part.counters.get(name, 0) + int(value)
+    for (name, key), value in dump.gauges.items():  # type: ignore[misc]
+        part = part_for(key)
+        part.gauges[name] = part.gauges.get(name, 0.0) + float(value)
+    for (name, key), histogram in dump.histograms.items():  # type: ignore[misc]
+        part = part_for(key)
+        if name in part.histograms:
+            part.histograms[name].merge(histogram)
+        else:
+            part.histograms[name] = histogram
+    dump.parts = [parts[key] for key in keys]
+    # Flatten the keyed metrics back into plain aggregates.
+    dump.counters = {}
+    dump.gauges = {}
+    dump.histograms = {}
+    for part in dump.parts:
+        for name, value in part.counters.items():
+            dump.counters[name] = dump.counters.get(name, 0) + value
+        for name, value in part.gauges.items():
+            dump.gauges[name] = dump.gauges.get(name, 0.0) + value
+        for name, histogram in part.histograms.items():
+            clone = Histogram.from_dict(histogram.to_dict())
+            if name in dump.histograms:
+                dump.histograms[name].merge(clone)
+            else:
+                dump.histograms[name] = clone
+
+
+def load_jsonl(path: Path | str, *, tolerant: bool = False) -> ObsDump:
+    """Read a dump written by :func:`dump_jsonl` or a sidecar file.
 
     Blank lines and unknown ``type`` tags are skipped; a syntactically
-    corrupt line raises ``ValueError`` naming the line number.
+    corrupt line raises ``ValueError`` naming the line number.  With
+    ``tolerant=True`` a corrupt *final* line — the signature of a
+    process killed mid-append — is dropped instead, with an
+    :class:`ObsDumpWarning` and an ``obs.torn_tail_dropped`` counter
+    tick; corruption anywhere else still raises.
     """
     dump = ObsDump()
-    for index, line in enumerate(Path(path).read_text().splitlines(), start=1):
+    lines = Path(path).read_text().splitlines()
+    last_content = 0
+    for index, line in enumerate(lines, start=1):
+        if line.strip():
+            last_content = index
+    merged = False
+    for index, line in enumerate(lines, start=1):
         if not line.strip():
             continue
         try:
             data = json.loads(line)
         except json.JSONDecodeError as exc:
+            if tolerant and index == last_content:
+                warnings.warn(
+                    f"{path}: dropped torn trailing obs line {index}",
+                    ObsDumpWarning,
+                    stacklevel=2,
+                )
+                get_registry().counter("obs.torn_tail_dropped").inc()
+                break
             raise ValueError(f"{path}: corrupt obs line {index}: {exc}") from exc
         kind = data.get("type")
-        if kind == "span":
+        if kind == "meta":
+            dump.meta = {
+                k: v for k, v in data.items() if k not in ("type", "written_at")
+            }
+            merged = bool(data.get("merged"))
+        elif kind == "span":
             dump.spans.append(Span.from_dict(data))
         elif kind == "counter":
-            dump.counters[data["name"]] = int(data.get("value", 0))
+            _store_metric(dump.counters, data, merged, int)
         elif kind == "gauge":
-            dump.gauges[data["name"]] = float(data.get("value", 0.0))
+            _store_metric(dump.gauges, data, merged, float)
         elif kind == "histogram":
-            dump.histograms[data["name"]] = Histogram.from_dict(data)
-        # meta and future tags: ignored
+            key = (
+                (data["name"], data.get("process", ""))
+                if merged
+                else data["name"]
+            )
+            dump.histograms[key] = Histogram.from_dict(data)  # type: ignore[index]
+        # future tags: ignored
+    if merged:
+        _rebuild_parts(dump)
     return dump
+
+
+def _store_metric(table: Dict, data: Dict[str, Any], merged: bool, cast) -> None:
+    key = (data["name"], data.get("process", "")) if merged else data["name"]
+    table[key] = cast(data.get("value", 0))
+
+
+class SidecarWriter:
+    """Crash-safe per-process telemetry sidecar: one line per ended span.
+
+    Installed as a span sink
+    (``registry.add_span_sink(writer.on_span)``), it appends one
+    flushed JSONL line per completed span, so a ``kill -9`` loses at
+    most the line being written (torn tails are dropped by
+    ``load_jsonl(..., tolerant=True)``).  Metrics are only written by
+    :meth:`flush_metrics` at clean shutdown — a killed process's metric
+    aggregates die with it, but its finished spans survive.
+
+    The file starts with a version-2 meta line carrying the process's
+    :class:`~repro.obs.context.TraceContext`, so the merge layer can
+    identify and stitch it without out-of-band knowledge.
+    """
+
+    def __init__(
+        self,
+        path: Path | str,
+        *,
+        registry: ObsRegistry,
+        context: Optional[TraceContext] = None,
+    ) -> None:
+        """Open (truncate) the sidecar at *path* and write its meta line."""
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._registry = registry
+        self._meta = _context_meta(registry, context)
+        self._process = str(self._meta.get("process", ""))
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "w", encoding="utf-8")
+        meta = {"type": "meta", "version": DUMP_VERSION, "written_at": time.time()}
+        meta.update(self._meta)
+        self._write_line(json.dumps(meta, default=str))
+
+    def _write_line(self, line: str) -> None:
+        with self._lock:
+            if self._handle.closed:
+                return
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def on_span(self, span: Span) -> None:
+        """Span-sink callback: append one completed span, flushed."""
+        data = span.to_dict()
+        if "process" not in data:
+            data["process"] = self._process
+        self._write_line(json.dumps(data, default=str))
+
+    def flush_metrics(self) -> None:
+        """Append the registry's metric aggregates (clean shutdown only)."""
+        for counter in self._registry.counters().values():
+            self._write_line(json.dumps(counter.to_dict()))
+        for gauge in self._registry.gauges().values():
+            self._write_line(json.dumps(gauge.to_dict()))
+        for histogram in self._registry.histograms().values():
+            self._write_line(json.dumps(histogram.to_dict()))
+
+    def close(self) -> None:
+        """Detach from the registry and close the file."""
+        self._registry.remove_span_sink(self.on_span)
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()

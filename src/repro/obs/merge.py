@@ -1,0 +1,178 @@
+"""Deterministic merge of per-process telemetry into one fleet dump.
+
+A sharded grading run leaves one dump per process: the coordinator's
+registry, one sidecar per shard-worker *incarnation*
+(``obs-shard-00.inc00.jsonl``, written line-by-line so a killed worker
+still contributes its finished spans), and — transitively — every pool
+child's spans, which the dispatching shard adopted into its own
+registry at response time.  :func:`merge_dumps` folds them into ONE
+:class:`~repro.obs.export.ObsDump` in which every span is causally
+parented under the coordinator's ``service.batch`` root:
+
+- **ordering is deterministic**: parts are sorted coordinator-first,
+  then by ``(role, shard, incarnation, pid, process key)``, so the same
+  set of input files merges to byte-identical output regardless of the
+  order they were discovered in;
+- **span ids are remapped** into one global id space, preserving each
+  process's internal parent/child links;
+- **cross-process stitching**: a process's root spans (no parent inside
+  its own dump) are re-parented under the span named by its meta line's
+  ``parent_process``/``parent_span_id`` — the ``service.shard`` span
+  the coordinator opened before spawning it;
+- **clock rebasing**: every span's start is shifted from its process's
+  monotonic epoch onto the coordinator's (``CLOCK_MONOTONIC`` is
+  system-wide on Linux, so epochs are directly comparable);
+- **metrics aggregate**: counters and gauges sum, histograms merge
+  bucket-by-bucket (fixed boundaries make this lossless).
+
+:func:`merge_workdir` is the service-facing entry point: glob the
+sidecars out of a work directory, filter them to the current ``run_id``
+(a reused/resumed work directory may hold stale sidecars from an
+earlier batch), snapshot the coordinator's live registry, and merge.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.context import TraceContext
+from repro.obs.export import (
+    ObsDump,
+    load_jsonl,
+    snapshot_dump,
+)
+from repro.obs.metrics import Histogram
+from repro.obs.registry import ObsRegistry
+from repro.obs.spans import Span
+
+__all__ = ["merge_dumps", "merge_workdir", "load_sidecars"]
+
+_ROLE_RANK = {"coordinator": 0, "shard": 1, "pool": 2}
+
+
+def _part_key(dump: ObsDump) -> Tuple:
+    meta = dump.meta
+    return (
+        _ROLE_RANK.get(str(meta.get("role", "")), 3),
+        -1 if meta.get("shard") is None else int(meta["shard"]),
+        -1 if meta.get("incarnation") is None else int(meta["incarnation"]),
+        int(meta.get("pid", 0) or 0),
+        str(meta.get("process", "")),
+    )
+
+
+def merge_dumps(dumps: Sequence[ObsDump]) -> ObsDump:
+    """Fold per-process dumps into one service-wide dump, deterministically.
+
+    Input order is irrelevant: parts are sorted coordinator-first.  Each
+    part must be a single-process dump whose meta line identifies it
+    (any dump written by version ≥ 2 qualifies).
+    """
+    parts = sorted(dumps, key=_part_key)
+    merged = ObsDump()
+    run_ids = [p.meta.get("run_id") for p in parts if p.meta.get("run_id")]
+    merged.meta = {
+        "merged": True,
+        "run_id": run_ids[0] if run_ids else "",
+        "process": "",
+        "processes": [dict(part.meta) for part in parts],
+    }
+    merged.parts = parts
+
+    base_epoch: Optional[float] = None
+    for part in parts:
+        if part.meta.get("epoch") is not None:
+            base_epoch = float(part.meta["epoch"])
+            break
+
+    next_id = 1
+    #: (process key, local span id) -> global span id
+    global_ids: Dict[Tuple[str, int], int] = {}
+    rebuilt: List[Tuple[ObsDump, List[Span]]] = []
+    for part in parts:
+        key = part.process
+        copies: List[Span] = []
+        for span in part.spans:
+            copy = Span.from_dict(span.to_dict())
+            copy.process = copy.process or key
+            global_ids[(key, span.span_id)] = next_id
+            copy.span_id = next_id
+            next_id += 1
+            copies.append(copy)
+        rebuilt.append((part, copies))
+
+    for part, copies in rebuilt:
+        key = part.process
+        epoch = part.meta.get("epoch")
+        offset = (
+            float(epoch) - base_epoch
+            if epoch is not None and base_epoch is not None
+            else 0.0
+        )
+        parent_process = str(part.meta.get("parent_process", ""))
+        parent_span = part.meta.get("parent_span_id")
+        stitched_parent = (
+            global_ids.get((parent_process, int(parent_span)))
+            if parent_span is not None
+            else None
+        )
+        for span, copy in zip(part.spans, copies):
+            copy.start += offset
+            if span.parent_id is not None and (key, span.parent_id) in global_ids:
+                copy.parent_id = global_ids[(key, span.parent_id)]
+            else:
+                copy.parent_id = stitched_parent
+            merged.spans.append(copy)
+
+    for part in parts:
+        for name, value in part.counters.items():
+            merged.counters[name] = merged.counters.get(name, 0) + int(value)
+        for name, value in part.gauges.items():
+            merged.gauges[name] = merged.gauges.get(name, 0.0) + float(value)
+        for name, histogram in part.histograms.items():
+            clone = Histogram.from_dict(histogram.to_dict())
+            if name in merged.histograms:
+                merged.histograms[name].merge(clone)
+            else:
+                merged.histograms[name] = clone
+    return merged
+
+
+def load_sidecars(
+    workdir: Path | str, *, run_id: Optional[str] = None
+) -> List[ObsDump]:
+    """Load every ``obs-*.jsonl`` sidecar under *workdir*, tolerantly.
+
+    Sidecars whose meta line names a different ``run_id`` are skipped —
+    a resumed or reused work directory may hold files from an earlier
+    batch that must not pollute this run's trace.
+    """
+    dumps: List[ObsDump] = []
+    for path in sorted(Path(workdir).glob("obs-*.jsonl")):
+        dump = load_jsonl(path, tolerant=True)
+        if run_id and dump.meta.get("run_id") not in ("", None, run_id):
+            continue
+        if not dump.empty or dump.meta:
+            dumps.append(dump)
+    return dumps
+
+
+def merge_workdir(
+    workdir: Path | str,
+    *,
+    registry: Optional[ObsRegistry] = None,
+    context: Optional[TraceContext] = None,
+    run_id: Optional[str] = None,
+) -> ObsDump:
+    """One service-wide dump for the batch that ran under *workdir*.
+
+    Combines the coordinator's live *registry* (snapshot in-place) with
+    every matching shard sidecar found in the work directory.
+    """
+    parts = load_sidecars(workdir, run_id=run_id)
+    if registry is not None and registry.enabled:
+        if context is None:
+            context = TraceContext(run_id=run_id or "", role="coordinator")
+        parts.append(snapshot_dump(registry, context=context))
+    return merge_dumps(parts)

@@ -153,6 +153,34 @@ class Histogram:
             if value > self._max:
                 self._max = value
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold *other*'s observations into this histogram.
+
+        Boundaries are fixed at construction precisely so that two
+        dumps of the same metric merge bucket-by-bucket; mismatched
+        boundaries raise ``ValueError``.
+        """
+        if tuple(other.boundaries) != tuple(self.boundaries):
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge mismatched "
+                f"boundaries {other.boundaries} into {self.boundaries}"
+            )
+        with other._lock:
+            counts = list(other._counts)
+            other_sum = other._sum
+            other_count = other._count
+            other_min = other._min
+            other_max = other._max
+        with self._lock:
+            for index, bucket_count in enumerate(counts):
+                self._counts[index] += bucket_count
+            self._sum += other_sum
+            self._count += other_count
+            if other_min < self._min:
+                self._min = other_min
+            if other_max > self._max:
+                self._max = other_max
+
     # ------------------------------------------------------------------
     @property
     def count(self) -> int:

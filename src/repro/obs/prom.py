@@ -1,0 +1,140 @@
+"""Prometheus text-exposition rendering of obs metrics.
+
+:func:`render_prom` turns a live registry or a loaded dump into the
+`text exposition format <https://prometheus.io/docs/instrumenting/exposition_formats/>`__
+a node exporter would serve, so a grading fleet's counters, gauges, and
+histograms can be scraped (or pushed via a textfile collector) without
+any new dependency:
+
+- names are prefixed ``repro_`` and dots become underscores
+  (``supervisor.retries`` → ``repro_supervisor_retries_total``);
+- counters gain the conventional ``_total`` suffix; gauges keep their
+  name; histograms emit *cumulative* ``_bucket{le="..."}`` series plus
+  the ``+Inf`` bucket, ``_sum``, and ``_count``;
+- every series carries a ``role`` label (``coordinator`` / ``shard`` /
+  ``pool``).  A merged fleet dump aggregates its parts per role, so one
+  scrape distinguishes coordinator bookkeeping from shard work; a
+  single-process source emits its own role.
+
+Output is sorted (by metric name, then role) so two renderings of the
+same data are byte-identical — CI diffs them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Union
+
+from repro.obs.context import current_context
+from repro.obs.export import ObsDump
+from repro.obs.metrics import Histogram
+from repro.obs.registry import ObsRegistry
+
+__all__ = ["render_prom", "prom_name"]
+
+Source = Union[ObsRegistry, ObsDump]
+
+#: metric name -> kind -> role -> value (Histogram for histograms).
+_Table = Dict[str, Dict[str, Dict[str, object]]]
+
+
+def prom_name(name: str, kind: str) -> str:
+    """The Prometheus series name for obs metric *name*."""
+    base = "repro_" + name.replace(".", "_").replace("-", "_")
+    if kind == "counter" and not base.endswith("_total"):
+        base += "_total"
+    return base
+
+
+def _format_value(value: object) -> str:
+    number = float(value)  # type: ignore[arg-type]
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _accumulate(
+    table: _Table,
+    role: str,
+    counters: Dict[str, int],
+    gauges: Dict[str, float],
+    histograms: Dict[str, Histogram],
+) -> None:
+    for name, value in counters.items():
+        slot = table.setdefault(name, {"kind": "counter", "roles": {}})["roles"]
+        slot[role] = slot.get(role, 0) + int(value)  # type: ignore[index]
+    for name, value in gauges.items():
+        slot = table.setdefault(name, {"kind": "gauge", "roles": {}})["roles"]
+        slot[role] = slot.get(role, 0.0) + float(value)  # type: ignore[index]
+    for name, histogram in histograms.items():
+        slot = table.setdefault(name, {"kind": "histogram", "roles": {}})["roles"]
+        clone = Histogram.from_dict(histogram.to_dict())
+        if role in slot:  # type: ignore[operator]
+            slot[role].merge(clone)  # type: ignore[union-attr,index]
+        else:
+            slot[role] = clone  # type: ignore[index]
+
+
+def _collect(source: Source) -> _Table:
+    table: _Table = {}
+    if isinstance(source, ObsRegistry):
+        context = current_context()
+        role = context.role if context else "coordinator"
+        _accumulate(
+            table,
+            role,
+            {n: c.value for n, c in source.counters().items()},
+            {n: g.value for n, g in source.gauges().items()},
+            source.histograms(),
+        )
+    elif source.parts:
+        for part in source.parts:
+            role = part.role or "coordinator"
+            _accumulate(table, role, part.counters, part.gauges, part.histograms)
+    else:
+        _accumulate(
+            table,
+            source.role or "coordinator",
+            source.counters,
+            source.gauges,
+            source.histograms,
+        )
+    return table
+
+
+def _histogram_lines(
+    name: str, series: List[Tuple[str, Histogram]]
+) -> List[str]:
+    lines: List[str] = []
+    for role, histogram in series:
+        label = f'{{role="{role}"'
+        cumulative = 0
+        pairs = histogram.bucket_counts()
+        for boundary, count in pairs:
+            cumulative += count
+            le = "+Inf" if boundary is None else f"{boundary:g}"
+            lines.append(f'{name}_bucket{label},le="{le}"}} {cumulative}')
+        lines.append(f"{name}_sum{label}}} {_format_value(histogram.total)}")
+        lines.append(f"{name}_count{label}}} {histogram.count}")
+    return lines
+
+
+def render_prom(source: Source) -> str:
+    """Render *source*'s metrics in Prometheus text exposition format."""
+    table = _collect(source)
+    lines: List[str] = []
+    for metric in sorted(table):
+        entry = table[metric]
+        kind = str(entry["kind"])
+        name = prom_name(metric, kind)
+        roles = entry["roles"]
+        series = sorted(roles.items())  # type: ignore[union-attr]
+        lines.append(
+            f"# TYPE {name} "
+            f"{'histogram' if kind == 'histogram' else kind}"
+        )
+        if kind == "histogram":
+            lines.extend(_histogram_lines(name, series))  # type: ignore[arg-type]
+        else:
+            for role, value in series:
+                lines.append(f'{name}{{role="{role}"}} {_format_value(value)}')
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -20,7 +20,7 @@ import itertools
 import os
 import threading
 import time
-from typing import Any, Dict, Iterator, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.obs.metrics import Counter, Gauge, Histogram
 from repro.obs.spans import NULL_SPAN, Span
@@ -97,6 +97,7 @@ class ObsRegistry:
         self._spans: List[Span] = []
         self._span_ids = itertools.count(1)
         self._stacks = threading.local()
+        self._sinks: List[Callable[[Span], None]] = []
 
     # ------------------------------------------------------------------
     # Metrics
@@ -146,24 +147,40 @@ class ObsRegistry:
             stack = self._stacks.stack = []
         return stack
 
-    def begin_span(self, name: str, **attrs: Any) -> Span:
+    def begin_span(
+        self,
+        name: str,
+        *,
+        parent_id: Optional[int] = None,
+        detached: bool = False,
+        **attrs: Any,
+    ) -> Span:
         """Open a span on the current thread; nests under the open one.
 
         Pair with :meth:`end_span` (or use the :meth:`span` context
         manager).  Returns the shared null span when disabled.
+
+        *parent_id* overrides the stack-derived parent — the hook for
+        cross-thread parenting (a shard span opened by the coordinator
+        but closed by that shard's reader thread).  *detached* spans are
+        never pushed on the opening thread's stack, so later spans on
+        the same thread do not nest under them.
         """
         if not self.enabled:
             return NULL_SPAN  # type: ignore[return-value]
         stack = self._stack()
+        if parent_id is None and not detached:
+            parent_id = stack[-1].span_id if stack else None
         span = Span(
             span_id=next(self._span_ids),
             name=name,
             start=time.monotonic() - self.epoch,
-            parent_id=stack[-1].span_id if stack else None,
+            parent_id=parent_id,
             thread=threading.current_thread().name,
             attrs=dict(attrs),
         )
-        stack.append(span)
+        if not detached:
+            stack.append(span)
         return span
 
     def end_span(self, span: Span, **attrs: Any) -> None:
@@ -175,13 +192,25 @@ class ObsRegistry:
             span.attrs.update(attrs)
         stack = self._stack()
         # Unwind to the closed span: a crashed child left on the stack
-        # must not become the parent of later, unrelated spans.
-        while stack:
-            top = stack.pop()
-            if top is span:
-                break
+        # must not become the parent of later, unrelated spans.  A span
+        # this thread never pushed (detached, or opened elsewhere) must
+        # not drain the stack looking for itself.
+        if span in stack:
+            while stack:
+                top = stack.pop()
+                if top is span:
+                    break
         with self._lock:
             self._spans.append(span)
+        for sink in list(self._sinks):
+            sink(span)
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span on the current thread, if any."""
+        if not self.enabled:
+            return None
+        stack = self._stack()
+        return stack[-1] if stack else None
 
     @contextlib.contextmanager
     def span(self, name: str, **attrs: Any) -> Iterator[Span]:
@@ -191,6 +220,77 @@ class ObsRegistry:
             yield span
         finally:
             self.end_span(span)
+
+    # ------------------------------------------------------------------
+    # Span sinks and cross-process adoption
+    # ------------------------------------------------------------------
+    def add_span_sink(self, sink: Callable[[Span], None]) -> None:
+        """Call *sink* with every span as it completes (sidecar export)."""
+        with self._lock:
+            if sink not in self._sinks:
+                self._sinks.append(sink)
+
+    def remove_span_sink(self, sink: Callable[[Span], None]) -> None:
+        """Detach a sink installed with :meth:`add_span_sink`."""
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
+    def adopt(
+        self,
+        payload: Optional[Dict[str, Any]],
+        *,
+        parent_id: Optional[int] = None,
+    ) -> List[Span]:
+        """Fold another process's span/metric payload into this registry.
+
+        *payload* is :func:`repro.obs.export.registry_payload` output
+        shipped back over a pool-child response frame.  Span ids are
+        remapped into this registry's id space (preserving internal
+        parent/child links); orphan roots are stitched under
+        *parent_id* (typically the open ``runner.subprocess`` span of
+        the dispatch that produced them).  Start instants are rebased
+        from the child's epoch onto ours — ``CLOCK_MONOTONIC`` is
+        system-wide on Linux, so the two epochs are directly
+        comparable.  Counters are summed and histograms bucket-merged.
+        Returns the adopted spans.
+        """
+        if not self.enabled or not payload:
+            return []
+        offset = 0.0
+        epoch = payload.get("epoch")
+        if epoch is not None:
+            offset = float(epoch) - self.epoch
+        adopted: List[Span] = []
+        id_map: Dict[int, int] = {}
+        originals: List[Optional[int]] = []
+        for data in payload.get("spans") or []:
+            span = Span.from_dict(data)
+            new_id = next(self._span_ids)
+            id_map[span.span_id] = new_id
+            originals.append(span.parent_id)
+            span.span_id = new_id
+            span.start += offset
+            adopted.append(span)
+        # Second pass: spans arrive in completion order (children before
+        # parents), so parents can only be remapped once every id is known.
+        for span, original_parent in zip(adopted, originals):
+            if original_parent is not None and original_parent in id_map:
+                span.parent_id = id_map[original_parent]
+            else:
+                span.parent_id = parent_id
+        with self._lock:
+            self._spans.extend(adopted)
+        for sink in list(self._sinks):
+            for span in adopted:
+                sink(span)
+        for name, value in (payload.get("counters") or {}).items():
+            self.counter(name).inc(int(value))
+        for data in payload.get("histograms") or []:
+            self.histogram(data["name"], data.get("boundaries")).merge(
+                Histogram.from_dict(data)
+            )
+        return adopted
 
     # ------------------------------------------------------------------
     # Introspection and export

@@ -33,6 +33,9 @@ class Span:
     parent_id: Optional[int] = None
     duration: float = 0.0
     thread: str = ""
+    #: Process key (``shard-00#1``, ``pool-1234``) stamped when the span
+    #: is exported or merged across processes; ``""`` in-process.
+    process: str = ""
     attrs: Dict[str, Any] = field(default_factory=dict)
 
     def set(self, **attrs: Any) -> None:
@@ -41,7 +44,7 @@ class Span:
 
     def to_dict(self) -> Dict[str, Any]:
         """Serializable shadow (one JSONL line of the export format)."""
-        return {
+        data = {
             "type": "span",
             "id": self.span_id,
             "parent": self.parent_id,
@@ -51,6 +54,9 @@ class Span:
             "thread": self.thread,
             "attrs": self.attrs,
         }
+        if self.process:
+            data["process"] = self.process
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "Span":
@@ -62,6 +68,7 @@ class Span:
             parent_id=None if data.get("parent") is None else int(data["parent"]),
             duration=float(data.get("duration", 0.0)),
             thread=data.get("thread", ""),
+            process=data.get("process", ""),
             attrs=dict(data.get("attrs", {})),
         )
 
@@ -80,6 +87,7 @@ class _NullSpan:
     start = 0.0
     duration = 0.0
     thread = ""
+    process = ""
     attrs: Dict[str, Any] = {}
 
     def set(self, **attrs: Any) -> None:

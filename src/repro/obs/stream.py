@@ -1,0 +1,324 @@
+"""Live structured progress stream and the fleet view that tails it.
+
+``grade --progress-stream PATH`` makes the grading service (or the
+single-process supervisor) append one compact JSON object per event —
+batch start/end, shard spawns/deaths/quarantines, every graded
+submission with its verdict, and queue depth — each line flushed as it
+happens.  ``forkjoin-test watch WORKDIR`` tails the file into a
+refreshing fleet view without talking to the coordinator at all: the
+file is the API, which is also what a future multi-host coordinator
+would ship over a socket.
+
+Event records share three fields — ``event`` (the kind), ``seq`` (a
+monotonically increasing sequence number), ``ts`` (wall-clock seconds)
+— plus kind-specific payload:
+
+========================  ==================================================
+``batch-start``           ``suite``, ``shards``, ``submissions``, ``run_id``
+``shard-spawn``           ``shard``, ``incarnation``, ``assigned``
+``shard-resumed``         ``shard``, ``resumed`` (count from the journal)
+``graded``                ``shard``, ``student``, ``failure_kind``,
+                          ``score``, ``max_score``, ``graded`` (shard total)
+``queue-depth``           ``graded``, ``remaining``, ``total``
+``shard-death``           ``shard``, ``returncode``, ``remaining``
+``shard-health``          ``shard``, ``status`` (``heartbeat-timeout``)
+``quarantine``            ``shard``, ``student``
+``shard-done``            ``shard``
+``batch-end``             ``graded``, ``drained``, ``interrupted``
+========================  ==================================================
+
+Tailing is torn-tail tolerant by construction: :func:`read_events`
+never consumes past the last newline, so a line the writer is mid-way
+through appending is simply picked up on the next poll.
+
+**Straggler detection**: :meth:`FleetState.straggler_shards` flags any
+shard whose grading rate has fallen to ≤ 1/3 of the fleet median
+(with at least two rate-measurable shards), the classic
+partitioned-batch failure mode where one slow shard hides behind
+aggregate throughput.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "ProgressStream",
+    "read_events",
+    "FleetState",
+    "ShardView",
+    "render_fleet",
+]
+
+#: Shard key used for non-sharded (single-process) grading runs.
+LOCAL_SHARD = -1
+
+
+class ProgressStream:
+    """Append-only, flushed-per-line JSONL event writer (thread-safe)."""
+
+    def __init__(self, path: Path | str) -> None:
+        """Open (truncate) the stream at *path*."""
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._lock = threading.Lock()
+        self._seq = itertools.count(1)
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Append one event record and flush it to disk."""
+        record = {"event": event, "seq": next(self._seq), "ts": round(time.time(), 3)}
+        record.update(fields)
+        line = json.dumps(record, separators=(",", ":"), default=str)
+        with self._lock:
+            if self._handle.closed:
+                return
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Close the underlying file; later emits are dropped."""
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "ProgressStream":
+        """Context-manager entry: the stream itself."""
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Context-manager exit: close the stream."""
+        self.close()
+
+
+def read_events(
+    path: Path | str, offset: int = 0
+) -> Tuple[List[Dict[str, Any]], int]:
+    """Read complete event lines at byte *offset*; returns (events, offset').
+
+    Never consumes an unterminated trailing line — the writer may be
+    mid-append — so polling with the returned offset tails the stream
+    without ever seeing a torn record.  A missing file yields no events
+    (the watcher may start before the batch does).
+    """
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            data = handle.read()
+    except FileNotFoundError:
+        return [], offset
+    end = data.rfind(b"\n")
+    if end < 0:
+        return [], offset
+    events: List[Dict[str, Any]] = []
+    for raw in data[: end + 1].splitlines():
+        if not raw.strip():
+            continue
+        try:
+            record = json.loads(raw)
+        except json.JSONDecodeError:
+            continue  # a corrupt interior line must not kill the watcher
+        if isinstance(record, dict):
+            events.append(record)
+    return events, offset + end + 1
+
+
+@dataclass
+class ShardView:
+    """What the watcher knows about one shard."""
+
+    shard: int
+    assigned: int = 0
+    graded: int = 0
+    incarnation: int = 0
+    alive: bool = False
+    done: bool = False
+    resumed: int = 0
+    deaths: int = 0
+    heartbeat_timeouts: int = 0
+    quarantined: List[str] = field(default_factory=list)
+    first_ts: Optional[float] = None
+    last_ts: Optional[float] = None
+    last_student: str = ""
+
+    def rate(self, now: Optional[float] = None) -> Optional[float]:
+        """Graded submissions per second, or ``None`` before any signal."""
+        if self.first_ts is None:
+            return None
+        end = self.last_ts if now is None else max(now, self.first_ts)
+        if end is None or end <= self.first_ts:
+            return None
+        return self.graded / (end - self.first_ts)
+
+
+class FleetState:
+    """Fold progress events into the current picture of the fleet."""
+
+    def __init__(self) -> None:
+        """Start with an empty fleet (before ``batch-start`` arrives)."""
+        self.suite = ""
+        self.run_id = ""
+        self.total = 0
+        self.shard_count = 0
+        self.graded = 0
+        self.remaining: Optional[int] = None
+        self.started_ts: Optional[float] = None
+        self.last_ts: Optional[float] = None
+        self.ended = False
+        self.drained = False
+        self.interrupted = 0
+        self.verdicts: Dict[str, int] = {}
+        self.shards: Dict[int, ShardView] = {}
+
+    def _shard(self, event: Dict[str, Any]) -> ShardView:
+        shard = event.get("shard")
+        key = LOCAL_SHARD if shard is None else int(shard)
+        view = self.shards.get(key)
+        if view is None:
+            view = self.shards[key] = ShardView(shard=key)
+        return view
+
+    def apply(self, event: Dict[str, Any]) -> None:
+        """Fold one event record into the state (unknown kinds ignored)."""
+        kind = event.get("event")
+        ts = event.get("ts")
+        if isinstance(ts, (int, float)):
+            self.last_ts = float(ts)
+        if kind == "batch-start":
+            self.suite = str(event.get("suite", ""))
+            self.run_id = str(event.get("run_id", ""))
+            self.total = int(event.get("submissions", 0))
+            self.shard_count = int(event.get("shards", 0))
+            self.started_ts = self.last_ts
+        elif kind == "shard-spawn":
+            view = self._shard(event)
+            view.alive = True
+            view.incarnation = int(event.get("incarnation", 0))
+            view.assigned = int(event.get("assigned", view.assigned))
+            if view.first_ts is None:
+                view.first_ts = self.last_ts
+        elif kind == "shard-resumed":
+            view = self._shard(event)
+            resumed = int(event.get("resumed", 0))
+            view.resumed = resumed
+            view.graded += resumed
+            self.graded += resumed
+        elif kind == "graded":
+            view = self._shard(event)
+            view.graded += 1
+            view.last_ts = self.last_ts
+            if view.first_ts is None:
+                view.first_ts = self.last_ts
+            view.last_student = str(event.get("student", ""))
+            self.graded += 1
+            verdict = event.get("failure_kind") or "ok"
+            self.verdicts[verdict] = self.verdicts.get(verdict, 0) + 1
+        elif kind == "queue-depth":
+            self.remaining = int(event.get("remaining", 0))
+        elif kind == "shard-death":
+            view = self._shard(event)
+            view.alive = False
+            view.deaths += 1
+        elif kind == "shard-health":
+            view = self._shard(event)
+            if event.get("status") == "heartbeat-timeout":
+                view.heartbeat_timeouts += 1
+        elif kind == "quarantine":
+            view = self._shard(event)
+            student = str(event.get("student", ""))
+            if student:
+                view.quarantined.append(student)
+        elif kind == "shard-done":
+            view = self._shard(event)
+            view.done = True
+            view.alive = False
+        elif kind == "batch-end":
+            self.ended = True
+            self.drained = bool(event.get("drained"))
+            self.interrupted = int(event.get("interrupted", 0))
+
+    def straggler_shards(self, now: Optional[float] = None) -> List[int]:
+        """Shards grading at ≤ 1/3 of the fleet's median rate.
+
+        Needs at least two shards with a measurable rate; finished
+        shards are never stragglers (their job is done).
+        """
+        if now is None:
+            now = self.last_ts
+        rates: Dict[int, float] = {}
+        for key, view in self.shards.items():
+            if view.done:
+                continue
+            rate = view.rate(now)
+            if rate is not None:
+                rates[key] = rate
+        if len(rates) < 2:
+            return []
+        ordered = sorted(rates.values())
+        middle = len(ordered) // 2
+        if len(ordered) % 2:
+            median = ordered[middle]
+        else:
+            median = (ordered[middle - 1] + ordered[middle]) / 2.0
+        if median <= 0.0:
+            return []
+        return sorted(key for key, rate in rates.items() if rate * 3.0 <= median)
+
+
+def _shard_label(key: int) -> str:
+    return "local" if key == LOCAL_SHARD else f"{key:02d}"
+
+
+def render_fleet(state: FleetState, now: Optional[float] = None) -> str:
+    """The ``watch`` view: one header line, one line per shard, verdicts."""
+    if state.started_ts is None and not state.shards:
+        return "waiting for batch-start ..."
+    stragglers = set(state.straggler_shards(now))
+    header = f"suite {state.suite or '?'}"
+    if state.run_id:
+        header += f" — run {state.run_id}"
+    header += f" — {state.graded}/{state.total or '?'} graded"
+    if state.remaining is not None:
+        header += f", {state.remaining} queued"
+    if state.ended:
+        header += " — DRAINED" if state.drained else " — done"
+    lines = [header]
+    for key in sorted(state.shards):
+        view = state.shards[key]
+        if view.done:
+            status = "done"
+        elif view.alive:
+            status = "alive"
+        else:
+            status = "dead"
+        rate = view.rate(now)
+        rate_text = f"{rate:6.2f}/s" if rate is not None else "      --"
+        line = (
+            f"shard {_shard_label(key)}  #{view.incarnation}  {status:<5}  "
+            f"{view.graded:>4}/{view.assigned or '?':<4} graded  {rate_text}"
+        )
+        if view.resumed:
+            line += f"  resumed={view.resumed}"
+        if view.deaths:
+            line += f"  deaths={view.deaths}"
+        if view.heartbeat_timeouts:
+            line += f"  hb-timeouts={view.heartbeat_timeouts}"
+        if view.quarantined:
+            line += f"  quarantined={len(view.quarantined)}"
+        if view.last_student:
+            line += f"  last={view.last_student}"
+        if key in stragglers:
+            line += "  ⚠ STRAGGLER"
+        lines.append(line)
+    if state.verdicts:
+        shown = ", ".join(
+            f"{name} {count}" for name, count in sorted(state.verdicts.items())
+        )
+        lines.append(f"verdicts: {shown}")
+    return "\n".join(lines)

@@ -25,9 +25,12 @@ from repro.obs.spans import Span
 
 __all__ = [
     "render_timeline",
+    "render_fleet_timeline",
     "render_stats",
     "render_span_tree",
     "submission_timings",
+    "timeline_json",
+    "stats_json",
 ]
 
 Source = Union[ObsRegistry, ObsDump]
@@ -100,6 +103,66 @@ def render_span_tree(
     return "\n".join(lines)
 
 
+def render_fleet_timeline(
+    dump: ObsDump, *, submission: Optional[str] = None
+) -> str:
+    """The service-wide timeline of a merged multi-process dump.
+
+    Renders ONE stitched tree from the coordinator's ``service.batch``
+    root down through every ``service.shard`` incarnation to the
+    shard-side submission spans and adopted pool-child spans.  A span
+    whose process differs from its parent's is prefixed with its
+    process key (``[shard-00#1]``), so cross-process hops are visible
+    in place.  *submission* filters to the matching
+    ``supervisor.submission`` subtrees.
+    """
+    spans = list(dump.spans)
+    if not spans:
+        return "no spans recorded (was the run made with observability on?)"
+    roots, children = _tree_index(spans)
+    by_id = {span.span_id: span for span in spans}
+    lines: List[str] = []
+
+    def walk(span: Span, depth: int) -> None:
+        parent = by_id.get(span.parent_id) if span.parent_id else None
+        hop = (
+            f"[{span.process}] "
+            if span.process and (parent is None or parent.process != span.process)
+            else ""
+        )
+        lines.append(f"{'  ' * depth}{hop}{_span_label(span)}")
+        for child in children.get(span.span_id, []):
+            walk(child, depth + 1)
+
+    if submission:
+        matches = [
+            span
+            for span in spans
+            if span.name == "supervisor.submission"
+            and submission
+            in (span.attrs.get("student"), span.attrs.get("identifier"))
+        ]
+        if not matches:
+            return f"no spans matched submission {submission!r}"
+        for span in sorted(matches, key=lambda s: s.start):
+            walk(span, 0)
+        return "\n".join(lines)
+
+    processes = [
+        str(meta.get("process", ""))
+        for meta in dump.meta.get("processes", [])
+        if meta.get("process")
+    ]
+    if processes:
+        lines.append(
+            f"=== fleet: {len(processes)} processes "
+            f"({', '.join(processes)}) ==="
+        )
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
 def render_timeline(source: Source, *, submission: Optional[str] = None) -> str:
     """The per-submission timeline view of a grading run.
 
@@ -107,8 +170,12 @@ def render_timeline(source: Source, *, submission: Optional[str] = None) -> str:
     sections headed by the student name; spans outside any submission
     (a bare ``run``/``explore`` invocation) are listed under an
     "ungrouped" section.  *submission* filters to one student or
-    tested-program identifier.
+    tested-program identifier.  A merged multi-process dump renders as
+    one stitched fleet tree instead
+    (:func:`render_fleet_timeline`).
     """
+    if isinstance(source, ObsDump) and source.merged:
+        return render_fleet_timeline(source, submission=submission)
     spans = _spans_of(source)
     if not spans:
         return "no spans recorded (was the run made with observability on?)"
@@ -147,10 +214,12 @@ def submission_timings(source: Source) -> Dict[str, Dict[str, object]]:
     Maps student name to ``{"duration": seconds, "attempts": n,
     "tree": rendered span tree}`` built from that student's
     ``supervisor.submission`` span (the latest one, when retried
-    batches produced several).
+    batches produced several).  Works on merged fleet dumps too, where
+    submission spans sit below ``service.shard`` rather than at the
+    root.
     """
     spans = _spans_of(source)
-    roots, children = _tree_index(spans)
+    _, children = _tree_index(spans)
 
     def subtree(root: Span) -> List[Span]:
         collected = [root]
@@ -159,16 +228,16 @@ def submission_timings(source: Source) -> Dict[str, Dict[str, object]]:
         return collected
 
     timings: Dict[str, Dict[str, object]] = {}
-    for root in roots:
-        if root.name != "supervisor.submission":
+    for span in sorted(spans, key=lambda s: s.start):
+        if span.name != "supervisor.submission":
             continue
-        student = root.attrs.get("student")
+        student = span.attrs.get("student")
         if not student:
             continue
         timings[str(student)] = {
-            "duration": root.duration,
-            "attempts": root.attrs.get("attempts", 1),
-            "tree": render_span_tree(subtree(root)),
+            "duration": span.duration,
+            "attempts": span.attrs.get("attempts", 1),
+            "tree": render_span_tree(subtree(span)),
         }
     return timings
 
@@ -227,4 +296,105 @@ def render_stats(source: Source) -> str:
         lines.append("gauges:")
         for name in sorted(gauges):
             lines.append(f"  {name} = {gauges[name]:g}")
+    if isinstance(source, ObsDump) and source.parts:
+        lines.append("processes:")
+        for part in source.parts:
+            role = part.role or "?"
+            pid = part.meta.get("pid")
+            suffix = f" (pid {pid})" if pid else ""
+            lines.append(f"  {part.process or '?'} [{role}]{suffix}")
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Machine-readable views (`timeline --json` / `stats --json`)
+# ----------------------------------------------------------------------
+def _span_node(
+    span: Span, children: Dict[int, List[Span]]
+) -> Dict[str, object]:
+    return {
+        "id": span.span_id,
+        "name": span.name,
+        "start": round(span.start, 6),
+        "duration": round(span.duration, 6),
+        "thread": span.thread,
+        "process": span.process,
+        "attrs": dict(span.attrs),
+        "children": [
+            _span_node(child, children)
+            for child in children.get(span.span_id, [])
+        ],
+    }
+
+
+def timeline_json(source: Source) -> Dict[str, object]:
+    """The timeline as one JSON-serializable tree of nested spans."""
+    spans = _spans_of(source)
+    roots, children = _tree_index(spans)
+    data: Dict[str, object] = {
+        "spans": [_span_node(root, children) for root in roots],
+    }
+    if isinstance(source, ObsDump):
+        data["merged"] = source.merged
+        if source.meta.get("run_id"):
+            data["run_id"] = source.meta["run_id"]
+        if source.parts:
+            data["processes"] = [dict(part.meta) for part in source.parts]
+    else:
+        data["merged"] = False
+    return data
+
+
+def _histogram_json(histogram: Histogram) -> Dict[str, object]:
+    count = histogram.count
+    return {
+        "count": count,
+        "total": histogram.total,
+        "min": None if not count else histogram.minimum,
+        "max": None if not count else histogram.maximum,
+        "mean": None if not count else histogram.mean,
+        "p50": None if not count else histogram.p50,
+        "p95": None if not count else histogram.p95,
+    }
+
+
+def stats_json(source: Source) -> Dict[str, object]:
+    """The aggregate stats as a JSON-serializable object.
+
+    A merged fleet dump adds a ``processes`` list with each process's
+    own counters/gauges, preserving the per-role breakdown the flat
+    aggregates lose.
+    """
+    if isinstance(source, ObsRegistry):
+        histograms = source.histograms()
+        counters = {n: c.value for n, c in source.counters().items()}
+        gauges = {n: g.value for n, g in source.gauges().items()}
+    else:
+        histograms = source.histograms
+        counters = dict(source.counters)
+        gauges = dict(source.gauges)
+    data: Dict[str, object] = {
+        "counters": {name: counters[name] for name in sorted(counters)},
+        "gauges": {name: gauges[name] for name in sorted(gauges)},
+        "histograms": {
+            name: _histogram_json(histograms[name])
+            for name in sorted(histograms)
+            if histograms[name].count
+        },
+    }
+    if isinstance(source, ObsDump) and source.parts:
+        data["processes"] = [
+            {
+                "process": part.process,
+                "role": part.role,
+                "pid": part.meta.get("pid"),
+                "counters": {
+                    name: part.counters[name] for name in sorted(part.counters)
+                },
+                "gauges": {
+                    name: part.gauges[name] for name in sorted(part.gauges)
+                },
+            }
+            for part in source.parts
+        ]
+    return data

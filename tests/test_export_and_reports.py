@@ -132,6 +132,43 @@ class TestGradebookHtml:
         assert '<span class="status failed">timeout</span>' in text
 
 
+class TestLockContention:
+    CONTENTION = [
+        {"lock": 1, "acquisitions": 5, "blocks": 2, "try_failures": 1},
+        {"lock": 2, "acquisitions": 3, "blocks": 0, "try_failures": 0},
+    ]
+
+    def make_record(self) -> SubmissionRecord:
+        return SubmissionRecord.from_suite_result(
+            "alice",
+            make_suite_result(40.0),
+            timestamp=1,
+            race_contention=self.CONTENTION,
+        )
+
+    def test_contention_survives_a_dict_round_trip(self):
+        record = self.make_record()
+        clone = SubmissionRecord.from_dict(record.to_dict())
+        assert clone.race_contention == self.CONTENTION
+        # the record holds copies, not aliases, of the caller's dicts
+        assert clone.race_contention[0] is not self.CONTENTION[0]
+
+    def test_html_renders_a_contention_table(self):
+        book = Gradebook("primes")
+        book.record(self.make_record())
+        text = gradebook_html(book)
+        assert "<h2>Lock contention</h2>" in text
+        assert "<td>lock-1</td>" in text
+        assert "<td>lock-2</td>" in text
+        assert "<td class='points'>5</td>" in text  # acquisitions
+        assert "<td class='points'>2</td>" in text  # blocks
+        assert "<td class='points'>1</td>" in text  # try failures
+
+    def test_no_contention_no_table(self):
+        text = gradebook_html(make_gradebook())
+        assert "Lock contention" not in text
+
+
 class TestProgressLogElapsed:
     def test_log_run_stamps_monotonic_elapsed(self):
         log = ProgressLog()

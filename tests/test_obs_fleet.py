@@ -1,0 +1,733 @@
+"""Tests of fleet telemetry: context, sidecars, merge, prom, stream.
+
+Covers the cross-process trace plumbing in isolation (trace-context
+round-trip, detached spans and payload adoption, histogram merging),
+the crash-safe sidecar export and its torn-tail tolerance after a
+simulated ``kill -9``, the deterministic multi-dump merge, Prometheus
+text exposition, the live progress stream and its fleet view with
+straggler detection — and the acceptance run: a ``shards=4,
+pool_size=2`` sharded batch whose merged dump is ONE tree where every
+shard-worker and pool-child span is causally parented under the
+coordinator's ``service.batch`` root.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import warnings
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    FleetState,
+    Histogram,
+    ObsDumpWarning,
+    ObsRegistry,
+    ProgressStream,
+    SidecarWriter,
+    TraceContext,
+    current_context,
+    load_jsonl,
+    merge_dumps,
+    new_run_id,
+    read_events,
+    registry_payload,
+    render_fleet,
+    render_prom,
+    render_stats,
+    render_timeline,
+    save_dump,
+    snapshot_dump,
+    stats_json,
+    timeline_json,
+    use_context,
+    use_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    """A fresh, enabled registry installed as the process default."""
+    fresh = ObsRegistry(enabled=True)
+    with use_registry(fresh):
+        yield fresh
+
+
+# ----------------------------------------------------------------------
+# Trace context
+# ----------------------------------------------------------------------
+class TestTraceContext:
+    def test_round_trip(self):
+        context = TraceContext(
+            run_id="abc123",
+            role="shard",
+            shard=3,
+            incarnation=2,
+            pid=4242,
+            parent_process="coordinator",
+            parent_span_id=17,
+        )
+        clone = TraceContext.from_dict(context.to_dict())
+        assert clone == context
+        assert clone.process_key == "shard-03#2"
+
+    def test_process_keys_by_role(self):
+        assert TraceContext(role="coordinator").process_key == "coordinator"
+        assert TraceContext(role="pool", pid=99).process_key == "pool-99"
+        assert (
+            TraceContext(role="shard", shard=1, incarnation=4).process_key
+            == "shard-01#4"
+        )
+
+    def test_use_context_restores_previous(self):
+        outer = TraceContext(run_id="outer", role="coordinator")
+        inner = TraceContext(run_id="inner", role="shard", shard=0)
+        with use_context(outer):
+            assert current_context().run_id == "outer"
+            with use_context(inner):
+                assert current_context().run_id == "inner"
+            assert current_context().run_id == "outer"
+
+    def test_new_run_ids_are_short_and_distinct(self):
+        ids = {new_run_id() for _ in range(32)}
+        assert len(ids) == 32
+        assert all(len(run_id) == 12 for run_id in ids)
+
+
+# ----------------------------------------------------------------------
+# Detached spans, sinks, and payload adoption
+# ----------------------------------------------------------------------
+class TestDetachedAndAdopt:
+    def test_detached_span_never_parents_later_spans(self, registry):
+        detached = registry.begin_span("service.shard", detached=True)
+        with registry.span("other") as other:
+            pass
+        registry.end_span(detached)
+        assert other.parent_id is None
+
+    def test_ending_a_detached_span_does_not_drain_the_stack(self, registry):
+        outer = registry.begin_span("outer")
+        detached = registry.begin_span("d", detached=True)
+        registry.end_span(detached)
+        with registry.span("inner") as inner:
+            pass
+        registry.end_span(outer)
+        assert inner.parent_id == outer.span_id
+
+    def test_span_sink_sees_every_completed_span(self, registry):
+        seen = []
+        registry.add_span_sink(seen.append)
+        with registry.span("a"):
+            with registry.span("b"):
+                pass
+        registry.remove_span_sink(seen.append)
+        with registry.span("c"):
+            pass
+        assert [span.name for span in seen] == ["b", "a"]
+
+    def test_adopt_remaps_ids_and_stitches_orphans(self, registry):
+        child = ObsRegistry(enabled=True)
+        with child.span("pool.serve"):
+            with child.span("inner"):
+                pass
+        child.counter("pool.things").inc(3)
+        child.histogram("pool.seconds").observe(0.5)
+        payload = registry_payload(
+            child, context=TraceContext(role="pool", pid=777)
+        )
+
+        anchor = registry.begin_span("runner.subprocess")
+        adopted = registry.adopt(payload, parent_id=anchor.span_id)
+        registry.end_span(anchor)
+
+        by_name = {span.name: span for span in adopted}
+        # orphan root stitched under the anchor, internal link preserved
+        assert by_name["pool.serve"].parent_id == anchor.span_id
+        assert by_name["inner"].parent_id == by_name["pool.serve"].span_id
+        assert all(span.process == "pool-777" for span in adopted)
+        assert registry.counter("pool.things").value == 3
+        assert registry.histogram("pool.seconds").count == 1
+
+    def test_adopt_on_disabled_or_empty_is_a_noop(self):
+        disabled = ObsRegistry(enabled=False)
+        assert disabled.adopt({"spans": [{"span_id": 1, "name": "x"}]}) == []
+        enabled = ObsRegistry(enabled=True)
+        assert enabled.adopt(None) == []
+        assert enabled.spans() == []
+
+
+class TestHistogramMerge:
+    def test_merge_sums_buckets_and_extremes(self):
+        first = Histogram("h", boundaries=(1.0, 2.0))
+        second = Histogram("h", boundaries=(1.0, 2.0))
+        for value in (0.5, 1.5):
+            first.observe(value)
+        for value in (1.7, 9.0):
+            second.observe(value)
+        first.merge(second)
+        assert first.count == 4
+        assert first.minimum == 0.5
+        assert first.maximum == 9.0
+        assert first.total == pytest.approx(12.7)
+
+    def test_merge_rejects_mismatched_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram("h", boundaries=(1.0,)).merge(
+                Histogram("h", boundaries=(2.0,))
+            )
+
+
+# ----------------------------------------------------------------------
+# Sidecars: crash-safe export and torn-tail tolerance
+# ----------------------------------------------------------------------
+class TestSidecar:
+    def context(self):
+        return TraceContext(
+            run_id="run01", role="shard", shard=0, incarnation=1, pid=10
+        )
+
+    def test_sidecar_appends_one_line_per_span(self, registry, tmp_path):
+        path = tmp_path / "obs-shard-00.inc01.jsonl"
+        sidecar = SidecarWriter(path, registry=registry, context=self.context())
+        registry.add_span_sink(sidecar.on_span)
+        with registry.span("supervisor.submission", student="ada"):
+            pass
+        registry.counter("graded").inc()
+        # The span line is on disk *before* any clean shutdown.
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["type"] == "meta"
+        assert json.loads(lines[1])["name"] == "supervisor.submission"
+        sidecar.flush_metrics()
+        sidecar.close()
+        dump = load_jsonl(path)
+        assert dump.meta["process"] == "shard-00#1"
+        assert dump.spans[0].process == "shard-00#1"
+        assert dump.counters == {"graded": 1}
+
+    def test_torn_tail_after_kill_is_dropped_tolerantly(
+        self, registry, tmp_path
+    ):
+        path = tmp_path / "obs-shard-00.inc00.jsonl"
+        sidecar = SidecarWriter(path, registry=registry, context=self.context())
+        registry.add_span_sink(sidecar.on_span)
+        with registry.span("supervisor.submission", student="ada"):
+            pass
+        # kill -9 mid-append: the next span's line stops mid-JSON and
+        # the process never reaches flush_metrics()/close().
+        with path.open("a") as handle:
+            handle.write('{"type": "span", "span_id": 99, "na')
+
+        with pytest.raises(ValueError, match="corrupt obs line"):
+            load_jsonl(path)
+        with pytest.warns(ObsDumpWarning):
+            dump = load_jsonl(path, tolerant=True)
+        assert [span.name for span in dump.spans] == ["supervisor.submission"]
+
+    def test_corrupt_interior_line_raises_even_tolerantly(self, tmp_path):
+        path = tmp_path / "obs.jsonl"
+        path.write_text('not json\n{"type": "meta", "version": 2}\n')
+        with pytest.raises(ValueError, match="line 1"):
+            load_jsonl(path, tolerant=True)
+
+
+# ----------------------------------------------------------------------
+# Dump v2 round-trip and deterministic merge
+# ----------------------------------------------------------------------
+def _process_dump(role, *, shard=None, incarnation=None, pid=1, run_id="r1"):
+    """A small single-process dump with nested spans and metrics."""
+    registry = ObsRegistry(enabled=True)
+    with registry.span("outer", who=role):
+        with registry.span("inner"):
+            pass
+    registry.counter("graded").inc(2)
+    registry.histogram("seconds").observe(0.25)
+    context = TraceContext(
+        run_id=run_id, role=role, shard=shard, incarnation=incarnation, pid=pid
+    )
+    return snapshot_dump(registry, context=context)
+
+
+class TestDumpRoundTrip:
+    def test_v2_round_trip_nested_spans_and_histograms(self, tmp_path):
+        dump = _process_dump("shard", shard=2, incarnation=1, pid=55)
+        loaded = load_jsonl(save_dump(dump, tmp_path / "obs.jsonl"))
+        assert loaded.meta["run_id"] == "r1"
+        assert loaded.process == "shard-02#1"
+        assert [span.name for span in loaded.spans] == ["inner", "outer"]
+        assert loaded.spans[0].parent_id == loaded.spans[1].span_id
+        assert all(span.process == "shard-02#1" for span in loaded.spans)
+        assert loaded.counters == {"graded": 2}
+        assert loaded.histograms["seconds"].count == 1
+
+    def test_merged_dump_round_trips_parts(self, tmp_path):
+        merged = merge_dumps(
+            [
+                _process_dump("coordinator"),
+                _process_dump("shard", shard=0, incarnation=0, pid=2),
+            ]
+        )
+        loaded = load_jsonl(save_dump(merged, tmp_path / "obs.jsonl"))
+        assert loaded.merged
+        assert [part.process for part in loaded.parts] == [
+            "coordinator",
+            "shard-00#0",
+        ]
+        # flat aggregates recomputed across parts
+        assert loaded.counters == {"graded": 4}
+        assert loaded.histograms["seconds"].count == 2
+
+
+class TestMergeDumps:
+    def parts(self):
+        return [
+            _process_dump("coordinator", pid=1),
+            _process_dump("shard", shard=1, incarnation=0, pid=30),
+            _process_dump("shard", shard=0, incarnation=1, pid=20),
+            _process_dump("shard", shard=0, incarnation=0, pid=10),
+        ]
+
+    def test_merge_order_is_deterministic_under_shuffle(self):
+        reference = merge_dumps(self.parts())
+        for seed in range(5):
+            shuffled = self.parts()
+            random.Random(seed).shuffle(shuffled)
+            merged = merge_dumps(shuffled)
+            assert [part.process for part in merged.parts] == [
+                part.process for part in reference.parts
+            ]
+            assert [
+                (span.name, span.process) for span in merged.spans
+            ] == [(span.name, span.process) for span in reference.spans]
+
+    def test_coordinator_sorts_first_then_shard_and_incarnation(self):
+        merged = merge_dumps(self.parts())
+        assert [part.process for part in merged.parts] == [
+            "coordinator",
+            "shard-00#0",
+            "shard-00#1",
+            "shard-01#0",
+        ]
+        assert merged.meta.get("merged") is True
+        assert merged.counters["graded"] == 8
+
+    def test_cross_process_parenting_is_stitched(self):
+        coordinator = ObsRegistry(enabled=True)
+        batch = coordinator.begin_span("service.batch")
+        shard_span = coordinator.begin_span(
+            "service.shard", parent_id=batch.span_id, detached=True
+        )
+        coordinator.end_span(shard_span)
+        coordinator.end_span(batch)
+        coordinator_dump = snapshot_dump(
+            coordinator, context=TraceContext(run_id="r1", role="coordinator")
+        )
+
+        worker = ObsRegistry(enabled=True)
+        with worker.span("supervisor.submission", student="ada"):
+            pass
+        worker_dump = snapshot_dump(
+            worker,
+            context=TraceContext(
+                run_id="r1",
+                role="shard",
+                shard=0,
+                incarnation=0,
+                pid=9,
+                parent_process="coordinator",
+                parent_span_id=shard_span.span_id,
+            ),
+        )
+
+        merged = merge_dumps([coordinator_dump, worker_dump])
+        by_name = {span.name: span for span in merged.spans}
+        root = by_name["service.batch"]
+        assert root.parent_id is None
+        assert by_name["service.shard"].parent_id == root.span_id
+        assert (
+            by_name["supervisor.submission"].parent_id
+            == by_name["service.shard"].span_id
+        )
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+class TestProm:
+    def test_counter_gauge_histogram_rendering(self, registry):
+        registry.counter("supervisor.retries").inc(2)
+        registry.gauge("pool.workers").set(4)
+        registry.histogram("run.seconds", boundaries=(1.0,)).observe(0.5)
+        text = render_prom(registry)
+        assert "# TYPE repro_supervisor_retries_total counter" in text
+        assert 'repro_supervisor_retries_total{role="coordinator"} 2' in text
+        assert 'repro_pool_workers{role="coordinator"} 4' in text
+        assert 'repro_run_seconds_bucket{role="coordinator",le="1"} 1' in text
+        assert (
+            'repro_run_seconds_bucket{role="coordinator",le="+Inf"} 1' in text
+        )
+        assert 'repro_run_seconds_count{role="coordinator"} 1' in text
+        assert text.endswith("\n")
+
+    def test_merged_dump_gets_per_role_labels(self):
+        merged = merge_dumps(
+            [
+                _process_dump("coordinator"),
+                _process_dump("shard", shard=0, incarnation=0, pid=2),
+                _process_dump("pool", pid=3),
+            ]
+        )
+        text = render_prom(merged)
+        assert 'repro_graded_total{role="coordinator"} 2' in text
+        assert 'repro_graded_total{role="shard"} 2' in text
+        assert 'repro_graded_total{role="pool"} 2' in text
+
+    def test_output_is_sorted_and_stable(self, registry):
+        registry.counter("b.count").inc()
+        registry.counter("a.count").inc()
+        text = render_prom(registry)
+        assert text.index("repro_a_count_total") < text.index(
+            "repro_b_count_total"
+        )
+        assert render_prom(registry) == text
+
+
+# ----------------------------------------------------------------------
+# Progress stream, fleet state, stragglers
+# ----------------------------------------------------------------------
+class TestProgressStream:
+    def test_emit_and_tail_with_offsets(self, tmp_path):
+        path = tmp_path / "progress.jsonl"
+        with ProgressStream(path) as stream:
+            stream.emit("batch-start", suite="hello", shards=1, submissions=2)
+            events, offset = read_events(path)
+            assert [event["event"] for event in events] == ["batch-start"]
+            assert events[0]["seq"] == 1
+            stream.emit("graded", shard=0, student="ada")
+            more, offset = read_events(path, offset)
+            assert [event["event"] for event in more] == ["graded"]
+
+    def test_tail_never_reads_a_torn_line(self, tmp_path):
+        path = tmp_path / "progress.jsonl"
+        path.write_text('{"event":"batch-start","seq":1,"ts":1.0}\n{"eve')
+        events, offset = read_events(path)
+        assert len(events) == 1
+        # the torn tail was not consumed; finishing the line surfaces it
+        with path.open("a") as handle:
+            handle.write('nt":"shard-done","seq":2,"ts":2.0,"shard":0}\n')
+        more, _ = read_events(path, offset)
+        assert [event["event"] for event in more] == ["shard-done"]
+
+    def test_emit_is_thread_safe(self, tmp_path):
+        path = tmp_path / "progress.jsonl"
+        with ProgressStream(path) as stream:
+            threads = [
+                threading.Thread(
+                    target=lambda: [
+                        stream.emit("graded", student="x") for _ in range(50)
+                    ]
+                )
+                for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        events, _ = read_events(path)
+        assert len(events) == 200
+        assert sorted(event["seq"] for event in events) == list(range(1, 201))
+
+
+def _apply_all(state: FleetState, events):
+    for event in events:
+        state.apply(event)
+
+
+class TestFleetState:
+    def test_folds_a_batch_lifecycle(self):
+        state = FleetState()
+        _apply_all(
+            state,
+            [
+                {"event": "batch-start", "ts": 0.0, "suite": "hello",
+                 "shards": 2, "submissions": 4, "run_id": "r1"},
+                {"event": "shard-spawn", "ts": 0.1, "shard": 0,
+                 "incarnation": 0, "assigned": 2},
+                {"event": "shard-spawn", "ts": 0.1, "shard": 1,
+                 "incarnation": 0, "assigned": 2},
+                {"event": "graded", "ts": 1.0, "shard": 0, "student": "a",
+                 "failure_kind": "ok"},
+                {"event": "graded", "ts": 2.0, "shard": 0, "student": "b",
+                 "failure_kind": "deadlock"},
+                {"event": "shard-death", "ts": 2.5, "shard": 1,
+                 "returncode": -9, "remaining": 2},
+                {"event": "shard-spawn", "ts": 2.6, "shard": 1,
+                 "incarnation": 1, "assigned": 2},
+                {"event": "quarantine", "ts": 3.0, "shard": 1,
+                 "student": "c"},
+                {"event": "shard-done", "ts": 4.0, "shard": 0},
+                {"event": "batch-end", "ts": 5.0, "graded": 3,
+                 "drained": False, "interrupted": 0},
+            ],
+        )
+        assert state.suite == "hello" and state.run_id == "r1"
+        assert state.graded == 2
+        assert state.verdicts == {"ok": 1, "deadlock": 1}
+        assert state.shards[0].done
+        assert state.shards[1].deaths == 1
+        assert state.shards[1].incarnation == 1
+        assert state.shards[1].quarantined == ["c"]
+        assert state.ended and not state.drained
+
+    def test_straggler_flags_a_3x_below_median_shard(self):
+        state = FleetState()
+        events = [{"event": "batch-start", "ts": 0.0, "suite": "s",
+                   "shards": 3, "submissions": 33}]
+        for shard in range(3):
+            events.append({"event": "shard-spawn", "ts": 0.0, "shard": shard,
+                           "incarnation": 0, "assigned": 11})
+        # shards 0 and 1 grade 10 in 10s (1/s); shard 2 grades 1 (0.1/s)
+        for i in range(10):
+            ts = float(i + 1)
+            events.append({"event": "graded", "ts": ts, "shard": 0,
+                           "student": f"a{i}"})
+            events.append({"event": "graded", "ts": ts, "shard": 1,
+                           "student": f"b{i}"})
+        events.append({"event": "graded", "ts": 10.0, "shard": 2,
+                       "student": "c0"})
+        _apply_all(state, events)
+        assert state.straggler_shards(now=10.0) == [2]
+        view = render_fleet(state, now=10.0)
+        assert "STRAGGLER" in view
+        assert "suite s" in view
+
+    def test_no_stragglers_with_fewer_than_two_rates(self):
+        state = FleetState()
+        _apply_all(
+            state,
+            [
+                {"event": "shard-spawn", "ts": 0.0, "shard": 0,
+                 "incarnation": 0, "assigned": 1},
+                {"event": "graded", "ts": 1.0, "shard": 0, "student": "a"},
+            ],
+        )
+        assert state.straggler_shards(now=2.0) == []
+
+    def test_done_shards_are_never_stragglers(self):
+        state = FleetState()
+        events = []
+        for shard in range(2):
+            events.append({"event": "shard-spawn", "ts": 0.0, "shard": shard,
+                           "incarnation": 0, "assigned": 5})
+        for i in range(5):
+            events.append({"event": "graded", "ts": float(i + 1), "shard": 0,
+                           "student": f"a{i}"})
+        events.append({"event": "graded", "ts": 5.0, "shard": 1,
+                       "student": "b0"})
+        events.append({"event": "shard-done", "ts": 5.0, "shard": 1})
+        _apply_all(state, events)
+        assert state.straggler_shards(now=5.0) == []
+
+    def test_render_before_any_event(self):
+        assert "waiting" in render_fleet(FleetState())
+
+
+# ----------------------------------------------------------------------
+# Acceptance: sharded service with pools → one causally-stitched dump
+# ----------------------------------------------------------------------
+class TestServiceFleetTelemetry:
+    def run_service(self, tmp_path, registry, *, class_size=8, **kwargs):
+        from repro.grading import GradingService
+
+        kwargs.setdefault("shards", 4)
+        kwargs.setdefault("pool_size", 2)
+        kwargs.setdefault("heartbeat_interval", 0.2)
+        kwargs.setdefault("heartbeat_timeout", 5.0)
+        progress = ProgressStream(tmp_path / "progress.jsonl")
+        with progress:
+            service = GradingService(
+                "hello",
+                workdir=tmp_path / "wd",
+                progress_stream=progress,
+                **kwargs,
+            )
+            submissions = {
+                f"student-{i:03d}": "hello.correct" for i in range(class_size)
+            }
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                report = service.grade(submissions)
+        return service, report
+
+    def test_merged_dump_is_one_causally_stitched_tree(
+        self, tmp_path, registry
+    ):
+        service, report = self.run_service(tmp_path, registry)
+        assert sum(len(shard.graded) for shard in report.shards) == 8
+
+        merged = service.merged_dump()
+        assert merged.merged
+        by_id = {span.span_id: span for span in merged.spans}
+        roots = [span for span in merged.spans if span.parent_id is None]
+        assert [span.name for span in roots] == ["service.batch"]
+        root = roots[0]
+
+        def climbs_to_root(span):
+            seen = set()
+            while span.parent_id is not None:
+                assert span.span_id not in seen  # no cycles
+                seen.add(span.span_id)
+                span = by_id[span.parent_id]
+            return span is root
+
+        # EVERY span in the merged dump is causally under service.batch.
+        assert all(climbs_to_root(span) for span in merged.spans)
+
+        # every spawned shard contributed spans under its own process key
+        shard_keys = {
+            part.process for part in merged.parts if part.role == "shard"
+        }
+        assert len(shard_keys) == 4
+        span_processes = {span.process for span in merged.spans}
+        assert shard_keys <= span_processes
+
+        # pool children report through the shard sidecars, and their
+        # serve spans hang off the dispatching runner span
+        pool_serves = [s for s in merged.spans if s.name == "pool.serve"]
+        assert len(pool_serves) == 8
+        assert all(
+            by_id[span.parent_id].name == "runner.subprocess"
+            for span in pool_serves
+        )
+        assert all(span.process.startswith("pool-") for span in pool_serves)
+
+        # one service.shard child of the root per shard incarnation
+        shard_spans = [s for s in merged.spans if s.name == "service.shard"]
+        assert len(shard_spans) == 4
+        assert all(span.parent_id == root.span_id for span in shard_spans)
+
+    def test_views_and_prom_render_the_merged_dump(self, tmp_path, registry):
+        service, _ = self.run_service(tmp_path, registry, class_size=4)
+        merged = service.merged_dump()
+
+        timeline = render_timeline(merged)
+        assert "fleet:" in timeline
+        assert "service.batch" in timeline and "pool.serve" in timeline
+
+        stats = render_stats(merged)
+        assert "processes:" in stats
+
+        tree = timeline_json(merged)
+        assert tree["merged"] is True
+        assert tree["spans"][0]["name"] == "service.batch"
+
+        aggregates = stats_json(merged)
+        assert any(
+            process["process"].startswith("shard-")
+            for process in aggregates["processes"]
+        )
+
+        prom = render_prom(merged)
+        assert 'role="coordinator"' in prom and 'role="shard"' in prom
+
+    def test_progress_stream_feeds_the_watch_view(self, tmp_path, registry):
+        self.run_service(tmp_path, registry, class_size=4)
+        events, _ = read_events(tmp_path / "progress.jsonl")
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "batch-start"
+        assert kinds[-1] == "batch-end"
+        assert "shard-spawn" in kinds and "graded" in kinds
+        state = FleetState()
+        _apply_all(state, events)
+        assert state.ended and state.graded == 4
+        view = render_fleet(state)
+        assert "4/4 graded" in view
+
+    def test_killed_shard_keeps_its_spans_across_incarnations(
+        self, tmp_path, registry
+    ):
+        from repro.execution.faults import ShardFaultProgram
+
+        service, report = self.run_service(
+            tmp_path,
+            registry,
+            class_size=6,
+            shards=2,
+            pool_size=0,
+            faults={0: ShardFaultProgram("kill-at-index", index=1)},
+        )
+        assert any(shard.respawns for shard in report.shards)
+        merged = service.merged_dump()
+        incarnations = {
+            part.process
+            for part in merged.parts
+            if part.role == "shard" and part.meta.get("shard") == 0
+        }
+        # both the killed incarnation and its replacement left sidecars
+        assert {"shard-00#0", "shard-00#1"} <= incarnations
+        span_processes = {span.process for span in merged.spans}
+        assert {"shard-00#0", "shard-00#1"} <= span_processes
+
+
+# ----------------------------------------------------------------------
+# CLI: watch / --json / --prom / --progress-stream / --metrics-out
+# ----------------------------------------------------------------------
+class TestFleetCli:
+    def test_watch_once_renders_fleet_state(self, tmp_path, capsys):
+        path = tmp_path / "progress.jsonl"
+        with ProgressStream(path) as stream:
+            stream.emit("batch-start", suite="hello", shards=1,
+                        submissions=1, run_id="r1")
+            stream.emit("shard-spawn", shard=0, incarnation=0, assigned=1)
+            stream.emit("graded", shard=0, student="ada", failure_kind="ok")
+        assert main(["watch", str(tmp_path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "suite hello" in out and "1/1 graded" in out
+
+    def test_timeline_and_stats_json(self, registry, tmp_path, capsys):
+        with registry.span("supervisor.submission", student="ada"):
+            pass
+        registry.counter("graded").inc()
+        dump_path = save_dump(
+            snapshot_dump(
+                registry, context=TraceContext(run_id="r", role="coordinator")
+            ),
+            tmp_path / "obs.jsonl",
+        )
+        assert main(["timeline", str(dump_path), "--json"]) == 0
+        tree = json.loads(capsys.readouterr().out)
+        assert tree["spans"][0]["name"] == "supervisor.submission"
+        assert main(["stats", str(dump_path), "--json"]) == 0
+        aggregates = json.loads(capsys.readouterr().out)
+        assert aggregates["counters"]["graded"] == 1
+
+    def test_stats_prom(self, registry, tmp_path, capsys):
+        registry.counter("graded").inc(5)
+        dump_path = save_dump(
+            snapshot_dump(
+                registry, context=TraceContext(run_id="r", role="coordinator")
+            ),
+            tmp_path / "obs.jsonl",
+        )
+        assert main(["stats", str(dump_path), "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert 'repro_graded_total{role="coordinator"} 5' in out
+
+    def test_grade_streams_progress_and_exports_metrics(
+        self, registry, tmp_path, capsys
+    ):
+        stream_path = tmp_path / "progress.jsonl"
+        metrics_path = tmp_path / "metrics.prom"
+        assert main([
+            "grade", "hello",
+            "--submissions", "hello.correct",
+            "--progress-stream", str(stream_path),
+            "--metrics-out", str(metrics_path),
+        ]) == 0
+        events, _ = read_events(stream_path)
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "batch-start" and kinds[-1] == "batch-end"
+        assert "graded" in kinds and "queue-depth" in kinds
+        assert metrics_path.read_text().startswith("# TYPE repro_")

@@ -201,6 +201,15 @@ class TestSupervisorRaceVerdicts:
         # rerun-vote disagreement.
         assert not bob.flaky
 
+    def test_guarded_record_carries_lock_contention(self, report):
+        # The guarded submission actually takes its lock, so its record
+        # surfaces the per-lock traffic the analysis counted.
+        bob = report.gradebook.latest("bob")
+        assert bob.race_contention
+        stat = bob.race_contention[0]
+        assert stat["acquisitions"] > 0
+        assert set(stat) >= {"lock", "acquisitions", "blocks", "try_failures"}
+
     def test_race_fields_survive_a_dict_round_trip(self, report):
         alice = report.gradebook.latest("alice")
         clone = SubmissionRecord.from_dict(alice.to_dict())

@@ -398,6 +398,11 @@ class TestCli:
                     interrupted=list(submissions),
                 )
 
+            def merged_dump(self):
+                from repro.obs.merge import merge_dumps
+
+                return merge_dumps([])
+
         import repro.grading
 
         monkeypatch.setattr(repro.grading, "GradingService", DrainedService)
